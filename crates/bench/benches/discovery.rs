@@ -1,0 +1,120 @@
+//! Discovery benchmarks: keyword search, metadata send-ordering
+//! (cooperative and tit-for-tat), server search.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dtn_trace::NodeId;
+use mbt_core::discovery::{cooperative, tft, MetadataOffer};
+use mbt_core::keyword::{tokenize, InvertedIndex};
+use mbt_core::{CreditLedger, Metadata, MetadataServer, Popularity, Query, Uri};
+use std::hint::black_box;
+
+fn corpus(n: usize) -> Vec<Metadata> {
+    (0..n)
+        .map(|i| {
+            Metadata::builder(
+                format!("show{i} episode {} season {}", i % 20, i % 5),
+                ["FOX", "ABC", "CBS"][i % 3],
+                Uri::new(format!("mbt://pub/{i}")).unwrap(),
+            )
+            .description(format!("daily release number {i} with extras"))
+            .build()
+        })
+        .collect()
+}
+
+fn bench_tokenize(c: &mut Criterion) {
+    let text = "The Late-Night Show, season 4 episode 12: a very special guest appears";
+    c.bench_function("tokenize_sentence", |b| {
+        b.iter(|| black_box(tokenize(black_box(text))));
+    });
+}
+
+fn bench_inverted_index(c: &mut Criterion) {
+    let metas = corpus(1_000);
+    let mut index = InvertedIndex::new();
+    for m in &metas {
+        index.insert(m.uri(), &m.search_text());
+    }
+    let tokens: Vec<String> = vec!["show42".into(), "episode".into()];
+    c.bench_function("inverted_index_lookup_1k", |b| {
+        b.iter(|| black_box(index.lookup_ranked(&tokens)));
+    });
+}
+
+fn bench_server_search(c: &mut Criterion) {
+    let metas = corpus(1_000);
+    let mut server = MetadataServer::new(10);
+    for (i, m) in metas.into_iter().enumerate() {
+        server.publish(m, Popularity::new((i % 100) as f64 / 100.0));
+    }
+    let query = Query::new("episode 12").unwrap();
+    c.bench_function("server_search_1k_records", |b| {
+        b.iter(|| black_box(server.search(&query, 10)));
+    });
+}
+
+fn bench_send_order(c: &mut Criterion) {
+    let metas = corpus(500);
+    let queries: Vec<(NodeId, Query)> = (0..10)
+        .map(|i| (NodeId::new(i), Query::new(format!("show{}", i * 37)).unwrap()))
+        .collect();
+    let mut ledger = CreditLedger::new();
+    for i in 0..10 {
+        for _ in 0..i {
+            ledger.reward_matched(NodeId::new(i));
+        }
+    }
+    let mut group = c.benchmark_group("metadata_send_order");
+    for &budget in &[10usize, 100] {
+        group.bench_with_input(
+            BenchmarkId::new("cooperative", budget),
+            &budget,
+            |b, &budget| {
+                b.iter(|| {
+                    let offers: Vec<MetadataOffer<'_>> = metas
+                        .iter()
+                        .enumerate()
+                        .map(|(i, m)| {
+                            MetadataOffer::build(
+                                m,
+                                Popularity::new((i % 100) as f64 / 100.0),
+                                &queries,
+                            )
+                        })
+                        .collect();
+                    black_box(cooperative::send_order(offers, budget))
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("tit_for_tat", budget),
+            &budget,
+            |b, &budget| {
+                b.iter(|| {
+                    let offers: Vec<MetadataOffer<'_>> = metas
+                        .iter()
+                        .enumerate()
+                        .map(|(i, m)| {
+                            MetadataOffer::build(
+                                m,
+                                Popularity::new((i % 100) as f64 / 100.0),
+                                &queries,
+                            )
+                        })
+                        .collect();
+                    black_box(tft::send_order(offers, &ledger, budget))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_tokenize,
+    bench_inverted_index,
+    bench_server_search,
+    bench_send_order
+);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Download benchmarks: broadcast scheduling (cooperative vs tit-for-tat),
+//! SHA-1 hashing, piece splitting and reassembly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dtn_trace::NodeId;
+use mbt_core::checksum::sha1;
+use mbt_core::download::{cooperative, tft, Offer};
+use mbt_core::piece::split_into_pieces;
+use mbt_core::{CreditLedger, FileAssembler, Metadata, Popularity, Uri};
+use std::hint::black_box;
+
+fn offers(n_items: usize, clique: usize) -> Vec<Offer<Uri>> {
+    (0..n_items)
+        .map(|i| {
+            let requesters: Vec<NodeId> = (0..clique as u32)
+                .filter(|r| (i as u32 + r).is_multiple_of(3))
+                .map(NodeId::new)
+                .collect();
+            let holders: Vec<NodeId> = (0..clique as u32)
+                .filter(|h| (i as u32 + h).is_multiple_of(4))
+                .map(NodeId::new)
+                .collect();
+            Offer::new(
+                Uri::new(format!("mbt://f/{i}")).unwrap(),
+                Popularity::new((i % 100) as f64 / 100.0),
+                requesters,
+                holders,
+            )
+        })
+        .collect()
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    let members: Vec<NodeId> = (0..12).map(NodeId::new).collect();
+    let ledger = CreditLedger::new();
+    let mut group = c.benchmark_group("broadcast_schedule");
+    for &n in &[50usize, 500] {
+        group.bench_with_input(BenchmarkId::new("cooperative", n), &n, |b, &n| {
+            b.iter(|| black_box(cooperative::schedule(offers(n, 12), 20)));
+        });
+        group.bench_with_input(BenchmarkId::new("tit_for_tat", n), &n, |b, &n| {
+            b.iter(|| black_box(tft::schedule(&members, offers(n, 12), |_| &ledger, 20)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sha1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha1");
+    for &size in &[1_024usize, 262_144] {
+        let data = vec![0xA5u8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), &data, |b, data| {
+            b.iter(|| black_box(sha1(data)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_piece_pipeline(c: &mut Criterion) {
+    let uri = Uri::new("mbt://f/big").unwrap();
+    let data = vec![0x5Au8; 1 << 20]; // 1 MiB
+    let mut group = c.benchmark_group("piece_pipeline");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(data.len() as u64));
+    group.bench_function("split_1mib_into_256k_pieces", |b| {
+        b.iter(|| black_box(split_into_pieces(&uri, &data, 256 * 1024)));
+    });
+    let meta = Metadata::builder("big", "FOX", uri.clone())
+        .content(&data, 256 * 1024)
+        .build();
+    let pieces = split_into_pieces(&uri, &data, 256 * 1024);
+    group.bench_function("verify_and_assemble_1mib", |b| {
+        b.iter(|| {
+            let mut asm = FileAssembler::new(meta.clone());
+            for p in &pieces {
+                asm.add_piece(p.clone()).unwrap();
+            }
+            black_box(asm.assemble())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_schedulers, bench_sha1, bench_piece_pipeline);
+criterion_main!(benches);

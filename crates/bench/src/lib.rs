@@ -1,0 +1,11 @@
+//! Criterion benchmarks for the MBT reproduction live in `benches/`:
+//!
+//! - `substrate` — clique detection, event queue, trace generation,
+//!   space-time reachability;
+//! - `discovery` — keyword search, metadata send-ordering (cooperative and
+//!   tit-for-tat), server search;
+//! - `download` — broadcast scheduling, piece splitting/assembly, SHA-1;
+//! - `figures` — one benchmark group per reproduced figure (quick scale) plus
+//!   the capacity analysis.
+//!
+//! Run with `cargo bench --workspace`.

@@ -1,0 +1,127 @@
+//! Unicast messages routed through the DTN.
+
+use std::fmt;
+
+use dtn_trace::{NodeId, SimTime};
+
+/// Message identifier, unique within one simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct MessageId(pub u64);
+
+impl fmt::Display for MessageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// A unicast message: source, destination, creation time, optional expiry.
+///
+/// # Example
+///
+/// ```
+/// use dtn_routing::Message;
+/// use dtn_trace::{NodeId, SimTime};
+///
+/// let m = Message::new(1, NodeId::new(0), NodeId::new(5), SimTime::from_secs(10), None);
+/// assert_eq!(m.src(), NodeId::new(0));
+/// assert_eq!(m.dst(), NodeId::new(5));
+/// assert!(!m.is_expired(SimTime::from_secs(1_000_000)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    id: MessageId,
+    src: NodeId,
+    dst: NodeId,
+    created: SimTime,
+    expires: Option<SimTime>,
+}
+
+impl Message {
+    /// Creates a message.
+    pub fn new(
+        id: u64,
+        src: NodeId,
+        dst: NodeId,
+        created: SimTime,
+        expires: Option<SimTime>,
+    ) -> Self {
+        Message {
+            id: MessageId(id),
+            src,
+            dst,
+            created,
+            expires,
+        }
+    }
+
+    /// The message id.
+    pub fn id(&self) -> MessageId {
+        self.id
+    }
+
+    /// The originating node.
+    pub fn src(&self) -> NodeId {
+        self.src
+    }
+
+    /// The destination node.
+    pub fn dst(&self) -> NodeId {
+        self.dst
+    }
+
+    /// Creation instant.
+    pub fn created(&self) -> SimTime {
+        self.created
+    }
+
+    /// Expiry instant, if any.
+    pub fn expires(&self) -> Option<SimTime> {
+        self.expires
+    }
+
+    /// True if the message has expired at `now`.
+    pub fn is_expired(&self, now: SimTime) -> bool {
+        self.expires.is_some_and(|e| now >= e)
+    }
+}
+
+impl fmt::Display for Message {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}->{}]", self.id, self.src, self.dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        let m = Message::new(3, NodeId::new(1), NodeId::new(2), SimTime::from_secs(5), None);
+        assert_eq!(m.id(), MessageId(3));
+        assert_eq!(m.src(), NodeId::new(1));
+        assert_eq!(m.dst(), NodeId::new(2));
+        assert_eq!(m.created(), SimTime::from_secs(5));
+        assert_eq!(m.expires(), None);
+    }
+
+    #[test]
+    fn expiry() {
+        let m = Message::new(
+            0,
+            NodeId::new(0),
+            NodeId::new(1),
+            SimTime::ZERO,
+            Some(SimTime::from_secs(100)),
+        );
+        assert!(!m.is_expired(SimTime::from_secs(99)));
+        assert!(m.is_expired(SimTime::from_secs(100)));
+    }
+
+    #[test]
+    fn display() {
+        let m = Message::new(7, NodeId::new(0), NodeId::new(1), SimTime::ZERO, None);
+        assert_eq!(m.to_string(), "m7[n0->n1]");
+        assert_eq!(MessageId(7).to_string(), "m7");
+    }
+}

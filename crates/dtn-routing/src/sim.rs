@@ -1,0 +1,427 @@
+//! Routing simulation over a contact trace.
+
+use std::collections::BTreeMap;
+
+use dtn_trace::{ContactTrace, NodeId, SimDuration, SimTime};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::buffer::{Buffer, DropPolicy};
+use crate::message::{Message, MessageId};
+use crate::protocols::{Action, ContactView, RoutingProtocol};
+
+/// Outcome of a routing simulation.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RoutingReport {
+    /// Protocol name.
+    pub protocol: &'static str,
+    /// Messages created.
+    pub created: u64,
+    /// Messages delivered to their destinations.
+    pub delivered: u64,
+    /// Delivered ÷ created.
+    pub delivery_ratio: f64,
+    /// Mean delivery delay in seconds over delivered messages.
+    pub mean_delay_secs: Option<f64>,
+    /// Median delivery delay in seconds over delivered messages.
+    pub median_delay_secs: Option<f64>,
+    /// Total transmissions (replications + forwards).
+    pub transmissions: u64,
+    /// Transmissions per delivered message (∞-free: `None` when nothing
+    /// delivered).
+    pub overhead: Option<f64>,
+}
+
+/// Drives a [`RoutingProtocol`] over a [`ContactTrace`].
+///
+/// Clique contacts are decomposed into their node pairs (in deterministic
+/// order); messages are injected at their creation times; expired messages
+/// are pruned from buffers as the clock advances.
+#[derive(Debug)]
+pub struct RoutingSim<'a, P> {
+    trace: &'a ContactTrace,
+    protocol: P,
+    buffer_capacity: Option<usize>,
+    drop_policy: DropPolicy,
+    transfers_per_contact: Option<usize>,
+}
+
+impl<'a, P: RoutingProtocol> RoutingSim<'a, P> {
+    /// Creates a simulation of `protocol` over `trace` with unbounded
+    /// buffers and unbounded per-contact transfers.
+    pub fn new(trace: &'a ContactTrace, protocol: P) -> Self {
+        RoutingSim {
+            trace,
+            protocol,
+            buffer_capacity: None,
+            drop_policy: DropPolicy::Oldest,
+            transfers_per_contact: None,
+        }
+    }
+
+    /// Bounds every node's buffer to `capacity` messages.
+    pub fn buffer_capacity(mut self, capacity: usize) -> Self {
+        self.buffer_capacity = Some(capacity);
+        self
+    }
+
+    /// Sets the drop policy used with bounded buffers (default: drop-oldest).
+    pub fn drop_policy(mut self, policy: DropPolicy) -> Self {
+        self.drop_policy = policy;
+        self
+    }
+
+    /// Bounds the number of transfers applied per contact (models contact
+    /// length), truncating the protocol's action list.
+    pub fn transfers_per_contact(mut self, n: usize) -> Self {
+        self.transfers_per_contact = Some(n);
+        self
+    }
+
+    /// Runs the simulation with the given messages; returns the report.
+    pub fn run(mut self, mut messages: Vec<Message>) -> RoutingReport {
+        messages.sort_by_key(|m| (m.created(), m.id()));
+        let id_space = self.trace.id_space();
+        let mk_buffer = || match self.buffer_capacity {
+            Some(cap) => Buffer::new(cap, self.drop_policy),
+            None => Buffer::unbounded(),
+        };
+        let mut buffers: Vec<Buffer> = (0..id_space).map(|_| mk_buffer()).collect();
+        let mut delivered_at: BTreeMap<MessageId, SimTime> = BTreeMap::new();
+        let mut created_time: BTreeMap<MessageId, SimTime> = BTreeMap::new();
+        let mut transmissions = 0u64;
+        let initial_tokens = self.protocol.initial_tokens();
+
+        let mut pending = messages.into_iter().peekable();
+        let inject = |buffers: &mut Vec<Buffer>,
+                          created_time: &mut BTreeMap<MessageId, SimTime>,
+                          delivered_at: &mut BTreeMap<MessageId, SimTime>,
+                          now: SimTime,
+                          pending: &mut std::iter::Peekable<std::vec::IntoIter<Message>>| {
+            while pending.peek().is_some_and(|m| m.created() <= now) {
+                let m = pending.next().expect("peeked");
+                created_time.insert(m.id(), m.created());
+                if m.src() == m.dst() {
+                    delivered_at.insert(m.id(), m.created());
+                    continue;
+                }
+                if m.src().index() < buffers.len() {
+                    buffers[m.src().index()].insert(m.clone(), initial_tokens);
+                }
+            }
+        };
+
+        for contact in self.trace.iter() {
+            let now = contact.start();
+            inject(&mut buffers, &mut created_time, &mut delivered_at, now, &mut pending);
+            for pair in contact.pairs() {
+                let (a, b) = pair;
+                if a.index() >= buffers.len() || b.index() >= buffers.len() {
+                    continue;
+                }
+                buffers[a.index()].prune_expired(now);
+                buffers[b.index()].prune_expired(now);
+                let actions = {
+                    let view = ContactView {
+                        a: &buffers[a.index()],
+                        b: &buffers[b.index()],
+                    };
+                    self.protocol.on_contact(a, b, &view, now)
+                };
+                let limit = self.transfers_per_contact.unwrap_or(usize::MAX);
+                for action in actions.into_iter().take(limit) {
+                    transmissions += apply_action(
+                        &mut buffers,
+                        a,
+                        b,
+                        action,
+                        now,
+                        &mut delivered_at,
+                    );
+                }
+            }
+        }
+        // Messages created after the last contact still count as created.
+        let horizon = self.trace.end_time().unwrap_or(SimTime::ZERO);
+        inject(
+            &mut buffers,
+            &mut created_time,
+            &mut delivered_at,
+            horizon.saturating_add(SimDuration::from_days(10_000)),
+            &mut pending,
+        );
+
+        let created = created_time.len() as u64;
+        let delivered = delivered_at.len() as u64;
+        let mut delays: dtn_sim::histogram::DelayHistogram = delivered_at
+            .iter()
+            .filter_map(|(id, &at)| {
+                created_time
+                    .get(id)
+                    .and_then(|&c| at.checked_duration_since(c))
+            })
+            .collect();
+        RoutingReport {
+            protocol: self.protocol.name(),
+            created,
+            delivered,
+            delivery_ratio: if created == 0 {
+                0.0
+            } else {
+                delivered as f64 / created as f64
+            },
+            mean_delay_secs: delays.mean_secs(),
+            median_delay_secs: delays.median().map(|d| d.as_secs() as f64),
+            transmissions,
+            overhead: if delivered == 0 {
+                None
+            } else {
+                Some(transmissions as f64 / delivered as f64)
+            },
+        }
+    }
+}
+
+/// Applies one action; returns 1 if a transmission happened, 0 otherwise.
+fn apply_action(
+    buffers: &mut [Buffer],
+    a: NodeId,
+    b: NodeId,
+    action: Action,
+    now: SimTime,
+    delivered_at: &mut BTreeMap<MessageId, SimTime>,
+) -> u64 {
+    let (from, id, forward, tokens_to_peer, tokens_kept) = match action {
+        Action::Replicate {
+            id,
+            from,
+            tokens_to_peer,
+            tokens_kept,
+        } => (from, id, false, tokens_to_peer, tokens_kept),
+        Action::Forward { id, from } => (from, id, true, 1, 0),
+    };
+    let to = if from == a { b } else { a };
+    let Some(copy) = buffers[from.index()].get(id).cloned() else {
+        return 0;
+    };
+    let message = copy.message.clone();
+    if message.is_expired(now) {
+        buffers[from.index()].remove(id);
+        return 0;
+    }
+    let stored = buffers[to.index()].insert(message.clone(), tokens_to_peer);
+    if !stored {
+        return 0;
+    }
+    if forward {
+        buffers[from.index()].remove(id);
+    } else if let Some(mine) = buffers[from.index()].get_mut(id) {
+        mine.tokens = tokens_kept;
+    }
+    if message.dst() == to {
+        delivered_at.entry(id).or_insert(now);
+    }
+    1
+}
+
+/// Generates `count` uniform unicast messages among `nodes`, with creation
+/// times uniform in `[0, horizon)` and the given TTL, deterministically from
+/// `rng`.
+///
+/// # Panics
+///
+/// Panics if fewer than two nodes are given.
+pub fn uniform_messages<R: Rng>(
+    nodes: &[NodeId],
+    count: u64,
+    horizon: SimTime,
+    ttl: Option<SimDuration>,
+    rng: &mut R,
+) -> Vec<Message> {
+    assert!(nodes.len() >= 2, "need at least two nodes for unicast");
+    (0..count)
+        .map(|i| {
+            let src = *nodes.choose(rng).expect("non-empty");
+            let dst = loop {
+                let d = *nodes.choose(rng).expect("non-empty");
+                if d != src {
+                    break d;
+                }
+            };
+            let created = SimTime::from_secs(rng.gen_range(0..horizon.as_secs().max(1)));
+            Message::new(i, src, dst, created, ttl.map(|t| created + t))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocols::{DirectDelivery, Epidemic, Prophet, SprayAndWait};
+    use dtn_trace::Contact;
+
+    fn pc(a: u32, b: u32, start: u64, end: u64) -> Contact {
+        Contact::pairwise(
+            NodeId::new(a),
+            NodeId::new(b),
+            SimTime::from_secs(start),
+            SimTime::from_secs(end),
+        )
+        .unwrap()
+    }
+
+    fn chain_trace() -> ContactTrace {
+        // 0-1 at t=10, 1-2 at t=20, 2-3 at t=30.
+        vec![pc(0, 1, 10, 15), pc(1, 2, 20, 25), pc(2, 3, 30, 35)]
+            .into_iter()
+            .collect()
+    }
+
+    fn msg_0_to_3() -> Vec<Message> {
+        vec![Message::new(0, NodeId::new(0), NodeId::new(3), SimTime::ZERO, None)]
+    }
+
+    #[test]
+    fn epidemic_delivers_along_chain() {
+        let trace = chain_trace();
+        let r = RoutingSim::new(&trace, Epidemic::new()).run(msg_0_to_3());
+        assert_eq!(r.delivered, 1);
+        assert_eq!(r.delivery_ratio, 1.0);
+        assert_eq!(r.mean_delay_secs, Some(30.0));
+        assert_eq!(r.transmissions, 3);
+        assert_eq!(r.protocol, "epidemic");
+    }
+
+    #[test]
+    fn direct_delivery_needs_a_direct_contact() {
+        let trace = chain_trace();
+        let r = RoutingSim::new(&trace, DirectDelivery::new()).run(msg_0_to_3());
+        assert_eq!(r.delivered, 0, "0 never meets 3 directly");
+        // With a direct contact it works, with exactly one transmission.
+        let trace2: ContactTrace = vec![pc(0, 3, 40, 50)].into_iter().collect();
+        let r2 = RoutingSim::new(&trace2, DirectDelivery::new()).run(msg_0_to_3());
+        assert_eq!(r2.delivered, 1);
+        assert_eq!(r2.transmissions, 1);
+        assert_eq!(r2.overhead, Some(1.0));
+    }
+
+    #[test]
+    fn spray_and_wait_bounded_copies() {
+        // Star: node 0 meets 1..=5; only node 5 is the destination.
+        let contacts: Vec<Contact> = (1..=5).map(|i| pc(0, i, i as u64 * 10, i as u64 * 10 + 5)).collect();
+        let trace: ContactTrace = contacts.into_iter().collect();
+        let msgs = vec![Message::new(0, NodeId::new(0), NodeId::new(5), SimTime::ZERO, None)];
+        let r = RoutingSim::new(&trace, SprayAndWait::new(4)).run(msgs);
+        assert_eq!(r.delivered, 1);
+        // Tokens 4: gives 2, then 1; then wait-phase; plus the final direct
+        // delivery ⇒ at most 4 transmissions, far fewer than epidemic's.
+        assert!(r.transmissions <= 4, "transmissions {}", r.transmissions);
+    }
+
+    #[test]
+    fn prophet_runs_and_delivers_on_repeat_mobility() {
+        // Node 1 shuttles between 0 and 2 repeatedly.
+        let mut contacts = Vec::new();
+        for round in 0..5u64 {
+            contacts.push(pc(0, 1, round * 100 + 10, round * 100 + 15));
+            contacts.push(pc(1, 2, round * 100 + 50, round * 100 + 55));
+        }
+        let trace: ContactTrace = contacts.into_iter().collect();
+        let msgs = vec![Message::new(0, NodeId::new(0), NodeId::new(2), SimTime::from_secs(120), None)];
+        let r = RoutingSim::new(&trace, Prophet::new()).run(msgs);
+        assert_eq!(r.delivered, 1, "prophet should route through the shuttle");
+    }
+
+    #[test]
+    fn ttl_prevents_late_delivery() {
+        let trace = chain_trace();
+        let msgs = vec![Message::new(
+            0,
+            NodeId::new(0),
+            NodeId::new(3),
+            SimTime::ZERO,
+            Some(SimTime::from_secs(25)), // expires before the 2-3 contact
+        )];
+        let r = RoutingSim::new(&trace, Epidemic::new()).run(msgs);
+        assert_eq!(r.delivered, 0);
+    }
+
+    #[test]
+    fn transfer_budget_limits_transmissions() {
+        let trace: ContactTrace = vec![pc(0, 1, 10, 20)].into_iter().collect();
+        let msgs: Vec<Message> = (0..10)
+            .map(|i| Message::new(i, NodeId::new(0), NodeId::new(1), SimTime::ZERO, None))
+            .collect();
+        let r = RoutingSim::new(&trace, Epidemic::new())
+            .transfers_per_contact(3)
+            .run(msgs);
+        assert_eq!(r.transmissions, 3);
+        assert_eq!(r.delivered, 3);
+    }
+
+    #[test]
+    fn bounded_buffers_cap_copies() {
+        let trace: ContactTrace = vec![pc(0, 1, 10, 20)].into_iter().collect();
+        let msgs: Vec<Message> = (0..10)
+            .map(|i| Message::new(i, NodeId::new(0), NodeId::new(9), SimTime::ZERO, None))
+            .collect();
+        let r = RoutingSim::new(&trace, Epidemic::new())
+            .buffer_capacity(4)
+            .run(msgs);
+        // Node 0's own buffer held at most 4, so at most 4 transfers.
+        assert!(r.transmissions <= 4);
+    }
+
+    #[test]
+    fn clique_contacts_decompose_into_pairs() {
+        let clique = Contact::clique(
+            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)],
+            SimTime::from_secs(10),
+            SimTime::from_secs(20),
+        )
+        .unwrap();
+        let trace: ContactTrace = vec![clique].into_iter().collect();
+        let msgs = vec![Message::new(0, NodeId::new(0), NodeId::new(2), SimTime::ZERO, None)];
+        let r = RoutingSim::new(&trace, Epidemic::new()).run(msgs);
+        assert_eq!(r.delivered, 1);
+    }
+
+    #[test]
+    fn self_addressed_messages_deliver_instantly() {
+        let trace = chain_trace();
+        let msgs = vec![Message::new(0, NodeId::new(1), NodeId::new(1), SimTime::ZERO, None)];
+        let r = RoutingSim::new(&trace, Epidemic::new()).run(msgs);
+        assert_eq!(r.delivered, 1);
+        assert_eq!(r.transmissions, 0);
+    }
+
+    #[test]
+    fn uniform_messages_are_valid() {
+        use rand::SeedableRng;
+        let nodes: Vec<NodeId> = (0..5).map(NodeId::new).collect();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let msgs = uniform_messages(
+            &nodes,
+            50,
+            SimTime::from_secs(1000),
+            Some(SimDuration::from_secs(500)),
+            &mut rng,
+        );
+        assert_eq!(msgs.len(), 50);
+        for m in &msgs {
+            assert_ne!(m.src(), m.dst());
+            assert!(m.created().as_secs() < 1000);
+            assert_eq!(m.expires().unwrap(), m.created() + SimDuration::from_secs(500));
+        }
+    }
+
+    #[test]
+    fn report_with_no_messages() {
+        let trace = chain_trace();
+        let r = RoutingSim::new(&trace, Epidemic::new()).run(Vec::new());
+        assert_eq!(r.created, 0);
+        assert_eq!(r.delivery_ratio, 0.0);
+        assert_eq!(r.overhead, None);
+        assert_eq!(r.mean_delay_secs, None);
+    }
+}

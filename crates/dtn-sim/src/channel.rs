@@ -1,0 +1,280 @@
+//! Wireless channel capacity models and per-contact transfer budgets.
+//!
+//! Paper §V: for a clique of `n` mutually-reachable nodes,
+//!
+//! - **broadcast-based** communication lets one node send while all `n - 1`
+//!   others receive, so the per-node useful communication bandwidth is
+//!   `(n - 1) / n` — *increasing* in `n`;
+//! - **pair-wise** communication serializes to one sender/receiver pair at a
+//!   time (geometrically close links contend), so per-node bandwidth is
+//!   `1 / n` — *decreasing* in `n`.
+//!
+//! [`simulate_receptions`] complements the closed forms with a slot-level
+//! counting simulation used by the `capacity` experiment, and
+//! [`ContactBudget`] implements the evaluation model's fixed number of
+//! metadata and files exchanged per contact (§VI-A).
+
+use std::error::Error;
+use std::fmt;
+
+/// Per-node useful bandwidth share under broadcast in a clique of `n` nodes:
+/// `(n - 1) / n`. Returns 0 for `n < 2`.
+///
+/// # Example
+///
+/// ```
+/// let c4 = dtn_sim::broadcast_per_node_capacity(4);
+/// let c8 = dtn_sim::broadcast_per_node_capacity(8);
+/// assert!(c8 > c4, "broadcast capacity grows with density");
+/// ```
+pub fn broadcast_per_node_capacity(n: usize) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    (n as f64 - 1.0) / n as f64
+}
+
+/// Per-node useful bandwidth share under pair-wise transmission in a clique
+/// of `n` nodes: `1 / n`. Returns 0 for `n < 2`.
+///
+/// # Example
+///
+/// ```
+/// let c4 = dtn_sim::pairwise_per_node_capacity(4);
+/// let c8 = dtn_sim::pairwise_per_node_capacity(8);
+/// assert!(c8 < c4, "pair-wise capacity shrinks with density");
+/// ```
+pub fn pairwise_per_node_capacity(n: usize) -> f64 {
+    if n < 2 {
+        return 0.0;
+    }
+    1.0 / n as f64
+}
+
+/// Transmission mode within a clique.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransmissionMode {
+    /// One sender per slot; every other clique member receives the frame.
+    Broadcast,
+    /// One sender/receiver pair per slot; exactly one node receives.
+    Pairwise,
+}
+
+/// Counts total useful receptions in a clique of `n` nodes over `slots`
+/// transmission slots under the given mode.
+///
+/// Broadcast yields `slots * (n - 1)` receptions; pair-wise yields `slots`.
+/// Cliques smaller than 2 yield zero.
+pub fn simulate_receptions(mode: TransmissionMode, n: usize, slots: u64) -> u64 {
+    if n < 2 {
+        return 0;
+    }
+    match mode {
+        TransmissionMode::Broadcast => slots * (n as u64 - 1),
+        TransmissionMode::Pairwise => slots,
+    }
+}
+
+/// Error returned when drawing from an exhausted [`ContactBudget`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetExhausted {
+    /// Which resource ran out.
+    pub resource: BudgetResource,
+}
+
+/// The two budgeted resources of the paper's per-contact transfer model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BudgetResource {
+    /// Metadata slots.
+    Metadata,
+    /// File(-piece) slots.
+    Files,
+}
+
+impl fmt::Display for BudgetExhausted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.resource {
+            BudgetResource::Metadata => write!(f, "metadata budget exhausted for this contact"),
+            BudgetResource::Files => write!(f, "file budget exhausted for this contact"),
+        }
+    }
+}
+
+impl Error for BudgetExhausted {}
+
+/// The fixed per-contact transfer allowance of the paper's simulation model:
+/// "in each contact, nodes can send or receive a fixed number of metadata and
+/// files" (§VI-A).
+///
+/// # Example
+///
+/// ```
+/// use dtn_sim::ContactBudget;
+///
+/// let mut budget = ContactBudget::new(2, 1);
+/// assert!(budget.try_send_metadata().is_ok());
+/// assert!(budget.try_send_metadata().is_ok());
+/// assert!(budget.try_send_metadata().is_err());
+/// assert!(budget.try_send_file().is_ok());
+/// assert!(budget.try_send_file().is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ContactBudget {
+    metadata_left: u32,
+    files_left: u32,
+    metadata_cap: u32,
+    files_cap: u32,
+}
+
+impl ContactBudget {
+    /// Creates a budget of `metadata` metadata slots and `files` file slots.
+    pub fn new(metadata: u32, files: u32) -> Self {
+        ContactBudget {
+            metadata_left: metadata,
+            files_left: files,
+            metadata_cap: metadata,
+            files_cap: files,
+        }
+    }
+
+    /// Remaining metadata slots.
+    pub fn metadata_left(&self) -> u32 {
+        self.metadata_left
+    }
+
+    /// Remaining file slots.
+    pub fn files_left(&self) -> u32 {
+        self.files_left
+    }
+
+    /// Consumes one metadata slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExhausted`] when no metadata slots remain.
+    pub fn try_send_metadata(&mut self) -> Result<(), BudgetExhausted> {
+        if self.metadata_left == 0 {
+            return Err(BudgetExhausted {
+                resource: BudgetResource::Metadata,
+            });
+        }
+        self.metadata_left -= 1;
+        Ok(())
+    }
+
+    /// Consumes one file slot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BudgetExhausted`] when no file slots remain.
+    pub fn try_send_file(&mut self) -> Result<(), BudgetExhausted> {
+        if self.files_left == 0 {
+            return Err(BudgetExhausted {
+                resource: BudgetResource::Files,
+            });
+        }
+        self.files_left -= 1;
+        Ok(())
+    }
+
+    /// Restores the budget to its initial allowance (for reuse across
+    /// contacts).
+    pub fn reset(&mut self) {
+        self.metadata_left = self.metadata_cap;
+        self.files_left = self.files_cap;
+    }
+
+    /// True if both resources are exhausted.
+    pub fn is_exhausted(&self) -> bool {
+        self.metadata_left == 0 && self.files_left == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn broadcast_capacity_increases_with_density() {
+        let caps: Vec<f64> = (2..10).map(broadcast_per_node_capacity).collect();
+        assert!(caps.windows(2).all(|w| w[1] > w[0]));
+        assert!((broadcast_per_node_capacity(2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pairwise_capacity_decreases_with_density() {
+        let caps: Vec<f64> = (2..10).map(pairwise_per_node_capacity).collect();
+        assert!(caps.windows(2).all(|w| w[1] < w[0]));
+        assert!((pairwise_per_node_capacity(2) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacities_equal_at_n2_diverge_after() {
+        assert_eq!(broadcast_per_node_capacity(2), pairwise_per_node_capacity(2));
+        assert!(broadcast_per_node_capacity(3) > pairwise_per_node_capacity(3));
+    }
+
+    #[test]
+    fn degenerate_cliques_have_zero_capacity() {
+        assert_eq!(broadcast_per_node_capacity(0), 0.0);
+        assert_eq!(broadcast_per_node_capacity(1), 0.0);
+        assert_eq!(pairwise_per_node_capacity(1), 0.0);
+    }
+
+    #[test]
+    fn simulated_receptions_match_closed_form() {
+        for n in 2..12usize {
+            let slots = 100;
+            let b = simulate_receptions(TransmissionMode::Broadcast, n, slots);
+            let p = simulate_receptions(TransmissionMode::Pairwise, n, slots);
+            // Per-node per-slot reception rates equal the capacity formulas.
+            let b_rate = b as f64 / (n as f64 * slots as f64);
+            let p_rate = p as f64 / (n as f64 * slots as f64);
+            assert!((b_rate - broadcast_per_node_capacity(n)).abs() < 1e-12);
+            assert!((p_rate - pairwise_per_node_capacity(n)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn simulate_receptions_degenerate() {
+        assert_eq!(simulate_receptions(TransmissionMode::Broadcast, 1, 10), 0);
+        assert_eq!(simulate_receptions(TransmissionMode::Pairwise, 0, 10), 0);
+    }
+
+    #[test]
+    fn budget_tracks_both_resources() {
+        let mut b = ContactBudget::new(1, 2);
+        assert_eq!(b.metadata_left(), 1);
+        b.try_send_metadata().unwrap();
+        let err = b.try_send_metadata().unwrap_err();
+        assert_eq!(err.resource, BudgetResource::Metadata);
+        b.try_send_file().unwrap();
+        b.try_send_file().unwrap();
+        assert!(b.is_exhausted());
+    }
+
+    #[test]
+    fn budget_reset_restores_allowance() {
+        let mut b = ContactBudget::new(1, 1);
+        b.try_send_metadata().unwrap();
+        b.try_send_file().unwrap();
+        b.reset();
+        assert_eq!(b.metadata_left(), 1);
+        assert_eq!(b.files_left(), 1);
+    }
+
+    #[test]
+    fn zero_budget_rejects_immediately() {
+        let mut b = ContactBudget::new(0, 0);
+        assert!(b.try_send_metadata().is_err());
+        assert!(b.try_send_file().is_err());
+        assert!(b.is_exhausted());
+    }
+
+    #[test]
+    fn error_display_names_resource() {
+        let mut b = ContactBudget::new(0, 0);
+        let e = b.try_send_file().unwrap_err();
+        assert!(e.to_string().contains("file"));
+    }
+}

@@ -1,0 +1,309 @@
+//! Neighbor graphs and maximal-clique detection.
+//!
+//! The broadcast-based file download (paper §V) divides nodes into *cliques*
+//! in which each node can receive messages from every other. Each node learns
+//! its neighborhood from hello messages (which carry the sender's own heard
+//! set) and "can calculate all the maximum cliques containing it". This
+//! module provides the shared graph structure and the Bron–Kerbosch
+//! enumeration with pivoting.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dtn_trace::NodeId;
+
+/// An undirected graph of currently-connected nodes.
+///
+/// # Example
+///
+/// ```
+/// use dtn_sim::NeighborGraph;
+/// use dtn_trace::NodeId;
+///
+/// let mut g = NeighborGraph::new();
+/// g.connect(NodeId::new(0), NodeId::new(1));
+/// g.connect(NodeId::new(1), NodeId::new(2));
+/// g.connect(NodeId::new(0), NodeId::new(2));
+/// let cliques = g.maximal_cliques();
+/// assert_eq!(cliques.len(), 1);
+/// assert_eq!(cliques[0].len(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NeighborGraph {
+    adj: BTreeMap<NodeId, BTreeSet<NodeId>>,
+}
+
+impl NeighborGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        NeighborGraph::default()
+    }
+
+    /// Adds the undirected edge `(a, b)`. Self-loops are ignored.
+    pub fn connect(&mut self, a: NodeId, b: NodeId) {
+        if a == b {
+            return;
+        }
+        self.adj.entry(a).or_default().insert(b);
+        self.adj.entry(b).or_default().insert(a);
+    }
+
+    /// Removes the undirected edge `(a, b)` if present; isolated endpoints
+    /// are dropped from the graph.
+    pub fn disconnect(&mut self, a: NodeId, b: NodeId) {
+        let mut drop_a = false;
+        let mut drop_b = false;
+        if let Some(n) = self.adj.get_mut(&a) {
+            n.remove(&b);
+            drop_a = n.is_empty();
+        }
+        if let Some(n) = self.adj.get_mut(&b) {
+            n.remove(&a);
+            drop_b = n.is_empty();
+        }
+        if drop_a {
+            self.adj.remove(&a);
+        }
+        if drop_b {
+            self.adj.remove(&b);
+        }
+    }
+
+    /// Removes `node` and all its edges.
+    pub fn remove_node(&mut self, node: NodeId) {
+        if let Some(neighbors) = self.adj.remove(&node) {
+            for n in neighbors {
+                if let Some(back) = self.adj.get_mut(&n) {
+                    back.remove(&node);
+                    if back.is_empty() {
+                        self.adj.remove(&n);
+                    }
+                }
+            }
+        }
+    }
+
+    /// True if the undirected edge `(a, b)` exists.
+    pub fn connected(&self, a: NodeId, b: NodeId) -> bool {
+        self.adj.get(&a).is_some_and(|n| n.contains(&b))
+    }
+
+    /// The neighbors of `node`, sorted.
+    pub fn neighbors(&self, node: NodeId) -> Vec<NodeId> {
+        self.adj
+            .get(&node)
+            .map(|n| n.iter().copied().collect())
+            .unwrap_or_default()
+    }
+
+    /// All non-isolated nodes, sorted.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.adj.keys().copied().collect()
+    }
+
+    /// Number of undirected edges.
+    pub fn edge_count(&self) -> usize {
+        self.adj.values().map(|n| n.len()).sum::<usize>() / 2
+    }
+
+    /// All maximal cliques of size ≥ 2, each sorted, the list sorted for
+    /// determinism (Bron–Kerbosch with pivoting).
+    pub fn maximal_cliques(&self) -> Vec<Vec<NodeId>> {
+        let mut cliques = Vec::new();
+        let mut r: Vec<NodeId> = Vec::new();
+        let p: BTreeSet<NodeId> = self.adj.keys().copied().collect();
+        let x: BTreeSet<NodeId> = BTreeSet::new();
+        self.bron_kerbosch(&mut r, p, x, &mut cliques);
+        cliques.retain(|c| c.len() >= 2);
+        cliques.sort();
+        cliques
+    }
+
+    /// The maximal cliques containing `node` (paper §V: "each node can
+    /// calculate all the maximum cliques containing it").
+    pub fn cliques_containing(&self, node: NodeId) -> Vec<Vec<NodeId>> {
+        self.maximal_cliques()
+            .into_iter()
+            .filter(|c| c.binary_search(&node).is_ok())
+            .collect()
+    }
+
+    /// The largest maximal clique containing `node`, ties broken toward the
+    /// lexicographically smallest member list, or `None` if `node` has no
+    /// neighbors.
+    pub fn largest_clique_containing(&self, node: NodeId) -> Option<Vec<NodeId>> {
+        self.cliques_containing(node)
+            .into_iter()
+            .max_by(|a, b| a.len().cmp(&b.len()).then_with(|| b.cmp(a)))
+    }
+
+    fn bron_kerbosch(
+        &self,
+        r: &mut Vec<NodeId>,
+        mut p: BTreeSet<NodeId>,
+        mut x: BTreeSet<NodeId>,
+        out: &mut Vec<Vec<NodeId>>,
+    ) {
+        if p.is_empty() && x.is_empty() {
+            let mut clique = r.clone();
+            clique.sort_unstable();
+            out.push(clique);
+            return;
+        }
+        // Pivot: the vertex of P ∪ X with the most neighbors in P.
+        let pivot = p
+            .iter()
+            .chain(x.iter())
+            .copied()
+            .max_by_key(|u| {
+                self.adj
+                    .get(u)
+                    .map_or(0, |n| n.iter().filter(|v| p.contains(v)).count())
+            })
+            .expect("P ∪ X non-empty here");
+        let pivot_neighbors = self.adj.get(&pivot).cloned().unwrap_or_default();
+        let candidates: Vec<NodeId> = p.difference(&pivot_neighbors).copied().collect();
+        for v in candidates {
+            let nv = self.adj.get(&v).cloned().unwrap_or_default();
+            r.push(v);
+            let p2: BTreeSet<NodeId> = p.intersection(&nv).copied().collect();
+            let x2: BTreeSet<NodeId> = x.intersection(&nv).copied().collect();
+            self.bron_kerbosch(r, p2, x2, out);
+            r.pop();
+            p.remove(&v);
+            x.insert(v);
+        }
+    }
+}
+
+impl FromIterator<(NodeId, NodeId)> for NeighborGraph {
+    fn from_iter<I: IntoIterator<Item = (NodeId, NodeId)>>(iter: I) -> Self {
+        let mut g = NeighborGraph::new();
+        for (a, b) in iter {
+            g.connect(a, b);
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn graph(edges: &[(u32, u32)]) -> NeighborGraph {
+        edges.iter().map(|&(a, b)| (n(a), n(b))).collect()
+    }
+
+    #[test]
+    fn connect_and_query() {
+        let g = graph(&[(0, 1)]);
+        assert!(g.connected(n(0), n(1)));
+        assert!(g.connected(n(1), n(0)));
+        assert!(!g.connected(n(0), n(2)));
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let mut g = NeighborGraph::new();
+        g.connect(n(3), n(3));
+        assert!(g.nodes().is_empty());
+    }
+
+    #[test]
+    fn disconnect_removes_edge_and_isolated_nodes() {
+        let mut g = graph(&[(0, 1), (1, 2)]);
+        g.disconnect(n(0), n(1));
+        assert!(!g.connected(n(0), n(1)));
+        assert_eq!(g.nodes(), vec![n(1), n(2)]);
+    }
+
+    #[test]
+    fn remove_node_cleans_up() {
+        let mut g = graph(&[(0, 1), (1, 2), (0, 2)]);
+        g.remove_node(n(1));
+        assert_eq!(g.nodes(), vec![n(0), n(2)]);
+        assert!(g.connected(n(0), n(2)));
+    }
+
+    #[test]
+    fn triangle_is_one_clique() {
+        let g = graph(&[(0, 1), (1, 2), (0, 2)]);
+        assert_eq!(g.maximal_cliques(), vec![vec![n(0), n(1), n(2)]]);
+    }
+
+    #[test]
+    fn path_yields_edge_cliques() {
+        let g = graph(&[(0, 1), (1, 2)]);
+        assert_eq!(
+            g.maximal_cliques(),
+            vec![vec![n(0), n(1)], vec![n(1), n(2)]]
+        );
+    }
+
+    #[test]
+    fn two_triangles_sharing_a_node() {
+        let g = graph(&[(0, 1), (1, 2), (0, 2), (2, 3), (3, 4), (2, 4)]);
+        let cliques = g.maximal_cliques();
+        assert_eq!(cliques.len(), 2);
+        assert!(cliques.contains(&vec![n(0), n(1), n(2)]));
+        assert!(cliques.contains(&vec![n(2), n(3), n(4)]));
+    }
+
+    #[test]
+    fn complete_graph_single_clique() {
+        let mut edges = Vec::new();
+        for i in 0..6u32 {
+            for j in (i + 1)..6 {
+                edges.push((i, j));
+            }
+        }
+        let g = graph(&edges);
+        let cliques = g.maximal_cliques();
+        assert_eq!(cliques.len(), 1);
+        assert_eq!(cliques[0].len(), 6);
+    }
+
+    #[test]
+    fn cliques_containing_filters() {
+        let g = graph(&[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        let containing_3 = g.cliques_containing(n(3));
+        assert_eq!(containing_3, vec![vec![n(2), n(3)]]);
+        let containing_2 = g.cliques_containing(n(2));
+        assert_eq!(containing_2.len(), 2);
+    }
+
+    #[test]
+    fn largest_clique_containing_prefers_size() {
+        let g = graph(&[(0, 1), (1, 2), (0, 2), (2, 3)]);
+        assert_eq!(
+            g.largest_clique_containing(n(2)),
+            Some(vec![n(0), n(1), n(2)])
+        );
+        assert_eq!(g.largest_clique_containing(n(9)), None);
+    }
+
+    #[test]
+    fn empty_graph_has_no_cliques() {
+        let g = NeighborGraph::new();
+        assert!(g.maximal_cliques().is_empty());
+    }
+
+    #[test]
+    fn deterministic_output_order() {
+        let g1 = graph(&[(0, 1), (2, 3), (4, 5)]);
+        let g2 = graph(&[(4, 5), (0, 1), (2, 3)]);
+        assert_eq!(g1.maximal_cliques(), g2.maximal_cliques());
+    }
+
+    #[test]
+    fn star_graph_cliques_are_spokes() {
+        let g = graph(&[(0, 1), (0, 2), (0, 3)]);
+        let cliques = g.maximal_cliques();
+        assert_eq!(cliques.len(), 3);
+        assert!(cliques.iter().all(|c| c.len() == 2 && c.contains(&n(0))));
+    }
+}

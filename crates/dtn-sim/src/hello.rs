@@ -1,0 +1,216 @@
+//! Hello-message bookkeeping.
+//!
+//! Paper §III-B: nodes send hello messages at least every second. A hello
+//! includes (a) the sender's node ID, (b) the IDs of nodes it heard in the
+//! past 5 seconds, (c) its query strings, and (d) the URIs of the files it is
+//! downloading. From received hellos each node knows which neighbors can
+//! receive its messages, and — because a hello carries the sender's own heard
+//! set — can reconstruct the local connectivity graph to compute cliques.
+//!
+//! This crate keeps the beacon generic over the application payload `P` (MBT
+//! puts query strings and downloading URIs there) so the substrate stays
+//! protocol-agnostic.
+
+use std::collections::BTreeMap;
+
+use dtn_trace::{NodeId, SimDuration, SimTime};
+
+use crate::clique::NeighborGraph;
+
+/// How far back a heard node is still considered a neighbor (the paper's
+/// 5-second hello window).
+pub const HELLO_WINDOW: SimDuration = SimDuration::from_secs(5);
+
+/// A hello beacon: the sender, who the sender recently heard, and an
+/// application payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HelloBeacon<P> {
+    /// Sending node.
+    pub sender: NodeId,
+    /// Node IDs the sender heard within the hello window.
+    pub heard: Vec<NodeId>,
+    /// Application payload (e.g. query strings and downloading URIs).
+    pub payload: P,
+}
+
+impl<P> HelloBeacon<P> {
+    /// Creates a beacon.
+    pub fn new(sender: NodeId, heard: Vec<NodeId>, payload: P) -> Self {
+        HelloBeacon {
+            sender,
+            heard,
+            payload,
+        }
+    }
+}
+
+/// One node's view of its neighborhood, built from received hello beacons.
+///
+/// Records when each peer was last heard and that peer's own heard set, and
+/// can derive the local [`NeighborGraph`] used for clique computation.
+///
+/// # Example
+///
+/// ```
+/// use dtn_sim::{HelloBeacon, NeighborTable};
+/// use dtn_trace::{NodeId, SimTime};
+///
+/// let me = NodeId::new(0);
+/// let mut table = NeighborTable::new(me);
+/// table.record(&HelloBeacon::new(NodeId::new(1), vec![me], ()), SimTime::from_secs(10));
+/// assert_eq!(table.neighbors(SimTime::from_secs(12)), vec![NodeId::new(1)]);
+/// assert!(table.neighbors(SimTime::from_secs(60)).is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct NeighborTable {
+    owner: NodeId,
+    last_heard: BTreeMap<NodeId, SimTime>,
+    peer_heard: BTreeMap<NodeId, Vec<NodeId>>,
+}
+
+impl NeighborTable {
+    /// Creates an empty table owned by `owner`.
+    pub fn new(owner: NodeId) -> Self {
+        NeighborTable {
+            owner,
+            last_heard: BTreeMap::new(),
+            peer_heard: BTreeMap::new(),
+        }
+    }
+
+    /// The owning node.
+    pub fn owner(&self) -> NodeId {
+        self.owner
+    }
+
+    /// Records a received beacon at time `now`. Beacons from the owner itself
+    /// are ignored.
+    pub fn record<P>(&mut self, beacon: &HelloBeacon<P>, now: SimTime) {
+        if beacon.sender == self.owner {
+            return;
+        }
+        self.last_heard.insert(beacon.sender, now);
+        self.peer_heard.insert(beacon.sender, beacon.heard.clone());
+    }
+
+    /// Neighbors heard within [`HELLO_WINDOW`] of `now`, sorted.
+    pub fn neighbors(&self, now: SimTime) -> Vec<NodeId> {
+        self.last_heard
+            .iter()
+            .filter(|&(_, &at)| now.checked_duration_since(at).is_some_and(|d| d <= HELLO_WINDOW) || at > now)
+            .map(|(&n, _)| n)
+            .collect()
+    }
+
+    /// Drops entries older than [`HELLO_WINDOW`].
+    pub fn prune(&mut self, now: SimTime) {
+        let stale: Vec<NodeId> = self
+            .last_heard
+            .iter()
+            .filter(|&(_, &at)| now.checked_duration_since(at).is_some_and(|d| d > HELLO_WINDOW))
+            .map(|(&n, _)| n)
+            .collect();
+        for n in stale {
+            self.last_heard.remove(&n);
+            self.peer_heard.remove(&n);
+        }
+    }
+
+    /// Builds the local connectivity graph at `now`: edges from the owner to
+    /// each live neighbor, plus edges among neighbors as advertised in their
+    /// heard sets (an edge between two peers requires at least one of them to
+    /// have reported hearing the other).
+    pub fn local_graph(&self, now: SimTime) -> NeighborGraph {
+        let mut g = NeighborGraph::new();
+        let live = self.neighbors(now);
+        for &peer in &live {
+            g.connect(self.owner, peer);
+        }
+        for &peer in &live {
+            if let Some(heard) = self.peer_heard.get(&peer) {
+                for &other in heard {
+                    if other != self.owner && live.contains(&other) {
+                        g.connect(peer, other);
+                    }
+                }
+            }
+        }
+        g
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn records_and_expires_neighbors() {
+        let mut table = NeighborTable::new(n(0));
+        table.record(&HelloBeacon::new(n(1), vec![], ()), t(100));
+        assert_eq!(table.neighbors(t(100)), vec![n(1)]);
+        assert_eq!(table.neighbors(t(105)), vec![n(1)]);
+        assert!(table.neighbors(t(106)).is_empty());
+    }
+
+    #[test]
+    fn ignores_own_beacons() {
+        let mut table = NeighborTable::new(n(0));
+        table.record(&HelloBeacon::new(n(0), vec![n(1)], ()), t(10));
+        assert!(table.neighbors(t(10)).is_empty());
+    }
+
+    #[test]
+    fn newer_beacon_refreshes() {
+        let mut table = NeighborTable::new(n(0));
+        table.record(&HelloBeacon::new(n(1), vec![], ()), t(100));
+        table.record(&HelloBeacon::new(n(1), vec![], ()), t(104));
+        assert_eq!(table.neighbors(t(108)), vec![n(1)]);
+    }
+
+    #[test]
+    fn prune_drops_stale_entries() {
+        let mut table = NeighborTable::new(n(0));
+        table.record(&HelloBeacon::new(n(1), vec![], ()), t(100));
+        table.record(&HelloBeacon::new(n(2), vec![], ()), t(200));
+        table.prune(t(203));
+        assert_eq!(table.neighbors(t(203)), vec![n(2)]);
+    }
+
+    #[test]
+    fn local_graph_includes_peer_links() {
+        let mut table = NeighborTable::new(n(0));
+        table.record(&HelloBeacon::new(n(1), vec![n(0), n(2)], ()), t(100));
+        table.record(&HelloBeacon::new(n(2), vec![n(0)], ()), t(100));
+        let g = table.local_graph(t(102));
+        assert!(g.connected(n(0), n(1)));
+        assert!(g.connected(n(0), n(2)));
+        assert!(g.connected(n(1), n(2)));
+        // The triangle is one clique.
+        assert_eq!(g.maximal_cliques().len(), 1);
+    }
+
+    #[test]
+    fn local_graph_excludes_dead_peers() {
+        let mut table = NeighborTable::new(n(0));
+        table.record(&HelloBeacon::new(n(1), vec![n(2)], ()), t(100));
+        // n2 itself never heard directly, and n1's report names it; n2 is not
+        // live so no edge involving n2 appears.
+        let g = table.local_graph(t(102));
+        assert!(g.connected(n(0), n(1)));
+        assert!(!g.connected(n(1), n(2)));
+    }
+
+    #[test]
+    fn payload_carried_through() {
+        let beacon = HelloBeacon::new(n(1), vec![], vec!["query".to_string()]);
+        assert_eq!(beacon.payload[0], "query");
+    }
+}

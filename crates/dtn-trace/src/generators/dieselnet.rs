@@ -1,0 +1,343 @@
+//! DieselNet-style bus trace generator.
+//!
+//! The UMassDieselNet trace (Burgess et al., INFOCOM'06) records pair-wise
+//! radio contacts between ~40 transit buses running scheduled routes around
+//! Amherst, MA. Its load-bearing properties for the MBT evaluation are:
+//!
+//! - contacts are **strictly pair-wise** (buses rarely meet three at a time),
+//!   so download cliques degenerate to pairs;
+//! - contacts are **short** (tens of seconds: two buses passing each other);
+//! - contacts are **sparse and route-structured**: a pair of buses on
+//!   intersecting routes meets a few times per day, other pairs almost never;
+//! - buses only operate during **service hours** (roughly 6:00–22:00).
+//!
+//! This generator reproduces those properties from a small route model: buses
+//! are assigned to routes; every pair of routes has a crossing intensity; a
+//! pair of buses meets as a Poisson process whose rate is the product of its
+//! routes' crossing intensity, thinned to service hours.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::contact::Contact;
+use crate::node::NodeId;
+use crate::time::{SimDuration, SimTime, SECONDS_PER_DAY};
+use crate::trace::ContactTrace;
+
+/// Configuration for the DieselNet-style generator.
+///
+/// Construct with [`DieselNetConfig::new`] and customize with the builder
+/// methods; call [`DieselNetConfig::generate`] to produce a trace.
+///
+/// # Example
+///
+/// ```
+/// use dtn_trace::generators::DieselNetConfig;
+///
+/// let trace = DieselNetConfig::new(20, 7).seed(42).generate();
+/// assert!(trace.iter().all(|c| c.size() == 2), "DieselNet contacts are pair-wise");
+/// ```
+#[derive(Debug, Clone)]
+pub struct DieselNetConfig {
+    buses: u32,
+    days: u64,
+    routes: u32,
+    seed: u64,
+    service_start_hour: u64,
+    service_end_hour: u64,
+    same_route_rate_per_day: f64,
+    crossing_route_rate_per_day: f64,
+    mean_contact_secs: f64,
+}
+
+impl DieselNetConfig {
+    /// Creates a configuration for `buses` buses over `days` days with
+    /// defaults matched to the published trace statistics (~40 buses,
+    /// ~8 routes, short contacts, 06:00–22:00 service).
+    pub fn new(buses: u32, days: u64) -> Self {
+        DieselNetConfig {
+            buses,
+            days,
+            routes: 8,
+            seed: 0,
+            service_start_hour: 6,
+            service_end_hour: 22,
+            same_route_rate_per_day: 2.0,
+            crossing_route_rate_per_day: 0.35,
+            mean_contact_secs: 45.0,
+        }
+    }
+
+    /// Sets the RNG seed (default 0). Same seed ⇒ same trace.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the number of routes buses are assigned to (default 8).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `routes == 0`.
+    pub fn routes(mut self, routes: u32) -> Self {
+        assert!(routes > 0, "at least one route is required");
+        self.routes = routes;
+        self
+    }
+
+    /// Sets daily service hours `[start, end)` in whole hours (default 6–22).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is empty or exceeds 24 hours.
+    pub fn service_hours(mut self, start: u64, end: u64) -> Self {
+        assert!(start < end && end <= 24, "invalid service window");
+        self.service_start_hour = start;
+        self.service_end_hour = end;
+        self
+    }
+
+    /// Mean daily meetings for a pair of buses on the *same* route
+    /// (default 2.0).
+    pub fn same_route_rate_per_day(mut self, rate: f64) -> Self {
+        self.same_route_rate_per_day = rate.max(0.0);
+        self
+    }
+
+    /// Mean daily meetings for a pair of buses on *crossing* routes
+    /// (default 0.35).
+    pub fn crossing_route_rate_per_day(mut self, rate: f64) -> Self {
+        self.crossing_route_rate_per_day = rate.max(0.0);
+        self
+    }
+
+    /// Mean contact duration in seconds (default 45).
+    pub fn mean_contact_secs(mut self, secs: f64) -> Self {
+        self.mean_contact_secs = secs.max(1.0);
+        self
+    }
+
+    /// Number of buses.
+    pub fn bus_count(&self) -> u32 {
+        self.buses
+    }
+
+    /// Number of simulated days.
+    pub fn day_count(&self) -> u64 {
+        self.days
+    }
+
+    /// Generates the contact trace.
+    ///
+    /// The output contains only pair-wise contacts, all within service
+    /// hours, sorted by start time.
+    pub fn generate(&self) -> ContactTrace {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xD1E5_E1DE);
+        let route_of: Vec<u32> = (0..self.buses).map(|b| b % self.routes).collect();
+
+        // Routes cross if adjacent in a ring layout (route r crosses r±1) or
+        // share the downtown hub (routes 0 and routes/2).
+        let crosses = |ra: u32, rb: u32| -> bool {
+            if ra == rb {
+                return true;
+            }
+            let d = ra.abs_diff(rb);
+            d == 1 || d == self.routes - 1 || (ra.min(rb) == 0 && ra.max(rb) == self.routes / 2)
+        };
+
+        let window_secs =
+            (self.service_end_hour - self.service_start_hour) * 3_600;
+        let mut builder = ContactTrace::builder();
+
+        for a in 0..self.buses {
+            for b in (a + 1)..self.buses {
+                let (ra, rb) = (route_of[a as usize], route_of[b as usize]);
+                let rate = if ra == rb {
+                    self.same_route_rate_per_day
+                } else if crosses(ra, rb) {
+                    self.crossing_route_rate_per_day
+                } else {
+                    0.0
+                };
+                if rate <= 0.0 {
+                    continue;
+                }
+                for day in 0..self.days {
+                    let meetings = sample_poisson(&mut rng, rate);
+                    for _ in 0..meetings {
+                        let offset = rng.gen_range(0..window_secs.max(1));
+                        let start = day * SECONDS_PER_DAY
+                            + self.service_start_hour * 3_600
+                            + offset;
+                        let dur = sample_exponential(&mut rng, self.mean_contact_secs)
+                            .round()
+                            .max(5.0) as u64;
+                        let end = (start + dur)
+                            .min(day * SECONDS_PER_DAY + self.service_end_hour * 3_600);
+                        if end <= start {
+                            continue;
+                        }
+                        let contact = Contact::pairwise(
+                            NodeId::new(a),
+                            NodeId::new(b),
+                            SimTime::from_secs(start),
+                            SimTime::from_secs(end),
+                        )
+                        .expect("generator produces valid contacts");
+                        builder.push(contact);
+                    }
+                }
+            }
+        }
+        builder.build()
+    }
+
+    /// The paper's frequent-contact window for this trace: three days.
+    pub fn frequent_contact_window(&self) -> SimDuration {
+        crate::stats::DIESELNET_FREQUENT_EVERY
+    }
+}
+
+/// Samples a Poisson random variate with the given mean via inversion
+/// (Knuth's algorithm); fine for the small rates used here.
+pub(crate) fn sample_poisson<R: Rng>(rng: &mut R, mean: f64) -> u64 {
+    if mean <= 0.0 {
+        return 0;
+    }
+    let l = (-mean).exp();
+    let mut k = 0u64;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+        if k > 10_000 {
+            // Defensive cap; unreachable for the rates this crate uses.
+            return k;
+        }
+    }
+}
+
+/// Samples an exponential variate with the given mean.
+pub(crate) fn sample_exponential<R: Rng>(rng: &mut R, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -mean * u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::contact::ContactKind;
+    use crate::stats::TraceStats;
+
+    #[test]
+    fn deterministic_for_seed() {
+        let a = DieselNetConfig::new(10, 3).seed(7).generate();
+        let b = DieselNetConfig::new(10, 3).seed(7).generate();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = DieselNetConfig::new(10, 3).seed(1).generate();
+        let b = DieselNetConfig::new(10, 3).seed(2).generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn all_contacts_pairwise() {
+        let t = DieselNetConfig::new(20, 5).seed(3).generate();
+        assert!(!t.is_empty());
+        assert!(t.iter().all(|c| c.kind() == ContactKind::Pairwise));
+    }
+
+    #[test]
+    fn contacts_respect_service_hours() {
+        let cfg = DieselNetConfig::new(15, 4).seed(9).service_hours(6, 22);
+        let t = cfg.generate();
+        for c in t.iter() {
+            let sod = c.start().second_of_day();
+            assert!(sod >= 6 * 3600, "contact starts before service at {}", c.start());
+            assert!(sod < 22 * 3600, "contact starts after service at {}", c.start());
+            assert!(c.end().second_of_day() <= 22 * 3600 || c.end().second_of_day() == 0);
+        }
+    }
+
+    #[test]
+    fn contacts_are_short() {
+        let t = DieselNetConfig::new(20, 5).seed(5).generate();
+        let stats = TraceStats::compute(&t);
+        let mean = stats.mean_contact_duration_secs().unwrap();
+        assert!(mean > 10.0 && mean < 200.0, "mean duration {mean} out of range");
+    }
+
+    #[test]
+    fn same_route_pairs_meet_more() {
+        // Buses 0 and 8 share route 0 (with 8 routes and `b % routes`);
+        // buses 0 and 4 are on crossing-but-different routes (0 and 4 = hub).
+        let t = DieselNetConfig::new(16, 30).seed(11).generate();
+        let stats = TraceStats::compute(&t);
+        let same = stats.pair_contact_count(NodeId::new(0), NodeId::new(8));
+        let cross = stats.pair_contact_count(NodeId::new(0), NodeId::new(4));
+        assert!(
+            same > cross,
+            "same-route pair ({same}) should out-meet crossing pair ({cross})"
+        );
+    }
+
+    #[test]
+    fn unrelated_routes_never_meet() {
+        // Routes 2 and 5 neither adjacent nor the hub pair (0, 4) with 8 routes.
+        let t = DieselNetConfig::new(16, 30).seed(13).generate();
+        let stats = TraceStats::compute(&t);
+        assert_eq!(stats.pair_contact_count(NodeId::new(2), NodeId::new(5)), 0);
+    }
+
+    #[test]
+    fn frequent_contacts_exist_with_default_rates() {
+        let cfg = DieselNetConfig::new(16, 9).seed(17);
+        let t = cfg.generate();
+        let stats = TraceStats::compute(&t);
+        let any_frequent = t
+            .nodes()
+            .iter()
+            .any(|&n| !stats.frequent_contacts(n, cfg.frequent_contact_window()).is_empty());
+        assert!(any_frequent, "expected at least one frequent pair over 9 days");
+    }
+
+    #[test]
+    fn zero_rate_yields_no_cross_contacts() {
+        let t = DieselNetConfig::new(16, 5)
+            .seed(19)
+            .crossing_route_rate_per_day(0.0)
+            .same_route_rate_per_day(0.0)
+            .generate();
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid service window")]
+    fn rejects_bad_service_window() {
+        let _ = DieselNetConfig::new(5, 1).service_hours(10, 10);
+    }
+
+    #[test]
+    fn poisson_mean_roughly_matches() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| sample_poisson(&mut rng, 2.0)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 2.0).abs() < 0.1, "poisson mean {mean}");
+    }
+
+    #[test]
+    fn exponential_mean_roughly_matches() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| sample_exponential(&mut rng, 45.0)).sum();
+        let mean = total / n as f64;
+        assert!((mean - 45.0).abs() < 3.0, "exponential mean {mean}");
+    }
+}

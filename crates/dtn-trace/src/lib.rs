@@ -1,0 +1,57 @@
+//! Contact-trace model and trace generators for delay tolerant networks (DTNs).
+//!
+//! A DTN is an occasionally-connected network that suffers from frequent
+//! partition; communication happens over *contacts* — periods of time during
+//! which two (or more) nodes can exchange messages. This crate provides:
+//!
+//! - the basic vocabulary types ([`NodeId`], [`SimTime`], [`SimDuration`],
+//!   [`Contact`]),
+//! - a time-sorted contact container ([`ContactTrace`]) with statistics
+//!   ([`stats`]) including the *frequent contacting node* detection used by
+//!   the MBT paper,
+//! - synthetic trace generators ([`generators`]) reproducing the shapes of the
+//!   UMassDieselNet bus trace (pair-wise contacts) and the NUS student contact
+//!   trace (classroom cliques),
+//! - a space-time graph ([`space_time`]) for reachability and
+//!   earliest-delivery analysis, and
+//! - a plain-text serialization format ([`parser`]).
+//!
+//! # Example
+//!
+//! ```
+//! use dtn_trace::{Contact, ContactTrace, NodeId, SimTime};
+//!
+//! let mut builder = ContactTrace::builder();
+//! builder.push(Contact::pairwise(
+//!     NodeId::new(0),
+//!     NodeId::new(1),
+//!     SimTime::from_secs(10),
+//!     SimTime::from_secs(40),
+//! )?);
+//! let trace = builder.build();
+//! assert_eq!(trace.len(), 1);
+//! assert_eq!(trace.node_count(), 2);
+//! # Ok::<(), dtn_trace::ContactError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod aggregate;
+pub mod contact;
+pub mod generators;
+pub mod node;
+pub mod parser;
+pub mod space_time;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use aggregate::AggregateGraph;
+pub use contact::{Contact, ContactError, ContactKind};
+pub use node::NodeId;
+pub use parser::{ParseTraceError, read_trace, write_trace};
+pub use space_time::SpaceTimeGraph;
+pub use stats::TraceStats;
+pub use time::{SimDuration, SimTime, SECONDS_PER_DAY};
+pub use trace::{ContactTrace, TraceBuilder};

@@ -1,0 +1,253 @@
+//! Plain-text trace serialization.
+//!
+//! Traces are stored one contact per line:
+//!
+//! ```text
+//! # dtn-trace v1
+//! contact <start-secs> <end-secs> <node> <node> [<node> ...]
+//! ```
+//!
+//! Blank lines and lines starting with `#` are ignored. The format is stable
+//! across versions of this crate, diff-friendly, and easy to produce from
+//! external trace-conversion scripts.
+
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read, Write};
+
+use crate::contact::{Contact, ContactError};
+use crate::node::NodeId;
+use crate::time::SimTime;
+use crate::trace::ContactTrace;
+
+/// Error produced when reading a trace from text.
+#[derive(Debug)]
+pub enum ParseTraceError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line could not be parsed.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A line parsed but described an invalid contact.
+    InvalidContact {
+        /// 1-based line number.
+        line: usize,
+        /// The underlying validation error.
+        source: ContactError,
+    },
+}
+
+impl fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseTraceError::Io(e) => write!(f, "i/o error reading trace: {e}"),
+            ParseTraceError::Syntax { line, message } => {
+                write!(f, "syntax error on line {line}: {message}")
+            }
+            ParseTraceError::InvalidContact { line, source } => {
+                write!(f, "invalid contact on line {line}: {source}")
+            }
+        }
+    }
+}
+
+impl Error for ParseTraceError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseTraceError::Io(e) => Some(e),
+            ParseTraceError::InvalidContact { source, .. } => Some(source),
+            ParseTraceError::Syntax { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for ParseTraceError {
+    fn from(e: io::Error) -> Self {
+        ParseTraceError::Io(e)
+    }
+}
+
+/// Writes `trace` in the text format.
+///
+/// A `&mut` reference to a writer also works, per the standard blanket impls.
+///
+/// # Errors
+///
+/// Propagates any I/O error from the writer.
+///
+/// # Example
+///
+/// ```
+/// use dtn_trace::{Contact, ContactTrace, NodeId, SimTime, write_trace, read_trace};
+///
+/// let trace: ContactTrace = vec![
+///     Contact::pairwise(NodeId::new(0), NodeId::new(1), SimTime::from_secs(5), SimTime::from_secs(9))?,
+/// ].into_iter().collect();
+///
+/// let mut buf = Vec::new();
+/// write_trace(&mut buf, &trace)?;
+/// let round_tripped = read_trace(buf.as_slice())?;
+/// assert_eq!(round_tripped, trace);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn write_trace<W: Write>(mut writer: W, trace: &ContactTrace) -> io::Result<()> {
+    writeln!(writer, "# dtn-trace v1")?;
+    for contact in trace.iter() {
+        write!(
+            writer,
+            "contact {} {}",
+            contact.start().as_secs(),
+            contact.end().as_secs()
+        )?;
+        for node in contact.participants() {
+            write!(writer, " {}", node.raw())?;
+        }
+        writeln!(writer)?;
+    }
+    Ok(())
+}
+
+/// Reads a trace in the text format.
+///
+/// A `&mut` reference to a reader also works, per the standard blanket impls.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] on I/O failure, malformed lines, or lines
+/// describing invalid contacts (empty interval, duplicate node, singleton).
+pub fn read_trace<R: Read>(reader: R) -> Result<ContactTrace, ParseTraceError> {
+    let buffered = BufReader::new(reader);
+    let mut builder = ContactTrace::builder();
+    for (idx, line) in buffered.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut fields = trimmed.split_ascii_whitespace();
+        let keyword = fields.next().expect("non-empty line has a first token");
+        if keyword != "contact" {
+            return Err(ParseTraceError::Syntax {
+                line: line_no,
+                message: format!("expected `contact`, found `{keyword}`"),
+            });
+        }
+        let start = parse_u64(fields.next(), line_no, "start time")?;
+        let end = parse_u64(fields.next(), line_no, "end time")?;
+        let nodes: Vec<NodeId> = fields
+            .map(|tok| {
+                tok.parse::<u32>().map(NodeId::new).map_err(|_| {
+                    ParseTraceError::Syntax {
+                        line: line_no,
+                        message: format!("invalid node id `{tok}`"),
+                    }
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let contact = Contact::clique(nodes, SimTime::from_secs(start), SimTime::from_secs(end))
+            .map_err(|source| ParseTraceError::InvalidContact {
+                line: line_no,
+                source,
+            })?;
+        builder.push(contact);
+    }
+    Ok(builder.build())
+}
+
+fn parse_u64(tok: Option<&str>, line: usize, what: &str) -> Result<u64, ParseTraceError> {
+    let tok = tok.ok_or_else(|| ParseTraceError::Syntax {
+        line,
+        message: format!("missing {what}"),
+    })?;
+    tok.parse::<u64>().map_err(|_| ParseTraceError::Syntax {
+        line,
+        message: format!("invalid {what} `{tok}`"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> ContactTrace {
+        vec![
+            Contact::pairwise(
+                NodeId::new(0),
+                NodeId::new(1),
+                SimTime::from_secs(5),
+                SimTime::from_secs(9),
+            )
+            .unwrap(),
+            Contact::clique(
+                vec![NodeId::new(2), NodeId::new(3), NodeId::new(4)],
+                SimTime::from_secs(10),
+                SimTime::from_secs(40),
+            )
+            .unwrap(),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn round_trip() {
+        let trace = sample_trace();
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        let parsed = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn ignores_comments_and_blanks() {
+        let text = "# header\n\n  \ncontact 0 10 1 2\n# trailing\n";
+        let trace = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(trace.len(), 1);
+    }
+
+    #[test]
+    fn rejects_unknown_keyword() {
+        let err = read_trace("link 0 10 1 2\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, ParseTraceError::Syntax { line: 1, .. }));
+        assert!(err.to_string().contains("link"));
+    }
+
+    #[test]
+    fn rejects_missing_fields() {
+        let err = read_trace("contact 0\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("end time"));
+    }
+
+    #[test]
+    fn rejects_bad_node_id() {
+        let err = read_trace("contact 0 10 1 x\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("node id"));
+    }
+
+    #[test]
+    fn rejects_invalid_contact_with_line_number() {
+        let err = read_trace("contact 0 10 1 2\ncontact 10 5 1 2\n".as_bytes()).unwrap_err();
+        match err {
+            ParseTraceError::InvalidContact { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_source_is_chained() {
+        use std::error::Error as _;
+        let err = read_trace("contact 10 5 1 2\n".as_bytes()).unwrap_err();
+        assert!(err.source().is_some());
+    }
+
+    #[test]
+    fn empty_input_is_empty_trace() {
+        let trace = read_trace("".as_bytes()).unwrap();
+        assert!(trace.is_empty());
+    }
+}

@@ -1,0 +1,236 @@
+//! Property-based tests for the contact-trace substrate.
+
+use proptest::prelude::*;
+
+use dtn_trace::{read_trace, write_trace, Contact, ContactTrace, NodeId, SimDuration, SimTime};
+
+/// Strategy: a valid contact with 2..=6 distinct participants.
+fn arb_contact() -> impl Strategy<Value = Contact> {
+    (
+        proptest::collection::btree_set(0u32..50, 2..6),
+        0u64..1_000_000,
+        1u64..10_000,
+    )
+        .prop_map(|(ids, start, len)| {
+            let nodes: Vec<NodeId> = ids.into_iter().map(NodeId::new).collect();
+            Contact::clique(
+                nodes,
+                SimTime::from_secs(start),
+                SimTime::from_secs(start + len),
+            )
+            .expect("constructed contacts are valid")
+        })
+}
+
+fn arb_trace() -> impl Strategy<Value = ContactTrace> {
+    proptest::collection::vec(arb_contact(), 0..40).prop_map(|v| v.into_iter().collect())
+}
+
+proptest! {
+    #[test]
+    fn traces_are_sorted_by_start(trace in arb_trace()) {
+        let starts: Vec<u64> = trace.iter().map(|c| c.start().as_secs()).collect();
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(starts, sorted);
+    }
+
+    #[test]
+    fn collect_is_order_insensitive(mut contacts in proptest::collection::vec(arb_contact(), 0..20)) {
+        let a: ContactTrace = contacts.clone().into_iter().collect();
+        contacts.reverse();
+        let b: ContactTrace = contacts.into_iter().collect();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn parser_round_trips(trace in arb_trace()) {
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &trace).unwrap();
+        let parsed = read_trace(buf.as_slice()).unwrap();
+        prop_assert_eq!(parsed, trace);
+    }
+
+    #[test]
+    fn window_is_subset_and_sorted(trace in arb_trace(), from in 0u64..500_000, len in 0u64..500_000) {
+        let w = trace.window(SimTime::from_secs(from), SimTime::from_secs(from + len));
+        prop_assert!(w.len() <= trace.len());
+        for c in w.iter() {
+            prop_assert!(c.start().as_secs() >= from);
+            prop_assert!(c.start().as_secs() < from + len);
+            prop_assert!(trace.contacts().contains(c));
+        }
+    }
+
+    #[test]
+    fn involving_only_contains_node(trace in arb_trace(), id in 0u32..50) {
+        let node = NodeId::new(id);
+        let sub = trace.involving(node);
+        for c in sub.iter() {
+            prop_assert!(c.involves(node));
+        }
+        // Complement check: contacts not in `sub` don't involve the node.
+        let sub_count = trace.iter().filter(|c| c.involves(node)).count();
+        prop_assert_eq!(sub.len(), sub_count);
+    }
+
+    #[test]
+    fn merge_preserves_total_count(a in arb_trace(), b in arb_trace()) {
+        let merged = a.merge(&b);
+        prop_assert_eq!(merged.len(), a.len() + b.len());
+    }
+
+    #[test]
+    fn contact_pairs_count_is_choose_two(contact in arb_contact()) {
+        let n = contact.size();
+        prop_assert_eq!(contact.pairs().len(), n * (n - 1) / 2);
+        // Every pair is ordered and involves real participants.
+        for (x, y) in contact.pairs() {
+            prop_assert!(x < y);
+            prop_assert!(contact.involves(x));
+            prop_assert!(contact.involves(y));
+        }
+    }
+
+    #[test]
+    fn peers_of_partition(contact in arb_contact()) {
+        for &p in contact.participants() {
+            let peers = contact.peers_of(p);
+            prop_assert_eq!(peers.len(), contact.size() - 1);
+            prop_assert!(!peers.contains(&p));
+        }
+    }
+
+    #[test]
+    fn span_bounds_every_contact(trace in arb_trace()) {
+        if let (Some(start), Some(end)) = (trace.start_time(), trace.end_time()) {
+            for c in trace.iter() {
+                prop_assert!(c.start() >= start);
+                prop_assert!(c.end() <= end);
+            }
+            prop_assert_eq!(end.duration_since(start), trace.span());
+        } else {
+            prop_assert!(trace.is_empty());
+        }
+    }
+
+    #[test]
+    fn time_arithmetic_round_trips(base in 0u64..1_000_000_000, delta in 0u64..1_000_000) {
+        let t = SimTime::from_secs(base);
+        let d = SimDuration::from_secs(delta);
+        prop_assert_eq!((t + d) - d, t);
+        prop_assert_eq!((t + d).duration_since(t), d);
+        prop_assert_eq!(t.saturating_sub(d).saturating_add(d).as_secs().max(base), (t.saturating_sub(d) + d).as_secs().max(base));
+    }
+
+    #[test]
+    fn day_and_second_of_day_consistent(secs in 0u64..10_000_000_000) {
+        let t = SimTime::from_secs(secs);
+        prop_assert_eq!(t.day() * dtn_trace::SECONDS_PER_DAY + t.second_of_day(), secs);
+        prop_assert!(t.second_of_day() < dtn_trace::SECONDS_PER_DAY);
+    }
+}
+
+proptest! {
+    #[test]
+    fn aggregate_graph_consistent_with_stats(trace in arb_trace()) {
+        use dtn_trace::{AggregateGraph, TraceStats};
+        let graph = AggregateGraph::from_trace(&trace);
+        let stats = TraceStats::compute(&trace);
+        prop_assert_eq!(graph.nodes(), trace.nodes());
+        // Meeting counts agree with pair contact counts.
+        for &a in &graph.nodes() {
+            for &b in &graph.nodes() {
+                if a < b {
+                    prop_assert_eq!(
+                        graph.meeting_count(a, b),
+                        stats.pair_contact_count(a, b) as u64
+                    );
+                }
+            }
+        }
+        // Degrees agree.
+        prop_assert_eq!(graph.degrees(), stats.degrees());
+    }
+
+    #[test]
+    fn aggregate_components_partition_nodes(trace in arb_trace()) {
+        use dtn_trace::AggregateGraph;
+        let graph = AggregateGraph::from_trace(&trace);
+        let comps = graph.components();
+        let mut all: Vec<NodeId> = comps.iter().flatten().copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, trace.nodes(), "components must partition the nodes");
+        // Density in [0, 1].
+        prop_assert!((0.0..=1.0).contains(&graph.density()));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn community_generator_invariants(
+        nodes in 4u32..40, days in 1u64..6, seed in 0u64..1_000,
+        communities in 1u32..6, attendance in 0.3f64..1.0
+    ) {
+        use dtn_trace::generators::CommunityConfig;
+        let cfg = CommunityConfig::new(nodes, days)
+            .communities(communities)
+            .attendance(attendance)
+            .seed(seed);
+        let t = cfg.generate();
+        for c in t.iter() {
+            prop_assert!(c.size() >= 2);
+            prop_assert!(c.start().day() < days);
+            for p in c.participants() {
+                prop_assert!(p.raw() < nodes);
+            }
+        }
+        // Determinism.
+        prop_assert_eq!(t, cfg.generate());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn space_time_delivery_times_are_causal(trace in arb_trace(), src in 0u32..50, created in 0u64..1_000_000) {
+        let graph = dtn_trace::SpaceTimeGraph::new(&trace);
+        let source = NodeId::new(src);
+        let created = SimTime::from_secs(created);
+        let arrivals = graph.earliest_delivery(source, created);
+        // The source is present at its creation time; nothing arrives before.
+        prop_assert_eq!(arrivals.get(&source), Some(&created));
+        for (&node, &at) in &arrivals {
+            prop_assert!(at >= created, "node {node} got the message before creation");
+        }
+    }
+
+    #[test]
+    fn space_time_monotone_in_creation_time(trace in arb_trace(), src in 0u32..50) {
+        // Creating the message later can only shrink the reachable set.
+        let graph = dtn_trace::SpaceTimeGraph::new(&trace);
+        let source = NodeId::new(src);
+        let early = graph.reachable(source, SimTime::ZERO, None);
+        let late = graph.reachable(source, SimTime::from_secs(500_000), None);
+        for n in &late {
+            prop_assert!(early.contains(n), "late-reachable {n} not early-reachable");
+        }
+    }
+
+    #[test]
+    fn frequent_contacts_are_symmetric(trace in arb_trace()) {
+        // Pair regularity is a property of the pair: u frequent-with v ⇔ v
+        // frequent-with u.
+        let stats = dtn_trace::TraceStats::compute(&trace);
+        let every = SimDuration::from_days(1);
+        for &u in stats.nodes() {
+            for v in stats.frequent_contacts(u, every) {
+                let back = stats.frequent_contacts(v, every);
+                prop_assert!(back.contains(&u), "{u} frequent with {v} but not vice versa");
+            }
+        }
+    }
+}

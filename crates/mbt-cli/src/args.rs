@@ -1,0 +1,182 @@
+//! A small, dependency-free argument parser: positional arguments plus
+//! `--key value` and `--flag` options.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Parsed arguments: positionals in order, options by name.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Args {
+    positional: Vec<String>,
+    options: BTreeMap<String, String>,
+    flags: Vec<String>,
+}
+
+/// Error produced when an argument is missing or malformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// A required positional argument was not supplied.
+    MissingPositional(&'static str),
+    /// A required option was not supplied.
+    MissingOption(&'static str),
+    /// An option's value failed to parse.
+    BadValue {
+        /// Option name.
+        option: String,
+        /// The offending value.
+        value: String,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// `--option` appeared with no following value.
+    DanglingOption(String),
+}
+
+impl fmt::Display for ArgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArgError::MissingPositional(name) => write!(f, "missing <{name}> argument"),
+            ArgError::MissingOption(name) => write!(f, "missing required --{name} option"),
+            ArgError::BadValue {
+                option,
+                value,
+                expected,
+            } => write!(f, "--{option} expects {expected}, got `{value}`"),
+            ArgError::DanglingOption(name) => write!(f, "--{name} needs a value"),
+        }
+    }
+}
+
+impl Error for ArgError {}
+
+/// Option names that are flags (take no value).
+const FLAGS: &[&str] = &["tft", "rarest-first", "quick", "help", "weekends", "verify"];
+
+impl Args {
+    /// Parses raw arguments (without the program/subcommand names).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::DanglingOption`] if a value-taking option ends
+    /// the argument list.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Self, ArgError> {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(name) = tok.strip_prefix("--") {
+                if FLAGS.contains(&name) {
+                    args.flags.push(name.to_string());
+                } else {
+                    let value = iter
+                        .next()
+                        .ok_or_else(|| ArgError::DanglingOption(name.to_string()))?;
+                    args.options.insert(name.to_string(), value);
+                }
+            } else {
+                args.positional.push(tok);
+            }
+        }
+        Ok(args)
+    }
+
+    /// The `i`-th positional argument.
+    pub fn positional(&self, i: usize, name: &'static str) -> Result<&str, ArgError> {
+        self.positional
+            .get(i)
+            .map(String::as_str)
+            .ok_or(ArgError::MissingPositional(name))
+    }
+
+    /// An optional string option.
+    pub fn opt_str(&self, name: &str) -> Option<&str> {
+        self.options.get(name).map(String::as_str)
+    }
+
+    /// A string option with a default.
+    pub fn str_or<'a>(&'a self, name: &str, default: &'a str) -> &'a str {
+        self.opt_str(name).unwrap_or(default)
+    }
+
+    /// A parsed option with a default.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArgError::BadValue`] if the supplied value fails to parse.
+    pub fn parse_or<T: std::str::FromStr>(
+        &self,
+        name: &str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, ArgError> {
+        match self.options.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                option: name.to_string(),
+                value: v.clone(),
+                expected,
+            }),
+        }
+    }
+
+    /// True if the flag was given.
+    pub fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn positionals_and_options() {
+        let a = parse("trace.txt --seed 42 --model nus");
+        assert_eq!(a.positional(0, "trace").unwrap(), "trace.txt");
+        assert_eq!(a.opt_str("model"), Some("nus"));
+        assert_eq!(a.parse_or("seed", 0u64, "an integer").unwrap(), 42);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("x");
+        assert_eq!(a.parse_or("days", 15u64, "an integer").unwrap(), 15);
+        assert_eq!(a.str_or("model", "dieselnet"), "dieselnet");
+    }
+
+    #[test]
+    fn flags_take_no_value() {
+        let a = parse("--tft trace.txt --seed 7");
+        assert!(a.flag("tft"));
+        assert!(!a.flag("quick"));
+        assert_eq!(a.positional(0, "trace").unwrap(), "trace.txt");
+        assert_eq!(a.parse_or("seed", 0u64, "an integer").unwrap(), 7);
+    }
+
+    #[test]
+    fn missing_positional_errors() {
+        let a = parse("--seed 3");
+        assert_eq!(
+            a.positional(0, "trace").unwrap_err(),
+            ArgError::MissingPositional("trace")
+        );
+    }
+
+    #[test]
+    fn bad_value_errors() {
+        let a = parse("--seed banana");
+        let err = a.parse_or("seed", 0u64, "an integer").unwrap_err();
+        assert!(matches!(err, ArgError::BadValue { .. }));
+        assert!(err.to_string().contains("banana"));
+    }
+
+    #[test]
+    fn dangling_option_errors() {
+        let err = Args::parse(vec!["--seed".to_string()]).unwrap_err();
+        assert_eq!(err, ArgError::DanglingOption("seed".to_string()));
+    }
+}

@@ -1,0 +1,41 @@
+//! `mbt capacity` — print the §V broadcast-vs-pair-wise capacity table.
+
+use mbt_experiments::capacity::{capacity_table, crossover_holds};
+use mbt_experiments::report::capacity_table_text;
+
+use crate::args::Args;
+use crate::CliError;
+
+/// Usage text for the subcommand.
+pub const USAGE: &str = "mbt capacity [--max-n N]";
+
+/// Runs the subcommand.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let max_n = args.parse_or("max-n", 20usize, "an integer")?.max(2);
+    let rows = capacity_table(max_n, 10_000);
+    let mut out = capacity_table_text(&rows);
+    out.push_str(&format!(
+        "crossover statement: {}\n",
+        if crossover_holds(&rows) { "HOLDS" } else { "VIOLATED" }
+    ));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prints_table() {
+        let args = Args::parse(vec!["--max-n".to_string(), "5".to_string()]).unwrap();
+        let out = run(&args).unwrap();
+        assert!(out.contains("HOLDS"));
+        assert_eq!(out.lines().count(), 6); // header + n=2..5 + crossover line
+    }
+
+    #[test]
+    fn clamps_tiny_max_n() {
+        let args = Args::parse(vec!["--max-n".to_string(), "1".to_string()]).unwrap();
+        assert!(run(&args).is_ok());
+    }
+}

@@ -1,0 +1,91 @@
+//! `mbt gen-trace` — generate a synthetic contact trace.
+
+use std::fs::File;
+use std::io::BufWriter;
+
+use dtn_trace::generators::{DieselNetConfig, NusConfig, RandomWaypointConfig};
+use dtn_trace::{write_trace, ContactTrace};
+
+use crate::args::Args;
+use crate::CliError;
+
+/// Usage text for the subcommand.
+pub const USAGE: &str = "mbt gen-trace --out <file> [--model dieselnet|nus|rwp] \
+[--nodes N] [--days N] [--seed N] [--attendance 0..1] [--weekends]";
+
+/// Runs the subcommand.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let model = args.str_or("model", "dieselnet").to_string();
+    let nodes = args.parse_or("nodes", 40u32, "an integer")?;
+    let days = args.parse_or("days", 15u64, "an integer")?;
+    let seed = args.parse_or("seed", 42u64, "an integer")?;
+    let out = args
+        .opt_str("out")
+        .ok_or(crate::args::ArgError::MissingOption("out"))?
+        .to_string();
+
+    let trace: ContactTrace = match model.as_str() {
+        "dieselnet" => DieselNetConfig::new(nodes, days).seed(seed).generate(),
+        "nus" => {
+            let attendance = args.parse_or("attendance", 1.0f64, "a number in [0,1]")?;
+            NusConfig::new(nodes, days)
+                .seed(seed)
+                .attendance_rate(attendance.clamp(0.0, 1.0))
+                .weekends_off(!args.flag("weekends"))
+                .generate()
+        }
+        "rwp" => RandomWaypointConfig::new(nodes, days * dtn_trace::SECONDS_PER_DAY)
+            .seed(seed)
+            .generate(),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown model `{other}` (expected dieselnet, nus, or rwp)"
+            )))
+        }
+    };
+
+    let file = File::create(&out).map_err(|e| CliError::Io(out.clone(), e))?;
+    write_trace(BufWriter::new(file), &trace).map_err(|e| CliError::Io(out.clone(), e))?;
+    Ok(format!(
+        "wrote {} contacts among {} nodes ({} days, model {model}) to {out}",
+        trace.len(),
+        trace.node_count(),
+        days
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn generates_dieselnet_file() {
+        let dir = std::env::temp_dir().join("mbt-cli-test-gen");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("d.trace");
+        let msg = run(&args(&format!(
+            "--model dieselnet --nodes 10 --days 2 --seed 1 --out {}",
+            path.display()
+        )))
+        .unwrap();
+        assert!(msg.contains("wrote"));
+        let trace = dtn_trace::read_trace(std::fs::File::open(&path).unwrap()).unwrap();
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn rejects_unknown_model() {
+        let err = run(&args("--model teleport --out /tmp/x.trace")).unwrap_err();
+        assert!(err.to_string().contains("teleport"));
+    }
+
+    #[test]
+    fn requires_out() {
+        let err = run(&args("--model nus")).unwrap_err();
+        assert!(err.to_string().contains("--out"));
+    }
+}

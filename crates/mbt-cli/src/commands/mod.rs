@@ -1,0 +1,7 @@
+//! The `mbt` subcommands.
+
+pub mod capacity;
+pub mod gen_trace;
+pub mod routing;
+pub mod simulate;
+pub mod trace_stats;

@@ -1,0 +1,110 @@
+//! `mbt routing` — run a store-carry-forward routing protocol over a trace.
+
+use std::fmt::Write as _;
+use std::fs::File;
+
+use dtn_routing::protocols::{DirectDelivery, Epidemic, Prophet, SprayAndWait};
+use dtn_routing::sim::{uniform_messages, RoutingReport, RoutingSim};
+use dtn_trace::{read_trace, SimDuration, SimTime};
+
+use crate::args::Args;
+use crate::CliError;
+
+/// Usage text for the subcommand.
+pub const USAGE: &str = "mbt routing <trace-file> [--protocol epidemic|prophet|spray|direct] \
+[--messages N] [--ttl-days N] [--copies N] [--seed N]";
+
+/// Runs the subcommand.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let path = args.positional(0, "trace-file")?.to_string();
+    let file = File::open(&path).map_err(|e| CliError::Io(path.clone(), e))?;
+    let trace = read_trace(file).map_err(|e| CliError::Usage(e.to_string()))?;
+    if trace.node_count() < 2 {
+        return Err(CliError::Usage("trace has fewer than two nodes".to_string()));
+    }
+
+    let count = args.parse_or("messages", 200u64, "an integer")?;
+    let ttl_days = args.parse_or("ttl-days", 2u64, "an integer")?;
+    let copies = args.parse_or("copies", 8u32, "an integer")?;
+    let seed = args.parse_or("seed", 42u64, "an integer")?;
+    let nodes = trace.nodes();
+    let horizon = trace.end_time().unwrap_or(SimTime::from_secs(1));
+    let mut rng = dtn_sim::rng::stream(seed, "cli-routing");
+    let msgs = uniform_messages(
+        &nodes,
+        count,
+        horizon,
+        Some(SimDuration::from_days(ttl_days)),
+        &mut rng,
+    );
+
+    let report: RoutingReport = match args.str_or("protocol", "epidemic") {
+        "epidemic" => RoutingSim::new(&trace, Epidemic::new()).run(msgs),
+        "prophet" => RoutingSim::new(&trace, Prophet::new()).run(msgs),
+        "spray" => RoutingSim::new(&trace, SprayAndWait::new(copies.max(1))).run(msgs),
+        "direct" => RoutingSim::new(&trace, DirectDelivery::new()).run(msgs),
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown protocol `{other}` (expected epidemic, prophet, spray, or direct)"
+            )))
+        }
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(out, "{} over {path}", report.protocol);
+    let _ = writeln!(out, "  created:    {}", report.created);
+    let _ = writeln!(
+        out,
+        "  delivered:  {} (ratio {:.4})",
+        report.delivered, report.delivery_ratio
+    );
+    if let Some(d) = report.mean_delay_secs {
+        let _ = writeln!(out, "  mean delay: {:.1} h", d / 3600.0);
+    }
+    let _ = writeln!(out, "  transmissions: {}", report.transmissions);
+    if let Some(o) = report.overhead {
+        let _ = writeln!(out, "  overhead:   {o:.2} tx/delivery");
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_trace::generators::DieselNetConfig;
+    use dtn_trace::write_trace;
+
+    fn trace_file(name: &str) -> std::path::PathBuf {
+        // One file per test: tests run concurrently and must not share paths.
+        let dir = std::env::temp_dir().join("mbt-cli-test-routing");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{name}.trace"));
+        let trace = DieselNetConfig::new(10, 3).seed(5).generate();
+        write_trace(std::fs::File::create(&path).unwrap(), &trace).unwrap();
+        path
+    }
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn runs_each_protocol() {
+        let path = trace_file("each");
+        for p in ["epidemic", "prophet", "spray", "direct"] {
+            let out = run(&args(&format!(
+                "{} --protocol {p} --messages 20",
+                path.display()
+            )))
+            .unwrap();
+            assert!(out.contains("delivered:"), "{p}: {out}");
+        }
+    }
+
+    #[test]
+    fn rejects_unknown_protocol() {
+        let path = trace_file("reject");
+        let err = run(&args(&format!("{} --protocol warp", path.display()))).unwrap_err();
+        assert!(err.to_string().contains("warp"));
+    }
+}

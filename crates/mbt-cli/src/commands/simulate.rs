@@ -1,0 +1,147 @@
+//! `mbt simulate` — run the MBT file-sharing simulation over a trace file.
+
+use std::fmt::Write as _;
+use std::fs::File;
+
+use dtn_trace::{read_trace, SimDuration};
+use mbt_core::{BroadcastOrdering, CooperationMode, MbtConfig, ProtocolKind};
+use mbt_experiments::runner::{run_simulation, SimParams};
+
+use crate::args::Args;
+use crate::CliError;
+
+/// Usage text for the subcommand.
+pub const USAGE: &str = "mbt simulate <trace-file> [--protocol mbt|mbt-q|mbt-qm] \
+[--internet 0..1] [--files-per-day N] [--ttl N] [--days N] [--seed N] \
+[--metadata-per-contact N] [--files-per-contact N] [--frequent-days N] \
+[--loss 0..1] [--churn 0..1] [--polluters 0..1] [--fakes-per-day N] \
+[--tft] [--rarest-first] [--verify]";
+
+/// Runs the subcommand.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let path = args.positional(0, "trace-file")?.to_string();
+    let file = File::open(&path).map_err(|e| CliError::Io(path.clone(), e))?;
+    let trace = read_trace(file).map_err(|e| CliError::Usage(e.to_string()))?;
+
+    let protocol = match args.str_or("protocol", "mbt") {
+        "mbt" => ProtocolKind::Mbt,
+        "mbt-q" => ProtocolKind::MbtQ,
+        "mbt-qm" => ProtocolKind::MbtQm,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown protocol `{other}` (expected mbt, mbt-q, or mbt-qm)"
+            )))
+        }
+    };
+
+    let default_days = trace.span().as_days_f64().ceil().max(1.0) as u64;
+    let mut config = MbtConfig::new()
+        .metadata_per_contact(args.parse_or("metadata-per-contact", 20u32, "an integer")?)
+        .files_per_contact(args.parse_or("files-per-contact", 4u32, "an integer")?)
+        .broadcast_loss_rate(
+            args.parse_or("loss", 0.0f64, "a number in [0,1]")?.clamp(0.0, 1.0),
+        );
+    if args.flag("tft") {
+        config = config.cooperation(CooperationMode::TitForTat);
+    }
+    if args.flag("rarest-first") {
+        config = config.ordering(BroadcastOrdering::RarestFirst);
+    }
+
+    let params = SimParams {
+        protocol,
+        config,
+        internet_fraction: args
+            .parse_or("internet", 0.3f64, "a number in [0,1]")?
+            .clamp(0.0, 1.0),
+        files_per_day: args.parse_or("files-per-day", 40u32, "an integer")?,
+        ttl_days: args.parse_or("ttl", 3u64, "an integer")?,
+        days: args.parse_or("days", default_days, "an integer")?,
+        seed: args.parse_or("seed", 42u64, "an integer")?,
+        frequent_window: SimDuration::from_days(
+            args.parse_or("frequent-days", 1u64, "an integer")?,
+        ),
+        churn: args
+            .parse_or("churn", 0.0f64, "a number in [0,1]")?
+            .clamp(0.0, 1.0),
+        polluter_fraction: args
+            .parse_or("polluters", 0.0f64, "a number in [0,1]")?
+            .clamp(0.0, 1.0),
+        fakes_per_day: args.parse_or("fakes-per-day", 4u32, "an integer")?,
+        verify_metadata: args.flag("verify"),
+    };
+    let r = run_simulation(&trace, &params);
+
+    let mut out = String::new();
+    let _ = writeln!(out, "protocol {protocol} over {path} ({} contacts)", r.contacts);
+    let _ = writeln!(out, "  queries (measured nodes): {}", r.queries);
+    let _ = writeln!(
+        out,
+        "  metadata delivered: {:>6}  (ratio {:.4})",
+        r.metadata_delivered, r.metadata_ratio
+    );
+    let _ = writeln!(
+        out,
+        "  files delivered:    {:>6}  (ratio {:.4})",
+        r.files_delivered, r.file_ratio
+    );
+    if let Some(d) = r.mean_metadata_delay_hours {
+        let _ = writeln!(out, "  mean metadata delay: {d:.1} h");
+    }
+    if let Some(d) = r.mean_file_delay_hours {
+        let _ = writeln!(out, "  mean file delay:     {d:.1} h");
+    }
+    let _ = writeln!(
+        out,
+        "  broadcasts: {} metadata, {} files; {} queries distributed",
+        r.metadata_broadcasts, r.file_broadcasts, r.queries_distributed
+    );
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_trace::generators::NusConfig;
+    use dtn_trace::write_trace;
+
+    fn trace_file(name: &str) -> std::path::PathBuf {
+        // One file per test: tests run concurrently and must not share paths.
+        let dir = std::env::temp_dir().join("mbt-cli-test-sim");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{name}.trace"));
+        let trace = NusConfig::new(20, 5).seed(3).generate();
+        write_trace(std::fs::File::create(&path).unwrap(), &trace).unwrap();
+        path
+    }
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn runs_default_simulation() {
+        let path = trace_file("default");
+        let out = run(&args(&format!("{} --files-per-day 8", path.display()))).unwrap();
+        assert!(out.contains("metadata delivered"));
+        assert!(out.contains("ratio"));
+    }
+
+    #[test]
+    fn accepts_variant_and_flags() {
+        let path = trace_file("flags");
+        let out = run(&args(&format!(
+            "{} --protocol mbt-qm --tft --loss 0.2 --files-per-day 8",
+            path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("MBT-QM"));
+    }
+
+    #[test]
+    fn rejects_unknown_protocol() {
+        let path = trace_file("reject");
+        let err = run(&args(&format!("{} --protocol carrier-pigeon", path.display()))).unwrap_err();
+        assert!(err.to_string().contains("carrier-pigeon"));
+    }
+}

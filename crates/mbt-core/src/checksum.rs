@@ -1,0 +1,267 @@
+//! SHA-1 checksums.
+//!
+//! BitTorrent-style metadata carries "SHA-1 checksums of the data blocks"
+//! (paper §II-B, §III-B). This module implements SHA-1 from scratch — no
+//! external crypto dependency — sufficient for integrity verification of
+//! file pieces in this system. (SHA-1 is cryptographically broken for
+//! collision resistance; it is used here for fidelity to the paper, as
+//! BitTorrent itself does, not as a security boundary.)
+
+use std::fmt;
+
+/// A 160-bit SHA-1 digest.
+///
+/// # Example
+///
+/// ```
+/// use mbt_core::checksum::sha1;
+///
+/// let d = sha1(b"abc");
+/// assert_eq!(d.to_hex(), "a9993e364706816aba3e25717850c26c9cd0d89d");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Digest(pub [u8; 20]);
+
+impl Digest {
+    /// Lowercase hexadecimal rendering of the digest.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(40);
+        for b in self.0 {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+
+    /// The raw digest bytes.
+    pub fn as_bytes(&self) -> &[u8; 20] {
+        &self.0
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Incremental SHA-1 hasher.
+///
+/// # Example
+///
+/// ```
+/// use mbt_core::checksum::{sha1, Sha1};
+///
+/// let mut h = Sha1::new();
+/// h.update(b"ab");
+/// h.update(b"c");
+/// assert_eq!(h.finalize(), sha1(b"abc"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sha1 {
+    state: [u32; 5],
+    buffer: [u8; 64],
+    buffer_len: usize,
+    length_bits: u64,
+}
+
+impl Default for Sha1 {
+    fn default() -> Self {
+        Sha1::new()
+    }
+}
+
+impl Sha1 {
+    /// Creates a fresh hasher.
+    pub fn new() -> Self {
+        Sha1 {
+            state: [0x6745_2301, 0xEFCD_AB89, 0x98BA_DCFE, 0x1032_5476, 0xC3D2_E1F0],
+            buffer: [0u8; 64],
+            buffer_len: 0,
+            length_bits: 0,
+        }
+    }
+
+    /// Feeds more input into the hasher.
+    pub fn update(&mut self, mut data: &[u8]) {
+        self.length_bits = self.length_bits.wrapping_add((data.len() as u64) * 8);
+        if self.buffer_len > 0 {
+            let need = 64 - self.buffer_len;
+            let take = need.min(data.len());
+            self.buffer[self.buffer_len..self.buffer_len + take].copy_from_slice(&data[..take]);
+            self.buffer_len += take;
+            data = &data[take..];
+            if self.buffer_len == 64 {
+                let block = self.buffer;
+                self.process_block(&block);
+                self.buffer_len = 0;
+            }
+        }
+        while data.len() >= 64 {
+            let mut block = [0u8; 64];
+            block.copy_from_slice(&data[..64]);
+            self.process_block(&block);
+            data = &data[64..];
+        }
+        if !data.is_empty() {
+            self.buffer[..data.len()].copy_from_slice(data);
+            self.buffer_len = data.len();
+        }
+    }
+
+    /// Consumes the hasher and returns the digest.
+    pub fn finalize(mut self) -> Digest {
+        let length_bits = self.length_bits;
+        // Padding: 0x80 then zeros until 8 bytes remain in the block.
+        self.raw_update(&[0x80]);
+        while self.buffer_len != 56 {
+            self.raw_update(&[0]);
+        }
+        self.raw_update(&length_bits.to_be_bytes());
+        debug_assert_eq!(self.buffer_len, 0);
+        let mut out = [0u8; 20];
+        for (i, word) in self.state.iter().enumerate() {
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
+        }
+        Digest(out)
+    }
+
+    /// Update without counting toward the message length (used for padding).
+    fn raw_update(&mut self, data: &[u8]) {
+        for &b in data {
+            self.buffer[self.buffer_len] = b;
+            self.buffer_len += 1;
+            if self.buffer_len == 64 {
+                let block = self.buffer;
+                self.process_block(&block);
+                self.buffer_len = 0;
+            }
+        }
+    }
+
+    fn process_block(&mut self, block: &[u8; 64]) {
+        let mut w = [0u32; 80];
+        for i in 0..16 {
+            w[i] = u32::from_be_bytes([
+                block[i * 4],
+                block[i * 4 + 1],
+                block[i * 4 + 2],
+                block[i * 4 + 3],
+            ]);
+        }
+        for i in 16..80 {
+            w[i] = (w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16]).rotate_left(1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e] = self.state;
+        for (i, &wi) in w.iter().enumerate() {
+            let (f, k) = match i {
+                0..=19 => ((b & c) | ((!b) & d), 0x5A82_7999),
+                20..=39 => (b ^ c ^ d, 0x6ED9_EBA1),
+                40..=59 => ((b & c) | (b & d) | (c & d), 0x8F1B_BCDC),
+                _ => (b ^ c ^ d, 0xCA62_C1D6),
+            };
+            let temp = a
+                .rotate_left(5)
+                .wrapping_add(f)
+                .wrapping_add(e)
+                .wrapping_add(k)
+                .wrapping_add(wi);
+            e = d;
+            d = c;
+            c = b.rotate_left(30);
+            b = a;
+            a = temp;
+        }
+        self.state[0] = self.state[0].wrapping_add(a);
+        self.state[1] = self.state[1].wrapping_add(b);
+        self.state[2] = self.state[2].wrapping_add(c);
+        self.state[3] = self.state[3].wrapping_add(d);
+        self.state[4] = self.state[4].wrapping_add(e);
+    }
+}
+
+/// One-shot SHA-1 of `data`.
+pub fn sha1(data: &[u8]) -> Digest {
+    let mut h = Sha1::new();
+    h.update(data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Reference vectors from FIPS 180-1 and RFC 3174.
+    #[test]
+    fn empty_string() {
+        assert_eq!(sha1(b"").to_hex(), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+    }
+
+    #[test]
+    fn abc() {
+        assert_eq!(sha1(b"abc").to_hex(), "a9993e364706816aba3e25717850c26c9cd0d89d");
+    }
+
+    #[test]
+    fn two_block_message() {
+        assert_eq!(
+            sha1(b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq").to_hex(),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1"
+        );
+    }
+
+    #[test]
+    fn million_a() {
+        let data = vec![b'a'; 1_000_000];
+        assert_eq!(
+            sha1(&data).to_hex(),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f"
+        );
+    }
+
+    #[test]
+    fn exact_block_boundary() {
+        // 64-byte input exercises the padding-into-new-block path.
+        let data = vec![0x61u8; 64];
+        let d1 = sha1(&data);
+        let mut h = Sha1::new();
+        h.update(&data[..31]);
+        h.update(&data[31..]);
+        assert_eq!(h.finalize(), d1);
+    }
+
+    #[test]
+    fn incremental_equals_oneshot_many_splits() {
+        let data: Vec<u8> = (0u8..=255).cycle().take(1000).collect();
+        let oneshot = sha1(&data);
+        for split in [0usize, 1, 63, 64, 65, 500, 999, 1000] {
+            let mut h = Sha1::new();
+            h.update(&data[..split]);
+            h.update(&data[split..]);
+            assert_eq!(h.finalize(), oneshot, "split at {split}");
+        }
+    }
+
+    #[test]
+    fn digest_display_and_bytes() {
+        let d = sha1(b"abc");
+        assert_eq!(d.to_string(), d.to_hex());
+        assert_eq!(d.as_bytes().len(), 20);
+        assert_eq!(d.as_ref().len(), 20);
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_digests() {
+        assert_ne!(sha1(b"a"), sha1(b"b"));
+    }
+
+    #[test]
+    fn default_hasher_is_fresh() {
+        assert_eq!(Sha1::default().finalize(), sha1(b""));
+    }
+}

@@ -1,0 +1,273 @@
+//! Protocol configuration.
+
+use std::fmt;
+
+/// Cooperation mode: altruistic or tit-for-tat (paper §IV-A/B, §V-A/B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CooperationMode {
+    /// All nodes altruistically serve the most-requested content first.
+    #[default]
+    Cooperative,
+    /// Nodes weigh requesters by tit-for-tat credits; cliques broadcast in a
+    /// shared cyclic order instead of trusting a coordinator.
+    TitForTat,
+}
+
+impl fmt::Display for CooperationMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CooperationMode::Cooperative => write!(f, "cooperative"),
+            CooperationMode::TitForTat => write!(f, "tit-for-tat"),
+        }
+    }
+}
+
+/// How a cooperative clique orders its broadcasts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum BroadcastOrdering {
+    /// The paper's §V-A order: requested items first (most requesters,
+    /// then popularity), then unrequested by popularity.
+    #[default]
+    TwoPhase,
+    /// BitTorrent-style rarest-first (extension; see
+    /// [`download::strategy`](crate::download::strategy)).
+    RarestFirst,
+}
+
+impl fmt::Display for BroadcastOrdering {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BroadcastOrdering::TwoPhase => write!(f, "two-phase"),
+            BroadcastOrdering::RarestFirst => write!(f, "rarest-first"),
+        }
+    }
+}
+
+/// Tunable parameters of an MBT node.
+///
+/// Defaults follow the experiment defaults in `DESIGN.md`: 20 metadata and 4
+/// files per contact, discovery before download, cooperative mode.
+///
+/// # Example
+///
+/// ```
+/// use mbt_core::{CooperationMode, MbtConfig};
+///
+/// let config = MbtConfig::new()
+///     .metadata_per_contact(10)
+///     .files_per_contact(2)
+///     .cooperation(CooperationMode::TitForTat);
+/// assert_eq!(config.metadata_per_contact_value(), 10);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct MbtConfig {
+    metadata_per_contact: u32,
+    files_per_contact: u32,
+    internet_search_limit: u32,
+    internet_push_metadata: u32,
+    cooperation: CooperationMode,
+    ordering: BroadcastOrdering,
+    discovery_first: bool,
+    min_download_contact_secs: u64,
+    broadcast_loss_rate: f64,
+    loss_seed: u64,
+}
+
+impl Default for MbtConfig {
+    fn default() -> Self {
+        MbtConfig {
+            metadata_per_contact: 20,
+            files_per_contact: 4,
+            internet_search_limit: 5,
+            internet_push_metadata: 20,
+            cooperation: CooperationMode::Cooperative,
+            ordering: BroadcastOrdering::TwoPhase,
+            discovery_first: true,
+            min_download_contact_secs: 0,
+            broadcast_loss_rate: 0.0,
+            loss_seed: 0,
+        }
+    }
+}
+
+impl MbtConfig {
+    /// Creates the default configuration.
+    pub fn new() -> Self {
+        MbtConfig::default()
+    }
+
+    /// Sets how many metadata may be broadcast per contact (paper §VI-A).
+    pub fn metadata_per_contact(mut self, n: u32) -> Self {
+        self.metadata_per_contact = n;
+        self
+    }
+
+    /// Sets how many files may be broadcast per contact (paper §VI-A).
+    pub fn files_per_contact(mut self, n: u32) -> Self {
+        self.files_per_contact = n;
+        self
+    }
+
+    /// Sets how many best matches the metadata server returns per query.
+    pub fn internet_search_limit(mut self, n: u32) -> Self {
+        self.internet_search_limit = n.max(1);
+        self
+    }
+
+    /// Sets how many popular metadata an Internet-access node pulls for
+    /// later push-distribution in the DTN.
+    pub fn internet_push_metadata(mut self, n: u32) -> Self {
+        self.internet_push_metadata = n;
+        self
+    }
+
+    /// Sets the cooperation mode.
+    pub fn cooperation(mut self, mode: CooperationMode) -> Self {
+        self.cooperation = mode;
+        self
+    }
+
+    /// Sets the broadcast ordering used in cooperative mode (the tit-for-tat
+    /// scheduler always orders by credit weight).
+    pub fn ordering(mut self, ordering: BroadcastOrdering) -> Self {
+        self.ordering = ordering;
+        self
+    }
+
+    /// Whether metadata exchange precedes file exchange within a contact
+    /// (paper §V: discovery uses the starting period of each connection).
+    pub fn discovery_first(mut self, first: bool) -> Self {
+        self.discovery_first = first;
+        self
+    }
+
+    /// Contacts shorter than this skip the file phase entirely (0 = never
+    /// skip; an ablation knob for the short-contact argument of §V).
+    pub fn min_download_contact_secs(mut self, secs: u64) -> Self {
+        self.min_download_contact_secs = secs;
+        self
+    }
+
+    /// Per-receiver probability that a broadcast frame is lost (failure
+    /// injection; default 0). Each (contact instant, sender, receiver, item)
+    /// draws independently and deterministically from `loss_seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `rate` ∈ [0, 1].
+    pub fn broadcast_loss_rate(mut self, rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "loss rate must be in [0, 1]");
+        self.broadcast_loss_rate = rate;
+        self
+    }
+
+    /// Seed for the deterministic loss rolls (default 0).
+    pub fn loss_seed(mut self, seed: u64) -> Self {
+        self.loss_seed = seed;
+        self
+    }
+
+    /// Metadata broadcast slots per contact.
+    pub fn metadata_per_contact_value(&self) -> u32 {
+        self.metadata_per_contact
+    }
+
+    /// File broadcast slots per contact.
+    pub fn files_per_contact_value(&self) -> u32 {
+        self.files_per_contact
+    }
+
+    /// Server search result limit per query.
+    pub fn internet_search_limit_value(&self) -> u32 {
+        self.internet_search_limit
+    }
+
+    /// Popular-metadata pull count at Internet sessions.
+    pub fn internet_push_metadata_value(&self) -> u32 {
+        self.internet_push_metadata
+    }
+
+    /// The cooperation mode.
+    pub fn cooperation_value(&self) -> CooperationMode {
+        self.cooperation
+    }
+
+    /// The cooperative broadcast ordering.
+    pub fn ordering_value(&self) -> BroadcastOrdering {
+        self.ordering
+    }
+
+    /// Whether discovery precedes download within a contact.
+    pub fn discovery_first_value(&self) -> bool {
+        self.discovery_first
+    }
+
+    /// Minimum contact length for the file phase, in seconds.
+    pub fn min_download_contact_secs_value(&self) -> u64 {
+        self.min_download_contact_secs
+    }
+
+    /// The broadcast loss probability.
+    pub fn broadcast_loss_rate_value(&self) -> f64 {
+        self.broadcast_loss_rate
+    }
+
+    /// The loss-roll seed.
+    pub fn loss_seed_value(&self) -> u64 {
+        self.loss_seed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_design() {
+        let c = MbtConfig::default();
+        assert_eq!(c.metadata_per_contact_value(), 20);
+        assert_eq!(c.files_per_contact_value(), 4);
+        assert_eq!(c.cooperation_value(), CooperationMode::Cooperative);
+        assert!(c.discovery_first_value());
+        assert_eq!(c.min_download_contact_secs_value(), 0);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = MbtConfig::new()
+            .metadata_per_contact(3)
+            .files_per_contact(1)
+            .internet_search_limit(2)
+            .internet_push_metadata(7)
+            .cooperation(CooperationMode::TitForTat)
+            .discovery_first(false)
+            .min_download_contact_secs(30);
+        assert_eq!(c.metadata_per_contact_value(), 3);
+        assert_eq!(c.files_per_contact_value(), 1);
+        assert_eq!(c.internet_search_limit_value(), 2);
+        assert_eq!(c.internet_push_metadata_value(), 7);
+        assert_eq!(c.cooperation_value(), CooperationMode::TitForTat);
+        assert!(!c.discovery_first_value());
+        assert_eq!(c.min_download_contact_secs_value(), 30);
+    }
+
+    #[test]
+    fn search_limit_clamped_to_one() {
+        assert_eq!(MbtConfig::new().internet_search_limit(0).internet_search_limit_value(), 1);
+    }
+
+    #[test]
+    fn cooperation_display() {
+        assert_eq!(CooperationMode::Cooperative.to_string(), "cooperative");
+        assert_eq!(CooperationMode::TitForTat.to_string(), "tit-for-tat");
+    }
+
+    #[test]
+    fn ordering_defaults_and_builder() {
+        assert_eq!(MbtConfig::new().ordering_value(), BroadcastOrdering::TwoPhase);
+        let c = MbtConfig::new().ordering(BroadcastOrdering::RarestFirst);
+        assert_eq!(c.ordering_value(), BroadcastOrdering::RarestFirst);
+        assert_eq!(BroadcastOrdering::TwoPhase.to_string(), "two-phase");
+        assert_eq!(BroadcastOrdering::RarestFirst.to_string(), "rarest-first");
+    }
+}

@@ -1,0 +1,167 @@
+//! Cooperative (altruistic) metadata send ordering (paper §IV-A).
+//!
+//! "Each node sends metadata in two phases. In the first phase, metadata that
+//! match the query strings of the connected nodes are sent. Those that match
+//! the query strings of more nodes themselves are sent [first]. In this
+//! phase, metadata that match the same number of query strings are sent in
+//! the order of decreasing popularity. In the second phase, other metadata
+//! that do not match any queries are sent in the order of decreasing
+//! popularity."
+
+use crate::discovery::MetadataOffer;
+use crate::metadata::Metadata;
+use crate::popularity::cmp_popularity;
+
+/// Orders the offered metadata for transmission and truncates to `budget`.
+///
+/// Because the opportunistic connection may stop at any time, the most useful
+/// metadata (matching the most connected nodes' queries) go first.
+///
+/// # Example
+///
+/// ```
+/// use mbt_core::discovery::{cooperative, MetadataOffer};
+/// use mbt_core::{Metadata, Popularity, Query, Uri};
+/// use dtn_trace::NodeId;
+///
+/// let wanted = Metadata::builder("FOX news", "FOX", Uri::new("mbt://a")?).build();
+/// let filler = Metadata::builder("ABC comedy", "ABC", Uri::new("mbt://b")?).build();
+/// let queries = vec![(NodeId::new(1), Query::new("news")?)];
+/// let offers = vec![
+///     MetadataOffer::build(&filler, Popularity::MAX, &queries),
+///     MetadataOffer::build(&wanted, Popularity::new(0.1), &queries),
+/// ];
+/// let order = cooperative::send_order(offers, 2);
+/// assert_eq!(order[0].name(), "FOX news", "requested metadata go first");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn send_order<'a>(offers: Vec<MetadataOffer<'a>>, budget: usize) -> Vec<&'a Metadata> {
+    let mut phase1: Vec<MetadataOffer<'a>> = Vec::new();
+    let mut phase2: Vec<MetadataOffer<'a>> = Vec::new();
+    for offer in offers {
+        if offer.request_count() > 0 {
+            phase1.push(offer);
+        } else {
+            phase2.push(offer);
+        }
+    }
+    phase1.sort_by(|a, b| {
+        b.request_count()
+            .cmp(&a.request_count())
+            .then_with(|| cmp_popularity(b.popularity, a.popularity))
+            .then_with(|| a.metadata.uri().cmp(b.metadata.uri()))
+    });
+    phase2.sort_by(|a, b| {
+        cmp_popularity(b.popularity, a.popularity)
+            .then_with(|| a.metadata.uri().cmp(b.metadata.uri()))
+    });
+    phase1
+        .into_iter()
+        .chain(phase2)
+        .take(budget)
+        .map(|o| o.metadata)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::popularity::Popularity;
+    use crate::query::Query;
+    use crate::uri::Uri;
+    use dtn_trace::NodeId;
+
+    fn meta(name: &str, uri: &str) -> Metadata {
+        Metadata::builder(name, "FOX", Uri::new(uri).unwrap()).build()
+    }
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn more_requesters_first() {
+        let a = meta("news alpha", "mbt://a");
+        let b = meta("news beta sports", "mbt://b");
+        let queries = vec![
+            (n(1), Query::new("news").unwrap()),
+            (n(2), Query::new("sports").unwrap()),
+        ];
+        let offers = vec![
+            MetadataOffer::build(&a, Popularity::MAX, &queries),
+            MetadataOffer::build(&b, Popularity::MIN, &queries),
+        ];
+        let order = send_order(offers, 10);
+        // b matches both queries, a only one — b first despite low popularity.
+        assert_eq!(order[0].uri().as_str(), "mbt://b");
+    }
+
+    #[test]
+    fn popularity_breaks_request_ties() {
+        let a = meta("news alpha", "mbt://a");
+        let b = meta("news beta", "mbt://b");
+        let queries = vec![(n(1), Query::new("news").unwrap())];
+        let offers = vec![
+            MetadataOffer::build(&a, Popularity::new(0.2), &queries),
+            MetadataOffer::build(&b, Popularity::new(0.8), &queries),
+        ];
+        let order = send_order(offers, 10);
+        assert_eq!(order[0].uri().as_str(), "mbt://b");
+    }
+
+    #[test]
+    fn phase_two_by_popularity() {
+        let a = meta("thing one", "mbt://a");
+        let b = meta("thing two", "mbt://b");
+        let offers = vec![
+            MetadataOffer::build(&a, Popularity::new(0.3), &[]),
+            MetadataOffer::build(&b, Popularity::new(0.7), &[]),
+        ];
+        let order = send_order(offers, 10);
+        assert_eq!(order[0].uri().as_str(), "mbt://b");
+        assert_eq!(order.len(), 2);
+    }
+
+    #[test]
+    fn budget_truncates() {
+        let a = meta("a", "mbt://a");
+        let b = meta("b", "mbt://b");
+        let c = meta("c", "mbt://c");
+        let offers = vec![
+            MetadataOffer::build(&a, Popularity::new(0.1), &[]),
+            MetadataOffer::build(&b, Popularity::new(0.2), &[]),
+            MetadataOffer::build(&c, Popularity::new(0.3), &[]),
+        ];
+        assert_eq!(send_order(offers, 2).len(), 2);
+    }
+
+    #[test]
+    fn deterministic_tie_break_by_uri() {
+        let a = meta("x", "mbt://a");
+        let b = meta("x", "mbt://b");
+        let offers = vec![
+            MetadataOffer::build(&b, Popularity::new(0.5), &[]),
+            MetadataOffer::build(&a, Popularity::new(0.5), &[]),
+        ];
+        let order = send_order(offers, 10);
+        assert_eq!(order[0].uri().as_str(), "mbt://a");
+    }
+
+    #[test]
+    fn empty_offers_empty_order() {
+        assert!(send_order(Vec::new(), 5).is_empty());
+    }
+
+    #[test]
+    fn requested_always_precede_unrequested() {
+        let a = meta("wanted item", "mbt://a");
+        let b = meta("filler", "mbt://b");
+        let queries = vec![(n(1), Query::new("wanted").unwrap())];
+        let offers = vec![
+            MetadataOffer::build(&b, Popularity::MAX, &queries),
+            MetadataOffer::build(&a, Popularity::MIN, &queries),
+        ];
+        let order = send_order(offers, 1);
+        assert_eq!(order[0].uri().as_str(), "mbt://a");
+    }
+}

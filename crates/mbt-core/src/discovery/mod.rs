@@ -1,0 +1,202 @@
+//! Cooperative file discovery (paper §IV).
+//!
+//! The goal of the file discovery process is to download metadata that
+//! matches the user's query strings — and, probably, metadata that will
+//! match future queries. Discovery separates the distribution of metadata
+//! from the distribution of files: metadata are distributed earlier, in
+//! larger amounts, and are stored for longer durations.
+//!
+//! During a contact each node selects which of its stored metadata to send,
+//! in two phases:
+//!
+//! 1. metadata that match the query strings of connected nodes (most-matched
+//!    first), and
+//! 2. the remaining metadata in order of decreasing popularity.
+//!
+//! [`cooperative`] implements the altruistic ordering; [`tft`] weighs
+//! requesters by tit-for-tat credits.
+
+pub mod cooperative;
+pub mod tft;
+
+use dtn_trace::NodeId;
+
+use crate::credit::CreditLedger;
+use crate::metadata::Metadata;
+use crate::popularity::Popularity;
+use crate::query::Query;
+use crate::store::MetadataStore;
+
+/// A metadata record offered for transmission during a contact, annotated
+/// with the connected nodes whose queries it matches and its popularity.
+#[derive(Debug, Clone)]
+pub struct MetadataOffer<'a> {
+    /// The metadata under consideration.
+    pub metadata: &'a Metadata,
+    /// Popularity as known to the sender.
+    pub popularity: Popularity,
+    /// Connected nodes with at least one query this metadata matches.
+    pub requesters: Vec<NodeId>,
+}
+
+impl<'a> MetadataOffer<'a> {
+    /// Builds an offer by matching `metadata` against the queries of the
+    /// connected nodes.
+    pub fn build(
+        metadata: &'a Metadata,
+        popularity: Popularity,
+        peer_queries: &[(NodeId, Query)],
+    ) -> Self {
+        let tokens = metadata.tokens();
+        let mut requesters: Vec<NodeId> = peer_queries
+            .iter()
+            .filter(|(_, q)| q.matches_tokens(&tokens))
+            .map(|(n, _)| *n)
+            .collect();
+        requesters.sort_unstable();
+        requesters.dedup();
+        MetadataOffer {
+            metadata,
+            popularity,
+            requesters,
+        }
+    }
+
+    /// Number of distinct requesters.
+    pub fn request_count(&self) -> usize {
+        self.requesters.len()
+    }
+}
+
+/// Outcome of receiving one metadata record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReceiveOutcome {
+    /// The metadata was new and matched one of the receiver's queries.
+    NewMatched,
+    /// The metadata was new but matched no query.
+    NewUnmatched,
+    /// The receiver already had this metadata; no credit is awarded
+    /// (credits reward *new* metadata only, §IV-B).
+    Duplicate,
+}
+
+/// Processes a received metadata record on the receiving node: stores it,
+/// and — if `ledger` is given — credits the sender per the tit-for-tat rule
+/// (+5 for new matched, +popularity for new unmatched, nothing for
+/// duplicates).
+pub fn receive_metadata(
+    store: &mut MetadataStore,
+    own_queries: &[Query],
+    metadata: &Metadata,
+    popularity: Popularity,
+    sender: NodeId,
+    ledger: Option<&mut CreditLedger>,
+) -> ReceiveOutcome {
+    if !store.insert(metadata.clone()) {
+        return ReceiveOutcome::Duplicate;
+    }
+    let tokens = metadata.tokens();
+    let matched = own_queries.iter().any(|q| q.matches_tokens(&tokens));
+    if let Some(ledger) = ledger {
+        if matched {
+            ledger.reward_matched(sender);
+        } else {
+            ledger.reward_unmatched(sender, popularity);
+        }
+    }
+    if matched {
+        ReceiveOutcome::NewMatched
+    } else {
+        ReceiveOutcome::NewUnmatched
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uri::Uri;
+
+    fn meta(name: &str, uri: &str) -> Metadata {
+        Metadata::builder(name, "FOX", Uri::new(uri).unwrap()).build()
+    }
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn offer_collects_requesters() {
+        let m = meta("fox news", "mbt://a");
+        let queries = vec![
+            (n(1), Query::new("news").unwrap()),
+            (n(2), Query::new("comedy").unwrap()),
+            (n(3), Query::new("fox").unwrap()),
+            (n(1), Query::new("fox news").unwrap()), // duplicate requester
+        ];
+        let offer = MetadataOffer::build(&m, Popularity::new(0.5), &queries);
+        assert_eq!(offer.requesters, vec![n(1), n(3)]);
+        assert_eq!(offer.request_count(), 2);
+    }
+
+    #[test]
+    fn receive_new_matched_rewards_five() {
+        let mut store = MetadataStore::new();
+        let mut ledger = CreditLedger::new();
+        let m = meta("fox news", "mbt://a");
+        let out = receive_metadata(
+            &mut store,
+            &[Query::new("news").unwrap()],
+            &m,
+            Popularity::new(0.9),
+            n(7),
+            Some(&mut ledger),
+        );
+        assert_eq!(out, ReceiveOutcome::NewMatched);
+        assert_eq!(ledger.credit_of(n(7)), 5.0);
+        assert!(store.contains(m.uri()));
+    }
+
+    #[test]
+    fn receive_new_unmatched_rewards_popularity() {
+        let mut store = MetadataStore::new();
+        let mut ledger = CreditLedger::new();
+        let m = meta("abc comedy", "mbt://b");
+        let out = receive_metadata(
+            &mut store,
+            &[Query::new("news").unwrap()],
+            &m,
+            Popularity::new(0.4),
+            n(7),
+            Some(&mut ledger),
+        );
+        assert_eq!(out, ReceiveOutcome::NewUnmatched);
+        assert!((ledger.credit_of(n(7)) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn receive_duplicate_rewards_nothing() {
+        let mut store = MetadataStore::new();
+        let mut ledger = CreditLedger::new();
+        let m = meta("fox news", "mbt://a");
+        store.insert(m.clone());
+        let out = receive_metadata(
+            &mut store,
+            &[Query::new("news").unwrap()],
+            &m,
+            Popularity::MAX,
+            n(7),
+            Some(&mut ledger),
+        );
+        assert_eq!(out, ReceiveOutcome::Duplicate);
+        assert_eq!(ledger.credit_of(n(7)), 0.0);
+    }
+
+    #[test]
+    fn receive_without_ledger_still_stores() {
+        let mut store = MetadataStore::new();
+        let m = meta("fox news", "mbt://a");
+        let out = receive_metadata(&mut store, &[], &m, Popularity::MIN, n(1), None);
+        assert_eq!(out, ReceiveOutcome::NewUnmatched);
+        assert_eq!(store.len(), 1);
+    }
+}

@@ -1,0 +1,205 @@
+//! Tit-for-tat metadata send ordering (paper §IV-B).
+//!
+//! In the selfish case, metadata are weighed "by the sum of the credits of
+//! the nodes requesting the metadata": peers that contributed more have their
+//! queries weighed more heavily and receive their desired metadata earlier.
+//! Unlike BitTorrent's tit-for-tat, no peer is choked — wireless transmission
+//! is broadcast in nature — so the incentive acts purely through ordering.
+
+use crate::credit::CreditLedger;
+use crate::discovery::MetadataOffer;
+use crate::metadata::Metadata;
+use crate::popularity::cmp_popularity;
+
+/// Orders the offered metadata for transmission under tit-for-tat and
+/// truncates to `budget`.
+///
+/// Phase 1 sends requested metadata by descending requester credit weight
+/// (ties: more requesters, then popularity); phase 2 sends unrequested
+/// metadata by descending popularity — sending popular metadata is how a node
+/// earns credit from peers it has nothing requested for (§IV-B).
+///
+/// # Example
+///
+/// ```
+/// use mbt_core::discovery::{tft, MetadataOffer};
+/// use mbt_core::{CreditLedger, Metadata, Popularity, Query, Uri};
+/// use dtn_trace::NodeId;
+///
+/// let mut ledger = CreditLedger::new();
+/// ledger.reward_matched(NodeId::new(2)); // node 2 has contributed before
+///
+/// let a = Metadata::builder("news for one", "FOX", Uri::new("mbt://a")?).build();
+/// let b = Metadata::builder("news for two", "FOX", Uri::new("mbt://b")?).build();
+/// let queries = vec![
+///     (NodeId::new(1), Query::new("one")?),
+///     (NodeId::new(2), Query::new("two")?),
+/// ];
+/// let offers = vec![
+///     MetadataOffer::build(&a, Popularity::MAX, &queries),
+///     MetadataOffer::build(&b, Popularity::MIN, &queries),
+/// ];
+/// let order = tft::send_order(offers, &ledger, 2);
+/// assert_eq!(order[0].uri().as_str(), "mbt://b", "contributor's request served first");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn send_order<'a>(
+    offers: Vec<MetadataOffer<'a>>,
+    ledger: &CreditLedger,
+    budget: usize,
+) -> Vec<&'a Metadata> {
+    let mut phase1: Vec<(f64, MetadataOffer<'a>)> = Vec::new();
+    let mut phase2: Vec<MetadataOffer<'a>> = Vec::new();
+    for offer in offers {
+        if offer.request_count() > 0 {
+            let weight = ledger.weight_of(offer.requesters.iter().copied());
+            phase1.push((weight, offer));
+        } else {
+            phase2.push(offer);
+        }
+    }
+    phase1.sort_by(|(wa, a), (wb, b)| {
+        wb.partial_cmp(wa)
+            .expect("credit weights are finite")
+            .then_with(|| b.request_count().cmp(&a.request_count()))
+            .then_with(|| cmp_popularity(b.popularity, a.popularity))
+            .then_with(|| a.metadata.uri().cmp(b.metadata.uri()))
+    });
+    phase2.sort_by(|a, b| {
+        cmp_popularity(b.popularity, a.popularity)
+            .then_with(|| a.metadata.uri().cmp(b.metadata.uri()))
+    });
+    phase1
+        .into_iter()
+        .map(|(_, o)| o)
+        .chain(phase2)
+        .take(budget)
+        .map(|o| o.metadata)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::popularity::Popularity;
+    use crate::query::Query;
+    use crate::uri::Uri;
+    use dtn_trace::NodeId;
+
+    fn meta(name: &str, uri: &str) -> Metadata {
+        Metadata::builder(name, "FOX", Uri::new(uri).unwrap()).build()
+    }
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn high_credit_requester_served_first() {
+        let mut ledger = CreditLedger::new();
+        ledger.reward_matched(n(2));
+        let a = meta("item one", "mbt://a");
+        let b = meta("item two", "mbt://b");
+        let queries = vec![
+            (n(1), Query::new("one").unwrap()),
+            (n(2), Query::new("two").unwrap()),
+        ];
+        let offers = vec![
+            MetadataOffer::build(&a, Popularity::MAX, &queries),
+            MetadataOffer::build(&b, Popularity::MIN, &queries),
+        ];
+        let order = send_order(offers, &ledger, 10);
+        assert_eq!(order[0].uri().as_str(), "mbt://b");
+    }
+
+    #[test]
+    fn equal_weight_falls_back_to_request_count() {
+        let ledger = CreditLedger::new(); // all credits zero
+        let a = meta("shared topic alpha", "mbt://a");
+        let b = meta("shared topic beta extra", "mbt://b");
+        let queries = vec![
+            (n(1), Query::new("shared").unwrap()),
+            (n(2), Query::new("extra").unwrap()),
+        ];
+        let offers = vec![
+            MetadataOffer::build(&a, Popularity::MAX, &queries),
+            MetadataOffer::build(&b, Popularity::MIN, &queries),
+        ];
+        let order = send_order(offers, &ledger, 10);
+        // b matches two requesters (shared + extra), a one.
+        assert_eq!(order[0].uri().as_str(), "mbt://b");
+    }
+
+    #[test]
+    fn free_rider_requests_rank_last_in_phase_one() {
+        let mut ledger = CreditLedger::new();
+        ledger.reward_unmatched(n(1), Popularity::new(0.5));
+        // n(3) is a free-rider with zero credit.
+        let a = meta("contributor item", "mbt://a");
+        let b = meta("freerider item", "mbt://b");
+        let queries = vec![
+            (n(1), Query::new("contributor").unwrap()),
+            (n(3), Query::new("freerider").unwrap()),
+        ];
+        let offers = vec![
+            MetadataOffer::build(&b, Popularity::MAX, &queries),
+            MetadataOffer::build(&a, Popularity::MIN, &queries),
+        ];
+        let order = send_order(offers, &ledger, 10);
+        assert_eq!(order[0].uri().as_str(), "mbt://a");
+        // The free-rider's metadata still gets sent second (no choking).
+        assert_eq!(order[1].uri().as_str(), "mbt://b");
+    }
+
+    #[test]
+    fn unrequested_phase_sorted_by_popularity() {
+        let ledger = CreditLedger::new();
+        let a = meta("a", "mbt://a");
+        let b = meta("b", "mbt://b");
+        let offers = vec![
+            MetadataOffer::build(&a, Popularity::new(0.1), &[]),
+            MetadataOffer::build(&b, Popularity::new(0.9), &[]),
+        ];
+        let order = send_order(offers, &ledger, 10);
+        assert_eq!(order[0].uri().as_str(), "mbt://b");
+    }
+
+    #[test]
+    fn budget_truncates() {
+        let ledger = CreditLedger::new();
+        let metas: Vec<Metadata> = (0..5)
+            .map(|i| meta("x", &format!("mbt://{i}")))
+            .collect();
+        let offers: Vec<MetadataOffer<'_>> = metas
+            .iter()
+            .map(|m| MetadataOffer::build(m, Popularity::new(0.5), &[]))
+            .collect();
+        assert_eq!(send_order(offers, &ledger, 3).len(), 3);
+    }
+
+    #[test]
+    fn matches_cooperative_when_credits_equal() {
+        // With uniform credits, tit-for-tat degenerates to the cooperative
+        // ordering (weight ∝ request count).
+        let mut ledger = CreditLedger::new();
+        for i in 1..=3 {
+            ledger.reward_matched(n(i));
+        }
+        let a = meta("topic one", "mbt://a");
+        let b = meta("topic one two", "mbt://b");
+        let queries = vec![
+            (n(1), Query::new("one").unwrap()),
+            (n(2), Query::new("two").unwrap()),
+        ];
+        let offers = vec![
+            MetadataOffer::build(&a, Popularity::MAX, &queries),
+            MetadataOffer::build(&b, Popularity::MIN, &queries),
+        ];
+        let tft_order = send_order(offers.clone(), &ledger, 10);
+        let coop_order = crate::discovery::cooperative::send_order(offers, 10);
+        assert_eq!(
+            tft_order.iter().map(|m| m.uri()).collect::<Vec<_>>(),
+            coop_order.iter().map(|m| m.uri()).collect::<Vec<_>>()
+        );
+    }
+}

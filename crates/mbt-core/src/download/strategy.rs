@@ -1,0 +1,199 @@
+//! Alternative broadcast orderings (extensions beyond the paper).
+//!
+//! The paper's §V-A orders broadcasts by request count then popularity.
+//! BitTorrent — the system MBT adapts (§II-B) — instead transmits the
+//! *rarest* block first, maximizing swarm diversity. This module provides a
+//! rarest-first scheduler over the same [`Offer`] type so the two policies
+//! can be compared head-to-head (see the `ablations` experiment), plus the
+//! availability bookkeeping it relies on.
+
+use std::collections::BTreeMap;
+
+use crate::download::{Broadcast, Offer};
+use crate::popularity::cmp_popularity;
+
+/// Holder counts per item within a clique — the "availability" a
+/// rarest-first policy minimizes on.
+#[derive(Debug, Clone, Default)]
+pub struct Availability<I> {
+    counts: BTreeMap<I, usize>,
+}
+
+impl<I: Clone + Ord> Availability<I> {
+    /// Creates empty availability.
+    pub fn new() -> Self {
+        Availability {
+            counts: BTreeMap::new(),
+        }
+    }
+
+    /// Builds availability from a set of offers.
+    pub fn from_offers(offers: &[Offer<I>]) -> Self {
+        let mut a = Availability::new();
+        for o in offers {
+            a.counts.insert(o.item.clone(), o.holders.len());
+        }
+        a
+    }
+
+    /// Records that one more clique member holds `item`.
+    pub fn add_holder(&mut self, item: &I) {
+        *self.counts.entry(item.clone()).or_insert(0) += 1;
+    }
+
+    /// The number of holders of `item` (0 if unknown).
+    pub fn holders_of(&self, item: &I) -> usize {
+        self.counts.get(item).copied().unwrap_or(0)
+    }
+
+    /// Items sorted rarest-first (ties by item order).
+    pub fn rarest_first(&self) -> Vec<I> {
+        let mut items: Vec<(&I, usize)> = self.counts.iter().map(|(i, &c)| (i, c)).collect();
+        items.sort_by(|a, b| a.1.cmp(&b.1).then_with(|| a.0.cmp(b.0)));
+        items.into_iter().map(|(i, _)| i.clone()).collect()
+    }
+}
+
+/// Schedules broadcasts rarest-first: fewest holders first, ties broken by
+/// request count (descending), popularity (descending), then item order.
+/// Sender selection and slot semantics match
+/// [`cooperative::schedule`](crate::download::cooperative::schedule).
+///
+/// # Example
+///
+/// ```
+/// use mbt_core::download::{strategy, Offer};
+/// use mbt_core::{Popularity, Uri};
+/// use dtn_trace::NodeId;
+///
+/// let n = NodeId::new;
+/// let common = Offer::new(Uri::new("mbt://common")?, Popularity::MAX,
+///     vec![n(5)], vec![n(0), n(1), n(2)]);
+/// let rare = Offer::new(Uri::new("mbt://rare")?, Popularity::MIN,
+///     vec![n(5)], vec![n(0)]);
+/// let schedule = strategy::rarest_first_schedule(vec![common, rare], 2);
+/// assert_eq!(schedule[0].item.as_str(), "mbt://rare");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn rarest_first_schedule<I: Clone + Ord>(
+    offers: Vec<Offer<I>>,
+    slots: usize,
+) -> Vec<Broadcast<I>> {
+    let mut sendable: Vec<Offer<I>> = offers.into_iter().filter(Offer::sendable).collect();
+    sendable.sort_by(|a, b| {
+        a.holders
+            .len()
+            .cmp(&b.holders.len())
+            .then_with(|| b.request_count().cmp(&a.request_count()))
+            .then_with(|| cmp_popularity(b.popularity, a.popularity))
+            .then_with(|| a.item.cmp(&b.item))
+    });
+    sendable
+        .into_iter()
+        .take(slots)
+        .map(|o| Broadcast {
+            sender: o.holders[0],
+            item: o.item,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::popularity::Popularity;
+    use crate::uri::Uri;
+    use dtn_trace::NodeId;
+
+    fn n(i: u32) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn uri(s: &str) -> Uri {
+        Uri::new(s).unwrap()
+    }
+
+    fn offer(u: &str, pop: f64, req: &[u32], hold: &[u32]) -> Offer<Uri> {
+        Offer::new(
+            uri(u),
+            Popularity::new(pop),
+            req.iter().copied().map(n).collect(),
+            hold.iter().copied().map(n).collect(),
+        )
+    }
+
+    #[test]
+    fn rarest_goes_first() {
+        let s = rarest_first_schedule(
+            vec![
+                offer("mbt://common", 0.9, &[5], &[0, 1, 2, 3]),
+                offer("mbt://rare", 0.1, &[5], &[0]),
+            ],
+            10,
+        );
+        assert_eq!(s[0].item, uri("mbt://rare"));
+        assert_eq!(s[1].item, uri("mbt://common"));
+    }
+
+    #[test]
+    fn ties_broken_by_requests_then_popularity() {
+        let s = rarest_first_schedule(
+            vec![
+                offer("mbt://a", 0.1, &[5, 6], &[0]),
+                offer("mbt://b", 0.9, &[5], &[1]),
+            ],
+            10,
+        );
+        assert_eq!(s[0].item, uri("mbt://a"), "more requesters wins the tie");
+        let s2 = rarest_first_schedule(
+            vec![
+                offer("mbt://a", 0.1, &[5], &[0]),
+                offer("mbt://b", 0.9, &[6], &[1]),
+            ],
+            10,
+        );
+        assert_eq!(s2[0].item, uri("mbt://b"), "popularity breaks equal-request ties");
+    }
+
+    #[test]
+    fn unsendable_skipped_and_slots_respected() {
+        let s = rarest_first_schedule(
+            vec![
+                offer("mbt://ghost", 0.9, &[5], &[]),
+                offer("mbt://a", 0.5, &[], &[0]),
+                offer("mbt://b", 0.5, &[], &[1]),
+            ],
+            1,
+        );
+        assert_eq!(s.len(), 1);
+        assert_ne!(s[0].item, uri("mbt://ghost"));
+    }
+
+    #[test]
+    fn availability_tracks_holders() {
+        let offers = vec![
+            offer("mbt://a", 0.5, &[], &[0, 1]),
+            offer("mbt://b", 0.5, &[], &[0]),
+        ];
+        let mut a = Availability::from_offers(&offers);
+        assert_eq!(a.holders_of(&uri("mbt://a")), 2);
+        assert_eq!(a.holders_of(&uri("mbt://b")), 1);
+        assert_eq!(a.holders_of(&uri("mbt://c")), 0);
+        assert_eq!(a.rarest_first()[0], uri("mbt://b"));
+        a.add_holder(&uri("mbt://b"));
+        a.add_holder(&uri("mbt://b"));
+        assert_eq!(a.rarest_first()[0], uri("mbt://a"));
+    }
+
+    #[test]
+    fn deterministic() {
+        let mk = || {
+            vec![
+                offer("mbt://b", 0.5, &[5], &[0]),
+                offer("mbt://a", 0.5, &[5], &[1]),
+            ]
+        };
+        assert_eq!(rarest_first_schedule(mk(), 10), rarest_first_schedule(mk(), 10));
+        assert_eq!(rarest_first_schedule(mk(), 10)[0].item, uri("mbt://a"));
+    }
+}

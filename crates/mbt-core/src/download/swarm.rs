@@ -1,0 +1,302 @@
+//! Piece-level swarm state for one clique.
+//!
+//! While the paper's evaluation works at file granularity, the protocol
+//! itself transfers 256 KB pieces "downloaded at different times and places"
+//! (§III-B). [`Swarm`] tracks which clique member holds which piece of one
+//! file and drives broadcast rounds under a chosen ordering until every
+//! member completes — the building block behind the `piece_swarm` example
+//! and the ordering benchmarks.
+
+use std::collections::BTreeSet;
+
+use dtn_trace::NodeId;
+
+use crate::config::BroadcastOrdering;
+use crate::download::{cooperative, strategy, Broadcast, Offer};
+use crate::metadata::Metadata;
+use crate::piece::PieceId;
+use crate::popularity::Popularity;
+
+/// Piece holdings of one clique downloading one file.
+///
+/// # Example
+///
+/// ```
+/// use mbt_core::download::swarm::Swarm;
+/// use mbt_core::{BroadcastOrdering, Metadata, Uri};
+/// use dtn_trace::NodeId;
+///
+/// let uri = Uri::new("mbt://f")?;
+/// let meta = Metadata::builder("f", "FOX", uri).sized(4 * 256 * 1024, 256 * 1024, vec![]).build();
+/// let mut swarm = Swarm::new(meta, vec![NodeId::new(0), NodeId::new(1)]);
+/// swarm.grant(NodeId::new(0), 0);
+/// swarm.grant(NodeId::new(0), 1);
+/// swarm.grant(NodeId::new(0), 2);
+/// swarm.grant(NodeId::new(0), 3);
+/// let rounds = swarm.run_to_completion(BroadcastOrdering::TwoPhase, 100);
+/// assert_eq!(rounds, Some(4), "one broadcast per piece serves everyone");
+/// assert!(swarm.all_complete());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Swarm {
+    metadata: Metadata,
+    members: Vec<NodeId>,
+    holdings: Vec<BTreeSet<u32>>,
+}
+
+impl Swarm {
+    /// Creates a swarm with no pieces held.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `members` is empty or contains duplicates.
+    pub fn new(metadata: Metadata, members: Vec<NodeId>) -> Self {
+        assert!(!members.is_empty(), "swarm needs at least one member");
+        let mut dedup = members.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), members.len(), "duplicate swarm member");
+        let holdings = vec![BTreeSet::new(); members.len()];
+        Swarm {
+            metadata,
+            members,
+            holdings,
+        }
+    }
+
+    /// The file's metadata.
+    pub fn metadata(&self) -> &Metadata {
+        &self.metadata
+    }
+
+    /// The clique members.
+    pub fn members(&self) -> &[NodeId] {
+        &self.members
+    }
+
+    /// Number of pieces in the file.
+    pub fn piece_count(&self) -> u32 {
+        self.metadata.piece_count()
+    }
+
+    fn slot_of(&self, member: NodeId) -> usize {
+        self.members
+            .iter()
+            .position(|&m| m == member)
+            .expect("member belongs to the swarm")
+    }
+
+    /// Grants `member` piece `index` (e.g. obtained in an earlier contact).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `member` is not in the swarm or `index` is out of range.
+    pub fn grant(&mut self, member: NodeId, index: u32) {
+        assert!(index < self.piece_count(), "piece index out of range");
+        let slot = self.slot_of(member);
+        self.holdings[slot].insert(index);
+    }
+
+    /// True if `member` holds piece `index`.
+    pub fn holds(&self, member: NodeId, index: u32) -> bool {
+        self.holdings[self.slot_of(member)].contains(&index)
+    }
+
+    /// Pieces `member` still misses.
+    pub fn missing(&self, member: NodeId) -> Vec<u32> {
+        let held = &self.holdings[self.slot_of(member)];
+        (0..self.piece_count()).filter(|i| !held.contains(i)).collect()
+    }
+
+    /// True if `member` has every piece.
+    pub fn is_complete(&self, member: NodeId) -> bool {
+        self.holdings[self.slot_of(member)].len() as u32 == self.piece_count()
+    }
+
+    /// True if every member has every piece.
+    pub fn all_complete(&self) -> bool {
+        self.members.iter().all(|&m| self.is_complete(m))
+    }
+
+    /// Builds the current piece offers: holders and requesters per piece,
+    /// skipping pieces nobody needs or nobody has.
+    pub fn offers(&self) -> Vec<Offer<PieceId>> {
+        (0..self.piece_count())
+            .filter_map(|idx| {
+                let holders: Vec<NodeId> = self
+                    .members
+                    .iter()
+                    .copied()
+                    .filter(|&m| self.holds(m, idx))
+                    .collect();
+                let requesters: Vec<NodeId> = self
+                    .members
+                    .iter()
+                    .copied()
+                    .filter(|&m| !self.holds(m, idx))
+                    .collect();
+                if holders.is_empty() || requesters.is_empty() {
+                    return None;
+                }
+                Some(Offer::new(
+                    PieceId::new(self.metadata.uri().clone(), idx),
+                    Popularity::new(0.5),
+                    requesters,
+                    holders,
+                ))
+            })
+            .collect()
+    }
+
+    /// Runs one broadcast round under `ordering`: schedules a single
+    /// broadcast and applies it (every member receives). Returns the
+    /// broadcast, or `None` if nothing useful remains to send.
+    pub fn step(&mut self, ordering: BroadcastOrdering) -> Option<Broadcast<PieceId>> {
+        let offers = self.offers();
+        if offers.is_empty() {
+            return None;
+        }
+        let schedule = match ordering {
+            BroadcastOrdering::TwoPhase => cooperative::schedule(offers, 1),
+            BroadcastOrdering::RarestFirst => strategy::rarest_first_schedule(offers, 1),
+        };
+        let broadcast = schedule.into_iter().next()?;
+        let idx = broadcast.item.index();
+        for slot in 0..self.members.len() {
+            self.holdings[slot].insert(idx);
+        }
+        Some(broadcast)
+    }
+
+    /// Runs rounds until every member completes or `max_rounds` is hit;
+    /// returns the number of rounds taken, or `None` on timeout or if
+    /// completion is impossible (a piece nobody holds).
+    pub fn run_to_completion(
+        &mut self,
+        ordering: BroadcastOrdering,
+        max_rounds: usize,
+    ) -> Option<usize> {
+        for round in 0..max_rounds {
+            if self.all_complete() {
+                return Some(round);
+            }
+            if self.step(ordering).is_none() {
+                return if self.all_complete() { Some(round) } else { None };
+            }
+        }
+        if self.all_complete() {
+            Some(max_rounds)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::uri::Uri;
+
+    fn meta(pieces: u64) -> Metadata {
+        Metadata::builder("f", "FOX", Uri::new("mbt://f").unwrap())
+            .sized(pieces * 256 * 1024, 256 * 1024, vec![])
+            .build()
+    }
+
+    fn members(n: u32) -> Vec<NodeId> {
+        (0..n).map(NodeId::new).collect()
+    }
+
+    #[test]
+    fn seeded_swarm_completes_in_piece_count_rounds() {
+        let mut swarm = Swarm::new(meta(6), members(4));
+        for i in 0..6 {
+            swarm.grant(NodeId::new(0), i);
+        }
+        let rounds = swarm.run_to_completion(BroadcastOrdering::TwoPhase, 100);
+        assert_eq!(rounds, Some(6));
+        assert!(swarm.all_complete());
+    }
+
+    #[test]
+    fn broadcast_beats_pairwise_round_count() {
+        // With n members and p pieces all seeded at one node, broadcast needs
+        // p rounds; pair-wise would need p * (n - 1) transfers.
+        let n = 5u32;
+        let p = 8u64;
+        let mut swarm = Swarm::new(meta(p), members(n));
+        for i in 0..p as u32 {
+            swarm.grant(NodeId::new(0), i);
+        }
+        let rounds = swarm.run_to_completion(BroadcastOrdering::TwoPhase, 1000).unwrap();
+        assert_eq!(rounds as u64, p);
+        assert!(rounds < (p as usize) * (n as usize - 1));
+    }
+
+    #[test]
+    fn scattered_pieces_still_complete() {
+        let mut swarm = Swarm::new(meta(4), members(4));
+        // Each member starts with exactly one distinct piece.
+        for i in 0..4u32 {
+            swarm.grant(NodeId::new(i), i);
+        }
+        let rounds = swarm.run_to_completion(BroadcastOrdering::RarestFirst, 100);
+        assert_eq!(rounds, Some(4));
+    }
+
+    #[test]
+    fn impossible_swarm_reports_none() {
+        let mut swarm = Swarm::new(meta(2), members(2));
+        swarm.grant(NodeId::new(0), 0); // piece 1 exists nowhere
+        assert_eq!(swarm.run_to_completion(BroadcastOrdering::TwoPhase, 100), None);
+        assert!(!swarm.all_complete());
+        // Member 1 received piece 0 during the attempt but piece 1 is gone.
+        assert_eq!(swarm.missing(NodeId::new(1)), vec![1]);
+    }
+
+    #[test]
+    fn missing_and_holds_track_state() {
+        let mut swarm = Swarm::new(meta(3), members(2));
+        assert_eq!(swarm.missing(NodeId::new(0)), vec![0, 1, 2]);
+        swarm.grant(NodeId::new(0), 1);
+        assert!(swarm.holds(NodeId::new(0), 1));
+        assert!(!swarm.holds(NodeId::new(1), 1));
+        assert_eq!(swarm.missing(NodeId::new(0)), vec![0, 2]);
+        assert!(!swarm.is_complete(NodeId::new(0)));
+    }
+
+    #[test]
+    fn offers_exclude_unneeded_and_unheld() {
+        let mut swarm = Swarm::new(meta(2), members(2));
+        swarm.grant(NodeId::new(0), 0);
+        swarm.grant(NodeId::new(1), 0); // piece 0 fully replicated
+        let offers = swarm.offers();
+        assert!(offers.is_empty(), "piece 0 needs nobody, piece 1 has nobody");
+    }
+
+    #[test]
+    fn rarest_first_spreads_rare_piece_first() {
+        let mut swarm = Swarm::new(meta(2), members(3));
+        // Piece 0 held by two members, piece 1 by one.
+        swarm.grant(NodeId::new(0), 0);
+        swarm.grant(NodeId::new(1), 0);
+        swarm.grant(NodeId::new(2), 1);
+        let b = swarm.step(BroadcastOrdering::RarestFirst).unwrap();
+        assert_eq!(b.item.index(), 1);
+        assert_eq!(b.sender, NodeId::new(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate swarm member")]
+    fn rejects_duplicate_members() {
+        let _ = Swarm::new(meta(1), vec![NodeId::new(0), NodeId::new(0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_grant() {
+        let mut swarm = Swarm::new(meta(2), members(2));
+        swarm.grant(NodeId::new(0), 5);
+    }
+}

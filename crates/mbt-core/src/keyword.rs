@@ -1,0 +1,210 @@
+//! Keyword tokenization and the inverted index used for metadata search.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::uri::Uri;
+
+/// Splits text into lowercase alphanumeric tokens.
+///
+/// Anything that is not ASCII-alphanumeric separates tokens; tokens are
+/// lowercased and deduplicated order-preservingly.
+///
+/// # Example
+///
+/// ```
+/// let tokens = mbt_core::keyword::tokenize("The Late-Night Show, ep. 3");
+/// assert_eq!(tokens, vec!["the", "late", "night", "show", "ep", "3"]);
+/// ```
+pub fn tokenize(text: &str) -> Vec<String> {
+    let mut seen = BTreeSet::new();
+    let mut out = Vec::new();
+    for raw in text.split(|c: char| !c.is_ascii_alphanumeric()) {
+        if raw.is_empty() {
+            continue;
+        }
+        let token = raw.to_ascii_lowercase();
+        if seen.insert(token.clone()) {
+            out.push(token);
+        }
+    }
+    out
+}
+
+/// An inverted index from tokens to the URIs of metadata containing them.
+///
+/// # Example
+///
+/// ```
+/// use mbt_core::keyword::InvertedIndex;
+/// use mbt_core::Uri;
+///
+/// let mut index = InvertedIndex::new();
+/// let uri = Uri::new("mbt://fox/news")?;
+/// index.insert(&uri, "FOX evening news");
+/// let hits = index.lookup_all(&["fox".into(), "news".into()]);
+/// assert_eq!(hits, vec![uri]);
+/// # Ok::<(), mbt_core::uri::InvalidUri>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct InvertedIndex {
+    by_token: BTreeMap<String, BTreeSet<Uri>>,
+    tokens_of: BTreeMap<Uri, BTreeSet<String>>,
+}
+
+impl InvertedIndex {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        InvertedIndex::default()
+    }
+
+    /// Indexes `text` under `uri` (adds to any existing tokens for the URI).
+    pub fn insert(&mut self, uri: &Uri, text: &str) {
+        for token in tokenize(text) {
+            self.by_token
+                .entry(token.clone())
+                .or_default()
+                .insert(uri.clone());
+            self.tokens_of
+                .entry(uri.clone())
+                .or_default()
+                .insert(token);
+        }
+    }
+
+    /// Removes all tokens for `uri`.
+    pub fn remove(&mut self, uri: &Uri) {
+        if let Some(tokens) = self.tokens_of.remove(uri) {
+            for token in tokens {
+                if let Some(set) = self.by_token.get_mut(&token) {
+                    set.remove(uri);
+                    if set.is_empty() {
+                        self.by_token.remove(&token);
+                    }
+                }
+            }
+        }
+    }
+
+    /// URIs whose indexed text contains **all** the given tokens (sorted).
+    ///
+    /// An empty token list matches nothing.
+    pub fn lookup_all(&self, tokens: &[String]) -> Vec<Uri> {
+        let mut iter = tokens.iter();
+        let Some(first) = iter.next() else {
+            return Vec::new();
+        };
+        let Some(mut acc) = self.by_token.get(first).cloned() else {
+            return Vec::new();
+        };
+        for token in iter {
+            let Some(set) = self.by_token.get(token) else {
+                return Vec::new();
+            };
+            acc = acc.intersection(set).cloned().collect();
+            if acc.is_empty() {
+                return Vec::new();
+            }
+        }
+        acc.into_iter().collect()
+    }
+
+    /// URIs matching at least one token, with their match counts, sorted by
+    /// count descending then URI ascending.
+    pub fn lookup_ranked(&self, tokens: &[String]) -> Vec<(Uri, usize)> {
+        let mut counts: BTreeMap<Uri, usize> = BTreeMap::new();
+        for token in tokens {
+            if let Some(set) = self.by_token.get(token) {
+                for uri in set {
+                    *counts.entry(uri.clone()).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut out: Vec<(Uri, usize)> = counts.into_iter().collect();
+        out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        out
+    }
+
+    /// Number of indexed URIs.
+    pub fn len(&self) -> usize {
+        self.tokens_of.len()
+    }
+
+    /// True if nothing is indexed.
+    pub fn is_empty(&self) -> bool {
+        self.tokens_of.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uri(s: &str) -> Uri {
+        Uri::new(s).unwrap()
+    }
+
+    #[test]
+    fn tokenize_splits_and_lowercases() {
+        assert_eq!(tokenize("Hello, World!"), vec!["hello", "world"]);
+    }
+
+    #[test]
+    fn tokenize_dedups_preserving_order() {
+        assert_eq!(tokenize("b a b a c"), vec!["b", "a", "c"]);
+    }
+
+    #[test]
+    fn tokenize_empty_and_punct() {
+        assert!(tokenize("").is_empty());
+        assert!(tokenize("!!! --- ???").is_empty());
+    }
+
+    #[test]
+    fn tokenize_keeps_digits() {
+        assert_eq!(tokenize("ep3 s01"), vec!["ep3", "s01"]);
+    }
+
+    #[test]
+    fn lookup_all_requires_every_token() {
+        let mut idx = InvertedIndex::new();
+        idx.insert(&uri("mbt://a"), "fox evening news");
+        idx.insert(&uri("mbt://b"), "fox comedy show");
+        assert_eq!(
+            idx.lookup_all(&["fox".into(), "news".into()]),
+            vec![uri("mbt://a")]
+        );
+        assert_eq!(idx.lookup_all(&["fox".into()]).len(), 2);
+        assert!(idx.lookup_all(&["cnn".into()]).is_empty());
+        assert!(idx.lookup_all(&[]).is_empty());
+    }
+
+    #[test]
+    fn lookup_ranked_orders_by_hits() {
+        let mut idx = InvertedIndex::new();
+        idx.insert(&uri("mbt://a"), "fox evening news");
+        idx.insert(&uri("mbt://b"), "fox news tonight special news");
+        let ranked = idx.lookup_ranked(&["fox".into(), "news".into(), "special".into()]);
+        assert_eq!(ranked[0].0, uri("mbt://b"));
+        assert_eq!(ranked[0].1, 3);
+        assert_eq!(ranked[1], (uri("mbt://a"), 2));
+    }
+
+    #[test]
+    fn remove_clears_uri() {
+        let mut idx = InvertedIndex::new();
+        idx.insert(&uri("mbt://a"), "fox news");
+        idx.remove(&uri("mbt://a"));
+        assert!(idx.is_empty());
+        assert!(idx.lookup_all(&["fox".into()]).is_empty());
+    }
+
+    #[test]
+    fn insert_accumulates_tokens() {
+        let mut idx = InvertedIndex::new();
+        idx.insert(&uri("mbt://a"), "fox");
+        idx.insert(&uri("mbt://a"), "news");
+        assert_eq!(idx.lookup_all(&["fox".into()]), vec![uri("mbt://a")]);
+        assert_eq!(idx.lookup_all(&["news".into()]), vec![uri("mbt://a")]);
+        assert_eq!(idx.len(), 1);
+    }
+}

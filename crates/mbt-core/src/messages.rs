@@ -1,0 +1,131 @@
+//! Wire messages exchanged among MBT nodes.
+//!
+//! Paper §III-B: "Messages exchanged among the nodes include: (a) hello
+//! messages, (b) metadata, and (c) file pieces." Hello messages carry the
+//! sender's ID, the IDs heard in the past 5 seconds, its query strings, and
+//! the URIs of the files it is downloading.
+
+use dtn_trace::NodeId;
+
+use crate::metadata::Metadata;
+use crate::piece::Piece;
+use crate::popularity::Popularity;
+use crate::uri::Uri;
+
+/// The MBT-specific payload of a hello beacon (see
+/// [`dtn_sim::hello::HelloBeacon`]).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HelloPayload {
+    /// The sender's active query strings.
+    pub queries: Vec<String>,
+    /// URIs of the files the sender is currently downloading.
+    pub downloading: Vec<Uri>,
+}
+
+impl HelloPayload {
+    /// Creates a payload.
+    pub fn new(queries: Vec<String>, downloading: Vec<Uri>) -> Self {
+        HelloPayload {
+            queries,
+            downloading,
+        }
+    }
+}
+
+/// A message on the MBT wire.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MbtMessage {
+    /// A hello beacon: sender, recently-heard IDs, and the MBT payload.
+    Hello {
+        /// The sending node.
+        sender: NodeId,
+        /// IDs the sender heard within the hello window.
+        heard: Vec<NodeId>,
+        /// Queries and downloading URIs.
+        payload: HelloPayload,
+    },
+    /// A standalone metadata record with the sender's popularity estimate.
+    Metadata {
+        /// The metadata.
+        metadata: Metadata,
+        /// Popularity as known to the sender.
+        popularity: Popularity,
+    },
+    /// One file piece.
+    Piece(Piece),
+    /// A query distributed on behalf of another node (full MBT only).
+    QueryShare {
+        /// The node the query belongs to.
+        owner: NodeId,
+        /// The query text.
+        query: String,
+    },
+}
+
+impl MbtMessage {
+    /// Approximate wire size in bytes, used for bandwidth accounting.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            MbtMessage::Hello { heard, payload, .. } => {
+                8 + heard.len() * 4
+                    + payload.queries.iter().map(String::len).sum::<usize>()
+                    + payload
+                        .downloading
+                        .iter()
+                        .map(|u| u.as_str().len())
+                        .sum::<usize>()
+            }
+            MbtMessage::Metadata { metadata, .. } => metadata.wire_size(),
+            MbtMessage::Piece(p) => p.len() + p.id().uri().as_str().len() + 8,
+            MbtMessage::QueryShare { query, .. } => 8 + query.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::piece::PieceId;
+
+    #[test]
+    fn hello_payload_fields() {
+        let p = HelloPayload::new(
+            vec!["fox news".into()],
+            vec![Uri::new("mbt://a").unwrap()],
+        );
+        assert_eq!(p.queries.len(), 1);
+        assert_eq!(p.downloading.len(), 1);
+        assert_eq!(HelloPayload::default().queries.len(), 0);
+    }
+
+    #[test]
+    fn wire_sizes_ordered_sensibly() {
+        let hello = MbtMessage::Hello {
+            sender: NodeId::new(0),
+            heard: vec![NodeId::new(1)],
+            payload: HelloPayload::default(),
+        };
+        let meta = MbtMessage::Metadata {
+            metadata: Metadata::builder("x", "p", Uri::new("mbt://a").unwrap())
+                .content(&[0u8; 4096], 1024)
+                .build(),
+            popularity: Popularity::MIN,
+        };
+        let piece = MbtMessage::Piece(Piece::new(
+            PieceId::new(Uri::new("mbt://a").unwrap(), 0),
+            vec![0u8; 4096],
+        ));
+        // Hello < metadata < piece, the bandwidth hierarchy the paper relies on.
+        assert!(hello.wire_size() < meta.wire_size());
+        assert!(meta.wire_size() < piece.wire_size());
+    }
+
+    #[test]
+    fn query_share_size_counts_text() {
+        let m = MbtMessage::QueryShare {
+            owner: NodeId::new(1),
+            query: "abcd".into(),
+        };
+        assert_eq!(m.wire_size(), 12);
+    }
+}

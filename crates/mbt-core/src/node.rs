@@ -1,0 +1,1157 @@
+//! The MBT node state machine and contact-time exchange.
+//!
+//! Each node runs a file discovery process and a file download process
+//! (paper §III-B). [`MbtNode`] holds one device's state — queries, metadata,
+//! files, credits, popularity knowledge — and implements the Internet-session
+//! behaviour of the hybrid DTN. [`run_contact`] implements what happens when
+//! a clique of nodes meets: query distribution (full MBT), the two-phase
+//! metadata broadcast (§IV), and the two-phase file broadcast (§V), under
+//! either the cooperative or the tit-for-tat scheduler.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dtn_trace::{NodeId, SimDuration, SimTime};
+
+use crate::auth::KeyRegistry;
+use crate::config::{CooperationMode, MbtConfig};
+use crate::credit::CreditLedger;
+use crate::discovery::receive_metadata;
+use crate::download::{cooperative as dl_coop, tft as dl_tft, Broadcast, Offer};
+use crate::metadata::Metadata;
+use crate::popularity::Popularity;
+use crate::protocol::ProtocolKind;
+use crate::query::Query;
+use crate::server::MetadataServer;
+use crate::store::{FileStore, MetadataStore, QueryStore};
+use crate::uri::Uri;
+
+/// Where a stored item came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Source {
+    /// Downloaded directly from the Internet.
+    Internet,
+    /// Received from a DTN peer.
+    Peer(NodeId),
+}
+
+/// Events a node emits as its stores change; the experiment runner drains
+/// these to compute delivery ratios.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeEvent {
+    /// New metadata entered the local store.
+    MetadataStored {
+        /// The metadata's URI.
+        uri: Uri,
+        /// Where it came from.
+        from: Source,
+    },
+    /// A complete file entered the local store.
+    FileCompleted {
+        /// The file's URI.
+        uri: Uri,
+        /// Where it came from.
+        from: Source,
+    },
+}
+
+/// One mobile device participating in the hybrid DTN.
+///
+/// # Example
+///
+/// ```
+/// use mbt_core::{MbtConfig, MbtNode, MetadataServer, Metadata, Popularity, ProtocolKind, Query, Uri};
+/// use dtn_trace::{NodeId, SimTime};
+///
+/// let mut server = MetadataServer::new(1);
+/// let uri = Uri::new("mbt://fox/news")?;
+/// server.publish(Metadata::builder("FOX News", "FOX", uri.clone()).build(), Popularity::new(0.5));
+///
+/// let mut node = MbtNode::new(NodeId::new(0), ProtocolKind::Mbt, MbtConfig::new());
+/// node.set_internet_access(true);
+/// node.add_query(Query::new("fox news")?, None);
+/// node.internet_session(&mut server, SimTime::ZERO);
+/// assert!(node.has_metadata(&uri));
+/// assert!(node.has_file(&uri));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MbtNode {
+    id: NodeId,
+    protocol: ProtocolKind,
+    config: MbtConfig,
+    internet_access: bool,
+    frequent_contacts: BTreeSet<NodeId>,
+    queries: QueryStore,
+    metadata: MetadataStore,
+    files: FileStore,
+    credits: CreditLedger,
+    popularity: BTreeMap<Uri, Popularity>,
+    key_registry: Option<KeyRegistry>,
+    /// URIs whose metadata failed authentication, with their claimed expiry:
+    /// never re-requested, so fakes cannot burn a broadcast slot at every
+    /// contact.
+    rejected: BTreeMap<Uri, Option<SimTime>>,
+    events: Vec<NodeEvent>,
+}
+
+impl MbtNode {
+    /// Creates a node without Internet access.
+    pub fn new(id: NodeId, protocol: ProtocolKind, config: MbtConfig) -> Self {
+        MbtNode {
+            id,
+            protocol,
+            config,
+            internet_access: false,
+            frequent_contacts: BTreeSet::new(),
+            queries: QueryStore::new(),
+            metadata: MetadataStore::new(),
+            files: FileStore::new(),
+            credits: CreditLedger::new(),
+            popularity: BTreeMap::new(),
+            key_registry: None,
+            rejected: BTreeMap::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// The node's identifier.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The protocol variant this node runs.
+    pub fn protocol(&self) -> ProtocolKind {
+        self.protocol
+    }
+
+    /// The node's configuration.
+    pub fn config(&self) -> &MbtConfig {
+        &self.config
+    }
+
+    /// Whether this node can reach the Internet.
+    pub fn is_internet_access(&self) -> bool {
+        self.internet_access
+    }
+
+    /// Marks the node as an Internet-access node.
+    pub fn set_internet_access(&mut self, access: bool) {
+        self.internet_access = access;
+    }
+
+    /// Declares the node's frequent contacting nodes (paper §VI-A), whose
+    /// queries it will collect metadata for under full MBT.
+    pub fn set_frequent_contacts<I: IntoIterator<Item = NodeId>>(&mut self, peers: I) {
+        self.frequent_contacts = peers.into_iter().collect();
+    }
+
+    /// The node's frequent contacting nodes.
+    pub fn frequent_contacts(&self) -> &BTreeSet<NodeId> {
+        &self.frequent_contacts
+    }
+
+    /// Installs a publisher key registry: metadata received from DTN peers
+    /// that fails authentication (paper §III-B item f — "authentication
+    /// information of the metadata against fake publishers") is rejected on
+    /// receipt. Metadata from the trusted Internet server is not re-checked.
+    pub fn set_key_registry(&mut self, registry: KeyRegistry) {
+        self.key_registry = Some(registry);
+    }
+
+    /// The installed key registry, if any.
+    pub fn key_registry(&self) -> Option<&KeyRegistry> {
+        self.key_registry.as_ref()
+    }
+
+    /// True if `metadata` is acceptable under this node's authentication
+    /// policy (always true without a registry).
+    pub fn accepts_metadata(&self, metadata: &Metadata) -> bool {
+        match &self.key_registry {
+            None => true,
+            Some(registry) => registry.verify(metadata).is_ok(),
+        }
+    }
+
+    /// True if the node has blacklisted `uri` after an authentication
+    /// failure.
+    pub fn has_rejected(&self, uri: &Uri) -> bool {
+        self.rejected.contains_key(uri)
+    }
+
+    fn reject(&mut self, metadata: &Metadata) {
+        self.rejected
+            .insert(metadata.uri().clone(), metadata.expires());
+    }
+
+    /// Seeds the node with content obtained out-of-band: the metadata (and,
+    /// when `with_file` is set, the complete file). Authentication is *not*
+    /// checked — this models content the device already has, including the
+    /// forged advertisements a malicious node plants.
+    pub fn seed_content(&mut self, metadata: Metadata, popularity: Popularity, with_file: bool) {
+        let uri = metadata.uri().clone();
+        let expires = metadata.expires();
+        self.note_popularity(&uri, popularity);
+        if self.metadata.insert(metadata) {
+            self.events.push(NodeEvent::MetadataStored {
+                uri: uri.clone(),
+                from: Source::Internet,
+            });
+        }
+        if with_file && self.files.insert(uri.clone(), expires) {
+            self.events.push(NodeEvent::FileCompleted {
+                uri,
+                from: Source::Internet,
+            });
+        }
+    }
+
+    /// Adds a user query with an optional expiry; returns `true` if new.
+    pub fn add_query(&mut self, query: Query, expires: Option<SimTime>) -> bool {
+        self.queries.add_own(query, expires)
+    }
+
+    /// The node's own active query strings.
+    pub fn own_queries(&self) -> Vec<Query> {
+        self.queries.own().map(|e| e.query().clone()).collect()
+    }
+
+    /// Number of stored queries (own + collected for others).
+    pub fn query_count(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True if metadata for `uri` is stored.
+    pub fn has_metadata(&self, uri: &Uri) -> bool {
+        self.metadata.contains(uri)
+    }
+
+    /// True if the complete file at `uri` is stored.
+    pub fn has_file(&self, uri: &Uri) -> bool {
+        self.files.contains(uri)
+    }
+
+    /// Number of stored metadata records.
+    pub fn metadata_count(&self) -> usize {
+        self.metadata.len()
+    }
+
+    /// Number of stored complete files.
+    pub fn file_count(&self) -> usize {
+        self.files.len()
+    }
+
+    /// The node's credit ledger (tit-for-tat state).
+    pub fn credits(&self) -> &CreditLedger {
+        &self.credits
+    }
+
+    /// The popularity the node believes `uri` has (0 if unknown).
+    pub fn known_popularity(&self, uri: &Uri) -> Popularity {
+        self.popularity.get(uri).copied().unwrap_or(Popularity::MIN)
+    }
+
+    /// Records a popularity observation, keeping the maximum seen.
+    pub fn note_popularity(&mut self, uri: &Uri, p: Popularity) {
+        let entry = self.popularity.entry(uri.clone()).or_insert(Popularity::MIN);
+        if p > *entry {
+            *entry = p;
+        }
+    }
+
+    /// URIs the node wants to download: it has metadata matching one of its
+    /// own queries but not the file (the "downloading files" of the hello
+    /// message, §III-B).
+    pub fn wanted_uris(&self) -> Vec<Uri> {
+        let own: Vec<Query> = self.own_queries();
+        self.metadata
+            .iter()
+            .filter(|m| !self.files.contains(m.uri()))
+            .filter(|m| {
+                let tokens = m.tokens();
+                own.iter().any(|q| q.matches_tokens(&tokens))
+            })
+            .map(|m| m.uri().clone())
+            .collect()
+    }
+
+    /// Drops expired metadata, files, queries, and rejection records.
+    pub fn prune(&mut self, now: SimTime) {
+        self.metadata.prune_expired(now);
+        self.files.prune_expired(now);
+        self.queries.prune_expired(now);
+        self.rejected
+            .retain(|_, expires| !expires.is_some_and(|e| now >= e));
+    }
+
+    /// Drains accumulated [`NodeEvent`]s.
+    pub fn drain_events(&mut self) -> Vec<NodeEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Stores metadata received from the Internet; returns `true` if new.
+    fn store_metadata_from_internet(&mut self, metadata: &Metadata, popularity: Popularity) -> bool {
+        self.note_popularity(metadata.uri(), popularity);
+        if self.metadata.insert(metadata.clone()) {
+            self.events.push(NodeEvent::MetadataStored {
+                uri: metadata.uri().clone(),
+                from: Source::Internet,
+            });
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Runs one Internet session (paper §III-A, §IV): the node connects —
+    /// e.g. through a free WiFi access point — sends its query strings to the
+    /// metadata server, downloads the best-matched metadata and the files it
+    /// needs, collects metadata for the queries it holds on behalf of its
+    /// frequent contacts (full MBT), and pulls popular metadata for later
+    /// push-distribution (MBT and MBT-Q).
+    ///
+    /// Does nothing unless [`MbtNode::is_internet_access`] is true.
+    pub fn internet_session(&mut self, server: &mut MetadataServer, now: SimTime) {
+        if !self.internet_access {
+            return;
+        }
+        self.prune(now);
+        let limit = self.config.internet_search_limit_value() as usize;
+
+        // Own queries: fetch matching metadata, then download the files.
+        let own: Vec<Query> = self.own_queries();
+        for query in &own {
+            let matches: Vec<(Metadata, Popularity)> = server
+                .search(query, limit)
+                .into_iter()
+                .filter(|m| !m.is_expired(now))
+                .map(|m| (m.clone(), server.popularity_of(m.uri())))
+                .collect();
+            for (meta, pop) in &matches {
+                self.store_metadata_from_internet(meta, *pop);
+            }
+            // The user selects the best match and downloads it; the request
+            // feeds the server's popularity estimator.
+            if let Some((best, _)) = matches.first() {
+                let uri = best.uri().clone();
+                server.record_request(&uri, self.id, now);
+                if self.files.insert(uri.clone(), best.expires()) {
+                    self.events.push(NodeEvent::FileCompleted {
+                        uri,
+                        from: Source::Internet,
+                    });
+                }
+            }
+        }
+
+        // Queries collected for frequent contacts (full MBT): fetch their
+        // metadata to carry into the DTN. Files are not downloaded for them.
+        if self.protocol.distributes_queries() {
+            let foreign: Vec<Query> = self
+                .queries
+                .foreign()
+                .map(|(_, e)| e.query().clone())
+                .collect();
+            for query in &foreign {
+                let matches: Vec<(Metadata, Popularity)> = server
+                    .search(query, limit)
+                    .into_iter()
+                    .filter(|m| !m.is_expired(now))
+                    .map(|m| (m.clone(), server.popularity_of(m.uri())))
+                    .collect();
+                for (meta, pop) in &matches {
+                    self.store_metadata_from_internet(meta, *pop);
+                }
+            }
+        }
+
+        // Push phase: pull the most popular metadata for later distribution.
+        if self.protocol.distributes_metadata() {
+            let popular: Vec<(Metadata, Popularity)> = server
+                .most_popular(self.config.internet_push_metadata_value() as usize, now)
+                .into_iter()
+                .map(|m| (m.clone(), server.popularity_of(m.uri())))
+                .collect();
+            for (meta, pop) in &popular {
+                self.store_metadata_from_internet(meta, *pop);
+            }
+        }
+
+        // Refresh popularity knowledge for everything we hold.
+        let held: Vec<Uri> = self.metadata.iter().map(|m| m.uri().clone()).collect();
+        for uri in held {
+            let p = server.popularity_of(&uri);
+            self.note_popularity(&uri, p);
+        }
+    }
+}
+
+/// Summary of one contact's broadcasts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ContactReport {
+    /// Metadata broadcasts transmitted.
+    pub metadata_broadcasts: usize,
+    /// File broadcasts transmitted.
+    pub file_broadcasts: usize,
+    /// Queries newly stored for frequent contacts.
+    pub queries_distributed: usize,
+}
+
+/// Per-member snapshot taken at the start of a contact.
+#[derive(Debug, Clone)]
+struct MemberSnapshot {
+    id: NodeId,
+    own_queries: Vec<(Query, Option<SimTime>)>,
+    relevant_queries: Vec<Query>,
+    metadata_uris: BTreeSet<Uri>,
+    file_uris: BTreeSet<Uri>,
+    wanted: BTreeSet<Uri>,
+    /// URIs this member blacklisted after authentication failures (carried
+    /// in its hello so peers stop offering them).
+    rejected: BTreeSet<Uri>,
+    frequent: BTreeSet<NodeId>,
+    ledger: CreditLedger,
+}
+
+/// Runs one contact among the nodes at `members` (indices into `nodes`).
+///
+/// Implements the paper's contact behaviour: hello exchange (implicit in the
+/// snapshot), query distribution to frequent contacts (full MBT), the
+/// two-phase metadata broadcast (unless the protocol disables standalone
+/// metadata), and the two-phase file broadcast — in that order when
+/// `discovery_first` is set, since short pedestrian contacts should be spent
+/// on small metadata first (§V).
+///
+/// All members must run the same protocol variant and cooperation mode.
+///
+/// # Panics
+///
+/// Panics if `members` contains an out-of-range or duplicate index, or if
+/// members disagree on protocol/cooperation mode.
+pub fn run_contact(
+    nodes: &mut [MbtNode],
+    members: &[usize],
+    now: SimTime,
+    duration: SimDuration,
+) -> ContactReport {
+    let mut report = ContactReport::default();
+    if members.len() < 2 {
+        return report;
+    }
+    {
+        let mut seen = BTreeSet::new();
+        for &idx in members {
+            assert!(idx < nodes.len(), "member index {idx} out of range");
+            assert!(seen.insert(idx), "duplicate member index {idx}");
+        }
+    }
+    let protocol = nodes[members[0]].protocol;
+    let config = nodes[members[0]].config.clone();
+    for &idx in members {
+        assert_eq!(nodes[idx].protocol, protocol, "mixed protocols in one contact");
+        assert_eq!(
+            nodes[idx].config.cooperation_value(),
+            config.cooperation_value(),
+            "mixed cooperation modes in one contact"
+        );
+        nodes[idx].prune(now);
+    }
+
+    // --- Hello: snapshot every member's advertised state. ---
+    let snapshots: Vec<MemberSnapshot> = members
+        .iter()
+        .map(|&idx| {
+            let n = &nodes[idx];
+            let own_queries: Vec<(Query, Option<SimTime>)> = n
+                .queries
+                .own()
+                .map(|e| (e.query().clone(), e.expires()))
+                .collect();
+            let mut relevant: Vec<Query> = own_queries.iter().map(|(q, _)| q.clone()).collect();
+            if protocol.distributes_queries() {
+                relevant.extend(n.queries.foreign().map(|(_, e)| e.query().clone()));
+            }
+            MemberSnapshot {
+                id: n.id,
+                own_queries,
+                relevant_queries: relevant,
+                metadata_uris: n.metadata.iter().map(|m| m.uri().clone()).collect(),
+                file_uris: n.files.iter().cloned().collect(),
+                wanted: n.wanted_uris().into_iter().collect(),
+                rejected: n.rejected.keys().cloned().collect(),
+                frequent: n.frequent_contacts.clone(),
+                ledger: n.credits.clone(),
+            }
+        })
+        .collect();
+
+    // Clique-wide catalogs (metadata and complete files), with holders.
+    let mut metadata_catalog: BTreeMap<Uri, (Metadata, Popularity, Vec<NodeId>)> = BTreeMap::new();
+    let mut file_catalog: BTreeMap<Uri, Vec<NodeId>> = BTreeMap::new();
+    for &idx in members {
+        let n = &nodes[idx];
+        for m in n.metadata.iter() {
+            let pop = n.known_popularity(m.uri());
+            let entry = metadata_catalog
+                .entry(m.uri().clone())
+                .or_insert_with(|| (m.clone(), pop, Vec::new()));
+            if pop > entry.1 {
+                entry.1 = pop;
+            }
+            entry.2.push(n.id);
+        }
+        for uri in n.files.iter() {
+            file_catalog.entry(uri.clone()).or_default().push(n.id);
+        }
+    }
+
+    let member_ids: Vec<NodeId> = snapshots.iter().map(|s| s.id).collect();
+    let index_of = |id: NodeId| -> usize {
+        members[member_ids
+            .iter()
+            .position(|&m| m == id)
+            .expect("sender is a member")]
+    };
+
+    // --- Query distribution (full MBT, §IV): frequent contacts store each
+    // other's queries so they can collect metadata while apart. ---
+    if protocol.distributes_queries() {
+        for (i, &idx) in members.iter().enumerate() {
+            for (j, snap) in snapshots.iter().enumerate() {
+                if i == j || !snapshots[i].frequent.contains(&snap.id) {
+                    continue;
+                }
+                for (query, expires) in &snap.own_queries {
+                    if nodes[idx].queries.add_foreign(snap.id, query.clone(), *expires) {
+                        report.queries_distributed += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    // Failure injection: each (instant, sender, receiver, item) draws an
+    // independent, deterministic loss roll.
+    let frame_lost = |sender: NodeId, receiver: NodeId, item: &Uri| -> bool {
+        let rate = config.broadcast_loss_rate_value();
+        if rate <= 0.0 {
+            return false;
+        }
+        use rand::Rng as _;
+        let seed = dtn_sim::rng::derive_seed(&[
+            config.loss_seed_value(),
+            now.as_secs(),
+            u64::from(sender.raw()),
+            u64::from(receiver.raw()),
+        ]);
+        let mut rng = dtn_sim::rng::stream(seed, item.as_str());
+        rng.gen::<f64>() < rate
+    };
+
+    // --- Phase closures. ---
+    let metadata_phase = |nodes: &mut [MbtNode], report: &mut ContactReport| {
+        if !protocol.distributes_metadata() {
+            return;
+        }
+        let offers: Vec<Offer<Uri>> = metadata_catalog
+            .iter()
+            .map(|(uri, (_, pop, holders))| {
+                let requesters: Vec<NodeId> = snapshots
+                    .iter()
+                    .filter(|s| !s.metadata_uris.contains(uri) && !s.rejected.contains(uri))
+                    .filter(|s| {
+                        let meta = &metadata_catalog[uri].0;
+                        let tokens = meta.tokens();
+                        s.relevant_queries.iter().any(|q| q.matches_tokens(&tokens))
+                    })
+                    .map(|s| s.id)
+                    .collect();
+                Offer::new(uri.clone(), *pop, requesters, holders.clone())
+            })
+            .filter(|o| {
+                // Skip metadata every member already holds or has rejected.
+                snapshots.iter().any(|s| {
+                    !s.metadata_uris.contains(&o.item) && !s.rejected.contains(&o.item)
+                })
+            })
+            .collect();
+        let schedule = schedule_broadcasts(&config, &member_ids, &snapshots, offers,
+            config.metadata_per_contact_value() as usize);
+        for b in &schedule {
+            let (meta, pop, _) = &metadata_catalog[&b.item];
+            report.metadata_broadcasts += 1;
+            for &idx in members {
+                let receiver = &mut nodes[idx];
+                if receiver.id == b.sender {
+                    continue;
+                }
+                if frame_lost(b.sender, receiver.id, &b.item) {
+                    continue;
+                }
+                if !receiver.accepts_metadata(meta) {
+                    // Fake-publisher rejection (§III-B item f): blacklist the
+                    // URI so it is never requested again.
+                    receiver.reject(meta);
+                    continue;
+                }
+                receiver.note_popularity(meta.uri(), *pop);
+                let own = receiver.own_queries();
+                let outcome = receive_metadata(
+                    &mut receiver.metadata,
+                    &own,
+                    meta,
+                    *pop,
+                    b.sender,
+                    Some(&mut receiver.credits),
+                );
+                if outcome != crate::discovery::ReceiveOutcome::Duplicate {
+                    receiver.events.push(NodeEvent::MetadataStored {
+                        uri: meta.uri().clone(),
+                        from: Source::Peer(b.sender),
+                    });
+                }
+            }
+        }
+    };
+
+    let file_phase = |nodes: &mut [MbtNode], report: &mut ContactReport| {
+        if duration.as_secs() < config.min_download_contact_secs_value() {
+            return;
+        }
+        let offers: Vec<Offer<Uri>> = file_catalog
+            .iter()
+            .map(|(uri, holders)| {
+                // A member requests a file it wants (announced as a
+                // "downloading URI" in its hello) and does not hold. Under
+                // MBT-QM nobody can announce wants — nodes have no standalone
+                // metadata — so all offers fall to the popularity phase.
+                let requesters: Vec<NodeId> = if protocol.distributes_metadata() {
+                    snapshots
+                        .iter()
+                        .filter(|s| !s.file_uris.contains(uri) && s.wanted.contains(uri))
+                        .map(|s| s.id)
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                let pop = metadata_catalog
+                    .get(uri)
+                    .map(|(_, p, _)| *p)
+                    .unwrap_or(Popularity::MIN);
+                Offer::new(uri.clone(), pop, requesters, holders.clone())
+            })
+            .filter(|o| {
+                // Skip files every member already holds or refuses.
+                snapshots.iter().any(|s| {
+                    !s.file_uris.contains(&o.item) && !s.rejected.contains(&o.item)
+                })
+            })
+            .collect();
+        let schedule = schedule_broadcasts(&config, &member_ids, &snapshots, offers,
+            config.files_per_contact_value() as usize);
+        for b in &schedule {
+            report.file_broadcasts += 1;
+            // The file's metadata rides along with the file (as in prior
+            // content-distribution systems, and necessary for verification).
+            let meta_entry = metadata_catalog.get(&b.item).cloned().or_else(|| {
+                let holder = &nodes[index_of(b.sender)];
+                holder
+                    .metadata
+                    .get(&b.item)
+                    .map(|m| (m.clone(), holder.known_popularity(&b.item), Vec::new()))
+            });
+            for &idx in members {
+                let receiver = &mut nodes[idx];
+                if receiver.id == b.sender || receiver.files.contains(&b.item) {
+                    continue;
+                }
+                if frame_lost(b.sender, receiver.id, &b.item) {
+                    continue;
+                }
+                let mut expires = None;
+                if let Some((meta, pop, _)) = &meta_entry {
+                    if !receiver.accepts_metadata(meta) {
+                        // A file whose riding metadata fails authentication
+                        // is an unverifiable fake: refuse it and blacklist.
+                        receiver.reject(meta);
+                        continue;
+                    }
+                    expires = meta.expires();
+                    receiver.note_popularity(&b.item, *pop);
+                    if receiver.metadata.insert(meta.clone()) {
+                        receiver.events.push(NodeEvent::MetadataStored {
+                            uri: b.item.clone(),
+                            from: Source::Peer(b.sender),
+                        });
+                    }
+                }
+                let wanted = {
+                    let own = receiver.own_queries();
+                    receiver
+                        .metadata
+                        .get(&b.item)
+                        .map(|m| {
+                            let tokens = m.tokens();
+                            own.iter().any(|q| q.matches_tokens(&tokens))
+                        })
+                        .unwrap_or(false)
+                };
+                if receiver.files.insert(b.item.clone(), expires) {
+                    receiver.events.push(NodeEvent::FileCompleted {
+                        uri: b.item.clone(),
+                        from: Source::Peer(b.sender),
+                    });
+                    // §V-B: file download reuses the metadata credit rule.
+                    if wanted {
+                        receiver.credits.reward_matched(b.sender);
+                    } else {
+                        let pop = receiver.known_popularity(&b.item);
+                        receiver.credits.reward_unmatched(b.sender, pop);
+                    }
+                }
+            }
+        }
+    };
+
+    if config.discovery_first_value() {
+        metadata_phase(nodes, &mut report);
+        file_phase(nodes, &mut report);
+    } else {
+        file_phase(nodes, &mut report);
+        metadata_phase(nodes, &mut report);
+    }
+    report
+}
+
+/// Dispatches to the cooperative or tit-for-tat scheduler.
+fn schedule_broadcasts(
+    config: &MbtConfig,
+    member_ids: &[NodeId],
+    snapshots: &[MemberSnapshot],
+    offers: Vec<Offer<Uri>>,
+    slots: usize,
+) -> Vec<Broadcast<Uri>> {
+    match config.cooperation_value() {
+        CooperationMode::Cooperative => match config.ordering_value() {
+            crate::config::BroadcastOrdering::TwoPhase => dl_coop::schedule(offers, slots),
+            crate::config::BroadcastOrdering::RarestFirst => {
+                crate::download::strategy::rarest_first_schedule(offers, slots)
+            }
+        },
+        CooperationMode::TitForTat => {
+            let ledgers: BTreeMap<NodeId, &CreditLedger> = snapshots
+                .iter()
+                .map(|s| (s.id, &s.ledger))
+                .collect();
+            dl_tft::schedule(member_ids, offers, |id| ledgers[&id], slots)
+        }
+    }
+}
+
+/// Convenience wrapper for a pair-wise contact.
+pub fn run_pairwise_contact(
+    nodes: &mut [MbtNode],
+    a: usize,
+    b: usize,
+    now: SimTime,
+    duration: SimDuration,
+) -> ContactReport {
+    run_contact(nodes, &[a, b], now, duration)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uri(s: &str) -> Uri {
+        Uri::new(s).unwrap()
+    }
+
+    fn meta(name: &str, u: &str) -> Metadata {
+        Metadata::builder(name, "FOX", uri(u)).build()
+    }
+
+    fn server_with(entries: &[(&str, &str, f64)]) -> MetadataServer {
+        let mut s = MetadataServer::new(4);
+        for &(name, u, p) in entries {
+            s.publish(meta(name, u), Popularity::new(p));
+        }
+        s
+    }
+
+    fn node(i: u32, protocol: ProtocolKind) -> MbtNode {
+        MbtNode::new(NodeId::new(i), protocol, MbtConfig::new())
+    }
+
+    #[test]
+    fn internet_session_requires_access() {
+        let mut server = server_with(&[("fox news", "mbt://a", 0.5)]);
+        let mut n = node(0, ProtocolKind::Mbt);
+        n.add_query(Query::new("fox news").unwrap(), None);
+        n.internet_session(&mut server, SimTime::ZERO);
+        assert!(!n.has_metadata(&uri("mbt://a")), "no access, no download");
+    }
+
+    #[test]
+    fn internet_session_downloads_queried_files() {
+        let mut server = server_with(&[("fox news", "mbt://a", 0.5), ("abc show", "mbt://b", 0.9)]);
+        let mut n = node(0, ProtocolKind::Mbt);
+        n.set_internet_access(true);
+        n.add_query(Query::new("fox news").unwrap(), None);
+        n.internet_session(&mut server, SimTime::ZERO);
+        assert!(n.has_metadata(&uri("mbt://a")));
+        assert!(n.has_file(&uri("mbt://a")));
+        assert!(!n.has_file(&uri("mbt://b")), "only queried files downloaded");
+        // Push phase pulled the popular metadata too.
+        assert!(n.has_metadata(&uri("mbt://b")));
+        let events = n.drain_events();
+        assert!(events.iter().any(|e| matches!(
+            e,
+            NodeEvent::FileCompleted { uri: u, from: Source::Internet } if u == &uri("mbt://a")
+        )));
+    }
+
+    #[test]
+    fn mbtqm_internet_session_skips_push_metadata() {
+        let mut server = server_with(&[("fox news", "mbt://a", 0.5), ("abc show", "mbt://b", 0.9)]);
+        let mut n = node(0, ProtocolKind::MbtQm);
+        n.set_internet_access(true);
+        n.add_query(Query::new("fox news").unwrap(), None);
+        n.internet_session(&mut server, SimTime::ZERO);
+        assert!(n.has_file(&uri("mbt://a")));
+        assert!(!n.has_metadata(&uri("mbt://b")), "MBT-QM pulls no push metadata");
+    }
+
+    #[test]
+    fn internet_session_serves_foreign_queries_under_mbt_only() {
+        let mut server = server_with(&[("abc comedy", "mbt://c", 0.2)]);
+        for (protocol, expect) in [(ProtocolKind::Mbt, true), (ProtocolKind::MbtQ, false)] {
+            let mut n = node(0, protocol);
+            // Disable the popularity push so only foreign-query service can
+            // fetch the metadata.
+            n.config = MbtConfig::new().internet_push_metadata(0);
+            n.set_internet_access(true);
+            n.queries
+                .add_foreign(NodeId::new(9), Query::new("abc comedy").unwrap(), None);
+            n.internet_session(&mut server, SimTime::ZERO);
+            assert_eq!(n.has_metadata(&uri("mbt://c")), expect, "{protocol}");
+            assert!(!n.has_file(&uri("mbt://c")), "no file download for others");
+        }
+    }
+
+    #[test]
+    fn contact_distributes_queries_to_frequent_contacts() {
+        let mut nodes = vec![node(0, ProtocolKind::Mbt), node(1, ProtocolKind::Mbt)];
+        nodes[0].set_frequent_contacts([NodeId::new(1)]);
+        nodes[1].add_query(Query::new("fox news").unwrap(), None);
+        let report = run_pairwise_contact(&mut nodes, 0, 1, SimTime::ZERO, SimDuration::from_secs(60));
+        assert_eq!(report.queries_distributed, 1);
+        assert_eq!(nodes[0].query_count(), 1);
+        // Not symmetric: node 1 did not list node 0 as frequent.
+        assert_eq!(nodes[1].query_count(), 1); // its own query only
+    }
+
+    #[test]
+    fn mbtq_contact_never_distributes_queries() {
+        let mut nodes = vec![node(0, ProtocolKind::MbtQ), node(1, ProtocolKind::MbtQ)];
+        nodes[0].set_frequent_contacts([NodeId::new(1)]);
+        nodes[1].add_query(Query::new("fox news").unwrap(), None);
+        let report = run_pairwise_contact(&mut nodes, 0, 1, SimTime::ZERO, SimDuration::from_secs(60));
+        assert_eq!(report.queries_distributed, 0);
+        assert_eq!(nodes[0].query_count(), 0);
+    }
+
+    #[test]
+    fn contact_transfers_requested_metadata() {
+        let mut nodes = vec![node(0, ProtocolKind::Mbt), node(1, ProtocolKind::Mbt)];
+        let m = meta("fox evening news", "mbt://a");
+        nodes[0].metadata.insert(m);
+        nodes[0].note_popularity(&uri("mbt://a"), Popularity::new(0.4));
+        nodes[1].add_query(Query::new("evening news").unwrap(), None);
+        let report = run_pairwise_contact(&mut nodes, 0, 1, SimTime::ZERO, SimDuration::from_secs(60));
+        assert_eq!(report.metadata_broadcasts, 1);
+        assert!(nodes[1].has_metadata(&uri("mbt://a")));
+        // Tit-for-tat bookkeeping ran on the receiver.
+        assert_eq!(nodes[1].credits().credit_of(NodeId::new(0)), 5.0);
+        let events = nodes[1].drain_events();
+        assert!(matches!(
+            events[0],
+            NodeEvent::MetadataStored { from: Source::Peer(s), .. } if s == NodeId::new(0)
+        ));
+    }
+
+    #[test]
+    fn mbtqm_contact_sends_no_standalone_metadata() {
+        let mut nodes = vec![node(0, ProtocolKind::MbtQm), node(1, ProtocolKind::MbtQm)];
+        nodes[0].metadata.insert(meta("fox news", "mbt://a"));
+        nodes[1].add_query(Query::new("fox news").unwrap(), None);
+        let report = run_pairwise_contact(&mut nodes, 0, 1, SimTime::ZERO, SimDuration::from_secs(60));
+        assert_eq!(report.metadata_broadcasts, 0);
+        assert!(!nodes[1].has_metadata(&uri("mbt://a")));
+    }
+
+    #[test]
+    fn contact_transfers_files_with_metadata_riding_along() {
+        let mut nodes = vec![node(0, ProtocolKind::Mbt), node(1, ProtocolKind::Mbt)];
+        nodes[0].metadata.insert(meta("fox news", "mbt://a"));
+        nodes[0].files.insert(uri("mbt://a"), None);
+        nodes[0].note_popularity(&uri("mbt://a"), Popularity::new(0.8));
+        let report = run_pairwise_contact(&mut nodes, 0, 1, SimTime::ZERO, SimDuration::from_secs(60));
+        assert_eq!(report.file_broadcasts, 1);
+        assert!(nodes[1].has_file(&uri("mbt://a")));
+        assert!(nodes[1].has_metadata(&uri("mbt://a")), "metadata rides with the file");
+    }
+
+    #[test]
+    fn mbtqm_receives_files_by_popularity() {
+        let mut nodes = vec![node(0, ProtocolKind::MbtQm), node(1, ProtocolKind::MbtQm)];
+        nodes[0].metadata.insert(meta("hot show", "mbt://hot"));
+        nodes[0].metadata.insert(meta("cold show", "mbt://cold"));
+        for (u, p) in [("mbt://hot", 0.9), ("mbt://cold", 0.1)] {
+            nodes[0].files.insert(uri(u), None);
+            nodes[0].note_popularity(&uri(u), Popularity::new(p));
+        }
+        // Budget of 1 file per contact: the popular one must win.
+        for n in nodes.iter_mut() {
+            n.config = MbtConfig::new().files_per_contact(1);
+        }
+        run_pairwise_contact(&mut nodes, 0, 1, SimTime::ZERO, SimDuration::from_secs(60));
+        assert!(nodes[1].has_file(&uri("mbt://hot")));
+        assert!(!nodes[1].has_file(&uri("mbt://cold")));
+    }
+
+    #[test]
+    fn clique_broadcast_reaches_all_members() {
+        let mut nodes: Vec<MbtNode> = (0..4).map(|i| node(i, ProtocolKind::Mbt)).collect();
+        nodes[0].metadata.insert(meta("fox news", "mbt://a"));
+        nodes[0].files.insert(uri("mbt://a"), None);
+        let report = run_contact(
+            &mut nodes,
+            &[0, 1, 2, 3],
+            SimTime::ZERO,
+            SimDuration::from_secs(3600),
+        );
+        // One metadata broadcast + one file broadcast serve all three peers.
+        assert_eq!(report.metadata_broadcasts, 1);
+        assert_eq!(report.file_broadcasts, 1);
+        for n in &nodes[1..] {
+            assert!(n.has_file(&uri("mbt://a")));
+        }
+    }
+
+    #[test]
+    fn short_contact_skips_file_phase_when_configured() {
+        let mut nodes = vec![node(0, ProtocolKind::Mbt), node(1, ProtocolKind::Mbt)];
+        for n in nodes.iter_mut() {
+            n.config = MbtConfig::new().min_download_contact_secs(120);
+        }
+        nodes[0].metadata.insert(meta("fox news", "mbt://a"));
+        nodes[0].files.insert(uri("mbt://a"), None);
+        let report = run_pairwise_contact(&mut nodes, 0, 1, SimTime::ZERO, SimDuration::from_secs(30));
+        assert!(report.metadata_broadcasts > 0, "metadata still flows");
+        assert_eq!(report.file_broadcasts, 0, "file phase skipped");
+    }
+
+    #[test]
+    fn metadata_budget_respected() {
+        let mut nodes = vec![node(0, ProtocolKind::Mbt), node(1, ProtocolKind::Mbt)];
+        for i in 0..50 {
+            let u = format!("mbt://f{i:02}");
+            nodes[0].metadata.insert(meta(&format!("show {i}"), &u));
+        }
+        for n in nodes.iter_mut() {
+            n.config = MbtConfig::new().metadata_per_contact(5);
+        }
+        let report = run_pairwise_contact(&mut nodes, 0, 1, SimTime::ZERO, SimDuration::from_secs(60));
+        assert_eq!(report.metadata_broadcasts, 5);
+        assert_eq!(nodes[1].metadata_count(), 5);
+    }
+
+    #[test]
+    fn expired_content_dropped_before_exchange() {
+        let mut nodes = vec![node(0, ProtocolKind::Mbt), node(1, ProtocolKind::Mbt)];
+        let m = Metadata::builder("old news", "FOX", uri("mbt://old"))
+            .ttl(SimDuration::from_secs(10))
+            .build();
+        nodes[0].metadata.insert(m);
+        run_pairwise_contact(
+            &mut nodes,
+            0,
+            1,
+            SimTime::from_secs(100),
+            SimDuration::from_secs(60),
+        );
+        assert!(!nodes[1].has_metadata(&uri("mbt://old")));
+        assert_eq!(nodes[0].metadata_count(), 0, "expired metadata pruned");
+    }
+
+    #[test]
+    fn tit_for_tat_mode_runs() {
+        let mut nodes = vec![node(0, ProtocolKind::Mbt), node(1, ProtocolKind::Mbt)];
+        for n in nodes.iter_mut() {
+            n.config = MbtConfig::new().cooperation(CooperationMode::TitForTat);
+        }
+        nodes[0].metadata.insert(meta("fox news", "mbt://a"));
+        nodes[1].add_query(Query::new("fox news").unwrap(), None);
+        let report = run_pairwise_contact(&mut nodes, 0, 1, SimTime::ZERO, SimDuration::from_secs(60));
+        assert_eq!(report.metadata_broadcasts, 1);
+        assert!(nodes[1].has_metadata(&uri("mbt://a")));
+    }
+
+    #[test]
+    fn forged_metadata_rejected_and_blacklisted() {
+        use crate::auth::{sign, PublisherKey};
+        let registry = {
+            let mut r = crate::auth::KeyRegistry::new();
+            r.register("FOX", PublisherKey::derive(b"master", "FOX"));
+            r
+        };
+        let mut nodes = vec![node(0, ProtocolKind::Mbt), node(1, ProtocolKind::Mbt)];
+        nodes[1].set_key_registry(registry);
+
+        // Node 0 (no registry — could itself be the adversary) carries a
+        // forged record matching node 1's query.
+        let mut forged = meta("fox breaking news", "mbt://fake");
+        sign(&mut forged, &PublisherKey::derive(b"attacker", "FOX"));
+        nodes[0].seed_content(forged, Popularity::MAX, false);
+        let _ = nodes[0].drain_events();
+        nodes[1].add_query(Query::new("breaking news").unwrap(), None);
+
+        run_pairwise_contact(&mut nodes, 0, 1, SimTime::ZERO, SimDuration::from_secs(60));
+        assert!(!nodes[1].has_metadata(&uri("mbt://fake")), "forgery stored");
+        assert!(nodes[1].has_rejected(&uri("mbt://fake")), "forgery not blacklisted");
+
+        // A second contact no longer offers the fake: no metadata broadcast.
+        let report =
+            run_pairwise_contact(&mut nodes, 0, 1, SimTime::from_secs(100), SimDuration::from_secs(60));
+        assert_eq!(report.metadata_broadcasts, 0, "blacklisted item re-offered");
+    }
+
+    #[test]
+    fn authentic_metadata_passes_verification_path() {
+        use crate::auth::{sign, PublisherKey};
+        let key = PublisherKey::derive(b"master", "FOX");
+        let registry = {
+            let mut r = crate::auth::KeyRegistry::new();
+            r.register("FOX", key.clone());
+            r
+        };
+        let mut nodes = vec![node(0, ProtocolKind::Mbt), node(1, ProtocolKind::Mbt)];
+        nodes[1].set_key_registry(registry);
+        let mut real = meta("fox breaking news", "mbt://real");
+        sign(&mut real, &key);
+        nodes[0].seed_content(real, Popularity::new(0.5), true);
+        let _ = nodes[0].drain_events();
+        nodes[1].add_query(Query::new("breaking news").unwrap(), None);
+        run_pairwise_contact(&mut nodes, 0, 1, SimTime::ZERO, SimDuration::from_secs(60));
+        assert!(nodes[1].has_metadata(&uri("mbt://real")));
+        assert!(nodes[1].has_file(&uri("mbt://real")));
+        assert!(!nodes[1].has_rejected(&uri("mbt://real")));
+    }
+
+    #[test]
+    fn seed_content_populates_stores_and_events() {
+        let mut n0 = node(0, ProtocolKind::Mbt);
+        n0.seed_content(meta("x", "mbt://x"), Popularity::new(0.7), true);
+        assert!(n0.has_metadata(&uri("mbt://x")));
+        assert!(n0.has_file(&uri("mbt://x")));
+        assert_eq!(n0.known_popularity(&uri("mbt://x")).value(), 0.7);
+        assert_eq!(n0.drain_events().len(), 2);
+        // Idempotent: re-seeding emits nothing new.
+        n0.seed_content(meta("x", "mbt://x"), Popularity::new(0.7), true);
+        assert!(n0.drain_events().is_empty());
+    }
+
+    #[test]
+    fn total_loss_blocks_all_transfers() {
+        let mut nodes = vec![node(0, ProtocolKind::Mbt), node(1, ProtocolKind::Mbt)];
+        for n in nodes.iter_mut() {
+            n.config = MbtConfig::new().broadcast_loss_rate(1.0);
+        }
+        nodes[0].metadata.insert(meta("fox news", "mbt://a"));
+        nodes[0].files.insert(uri("mbt://a"), None);
+        nodes[1].add_query(Query::new("fox news").unwrap(), None);
+        run_pairwise_contact(&mut nodes, 0, 1, SimTime::ZERO, SimDuration::from_secs(60));
+        assert!(!nodes[1].has_metadata(&uri("mbt://a")));
+        assert!(!nodes[1].has_file(&uri("mbt://a")));
+    }
+
+    #[test]
+    fn zero_loss_is_lossless_and_rolls_are_deterministic() {
+        let run_once = |loss: f64, seed: u64| {
+            let mut nodes = vec![node(0, ProtocolKind::Mbt), node(1, ProtocolKind::Mbt)];
+            for n in nodes.iter_mut() {
+                n.config = MbtConfig::new().broadcast_loss_rate(loss).loss_seed(seed);
+            }
+            for i in 0..10 {
+                let u = format!("mbt://f{i}");
+                nodes[0].metadata.insert(meta(&format!("show {i}"), &u));
+                nodes[0].files.insert(uri(&u), None);
+            }
+            run_pairwise_contact(&mut nodes, 0, 1, SimTime::ZERO, SimDuration::from_secs(60));
+            nodes[1].file_count()
+        };
+        assert_eq!(run_once(0.0, 0), 4, "default budget of 4 files, no loss");
+        let lossy_a = run_once(0.5, 7);
+        let lossy_b = run_once(0.5, 7);
+        assert_eq!(lossy_a, lossy_b, "loss rolls must be deterministic");
+        assert!(lossy_a <= 4);
+    }
+
+    #[test]
+    fn rarest_first_ordering_prefers_rare_files() {
+        // Node 0 and node 1 both hold "common"; only node 0 holds "rare".
+        // With one file slot, rarest-first broadcasts "rare" even though
+        // "common" is more popular — two-phase would pick by popularity.
+        let mk = |i: u32| {
+            let mut n = node(i, ProtocolKind::MbtQm);
+            n.config = MbtConfig::new()
+                .files_per_contact(1)
+                .ordering(crate::config::BroadcastOrdering::RarestFirst);
+            n
+        };
+        let mut nodes = vec![mk(0), mk(1), mk(2)];
+        for idx in [0usize, 1] {
+            nodes[idx].metadata.insert(meta("common show", "mbt://common"));
+            nodes[idx].files.insert(uri("mbt://common"), None);
+            nodes[idx].note_popularity(&uri("mbt://common"), Popularity::new(0.9));
+        }
+        nodes[0].metadata.insert(meta("rare show", "mbt://rare"));
+        nodes[0].files.insert(uri("mbt://rare"), None);
+        nodes[0].note_popularity(&uri("mbt://rare"), Popularity::new(0.1));
+        run_contact(&mut nodes, &[0, 1, 2], SimTime::ZERO, SimDuration::from_secs(600));
+        assert!(nodes[2].has_file(&uri("mbt://rare")));
+        assert!(!nodes[2].has_file(&uri("mbt://common")));
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed protocols")]
+    fn mixed_protocols_panic() {
+        let mut nodes = vec![node(0, ProtocolKind::Mbt), node(1, ProtocolKind::MbtQ)];
+        run_pairwise_contact(&mut nodes, 0, 1, SimTime::ZERO, SimDuration::from_secs(60));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate member")]
+    fn duplicate_member_panics() {
+        let mut nodes = vec![node(0, ProtocolKind::Mbt), node(1, ProtocolKind::Mbt)];
+        run_contact(&mut nodes, &[0, 0], SimTime::ZERO, SimDuration::from_secs(60));
+    }
+
+    #[test]
+    fn single_member_contact_is_noop() {
+        let mut nodes = vec![node(0, ProtocolKind::Mbt)];
+        let report = run_contact(&mut nodes, &[0], SimTime::ZERO, SimDuration::from_secs(60));
+        assert_eq!(report, ContactReport::default());
+    }
+
+    #[test]
+    fn wanted_uris_reflect_query_matches() {
+        let mut n = node(0, ProtocolKind::Mbt);
+        n.metadata.insert(meta("fox news", "mbt://a"));
+        n.metadata.insert(meta("abc comedy", "mbt://b"));
+        n.add_query(Query::new("fox news").unwrap(), None);
+        assert_eq!(n.wanted_uris(), vec![uri("mbt://a")]);
+        n.files.insert(uri("mbt://a"), None);
+        assert!(n.wanted_uris().is_empty(), "held files are no longer wanted");
+    }
+}

@@ -1,0 +1,287 @@
+//! File popularity.
+//!
+//! The popularity of a metadata is "the percentage of Internet access nodes
+//! requesting the file of the metadata in the past 24 hours" — a value in
+//! [0, 1] maintained by the central metadata server (paper §IV-A). The
+//! evaluation workload draws each new file's popularity `p` from the
+//! truncated-exponential density `λe^{-λx}` on [0, 1] via the inverse-CDF
+//! formula given in §VI-A:
+//!
+//! ```text
+//! p = -ln(1 - x (1 - e^{-λ})) / λ,   x ~ U(0, 1)
+//! ```
+//!
+//! whose mean is approximately `1/λ`. With `λ = n/2` (n = new files per day)
+//! each node generates about `n · (1/λ) = 2` queries per day.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+
+use dtn_trace::{NodeId, SimDuration, SimTime};
+use rand::Rng;
+
+use crate::uri::Uri;
+
+/// A popularity value in `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// use mbt_core::Popularity;
+///
+/// let p = Popularity::new(0.25);
+/// assert_eq!(p.value(), 0.25);
+/// assert_eq!(Popularity::new(7.0), Popularity::MAX, "clamped");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct Popularity(f64);
+
+impl Popularity {
+    /// The minimum popularity (0).
+    pub const MIN: Popularity = Popularity(0.0);
+    /// The maximum popularity (1).
+    pub const MAX: Popularity = Popularity(1.0);
+
+    /// Creates a popularity, clamping into `[0, 1]`; NaN clamps to 0.
+    pub fn new(value: f64) -> Self {
+        if value.is_nan() {
+            return Popularity(0.0);
+        }
+        Popularity(value.clamp(0.0, 1.0))
+    }
+
+    /// The inner value.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Popularity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4}", self.0)
+    }
+}
+
+impl From<Popularity> for f64 {
+    fn from(p: Popularity) -> f64 {
+        p.0
+    }
+}
+
+/// Total order on popularity for deterministic sorting: NaN is impossible by
+/// construction, so comparison is total.
+pub fn cmp_popularity(a: Popularity, b: Popularity) -> std::cmp::Ordering {
+    a.0.partial_cmp(&b.0).expect("popularity is never NaN")
+}
+
+/// Draws a popularity from the paper's truncated-exponential distribution
+/// with parameter `lambda` (§VI-A).
+///
+/// # Panics
+///
+/// Panics if `lambda <= 0`.
+pub fn sample_popularity<R: Rng>(rng: &mut R, lambda: f64) -> Popularity {
+    assert!(lambda > 0.0, "lambda must be positive");
+    let x: f64 = rng.gen_range(0.0..1.0);
+    let p = -(1.0 - x * (1.0 - (-lambda).exp())).ln() / lambda;
+    Popularity::new(p)
+}
+
+/// The paper's choice of λ given `n` new files per day: `λ = n / 2`, so the
+/// expected number of queries per node per day is ≈ 2.
+pub fn lambda_for_files_per_day(n: u32) -> f64 {
+    f64::from(n.max(1)) / 2.0
+}
+
+/// Server-side popularity estimator: the fraction of distinct Internet-access
+/// nodes that requested a file in a sliding window (default 24 hours).
+///
+/// # Example
+///
+/// ```
+/// use mbt_core::popularity::PopularityEstimator;
+/// use mbt_core::Uri;
+/// use dtn_trace::{NodeId, SimTime};
+///
+/// let mut est = PopularityEstimator::new(4); // 4 Internet-access nodes
+/// let uri = Uri::new("mbt://f/1")?;
+/// est.record_request(&uri, NodeId::new(0), SimTime::from_secs(100));
+/// est.record_request(&uri, NodeId::new(1), SimTime::from_secs(200));
+/// assert_eq!(est.popularity(&uri, SimTime::from_secs(300)).value(), 0.5);
+/// # Ok::<(), mbt_core::uri::InvalidUri>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PopularityEstimator {
+    population: u32,
+    window: SimDuration,
+    requests: BTreeMap<Uri, VecDeque<(SimTime, NodeId)>>,
+}
+
+impl PopularityEstimator {
+    /// Creates an estimator over a population of `population` Internet-access
+    /// nodes with the paper's 24-hour window.
+    pub fn new(population: u32) -> Self {
+        Self::with_window(population, SimDuration::from_hours(24))
+    }
+
+    /// Creates an estimator with a custom sliding window.
+    pub fn with_window(population: u32, window: SimDuration) -> Self {
+        PopularityEstimator {
+            population: population.max(1),
+            window,
+            requests: BTreeMap::new(),
+        }
+    }
+
+    /// Records that `node` requested the file at `uri` at time `now`.
+    pub fn record_request(&mut self, uri: &Uri, node: NodeId, now: SimTime) {
+        self.requests
+            .entry(uri.clone())
+            .or_default()
+            .push_back((now, node));
+    }
+
+    /// The estimated popularity of `uri` at `now`: distinct requesters within
+    /// the window divided by the population.
+    pub fn popularity(&self, uri: &Uri, now: SimTime) -> Popularity {
+        let Some(reqs) = self.requests.get(uri) else {
+            return Popularity::MIN;
+        };
+        let cutoff = now.saturating_sub(self.window);
+        let distinct: std::collections::BTreeSet<NodeId> = reqs
+            .iter()
+            .filter(|&&(t, _)| t >= cutoff && t <= now)
+            .map(|&(_, n)| n)
+            .collect();
+        Popularity::new(distinct.len() as f64 / f64::from(self.population))
+    }
+
+    /// Drops request records older than the window relative to `now`.
+    pub fn prune(&mut self, now: SimTime) {
+        let cutoff = now.saturating_sub(self.window);
+        self.requests.retain(|_, reqs| {
+            while reqs.front().is_some_and(|&(t, _)| t < cutoff) {
+                reqs.pop_front();
+            }
+            !reqs.is_empty()
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn popularity_clamps() {
+        assert_eq!(Popularity::new(-1.0), Popularity::MIN);
+        assert_eq!(Popularity::new(2.0), Popularity::MAX);
+        assert_eq!(Popularity::new(f64::NAN).value(), 0.0);
+    }
+
+    #[test]
+    fn sample_stays_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let p = sample_popularity(&mut rng, 25.0);
+            assert!((0.0..=1.0).contains(&p.value()));
+        }
+    }
+
+    #[test]
+    fn sample_mean_approximates_inverse_lambda() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let lambda = 20.0;
+        let n = 50_000;
+        let mean: f64 = (0..n)
+            .map(|_| sample_popularity(&mut rng, lambda).value())
+            .sum::<f64>()
+            / n as f64;
+        assert!(
+            (mean - 1.0 / lambda).abs() < 0.005,
+            "mean {mean} vs expected {}",
+            1.0 / lambda
+        );
+    }
+
+    #[test]
+    fn expected_queries_per_node_per_day_is_two() {
+        // n files/day with popularity mean ≈ 1/λ and λ = n/2 ⇒ n·(1/λ) = 2.
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 50u32;
+        let lambda = lambda_for_files_per_day(n);
+        let trials = 2_000;
+        let mut total_queries = 0.0;
+        for _ in 0..trials {
+            for _ in 0..n {
+                total_queries += sample_popularity(&mut rng, lambda).value();
+            }
+        }
+        let per_day = total_queries / trials as f64;
+        assert!((per_day - 2.0).abs() < 0.15, "queries/day {per_day}");
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn zero_lambda_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = sample_popularity(&mut rng, 0.0);
+    }
+
+    #[test]
+    fn estimator_counts_distinct_requesters() {
+        let mut est = PopularityEstimator::new(10);
+        let uri = Uri::new("mbt://f").unwrap();
+        let t = SimTime::from_secs(1000);
+        est.record_request(&uri, NodeId::new(1), t);
+        est.record_request(&uri, NodeId::new(1), t); // duplicate
+        est.record_request(&uri, NodeId::new(2), t);
+        assert!((est.popularity(&uri, t).value() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimator_window_expires_requests() {
+        let mut est = PopularityEstimator::new(10);
+        let uri = Uri::new("mbt://f").unwrap();
+        est.record_request(&uri, NodeId::new(1), SimTime::from_secs(0));
+        let later = SimTime::from_secs(25 * 3600);
+        assert_eq!(est.popularity(&uri, later), Popularity::MIN);
+    }
+
+    #[test]
+    fn estimator_unknown_uri_is_zero() {
+        let est = PopularityEstimator::new(10);
+        let uri = Uri::new("mbt://nope").unwrap();
+        assert_eq!(est.popularity(&uri, SimTime::ZERO), Popularity::MIN);
+    }
+
+    #[test]
+    fn prune_removes_old_entries() {
+        let mut est = PopularityEstimator::new(10);
+        let uri = Uri::new("mbt://f").unwrap();
+        est.record_request(&uri, NodeId::new(1), SimTime::from_secs(0));
+        est.prune(SimTime::from_secs(30 * 3600));
+        assert!(est.requests.is_empty());
+    }
+
+    #[test]
+    fn cmp_popularity_total_order() {
+        use std::cmp::Ordering;
+        assert_eq!(
+            cmp_popularity(Popularity::new(0.2), Popularity::new(0.8)),
+            Ordering::Less
+        );
+        assert_eq!(
+            cmp_popularity(Popularity::new(0.5), Popularity::new(0.5)),
+            Ordering::Equal
+        );
+    }
+
+    #[test]
+    fn lambda_for_files_per_day_is_half_n() {
+        assert_eq!(lambda_for_files_per_day(50), 25.0);
+        assert_eq!(lambda_for_files_per_day(0), 0.5, "clamped to n=1");
+    }
+}

@@ -1,0 +1,86 @@
+//! The three protocol variants compared in the paper's evaluation (§VI-A).
+
+use std::fmt;
+
+/// Which MBT variant a node runs.
+///
+/// - [`ProtocolKind::Mbt`] — the full protocol: queries are distributed to
+///   frequent contacting nodes, metadata are distributed standalone, files
+///   are downloaded by request and popularity.
+/// - [`ProtocolKind::MbtQ`] — "without distribution of queries": a node can
+///   only pull metadata from currently-connected peers; it cannot ask its
+///   frequent contacting nodes to collect metadata it is interested in.
+/// - [`ProtocolKind::MbtQm`] — "without distribution of both queries and
+///   metadata": a node can only pull files from other nodes; metadata travel
+///   only together with their files (as in prior content-distribution
+///   systems) and file selection is purely popularity-driven.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ProtocolKind {
+    /// Full mobile BitTorrent.
+    #[default]
+    Mbt,
+    /// MBT without query distribution.
+    MbtQ,
+    /// MBT without query and metadata distribution.
+    MbtQm,
+}
+
+impl ProtocolKind {
+    /// All variants, in the order the paper's figures list them.
+    pub const ALL: [ProtocolKind; 3] = [ProtocolKind::Mbt, ProtocolKind::MbtQ, ProtocolKind::MbtQm];
+
+    /// True if nodes store and serve the queries of their frequent
+    /// contacting nodes (MBT only).
+    pub fn distributes_queries(self) -> bool {
+        matches!(self, ProtocolKind::Mbt)
+    }
+
+    /// True if metadata circulate standalone, ahead of files (MBT and
+    /// MBT-Q).
+    pub fn distributes_metadata(self) -> bool {
+        !matches!(self, ProtocolKind::MbtQm)
+    }
+
+    /// Short label used in experiment output ("MBT", "MBT-Q", "MBT-QM").
+    pub fn label(self) -> &'static str {
+        match self {
+            ProtocolKind::Mbt => "MBT",
+            ProtocolKind::MbtQ => "MBT-Q",
+            ProtocolKind::MbtQm => "MBT-QM",
+        }
+    }
+}
+
+impl fmt::Display for ProtocolKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capability_matrix() {
+        assert!(ProtocolKind::Mbt.distributes_queries());
+        assert!(ProtocolKind::Mbt.distributes_metadata());
+        assert!(!ProtocolKind::MbtQ.distributes_queries());
+        assert!(ProtocolKind::MbtQ.distributes_metadata());
+        assert!(!ProtocolKind::MbtQm.distributes_queries());
+        assert!(!ProtocolKind::MbtQm.distributes_metadata());
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(ProtocolKind::Mbt.to_string(), "MBT");
+        assert_eq!(ProtocolKind::MbtQ.to_string(), "MBT-Q");
+        assert_eq!(ProtocolKind::MbtQm.to_string(), "MBT-QM");
+    }
+
+    #[test]
+    fn all_lists_three() {
+        assert_eq!(ProtocolKind::ALL.len(), 3);
+        assert_eq!(ProtocolKind::default(), ProtocolKind::Mbt);
+    }
+}

@@ -1,0 +1,132 @@
+//! Query strings.
+//!
+//! When a user wants to search for a file, he or she inputs a *query string*;
+//! the file discovery process returns a sorted list of matched metadata
+//! (paper §III-B). Queries travel in hello messages and — under the full MBT
+//! protocol — are also stored by frequent contacting nodes so they can
+//! collect metadata on the querier's behalf (§IV).
+
+use std::error::Error;
+use std::fmt;
+
+use crate::keyword::tokenize;
+
+/// A keyword query.
+///
+/// A query matches a piece of text when **all** of its tokens occur in the
+/// text (AND semantics); ranking uses the match count.
+///
+/// # Example
+///
+/// ```
+/// use mbt_core::Query;
+///
+/// let q = Query::new("FOX evening news")?;
+/// assert!(q.matches_text("the FOX channel evening news broadcast"));
+/// assert!(!q.matches_text("CBS evening news"));
+/// # Ok::<(), mbt_core::query::EmptyQuery>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Query {
+    text: String,
+    tokens: Vec<String>,
+}
+
+/// Error returned when a query contains no indexable tokens.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EmptyQuery;
+
+impl fmt::Display for EmptyQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "query contains no searchable keywords")
+    }
+}
+
+impl Error for EmptyQuery {}
+
+impl Query {
+    /// Creates a query from user text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EmptyQuery`] if the text tokenizes to nothing.
+    pub fn new<S: Into<String>>(text: S) -> Result<Self, EmptyQuery> {
+        let text = text.into();
+        let tokens = tokenize(&text);
+        if tokens.is_empty() {
+            return Err(EmptyQuery);
+        }
+        Ok(Query { text, tokens })
+    }
+
+    /// The original query text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The query's tokens (lowercase, deduplicated).
+    pub fn tokens(&self) -> &[String] {
+        &self.tokens
+    }
+
+    /// True if all query tokens occur in `text`.
+    pub fn matches_text(&self, text: &str) -> bool {
+        let hay = tokenize(text);
+        self.tokens.iter().all(|t| hay.contains(t))
+    }
+
+    /// True if all query tokens occur in the pre-tokenized `tokens` set.
+    pub fn matches_tokens(&self, tokens: &[String]) -> bool {
+        self.tokens.iter().all(|t| tokens.contains(t))
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_all_tokens() {
+        let q = Query::new("fox news").unwrap();
+        assert!(q.matches_text("FOX Evening News"));
+        assert!(!q.matches_text("fox comedy"));
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(Query::new("").unwrap_err(), EmptyQuery);
+        assert_eq!(Query::new("!!!").unwrap_err(), EmptyQuery);
+    }
+
+    #[test]
+    fn case_insensitive() {
+        let q = Query::new("NeWs").unwrap();
+        assert!(q.matches_text("breaking news"));
+    }
+
+    #[test]
+    fn matches_tokens_directly() {
+        let q = Query::new("a b").unwrap();
+        assert!(q.matches_tokens(&["a".into(), "b".into(), "c".into()]));
+        assert!(!q.matches_tokens(&["a".into()]));
+    }
+
+    #[test]
+    fn display_preserves_text() {
+        let q = Query::new("Fox News!").unwrap();
+        assert_eq!(q.to_string(), "Fox News!");
+        assert_eq!(q.text(), "Fox News!");
+        assert_eq!(q.tokens(), &["fox".to_string(), "news".to_string()]);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(EmptyQuery.to_string().contains("keywords"));
+    }
+}

@@ -1,0 +1,207 @@
+//! Metadata selection — the "user chooses the right file" step.
+//!
+//! "Manual metadata selection can be a very helpful step in file discovery
+//! ... there are fake files, files with inferior quality, and different
+//! files with similar names, and choosing an unpopular file will
+//! significantly prolong the download time" (paper §I). This module ranks
+//! the metadata matching a query the way the node's UI would present them —
+//! match score, then popularity — and provides selection policies, including
+//! one that discards metadata failing publisher authentication.
+
+use crate::auth::KeyRegistry;
+use crate::metadata::Metadata;
+use crate::popularity::{cmp_popularity, Popularity};
+use crate::query::Query;
+
+/// One ranked search result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankedResult<'a> {
+    /// The matching metadata.
+    pub metadata: &'a Metadata,
+    /// How many query tokens matched (all of them, under AND semantics, but
+    /// kept for future partial-match ranking).
+    pub match_score: usize,
+    /// Popularity as known locally.
+    pub popularity: Popularity,
+    /// Whether the metadata passed publisher authentication (`None` when no
+    /// registry was consulted).
+    pub authenticated: Option<bool>,
+}
+
+/// How the "user" picks from the ranked list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SelectionPolicy {
+    /// Take the top-ranked result (match score, then popularity).
+    #[default]
+    BestRanked,
+    /// Take the most popular match regardless of score.
+    MostPopular,
+    /// Like [`SelectionPolicy::BestRanked`] but skip anything that failed —
+    /// or could not undergo — authentication.
+    AuthenticatedOnly,
+}
+
+/// Ranks the metadata matching `query`, most attractive first.
+///
+/// `popularity_of` supplies the node's local popularity knowledge;
+/// `registry`, when given, stamps each result with its authentication
+/// verdict.
+pub fn rank<'a, I, F>(
+    candidates: I,
+    query: &Query,
+    popularity_of: F,
+    registry: Option<&KeyRegistry>,
+) -> Vec<RankedResult<'a>>
+where
+    I: IntoIterator<Item = &'a Metadata>,
+    F: Fn(&Metadata) -> Popularity,
+{
+    let mut results: Vec<RankedResult<'a>> = candidates
+        .into_iter()
+        .filter(|m| m.matches_query(query))
+        .map(|m| RankedResult {
+            match_score: query.tokens().len(),
+            popularity: popularity_of(m),
+            authenticated: registry.map(|r| r.verify(m).is_ok()),
+            metadata: m,
+        })
+        .collect();
+    results.sort_by(|a, b| {
+        b.match_score
+            .cmp(&a.match_score)
+            .then_with(|| cmp_popularity(b.popularity, a.popularity))
+            .then_with(|| a.metadata.uri().cmp(b.metadata.uri()))
+    });
+    results
+}
+
+/// Applies a selection policy to a ranked list, returning the chosen
+/// metadata if any qualifies.
+pub fn select<'a>(
+    results: &[RankedResult<'a>],
+    policy: SelectionPolicy,
+) -> Option<&'a Metadata> {
+    match policy {
+        SelectionPolicy::BestRanked => results.first().map(|r| r.metadata),
+        SelectionPolicy::MostPopular => results
+            .iter()
+            .max_by(|a, b| cmp_popularity(a.popularity, b.popularity))
+            .map(|r| r.metadata),
+        SelectionPolicy::AuthenticatedOnly => results
+            .iter()
+            .find(|r| r.authenticated == Some(true))
+            .map(|r| r.metadata),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::auth::{sign, PublisherKey};
+    use crate::uri::Uri;
+
+    fn meta(name: &str, uri: &str) -> Metadata {
+        Metadata::builder(name, "FOX", Uri::new(uri).unwrap()).build()
+    }
+
+    fn pop_table<'a>(entries: &'a [(&'a str, f64)]) -> impl Fn(&Metadata) -> Popularity + 'a {
+        move |m: &Metadata| {
+            entries
+                .iter()
+                .find(|(u, _)| m.uri().as_str() == *u)
+                .map(|&(_, p)| Popularity::new(p))
+                .unwrap_or(Popularity::MIN)
+        }
+    }
+
+    #[test]
+    fn ranks_matches_by_popularity() {
+        let a = meta("fox news alpha", "mbt://a");
+        let b = meta("fox news beta", "mbt://b");
+        let c = meta("abc comedy", "mbt://c");
+        let q = Query::new("fox news").unwrap();
+        let pop = pop_table(&[("mbt://a", 0.2), ("mbt://b", 0.8)]);
+        let ranked = rank([&a, &b, &c], &q, pop, None);
+        assert_eq!(ranked.len(), 2, "non-matching metadata excluded");
+        assert_eq!(ranked[0].metadata.uri().as_str(), "mbt://b");
+        assert_eq!(ranked[0].authenticated, None);
+    }
+
+    #[test]
+    fn best_ranked_and_most_popular_policies() {
+        let a = meta("fox news alpha", "mbt://a");
+        let b = meta("fox news beta", "mbt://b");
+        let q = Query::new("fox news").unwrap();
+        let pop = pop_table(&[("mbt://a", 0.9), ("mbt://b", 0.1)]);
+        let ranked = rank([&a, &b], &q, pop, None);
+        assert_eq!(
+            select(&ranked, SelectionPolicy::BestRanked).unwrap().uri().as_str(),
+            "mbt://a"
+        );
+        assert_eq!(
+            select(&ranked, SelectionPolicy::MostPopular).unwrap().uri().as_str(),
+            "mbt://a"
+        );
+    }
+
+    #[test]
+    fn authenticated_only_skips_fakes() {
+        let key = PublisherKey::derive(b"master", "FOX");
+        let attacker = PublisherKey::derive(b"evil", "FOX");
+        let mut real = meta("fox news real", "mbt://real");
+        sign(&mut real, &key);
+        let mut fake = meta("fox news fake", "mbt://fake");
+        sign(&mut fake, &attacker);
+
+        let mut registry = KeyRegistry::new();
+        registry.register("FOX", key);
+
+        let q = Query::new("fox news").unwrap();
+        // The fake claims maximal popularity — exactly the §I attack.
+        let pop = pop_table(&[("mbt://fake", 1.0), ("mbt://real", 0.3)]);
+        let ranked = rank([&real, &fake], &q, pop, Some(&registry));
+        // Naive policy falls for the fake:
+        assert_eq!(
+            select(&ranked, SelectionPolicy::BestRanked).unwrap().uri().as_str(),
+            "mbt://fake"
+        );
+        // Authentication-aware policy does not:
+        assert_eq!(
+            select(&ranked, SelectionPolicy::AuthenticatedOnly)
+                .unwrap()
+                .uri()
+                .as_str(),
+            "mbt://real"
+        );
+    }
+
+    #[test]
+    fn authenticated_only_returns_none_when_all_fake() {
+        let attacker = PublisherKey::derive(b"evil", "FOX");
+        let mut fake = meta("fox news fake", "mbt://fake");
+        sign(&mut fake, &attacker);
+        let mut registry = KeyRegistry::new();
+        registry.register("FOX", PublisherKey::derive(b"master", "FOX"));
+        let q = Query::new("fox news").unwrap();
+        let ranked = rank([&fake], &q, |_| Popularity::MAX, Some(&registry));
+        assert_eq!(select(&ranked, SelectionPolicy::AuthenticatedOnly), None);
+        assert!(select(&ranked, SelectionPolicy::BestRanked).is_some());
+    }
+
+    #[test]
+    fn empty_candidates_empty_results() {
+        let q = Query::new("anything").unwrap();
+        let ranked = rank(std::iter::empty(), &q, |_| Popularity::MIN, None);
+        assert!(ranked.is_empty());
+        assert_eq!(select(&ranked, SelectionPolicy::BestRanked), None);
+    }
+
+    #[test]
+    fn deterministic_tiebreak_by_uri() {
+        let a = meta("fox news", "mbt://a");
+        let b = meta("fox news", "mbt://b");
+        let q = Query::new("fox news").unwrap();
+        let ranked = rank([&b, &a], &q, |_| Popularity::new(0.5), None);
+        assert_eq!(ranked[0].metadata.uri().as_str(), "mbt://a");
+    }
+}

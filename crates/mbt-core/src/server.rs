@@ -1,0 +1,328 @@
+//! The central metadata server on the Internet.
+//!
+//! In a hybrid DTN the Internet is the sole source of files; metadata "can be
+//! placed on different servers than those of their files" and popularities
+//! "can be maintained by a central metadata server" (paper §III, §IV). When a
+//! node connects to the Internet it sends its query strings to the server,
+//! which returns the best-matched metadata; the server also tracks request
+//! popularity over a 24-hour window.
+
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+use dtn_trace::{NodeId, SimTime};
+
+use crate::keyword::InvertedIndex;
+use crate::metadata::Metadata;
+use crate::popularity::{cmp_popularity, Popularity, PopularityEstimator};
+use crate::query::Query;
+use crate::uri::Uri;
+
+/// The central metadata server.
+///
+/// Holds every published metadata record, a keyword index over it, the
+/// authoritative popularity of each file, and (as the Internet side of the
+/// hybrid DTN) the file contents themselves at file-level granularity.
+///
+/// # Example
+///
+/// ```
+/// use mbt_core::{Metadata, MetadataServer, Popularity, Query, Uri};
+///
+/// let mut server = MetadataServer::new(10);
+/// let uri = Uri::new("mbt://fox/news-1")?;
+/// let meta = Metadata::builder("FOX Evening News", "FOX", uri).build();
+/// server.publish(meta, Popularity::new(0.3));
+///
+/// let hits = server.search(&Query::new("evening news")?, 5);
+/// assert_eq!(hits.len(), 1);
+/// assert_eq!(hits[0].name(), "FOX Evening News");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MetadataServer {
+    metadata: BTreeMap<Uri, Metadata>,
+    index: InvertedIndex,
+    popularity: BTreeMap<Uri, Popularity>,
+    estimator: PopularityEstimator,
+}
+
+impl MetadataServer {
+    /// Creates a server; `internet_population` is the number of
+    /// Internet-access nodes, used to normalize estimated popularity.
+    pub fn new(internet_population: u32) -> Self {
+        MetadataServer {
+            metadata: BTreeMap::new(),
+            index: InvertedIndex::new(),
+            popularity: BTreeMap::new(),
+            estimator: PopularityEstimator::new(internet_population),
+        }
+    }
+
+    /// Publishes metadata with an assigned popularity (the workload's ground
+    /// truth). Re-publishing a URI replaces the record.
+    pub fn publish(&mut self, metadata: Metadata, popularity: Popularity) {
+        let uri = metadata.uri().clone();
+        self.index.remove(&uri);
+        self.index.insert(&uri, &metadata.search_text());
+        self.popularity.insert(uri.clone(), popularity);
+        self.metadata.insert(uri, metadata);
+    }
+
+    /// Number of published records.
+    pub fn len(&self) -> usize {
+        self.metadata.len()
+    }
+
+    /// True if nothing is published.
+    pub fn is_empty(&self) -> bool {
+        self.metadata.is_empty()
+    }
+
+    /// Looks up metadata by URI.
+    pub fn metadata_of(&self, uri: &Uri) -> Option<&Metadata> {
+        self.metadata.get(uri)
+    }
+
+    /// The assigned popularity of `uri` (0 if unknown).
+    pub fn popularity_of(&self, uri: &Uri) -> Popularity {
+        self.popularity.get(uri).copied().unwrap_or(Popularity::MIN)
+    }
+
+    /// Updates the assigned popularity (e.g. daily refresh from the
+    /// estimator).
+    pub fn set_popularity(&mut self, uri: &Uri, popularity: Popularity) {
+        if self.metadata.contains_key(uri) {
+            self.popularity.insert(uri.clone(), popularity);
+        }
+    }
+
+    /// Best-matched metadata for `query`, at most `limit`, ranked by match
+    /// count then popularity then URI (all descending except URI).
+    pub fn search(&self, query: &Query, limit: usize) -> Vec<&Metadata> {
+        let mut ranked: Vec<(&Uri, usize)> = self
+            .index
+            .lookup_ranked(query.tokens())
+            .into_iter()
+            .filter(|(uri, _)| {
+                self.metadata
+                    .get(uri)
+                    .is_some_and(|m| m.matches_query(query))
+            })
+            .map(|(uri, hits)| {
+                let uri_ref = self.metadata.get_key_value(&uri).expect("checked above").0;
+                (uri_ref, hits)
+            })
+            .collect();
+        ranked.sort_by(|a, b| {
+            b.1.cmp(&a.1)
+                .then_with(|| self.cmp_by_popularity(b.0, a.0))
+                .then_with(|| a.0.cmp(b.0))
+        });
+        ranked
+            .into_iter()
+            .take(limit)
+            .map(|(uri, _)| &self.metadata[uri])
+            .collect()
+    }
+
+    /// The single best match for `query`, if any.
+    pub fn best_match(&self, query: &Query) -> Option<&Metadata> {
+        self.search(query, 1).into_iter().next()
+    }
+
+    /// The `limit` most popular unexpired metadata at `now` (the push phase
+    /// of metadata distribution).
+    pub fn most_popular(&self, limit: usize, now: SimTime) -> Vec<&Metadata> {
+        let mut all: Vec<&Uri> = self
+            .metadata
+            .iter()
+            .filter(|(_, m)| !m.is_expired(now))
+            .map(|(u, _)| u)
+            .collect();
+        all.sort_by(|a, b| self.cmp_by_popularity(b, a).then_with(|| a.cmp(b)));
+        all.into_iter()
+            .take(limit)
+            .map(|u| &self.metadata[u])
+            .collect()
+    }
+
+    /// Records a download request (feeds the 24-hour popularity estimator).
+    pub fn record_request(&mut self, uri: &Uri, node: NodeId, now: SimTime) {
+        self.estimator.record_request(uri, node, now);
+    }
+
+    /// The estimated popularity from the 24-hour request window.
+    pub fn estimated_popularity(&self, uri: &Uri, now: SimTime) -> Popularity {
+        self.estimator.popularity(uri, now)
+    }
+
+    /// Refreshes every assigned popularity from the estimator (the paper's
+    /// daily popularity update).
+    pub fn refresh_popularities(&mut self, now: SimTime) {
+        let uris: Vec<Uri> = self.metadata.keys().cloned().collect();
+        for uri in uris {
+            let p = self.estimator.popularity(&uri, now);
+            self.popularity.insert(uri, p);
+        }
+        self.estimator.prune(now);
+    }
+
+    /// Removes metadata expired at `now`; returns how many were dropped.
+    pub fn expire(&mut self, now: SimTime) -> usize {
+        let expired: Vec<Uri> = self
+            .metadata
+            .iter()
+            .filter(|(_, m)| m.is_expired(now))
+            .map(|(u, _)| u.clone())
+            .collect();
+        for uri in &expired {
+            self.metadata.remove(uri);
+            self.index.remove(uri);
+            self.popularity.remove(uri);
+        }
+        expired.len()
+    }
+
+    /// Iterates over all published metadata in URI order.
+    pub fn iter(&self) -> impl Iterator<Item = &Metadata> {
+        self.metadata.values()
+    }
+
+    fn cmp_by_popularity(&self, a: &Uri, b: &Uri) -> Ordering {
+        cmp_popularity(self.popularity_of(a), self.popularity_of(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_trace::SimDuration;
+
+    fn meta(name: &str, uri: &str) -> Metadata {
+        Metadata::builder(name, "FOX", Uri::new(uri).unwrap()).build()
+    }
+
+    fn server_with(entries: &[(&str, &str, f64)]) -> MetadataServer {
+        let mut s = MetadataServer::new(10);
+        for &(name, uri, pop) in entries {
+            s.publish(meta(name, uri), Popularity::new(pop));
+        }
+        s
+    }
+
+    #[test]
+    fn publish_and_lookup() {
+        let s = server_with(&[("FOX News", "mbt://a", 0.5)]);
+        assert_eq!(s.len(), 1);
+        let uri = Uri::new("mbt://a").unwrap();
+        assert_eq!(s.metadata_of(&uri).unwrap().name(), "FOX News");
+        assert_eq!(s.popularity_of(&uri).value(), 0.5);
+    }
+
+    #[test]
+    fn search_ranks_by_match_then_popularity() {
+        let s = server_with(&[
+            ("fox news tonight", "mbt://a", 0.1),
+            ("fox news", "mbt://b", 0.9),
+            ("fox comedy", "mbt://c", 0.99),
+        ]);
+        let q = Query::new("fox news").unwrap();
+        let hits = s.search(&q, 10);
+        // Both a and b match fully (AND semantics filter others out).
+        assert_eq!(hits.len(), 2);
+        // Same match count (2 tokens) → popularity decides: b first.
+        assert_eq!(hits[0].uri().as_str(), "mbt://b");
+    }
+
+    #[test]
+    fn search_respects_limit_and_best_match() {
+        let s = server_with(&[
+            ("news one", "mbt://a", 0.2),
+            ("news two", "mbt://b", 0.8),
+        ]);
+        let q = Query::new("news").unwrap();
+        assert_eq!(s.search(&q, 1).len(), 1);
+        assert_eq!(s.best_match(&q).unwrap().uri().as_str(), "mbt://b");
+    }
+
+    #[test]
+    fn search_requires_all_tokens() {
+        let s = server_with(&[("fox comedy", "mbt://c", 0.9)]);
+        assert!(s.search(&Query::new("fox news").unwrap(), 10).is_empty());
+    }
+
+    #[test]
+    fn most_popular_sorted_desc() {
+        let s = server_with(&[
+            ("a", "mbt://a", 0.2),
+            ("b", "mbt://b", 0.9),
+            ("c", "mbt://c", 0.5),
+        ]);
+        let top: Vec<&str> = s
+            .most_popular(2, SimTime::ZERO)
+            .iter()
+            .map(|m| m.uri().as_str())
+            .collect();
+        assert_eq!(top, vec!["mbt://b", "mbt://c"]);
+    }
+
+    #[test]
+    fn most_popular_skips_expired() {
+        let mut s = MetadataServer::new(10);
+        let m = Metadata::builder("old", "FOX", Uri::new("mbt://old").unwrap())
+            .ttl(SimDuration::from_secs(10))
+            .build();
+        s.publish(m, Popularity::MAX);
+        assert!(s.most_popular(5, SimTime::from_secs(20)).is_empty());
+    }
+
+    #[test]
+    fn expire_removes_records() {
+        let mut s = MetadataServer::new(10);
+        let m = Metadata::builder("old", "FOX", Uri::new("mbt://old").unwrap())
+            .ttl(SimDuration::from_secs(10))
+            .build();
+        s.publish(m, Popularity::MAX);
+        s.publish(meta("fresh", "mbt://fresh"), Popularity::MAX);
+        assert_eq!(s.expire(SimTime::from_secs(20)), 1);
+        assert_eq!(s.len(), 1);
+        assert!(s.search(&Query::new("old").unwrap(), 5).is_empty());
+    }
+
+    #[test]
+    fn estimator_integration() {
+        let mut s = server_with(&[("a", "mbt://a", 0.0)]);
+        let uri = Uri::new("mbt://a").unwrap();
+        let t = SimTime::from_secs(100);
+        s.record_request(&uri, NodeId::new(0), t);
+        s.record_request(&uri, NodeId::new(1), t);
+        assert!((s.estimated_popularity(&uri, t).value() - 0.2).abs() < 1e-12);
+        s.refresh_popularities(t);
+        assert!((s.popularity_of(&uri).value() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn republish_replaces() {
+        let mut s = server_with(&[("first title", "mbt://a", 0.1)]);
+        s.publish(meta("second title", "mbt://a"), Popularity::new(0.7));
+        assert_eq!(s.len(), 1);
+        assert!(s.search(&Query::new("first").unwrap(), 5).is_empty());
+        assert_eq!(s.search(&Query::new("second").unwrap(), 5).len(), 1);
+    }
+
+    #[test]
+    fn set_popularity_only_for_known() {
+        let mut s = server_with(&[("a", "mbt://a", 0.1)]);
+        let unknown = Uri::new("mbt://nope").unwrap();
+        s.set_popularity(&unknown, Popularity::MAX);
+        assert_eq!(s.popularity_of(&unknown), Popularity::MIN);
+    }
+
+    #[test]
+    fn iter_covers_all() {
+        let s = server_with(&[("a", "mbt://a", 0.1), ("b", "mbt://b", 0.2)]);
+        assert_eq!(s.iter().count(), 2);
+        assert!(!s.is_empty());
+    }
+}

@@ -1,0 +1,402 @@
+//! Node-local storage.
+//!
+//! Each node's file discovery process "collects metadata and stores them in
+//! the local storage of the node" (paper §III-B); nodes also store the query
+//! strings of their most frequently connected nodes (§IV) and the files they
+//! have completed. Everything here is TTL-aware: expired entries are pruned
+//! so stale advertisements do not circulate forever.
+
+use std::collections::BTreeMap;
+
+use dtn_trace::{NodeId, SimTime};
+
+use crate::metadata::Metadata;
+use crate::query::Query;
+use crate::uri::Uri;
+
+/// A node's local metadata collection.
+///
+/// # Example
+///
+/// ```
+/// use mbt_core::{Metadata, MetadataStore, Query, Uri};
+///
+/// let mut store = MetadataStore::new();
+/// let meta = Metadata::builder("FOX News", "FOX", Uri::new("mbt://a")?).build();
+/// assert!(store.insert(meta.clone()));
+/// assert!(!store.insert(meta), "duplicates are ignored");
+/// assert_eq!(store.matching(&Query::new("news")?).len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetadataStore {
+    map: BTreeMap<Uri, Metadata>,
+}
+
+impl MetadataStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        MetadataStore::default()
+    }
+
+    /// Inserts metadata; returns `true` if it was new (an existing record for
+    /// the same URI is kept unchanged).
+    pub fn insert(&mut self, metadata: Metadata) -> bool {
+        match self.map.entry(metadata.uri().clone()) {
+            std::collections::btree_map::Entry::Vacant(v) => {
+                v.insert(metadata);
+                true
+            }
+            std::collections::btree_map::Entry::Occupied(_) => false,
+        }
+    }
+
+    /// Looks up metadata by URI.
+    pub fn get(&self, uri: &Uri) -> Option<&Metadata> {
+        self.map.get(uri)
+    }
+
+    /// True if metadata for `uri` is stored.
+    pub fn contains(&self, uri: &Uri) -> bool {
+        self.map.contains_key(uri)
+    }
+
+    /// Number of stored records.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True if the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over stored metadata in URI order.
+    pub fn iter(&self) -> impl Iterator<Item = &Metadata> {
+        self.map.values()
+    }
+
+    /// All stored metadata matching `query`, in URI order.
+    pub fn matching(&self, query: &Query) -> Vec<&Metadata> {
+        self.map.values().filter(|m| m.matches_query(query)).collect()
+    }
+
+    /// Removes records expired at `now`; returns how many were dropped.
+    pub fn prune_expired(&mut self, now: SimTime) -> usize {
+        let before = self.map.len();
+        self.map.retain(|_, m| !m.is_expired(now));
+        before - self.map.len()
+    }
+
+    /// Removes a record by URI; returns it if present.
+    pub fn remove(&mut self, uri: &Uri) -> Option<Metadata> {
+        self.map.remove(uri)
+    }
+}
+
+/// An active query with an optional expiry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryEntry {
+    query: Query,
+    expires: Option<SimTime>,
+}
+
+impl QueryEntry {
+    /// Creates an entry.
+    pub fn new(query: Query, expires: Option<SimTime>) -> Self {
+        QueryEntry { query, expires }
+    }
+
+    /// The query.
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// Expiry instant, if any.
+    pub fn expires(&self) -> Option<SimTime> {
+        self.expires
+    }
+
+    /// True if expired at `now`.
+    pub fn is_expired(&self, now: SimTime) -> bool {
+        self.expires.is_some_and(|e| now >= e)
+    }
+}
+
+/// A node's query collection: its user's own queries plus queries collected
+/// on behalf of other nodes (frequent contacts under MBT; currently-connected
+/// peers during a contact).
+///
+/// # Example
+///
+/// ```
+/// use mbt_core::{Query, QueryStore};
+/// use dtn_trace::NodeId;
+///
+/// let mut store = QueryStore::new();
+/// store.add_own(Query::new("fox news")?, None);
+/// store.add_foreign(NodeId::new(7), Query::new("abc comedy")?, None);
+/// assert_eq!(store.own().count(), 1);
+/// assert_eq!(store.foreign().count(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct QueryStore {
+    own: Vec<QueryEntry>,
+    foreign: Vec<(NodeId, QueryEntry)>,
+}
+
+impl QueryStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        QueryStore::default()
+    }
+
+    /// Adds one of the user's own queries (deduplicated by text).
+    /// Returns `true` if it was new.
+    pub fn add_own(&mut self, query: Query, expires: Option<SimTime>) -> bool {
+        if self.own.iter().any(|e| e.query.text() == query.text()) {
+            return false;
+        }
+        self.own.push(QueryEntry::new(query, expires));
+        true
+    }
+
+    /// Adds a query on behalf of `owner` (deduplicated by owner + text).
+    /// Returns `true` if it was new.
+    pub fn add_foreign(&mut self, owner: NodeId, query: Query, expires: Option<SimTime>) -> bool {
+        if self
+            .foreign
+            .iter()
+            .any(|(o, e)| *o == owner && e.query.text() == query.text())
+        {
+            return false;
+        }
+        self.foreign.push((owner, QueryEntry::new(query, expires)));
+        true
+    }
+
+    /// The user's own queries.
+    pub fn own(&self) -> impl Iterator<Item = &QueryEntry> {
+        self.own.iter()
+    }
+
+    /// Queries held for other nodes.
+    pub fn foreign(&self) -> impl Iterator<Item = (NodeId, &QueryEntry)> {
+        self.foreign.iter().map(|(o, e)| (*o, e))
+    }
+
+    /// All queries with their owners; `me` is reported as the owner of own
+    /// queries.
+    pub fn all_with_owner(&self, me: NodeId) -> Vec<(NodeId, &Query)> {
+        let mut out: Vec<(NodeId, &Query)> =
+            self.own.iter().map(|e| (me, &e.query)).collect();
+        out.extend(self.foreign.iter().map(|(o, e)| (*o, &e.query)));
+        out
+    }
+
+    /// Removes a satisfied own query by text; returns `true` if found.
+    pub fn remove_own(&mut self, text: &str) -> bool {
+        let before = self.own.len();
+        self.own.retain(|e| e.query.text() != text);
+        self.own.len() != before
+    }
+
+    /// Drops expired queries; returns how many were dropped.
+    pub fn prune_expired(&mut self, now: SimTime) -> usize {
+        let before = self.own.len() + self.foreign.len();
+        self.own.retain(|e| !e.is_expired(now));
+        self.foreign.retain(|(_, e)| !e.is_expired(now));
+        before - (self.own.len() + self.foreign.len())
+    }
+
+    /// Total number of stored queries (own + foreign).
+    pub fn len(&self) -> usize {
+        self.own.len() + self.foreign.len()
+    }
+
+    /// True if no queries are stored.
+    pub fn is_empty(&self) -> bool {
+        self.own.is_empty() && self.foreign.is_empty()
+    }
+}
+
+/// The set of complete files a node holds (file-level granularity, as used by
+/// the paper's evaluation model).
+#[derive(Debug, Clone, Default)]
+pub struct FileStore {
+    files: BTreeMap<Uri, Option<SimTime>>,
+}
+
+impl FileStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        FileStore::default()
+    }
+
+    /// Records that the node holds the complete file at `uri`, expiring at
+    /// `expires`. Returns `true` if it was new.
+    pub fn insert(&mut self, uri: Uri, expires: Option<SimTime>) -> bool {
+        self.files.insert(uri, expires).is_none()
+    }
+
+    /// True if the node holds `uri`.
+    pub fn contains(&self, uri: &Uri) -> bool {
+        self.files.contains_key(uri)
+    }
+
+    /// Iterates over held URIs in order.
+    pub fn iter(&self) -> impl Iterator<Item = &Uri> {
+        self.files.keys()
+    }
+
+    /// Number of held files.
+    pub fn len(&self) -> usize {
+        self.files.len()
+    }
+
+    /// True if no files are held.
+    pub fn is_empty(&self) -> bool {
+        self.files.is_empty()
+    }
+
+    /// Drops expired files; returns how many were dropped.
+    pub fn prune_expired(&mut self, now: SimTime) -> usize {
+        let before = self.files.len();
+        self.files
+            .retain(|_, expires| !expires.is_some_and(|e| now >= e));
+        before - self.files.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_trace::SimDuration;
+
+    fn meta(name: &str, uri: &str) -> Metadata {
+        Metadata::builder(name, "FOX", Uri::new(uri).unwrap()).build()
+    }
+
+    fn expiring_meta(uri: &str, ttl_secs: u64) -> Metadata {
+        Metadata::builder("x", "FOX", Uri::new(uri).unwrap())
+            .ttl(SimDuration::from_secs(ttl_secs))
+            .build()
+    }
+
+    #[test]
+    fn metadata_store_dedups() {
+        let mut s = MetadataStore::new();
+        assert!(s.insert(meta("a", "mbt://a")));
+        assert!(!s.insert(meta("a-again", "mbt://a")));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(&Uri::new("mbt://a").unwrap()).unwrap().name(), "a");
+    }
+
+    #[test]
+    fn metadata_store_matching() {
+        let mut s = MetadataStore::new();
+        s.insert(meta("fox news", "mbt://a"));
+        s.insert(meta("abc comedy", "mbt://b"));
+        let q = Query::new("news").unwrap();
+        assert_eq!(s.matching(&q).len(), 1);
+    }
+
+    #[test]
+    fn metadata_store_prunes_expired() {
+        let mut s = MetadataStore::new();
+        s.insert(expiring_meta("mbt://old", 10));
+        s.insert(meta("fresh", "mbt://fresh"));
+        assert_eq!(s.prune_expired(SimTime::from_secs(20)), 1);
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(&Uri::new("mbt://fresh").unwrap()));
+    }
+
+    #[test]
+    fn metadata_store_remove() {
+        let mut s = MetadataStore::new();
+        s.insert(meta("a", "mbt://a"));
+        assert!(s.remove(&Uri::new("mbt://a").unwrap()).is_some());
+        assert!(s.is_empty());
+        assert!(s.remove(&Uri::new("mbt://a").unwrap()).is_none());
+    }
+
+    #[test]
+    fn query_store_dedups_own_by_text() {
+        let mut s = QueryStore::new();
+        assert!(s.add_own(Query::new("fox news").unwrap(), None));
+        assert!(!s.add_own(Query::new("fox news").unwrap(), None));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn query_store_foreign_per_owner() {
+        let mut s = QueryStore::new();
+        let q = Query::new("x").unwrap();
+        assert!(s.add_foreign(NodeId::new(1), q.clone(), None));
+        assert!(!s.add_foreign(NodeId::new(1), q.clone(), None));
+        assert!(s.add_foreign(NodeId::new(2), q, None));
+        assert_eq!(s.foreign().count(), 2);
+    }
+
+    #[test]
+    fn query_store_all_with_owner() {
+        let mut s = QueryStore::new();
+        s.add_own(Query::new("mine").unwrap(), None);
+        s.add_foreign(NodeId::new(3), Query::new("theirs").unwrap(), None);
+        let all = s.all_with_owner(NodeId::new(0));
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].0, NodeId::new(0));
+        assert_eq!(all[1].0, NodeId::new(3));
+    }
+
+    #[test]
+    fn query_store_remove_own() {
+        let mut s = QueryStore::new();
+        s.add_own(Query::new("fox news").unwrap(), None);
+        assert!(s.remove_own("fox news"));
+        assert!(!s.remove_own("fox news"));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn query_store_prunes_expired() {
+        let mut s = QueryStore::new();
+        s.add_own(Query::new("a").unwrap(), Some(SimTime::from_secs(10)));
+        s.add_foreign(
+            NodeId::new(1),
+            Query::new("b").unwrap(),
+            Some(SimTime::from_secs(5)),
+        );
+        s.add_own(Query::new("keep").unwrap(), None);
+        assert_eq!(s.prune_expired(SimTime::from_secs(10)), 2);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn file_store_basics() {
+        let mut s = FileStore::new();
+        let uri = Uri::new("mbt://f").unwrap();
+        assert!(s.insert(uri.clone(), None));
+        assert!(!s.insert(uri.clone(), None));
+        assert!(s.contains(&uri));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn file_store_prunes_expired() {
+        let mut s = FileStore::new();
+        s.insert(Uri::new("mbt://old").unwrap(), Some(SimTime::from_secs(10)));
+        s.insert(Uri::new("mbt://keep").unwrap(), None);
+        assert_eq!(s.prune_expired(SimTime::from_secs(10)), 1);
+        assert_eq!(s.iter().next().unwrap().as_str(), "mbt://keep");
+    }
+
+    #[test]
+    fn query_entry_expiry() {
+        let e = QueryEntry::new(Query::new("x").unwrap(), Some(SimTime::from_secs(5)));
+        assert!(!e.is_expired(SimTime::from_secs(4)));
+        assert!(e.is_expired(SimTime::from_secs(5)));
+        assert_eq!(e.expires(), Some(SimTime::from_secs(5)));
+    }
+}

@@ -1,0 +1,125 @@
+//! Uniform resource identifiers.
+
+use std::error::Error;
+use std::fmt;
+
+/// The uniform resource identifier (URI) of a file.
+///
+/// Every file shared through MBT is identified by its URI; file pieces are
+/// stamped with the URI and an offset (paper §III-B). URIs are opaque,
+/// non-empty, whitespace-free strings.
+///
+/// # Example
+///
+/// ```
+/// use mbt_core::Uri;
+///
+/// let uri = Uri::new("mbt://fox/show-42/ep-3")?;
+/// assert_eq!(uri.as_str(), "mbt://fox/show-42/ep-3");
+/// # Ok::<(), mbt_core::uri::InvalidUri>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Uri(String);
+
+/// Error returned for malformed URIs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InvalidUri {
+    /// The URI string was empty.
+    Empty,
+    /// The URI string contained whitespace.
+    ContainsWhitespace,
+}
+
+impl fmt::Display for InvalidUri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InvalidUri::Empty => write!(f, "uri must not be empty"),
+            InvalidUri::ContainsWhitespace => write!(f, "uri must not contain whitespace"),
+        }
+    }
+}
+
+impl Error for InvalidUri {}
+
+impl Uri {
+    /// Creates a URI from a string.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidUri`] if the string is empty or contains whitespace.
+    pub fn new<S: Into<String>>(s: S) -> Result<Self, InvalidUri> {
+        let s = s.into();
+        if s.is_empty() {
+            return Err(InvalidUri::Empty);
+        }
+        if s.chars().any(char::is_whitespace) {
+            return Err(InvalidUri::ContainsWhitespace);
+        }
+        Ok(Uri(s))
+    }
+
+    /// The URI as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl AsRef<str> for Uri {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Uri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::str::FromStr for Uri {
+    type Err = InvalidUri;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Uri::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_reasonable_uris() {
+        assert!(Uri::new("mbt://abc/1").is_ok());
+        assert!(Uri::new("x").is_ok());
+    }
+
+    #[test]
+    fn rejects_empty() {
+        assert_eq!(Uri::new(""), Err(InvalidUri::Empty));
+    }
+
+    #[test]
+    fn rejects_whitespace() {
+        assert_eq!(Uri::new("a b"), Err(InvalidUri::ContainsWhitespace));
+        assert_eq!(Uri::new("a\tb"), Err(InvalidUri::ContainsWhitespace));
+    }
+
+    #[test]
+    fn from_str_round_trip() {
+        let uri: Uri = "mbt://x/y".parse().unwrap();
+        assert_eq!(uri.to_string(), "mbt://x/y");
+        assert_eq!(uri.as_ref(), "mbt://x/y");
+    }
+
+    #[test]
+    fn ordering_is_lexicographic() {
+        assert!(Uri::new("a").unwrap() < Uri::new("b").unwrap());
+    }
+
+    #[test]
+    fn error_messages() {
+        assert!(InvalidUri::Empty.to_string().contains("empty"));
+        assert!(InvalidUri::ContainsWhitespace.to_string().contains("whitespace"));
+    }
+}

@@ -1,0 +1,53 @@
+//! Runs the design-choice ablations listed in `DESIGN.md`.
+//!
+//! Usage: `cargo run -p mbt-experiments --bin ablations --release [-- --quick]`
+
+use mbt_experiments::ablations::{
+    ablation_table, cooperation_ablation, discovery_first_ablation, failure_ablation,
+    ordering_ablation, pollution_ablation, short_contact_ablation,
+};
+use mbt_experiments::scale_from_args;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Design ablations (NUS-style trace), scale {scale:?}\n");
+    println!(
+        "{}",
+        ablation_table("cooperation mode (§IV-B/§V-B)", &cooperation_ablation(scale))
+    );
+    println!(
+        "{}",
+        ablation_table(
+            "discovery-first contact ordering (§V)",
+            &discovery_first_ablation(scale)
+        )
+    );
+    println!(
+        "{}",
+        ablation_table(
+            "short-contact file-phase gating (§V)",
+            &short_contact_ablation(scale)
+        )
+    );
+    println!(
+        "{}",
+        ablation_table(
+            "broadcast ordering: two-phase (§V-A) vs rarest-first (BitTorrent)",
+            &ordering_ablation(scale)
+        )
+    );
+    println!(
+        "{}",
+        ablation_table(
+            "failure injection: broadcast loss and node churn",
+            &failure_ablation(scale)
+        )
+    );
+    println!(
+        "{}",
+        ablation_table(
+            "metadata pollution: fake publishers vs authentication (\u{a7}I, \u{a7}III-B.f)",
+            &pollution_ablation(scale)
+        )
+    );
+}

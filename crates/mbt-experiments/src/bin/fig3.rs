@@ -1,0 +1,19 @@
+//! Regenerates Figure 3 (a)–(f): the NUS-student-trace evaluation.
+//!
+//! Usage: `cargo run -p mbt-experiments --bin fig3 --release [-- --quick]`
+
+use mbt_experiments::figures::all_fig3;
+use mbt_experiments::report::{figure_csv, figure_table};
+use mbt_experiments::{scale_from_args, write_csv};
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Reproducing Figure 3 (NUS student trace), scale {scale:?}\n");
+    for fig in all_fig3(scale) {
+        print!("{}", figure_table(&fig));
+        if let Some(path) = write_csv(&fig.id, &figure_csv(&fig)) {
+            println!("  -> {}", path.display());
+        }
+        println!();
+    }
+}

@@ -1,0 +1,19 @@
+//! Runs the routing-baseline experiments: classical store-carry-forward
+//! protocols on both traces, and the space-time oracle bound for metadata
+//! dissemination vs what MBT achieves.
+//!
+//! Usage: `cargo run -p mbt-experiments --bin routing --release [-- --quick]`
+
+use mbt_experiments::routing::{
+    bound_table, dissemination_bound, routing_comparison, routing_table,
+};
+use mbt_experiments::scale_from_args;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("Routing baselines (paper §II-A substrate), scale {scale:?}\n");
+    println!("== unicast routing comparison ==");
+    print!("{}", routing_table(&routing_comparison(scale)));
+    println!("\n== metadata dissemination: MBT vs space-time oracle bound ==");
+    print!("{}", bound_table(&dissemination_bound(scale)));
+}

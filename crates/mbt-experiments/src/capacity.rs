@@ -1,0 +1,109 @@
+//! The §V capacity analysis: broadcast vs pair-wise transmission.
+//!
+//! The paper argues that broadcast-based file download has an *increasing*
+//! per-node transmission capacity as node density increases — `(n-1)/n` for a
+//! clique of `n` — while pair-wise transmission *decreases* — `1/n`. This
+//! module reproduces that analysis both analytically and by counting
+//! receptions in a slot-level simulation, and adds the derived
+//! time-to-distribute comparison.
+
+use dtn_sim::channel::{
+    broadcast_per_node_capacity, pairwise_per_node_capacity, simulate_receptions,
+    TransmissionMode,
+};
+
+/// One row of the capacity table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacityRow {
+    /// Clique size.
+    pub n: usize,
+    /// Analytic per-node broadcast capacity `(n-1)/n`.
+    pub broadcast: f64,
+    /// Analytic per-node pair-wise capacity `1/n`.
+    pub pairwise: f64,
+    /// Simulated per-node per-slot reception rate under broadcast.
+    pub broadcast_sim: f64,
+    /// Simulated per-node per-slot reception rate under pair-wise.
+    pub pairwise_sim: f64,
+    /// Slots to give every member one copy of a file, broadcasting.
+    pub slots_broadcast: u64,
+    /// Slots to give every member one copy of a file, pair-wise.
+    pub slots_pairwise: u64,
+}
+
+/// Computes the capacity table for clique sizes `2..=max_n`.
+pub fn capacity_table(max_n: usize, slots: u64) -> Vec<CapacityRow> {
+    (2..=max_n)
+        .map(|n| {
+            let b = simulate_receptions(TransmissionMode::Broadcast, n, slots);
+            let p = simulate_receptions(TransmissionMode::Pairwise, n, slots);
+            CapacityRow {
+                n,
+                broadcast: broadcast_per_node_capacity(n),
+                pairwise: pairwise_per_node_capacity(n),
+                broadcast_sim: b as f64 / (n as f64 * slots as f64),
+                pairwise_sim: p as f64 / (n as f64 * slots as f64),
+                // One holder must serve n-1 receivers: 1 broadcast slot vs
+                // n-1 pair-wise transmissions.
+                slots_broadcast: 1,
+                slots_pairwise: (n as u64) - 1,
+            }
+        })
+        .collect()
+}
+
+/// The crossover statement of §V: broadcast strictly beats pair-wise for all
+/// `n > 2`, and they tie at `n = 2`.
+pub fn crossover_holds(rows: &[CapacityRow]) -> bool {
+    rows.iter().all(|r| {
+        if r.n == 2 {
+            (r.broadcast - r.pairwise).abs() < 1e-12
+        } else {
+            r.broadcast > r.pairwise
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_covers_requested_sizes() {
+        let rows = capacity_table(10, 100);
+        assert_eq!(rows.len(), 9);
+        assert_eq!(rows[0].n, 2);
+        assert_eq!(rows[8].n, 10);
+    }
+
+    #[test]
+    fn simulation_matches_analysis() {
+        for row in capacity_table(12, 1000) {
+            assert!((row.broadcast - row.broadcast_sim).abs() < 1e-12, "n={}", row.n);
+            assert!((row.pairwise - row.pairwise_sim).abs() < 1e-12, "n={}", row.n);
+        }
+    }
+
+    #[test]
+    fn broadcast_monotone_up_pairwise_down() {
+        let rows = capacity_table(16, 10);
+        for w in rows.windows(2) {
+            assert!(w[1].broadcast > w[0].broadcast);
+            assert!(w[1].pairwise < w[0].pairwise);
+        }
+    }
+
+    #[test]
+    fn crossover_statement_holds() {
+        assert!(crossover_holds(&capacity_table(20, 10)));
+    }
+
+    #[test]
+    fn distribution_slots_grow_linearly_for_pairwise() {
+        let rows = capacity_table(8, 10);
+        for r in &rows {
+            assert_eq!(r.slots_broadcast, 1);
+            assert_eq!(r.slots_pairwise, r.n as u64 - 1);
+        }
+    }
+}

@@ -1,0 +1,347 @@
+//! The experiment registry: one function per figure of the paper's
+//! evaluation (§VI-B).
+//!
+//! Figure 2 (a)–(e) sweep five parameters on the DieselNet-style pair-wise
+//! bus trace; Figure 3 (a)–(f) sweeps the same five plus attendance rate on
+//! the NUS-style classroom clique trace. Each function returns a
+//! [`Figure`] holding one series per protocol (MBT, MBT-Q, MBT-QM).
+
+use dtn_trace::generators::{DieselNetConfig, NusConfig};
+use dtn_trace::{ContactTrace, SimDuration};
+use mbt_core::MbtConfig;
+
+use crate::runner::SimParams;
+use crate::sweep::{sweep, sweep_shared_trace, Figure};
+
+/// How big to run the experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scale {
+    /// Small population / short horizon — for tests and benches.
+    Quick,
+    /// The full scale used for `EXPERIMENTS.md`.
+    #[default]
+    Full,
+}
+
+impl Scale {
+    fn days(self) -> u64 {
+        match self {
+            Scale::Quick => 6,
+            Scale::Full => 15,
+        }
+    }
+
+    fn buses(self) -> u32 {
+        match self {
+            Scale::Quick => 16,
+            Scale::Full => 40,
+        }
+    }
+
+    fn students(self) -> u32 {
+        match self {
+            Scale::Quick => 30,
+            Scale::Full => 80,
+        }
+    }
+
+    fn xs(self, full: &[f64], quick: &[f64]) -> Vec<f64> {
+        match self {
+            Scale::Quick => quick.to_vec(),
+            Scale::Full => full.to_vec(),
+        }
+    }
+}
+
+const SEED: u64 = 42;
+
+fn dieselnet_trace(scale: Scale) -> ContactTrace {
+    DieselNetConfig::new(scale.buses(), scale.days()).seed(SEED).generate()
+}
+
+fn nus_trace(scale: Scale) -> ContactTrace {
+    nus_trace_with_attendance(scale, 0.8)
+}
+
+fn nus_trace_with_attendance(scale: Scale, attendance: f64) -> ContactTrace {
+    NusConfig::new(scale.students(), scale.days())
+        .seed(SEED)
+        .attendance_rate(attendance)
+        .generate()
+}
+
+fn base_params(scale: Scale, frequent_days: u64) -> SimParams {
+    SimParams {
+        days: scale.days(),
+        seed: SEED,
+        frequent_window: SimDuration::from_days(frequent_days),
+        ..SimParams::default()
+    }
+}
+
+fn dieselnet_params(scale: Scale) -> SimParams {
+    base_params(scale, 3)
+}
+
+fn nus_params(scale: Scale) -> SimParams {
+    base_params(scale, 1)
+}
+
+// ----- Figure 2: UMassDieselNet-style trace -----
+
+/// Fig 2(a): delivery ratios vs percentage of Internet-access nodes.
+pub fn fig2a(scale: Scale) -> Figure {
+    let trace = dieselnet_trace(scale);
+    let xs = scale.xs(&[0.1, 0.3, 0.5, 0.7, 0.9], &[0.1, 0.5, 0.9]);
+    sweep_shared_trace(
+        "fig2a",
+        "DieselNet: delivery ratio vs % Internet-access nodes",
+        "internet-access fraction",
+        &xs,
+        &trace,
+        |x| SimParams {
+            internet_fraction: x,
+            ..dieselnet_params(scale)
+        },
+    )
+}
+
+/// Fig 2(b): delivery ratios vs number of new files per day.
+pub fn fig2b(scale: Scale) -> Figure {
+    let trace = dieselnet_trace(scale);
+    let xs = scale.xs(&[10.0, 25.0, 50.0, 75.0, 100.0], &[10.0, 50.0]);
+    sweep_shared_trace(
+        "fig2b",
+        "DieselNet: delivery ratio vs new files per day",
+        "new files per day",
+        &xs,
+        &trace,
+        |x| SimParams {
+            files_per_day: x as u32,
+            ..dieselnet_params(scale)
+        },
+    )
+}
+
+/// Fig 2(c): delivery ratios vs file time-to-live.
+pub fn fig2c(scale: Scale) -> Figure {
+    let trace = dieselnet_trace(scale);
+    let xs = scale.xs(&[1.0, 2.0, 3.0, 4.0, 5.0], &[1.0, 3.0, 5.0]);
+    sweep_shared_trace(
+        "fig2c",
+        "DieselNet: delivery ratio vs TTL of file (days)",
+        "TTL (days)",
+        &xs,
+        &trace,
+        |x| SimParams {
+            ttl_days: x as u64,
+            ..dieselnet_params(scale)
+        },
+    )
+}
+
+/// Fig 2(d): delivery ratios vs metadata exchanged per contact. Captures the
+/// paper's exception: at very small metadata budgets, MBT-QM's file ratio and
+/// MBT-Q's metadata ratio can win because the few circulating metadata are
+/// biased.
+pub fn fig2d(scale: Scale) -> Figure {
+    let trace = dieselnet_trace(scale);
+    let xs = scale.xs(&[1.0, 5.0, 10.0, 20.0, 40.0], &[1.0, 20.0]);
+    sweep_shared_trace(
+        "fig2d",
+        "DieselNet: delivery ratio vs metadata per contact",
+        "metadata per contact",
+        &xs,
+        &trace,
+        |x| SimParams {
+            config: MbtConfig::new().metadata_per_contact(x as u32),
+            ..dieselnet_params(scale)
+        },
+    )
+}
+
+/// Fig 2(e): delivery ratios vs files exchanged per contact.
+pub fn fig2e(scale: Scale) -> Figure {
+    let trace = dieselnet_trace(scale);
+    let xs = scale.xs(&[1.0, 2.0, 4.0, 6.0, 10.0], &[1.0, 4.0]);
+    sweep_shared_trace(
+        "fig2e",
+        "DieselNet: delivery ratio vs files per contact",
+        "files per contact",
+        &xs,
+        &trace,
+        |x| SimParams {
+            config: MbtConfig::new().files_per_contact(x as u32),
+            ..dieselnet_params(scale)
+        },
+    )
+}
+
+// ----- Figure 3: NUS-style student trace -----
+
+/// Fig 3(a): delivery ratios vs percentage of Internet-access nodes. The
+/// paper highlights that MBT/MBT-Q file ratios rise quickly while MBT-QM
+/// stays flat (it has no file discovery process).
+pub fn fig3a(scale: Scale) -> Figure {
+    let trace = nus_trace(scale);
+    let xs = scale.xs(&[0.1, 0.3, 0.5, 0.7, 0.9], &[0.1, 0.5, 0.9]);
+    sweep_shared_trace(
+        "fig3a",
+        "NUS: delivery ratio vs % Internet-access nodes",
+        "internet-access fraction",
+        &xs,
+        &trace,
+        |x| SimParams {
+            internet_fraction: x,
+            ..nus_params(scale)
+        },
+    )
+}
+
+/// Fig 3(b): delivery ratios vs number of new files per day.
+pub fn fig3b(scale: Scale) -> Figure {
+    let trace = nus_trace(scale);
+    let xs = scale.xs(&[10.0, 25.0, 50.0, 75.0, 100.0], &[10.0, 50.0]);
+    sweep_shared_trace(
+        "fig3b",
+        "NUS: delivery ratio vs new files per day",
+        "new files per day",
+        &xs,
+        &trace,
+        |x| SimParams {
+            files_per_day: x as u32,
+            ..nus_params(scale)
+        },
+    )
+}
+
+/// Fig 3(c): delivery ratios vs file time-to-live.
+pub fn fig3c(scale: Scale) -> Figure {
+    let trace = nus_trace(scale);
+    let xs = scale.xs(&[1.0, 2.0, 3.0, 4.0, 5.0], &[1.0, 3.0, 5.0]);
+    sweep_shared_trace(
+        "fig3c",
+        "NUS: delivery ratio vs TTL of file (days)",
+        "TTL (days)",
+        &xs,
+        &trace,
+        |x| SimParams {
+            ttl_days: x as u64,
+            ..nus_params(scale)
+        },
+    )
+}
+
+/// Fig 3(d): delivery ratios vs metadata exchanged per contact.
+pub fn fig3d(scale: Scale) -> Figure {
+    let trace = nus_trace(scale);
+    let xs = scale.xs(&[1.0, 5.0, 10.0, 20.0, 40.0], &[1.0, 20.0]);
+    sweep_shared_trace(
+        "fig3d",
+        "NUS: delivery ratio vs metadata per contact",
+        "metadata per contact",
+        &xs,
+        &trace,
+        |x| SimParams {
+            config: MbtConfig::new().metadata_per_contact(x as u32),
+            ..nus_params(scale)
+        },
+    )
+}
+
+/// Fig 3(e): delivery ratios vs files exchanged per contact.
+pub fn fig3e(scale: Scale) -> Figure {
+    let trace = nus_trace(scale);
+    let xs = scale.xs(&[1.0, 2.0, 4.0, 6.0, 10.0], &[1.0, 4.0]);
+    sweep_shared_trace(
+        "fig3e",
+        "NUS: delivery ratio vs files per contact",
+        "files per contact",
+        &xs,
+        &trace,
+        |x| SimParams {
+            config: MbtConfig::new().files_per_contact(x as u32),
+            ..nus_params(scale)
+        },
+    )
+}
+
+/// Fig 3(f): delivery ratios vs attendance rate — the probability an
+/// enrolled student actually attends a class session. Mobility itself changes
+/// with x, so each x regenerates the trace.
+pub fn fig3f(scale: Scale) -> Figure {
+    let xs = scale.xs(&[0.5, 0.6, 0.7, 0.8, 0.9, 1.0], &[0.5, 1.0]);
+    sweep(
+        "fig3f",
+        "NUS: delivery ratio vs attendance rate",
+        "attendance rate",
+        &xs,
+        |x| {
+            (
+                nus_trace_with_attendance(scale, x),
+                nus_params(scale),
+            )
+        },
+    )
+}
+
+/// Every Figure-2 experiment in order.
+pub fn all_fig2(scale: Scale) -> Vec<Figure> {
+    vec![fig2a(scale), fig2b(scale), fig2c(scale), fig2d(scale), fig2e(scale)]
+}
+
+/// Every Figure-3 experiment in order.
+pub fn all_fig3(scale: Scale) -> Vec<Figure> {
+    vec![
+        fig3a(scale),
+        fig3b(scale),
+        fig3c(scale),
+        fig3d(scale),
+        fig3e(scale),
+        fig3f(scale),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mbt_core::ProtocolKind;
+
+    #[test]
+    fn quick_fig2a_has_expected_shape() {
+        let fig = fig2a(Scale::Quick);
+        assert_eq!(fig.series.len(), 3);
+        let mbt = fig.series_for(ProtocolKind::Mbt).unwrap();
+        assert_eq!(mbt.points.len(), 3);
+        // Delivery grows with Internet access for the full protocol.
+        assert!(
+            mbt.points.last().unwrap().file_ratio >= mbt.points[0].file_ratio,
+            "file ratio should not fall as internet access rises"
+        );
+    }
+
+    #[test]
+    fn quick_fig3a_mbtqm_flat_without_discovery() {
+        let fig = fig3a(Scale::Quick);
+        let mbt = fig.series_for(ProtocolKind::Mbt).unwrap();
+        let qm = fig.series_for(ProtocolKind::MbtQm).unwrap();
+        // At high internet fraction MBT should clearly beat MBT-QM on files.
+        let last = mbt.points.len() - 1;
+        assert!(
+            mbt.points[last].file_ratio >= qm.points[last].file_ratio,
+            "MBT {} < MBT-QM {}",
+            mbt.points[last].file_ratio,
+            qm.points[last].file_ratio
+        );
+    }
+
+    #[test]
+    fn quick_fig3f_attendance_helps() {
+        let fig = fig3f(Scale::Quick);
+        let mbt = fig.series_for(ProtocolKind::Mbt).unwrap();
+        assert!(
+            mbt.points.last().unwrap().file_ratio >= mbt.points[0].file_ratio,
+            "full attendance should deliver at least as much"
+        );
+    }
+}

@@ -1,0 +1,69 @@
+//! Experiment harness reproducing the evaluation of *"Cooperative File
+//! Sharing in Hybrid Delay Tolerant Networks"* (ICDCS 2011).
+//!
+//! - [`workload`] — the paper's daily file/query workload (§VI-A),
+//! - [`runner`] — the end-to-end simulation measuring delivery ratios among
+//!   non-Internet-access nodes,
+//! - [`sweep`] / [`figures`] — parameter sweeps regenerating every panel of
+//!   Figures 2 and 3,
+//! - [`capacity`] — the §V broadcast-vs-pair-wise capacity analysis,
+//! - [`ablations`] — cooperation-mode and contact-ordering ablations,
+//! - [`report`] — text/CSV rendering.
+//!
+//! Binaries: `fig2`, `fig3`, `capacity`, `ablations`, `all_experiments`
+//! (each accepts `--quick`).
+//!
+//! # Example
+//!
+//! ```
+//! use dtn_trace::generators::NusConfig;
+//! use mbt_experiments::runner::{run_simulation, SimParams};
+//!
+//! let trace = NusConfig::new(20, 5).seed(1).generate();
+//! let result = run_simulation(&trace, &SimParams { days: 5, ..SimParams::default() });
+//! assert!(result.queries > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod ablations;
+pub mod capacity;
+pub mod figures;
+pub mod mobility;
+pub mod progress;
+pub mod report;
+pub mod routing;
+pub mod runner;
+pub mod sweep;
+pub mod workload;
+
+pub use figures::Scale;
+pub use runner::{run_simulation, SimParams, SimResult};
+pub use sweep::{Figure, ProtocolSeries, SeriesPoint};
+
+/// Parses the common `--quick` flag from argv.
+pub fn scale_from_args() -> Scale {
+    if std::env::args().any(|a| a == "--quick") {
+        Scale::Quick
+    } else {
+        Scale::Full
+    }
+}
+
+/// Writes a CSV string to `results/<name>.csv` (creating the directory),
+/// returning the path written. I/O errors are reported, not fatal.
+pub fn write_csv(name: &str, csv: &str) -> Option<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return None;
+    }
+    let path = dir.join(format!("{name}.csv"));
+    match std::fs::write(&path, csv) {
+        Ok(()) => Some(path),
+        Err(e) => {
+            eprintln!("warning: could not write {}: {e}", path.display());
+            None
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Text and CSV rendering of reproduced figures.
+
+use std::fmt::Write as _;
+
+use crate::capacity::CapacityRow;
+use crate::sweep::Figure;
+
+/// Renders a figure as an aligned text table with one column pair
+/// (metadata ratio, file ratio) per protocol — the rows/series the paper's
+/// plots report.
+pub fn figure_table(fig: &Figure) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "== {} ({}) ==", fig.title, fig.id);
+    let mut header = format!("{:>22}", fig.x_label);
+    for s in &fig.series {
+        let _ = write!(header, " | {:>9}.meta {:>9}.file", s.protocol, s.protocol);
+    }
+    let _ = writeln!(out, "{header}");
+    let n_points = fig.series.first().map_or(0, |s| s.points.len());
+    for i in 0..n_points {
+        let x = fig.series[0].points[i].x;
+        let mut row = format!("{x:>22.3}");
+        for s in &fig.series {
+            let p = &s.points[i];
+            let _ = write!(row, " | {:>14.4} {:>14.4}", p.metadata_ratio, p.file_ratio);
+        }
+        let _ = writeln!(out, "{row}");
+    }
+    out
+}
+
+/// Renders a figure as CSV: `x,protocol,metadata_ratio,file_ratio,queries,
+/// metadata_delivered,files_delivered`.
+pub fn figure_csv(fig: &Figure) -> String {
+    let mut out = String::from(
+        "x,protocol,metadata_ratio,file_ratio,queries,metadata_delivered,files_delivered\n",
+    );
+    for s in &fig.series {
+        for p in &s.points {
+            let _ = writeln!(
+                out,
+                "{},{},{:.6},{:.6},{},{},{}",
+                p.x,
+                s.protocol,
+                p.metadata_ratio,
+                p.file_ratio,
+                p.result.queries,
+                p.result.metadata_delivered,
+                p.result.files_delivered
+            );
+        }
+    }
+    out
+}
+
+/// Renders the §V capacity table.
+pub fn capacity_table_text(rows: &[CapacityRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>4} {:>12} {:>12} {:>14} {:>14} {:>14} {:>14}",
+        "n", "bcast (n-1)/n", "pair 1/n", "bcast (sim)", "pair (sim)", "slots bcast", "slots pair"
+    );
+    for r in rows {
+        let _ = writeln!(
+            out,
+            "{:>4} {:>12.4} {:>12.4} {:>14.4} {:>14.4} {:>14} {:>14}",
+            r.n, r.broadcast, r.pairwise, r.broadcast_sim, r.pairwise_sim,
+            r.slots_broadcast, r.slots_pairwise
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capacity::capacity_table;
+    use crate::runner::SimResult;
+    use crate::sweep::{ProtocolSeries, SeriesPoint};
+    use mbt_core::ProtocolKind;
+
+    fn tiny_figure() -> Figure {
+        Figure {
+            id: "figX".into(),
+            title: "test".into(),
+            x_label: "x".into(),
+            series: vec![ProtocolSeries {
+                protocol: ProtocolKind::Mbt,
+                points: vec![SeriesPoint {
+                    x: 0.5,
+                    metadata_ratio: 0.75,
+                    file_ratio: 0.5,
+                    result: SimResult::default(),
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn table_mentions_everything() {
+        let t = figure_table(&tiny_figure());
+        assert!(t.contains("figX"));
+        assert!(t.contains("MBT"));
+        assert!(t.contains("0.7500"));
+        assert!(t.contains("0.5000"));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = figure_csv(&tiny_figure());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("x,protocol"));
+        assert!(lines[1].starts_with("0.5,MBT,0.750000,0.500000"));
+    }
+
+    #[test]
+    fn capacity_text_renders_rows() {
+        let text = capacity_table_text(&capacity_table(4, 10));
+        assert_eq!(text.lines().count(), 4); // header + n=2,3,4
+        assert!(text.contains("0.5000"));
+    }
+}

@@ -1,0 +1,152 @@
+//! Parameter sweeps producing paper-style series.
+
+use dtn_trace::ContactTrace;
+use mbt_core::ProtocolKind;
+
+use crate::runner::{run_simulation, SimParams, SimResult};
+
+/// One point of a sweep: the x value and both delivery ratios.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeriesPoint {
+    /// The swept parameter's value.
+    pub x: f64,
+    /// Metadata delivery ratio at this point.
+    pub metadata_ratio: f64,
+    /// File delivery ratio at this point.
+    pub file_ratio: f64,
+    /// The full result, for deeper inspection.
+    pub result: SimResult,
+}
+
+/// One protocol's curve across the sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolSeries {
+    /// The protocol variant.
+    pub protocol: ProtocolKind,
+    /// Points in sweep order.
+    pub points: Vec<SeriesPoint>,
+}
+
+/// A reproduced figure: every protocol's series over the same x values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Figure {
+    /// Experiment id (e.g. "fig2a").
+    pub id: String,
+    /// Human-readable title.
+    pub title: String,
+    /// The x-axis label.
+    pub x_label: String,
+    /// One series per protocol.
+    pub series: Vec<ProtocolSeries>,
+}
+
+impl Figure {
+    /// The series for `protocol`, if present.
+    pub fn series_for(&self, protocol: ProtocolKind) -> Option<&ProtocolSeries> {
+        self.series.iter().find(|s| s.protocol == protocol)
+    }
+}
+
+/// Runs a sweep: for each x value, `setup` produces the trace and parameters
+/// (protocol is overridden per series), and every [`ProtocolKind`] is
+/// simulated.
+///
+/// `setup` is called once per (x, protocol) pair; returning the same trace
+/// for every protocol at a given x is the caller's responsibility if trace
+/// reuse matters (see [`sweep_shared_trace`] for the common case).
+pub fn sweep<F>(id: &str, title: &str, x_label: &str, xs: &[f64], mut setup: F) -> Figure
+where
+    F: FnMut(f64) -> (ContactTrace, SimParams),
+{
+    let mut series: Vec<ProtocolSeries> = ProtocolKind::ALL
+        .iter()
+        .map(|&p| ProtocolSeries {
+            protocol: p,
+            points: Vec::with_capacity(xs.len()),
+        })
+        .collect();
+    for &x in xs {
+        let (trace, params) = setup(x);
+        for s in series.iter_mut() {
+            let mut p = params.clone();
+            p.protocol = s.protocol;
+            let result = run_simulation(&trace, &p);
+            s.points.push(SeriesPoint {
+                x,
+                metadata_ratio: result.metadata_ratio,
+                file_ratio: result.file_ratio,
+                result,
+            });
+        }
+    }
+    Figure {
+        id: id.to_string(),
+        title: title.to_string(),
+        x_label: x_label.to_string(),
+        series,
+    }
+}
+
+/// Like [`sweep`] but with one fixed trace shared by every x value — the
+/// common case when the swept parameter does not affect mobility.
+pub fn sweep_shared_trace<F>(
+    id: &str,
+    title: &str,
+    x_label: &str,
+    xs: &[f64],
+    trace: &ContactTrace,
+    mut params_for: F,
+) -> Figure
+where
+    F: FnMut(f64) -> SimParams,
+{
+    sweep(id, title, x_label, xs, |x| (trace.clone(), params_for(x)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_trace::generators::NusConfig;
+
+    #[test]
+    fn sweep_produces_full_grid() {
+        let trace = NusConfig::new(20, 5).seed(3).generate();
+        let fig = sweep_shared_trace(
+            "test",
+            "test sweep",
+            "x",
+            &[0.2, 0.6],
+            &trace,
+            |x| SimParams {
+                internet_fraction: x,
+                files_per_day: 5,
+                days: 5,
+                seed: 1,
+                ..SimParams::default()
+            },
+        );
+        assert_eq!(fig.series.len(), 3);
+        for s in &fig.series {
+            assert_eq!(s.points.len(), 2);
+            assert_eq!(s.points[0].x, 0.2);
+        }
+        assert!(fig.series_for(ProtocolKind::MbtQm).is_some());
+    }
+
+    #[test]
+    fn ratios_copied_from_results() {
+        let trace = NusConfig::new(20, 5).seed(3).generate();
+        let fig = sweep_shared_trace("t", "t", "x", &[0.5], &trace, |x| SimParams {
+            internet_fraction: x,
+            files_per_day: 5,
+            days: 5,
+            ..SimParams::default()
+        });
+        for s in &fig.series {
+            for p in &s.points {
+                assert_eq!(p.metadata_ratio, p.result.metadata_ratio);
+                assert_eq!(p.file_ratio, p.result.file_ratio);
+            }
+        }
+    }
+}
