@@ -56,7 +56,12 @@ fn bench_server_search(c: &mut Criterion) {
 fn bench_send_order(c: &mut Criterion) {
     let metas = corpus(500);
     let queries: Vec<(NodeId, Query)> = (0..10)
-        .map(|i| (NodeId::new(i), Query::new(format!("show{}", i * 37)).unwrap()))
+        .map(|i| {
+            (
+                NodeId::new(i),
+                Query::new(format!("show{}", i * 37)).unwrap(),
+            )
+        })
         .collect();
     let mut ledger = CreditLedger::new();
     for i in 0..10 {

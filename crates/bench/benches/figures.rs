@@ -13,23 +13,45 @@ use std::hint::black_box;
 fn bench_fig2(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig2");
     group.sample_size(10);
-    group.bench_function("fig2a", |b| b.iter(|| black_box(figures::fig2a(Scale::Quick))));
-    group.bench_function("fig2b", |b| b.iter(|| black_box(figures::fig2b(Scale::Quick))));
-    group.bench_function("fig2c", |b| b.iter(|| black_box(figures::fig2c(Scale::Quick))));
-    group.bench_function("fig2d", |b| b.iter(|| black_box(figures::fig2d(Scale::Quick))));
-    group.bench_function("fig2e", |b| b.iter(|| black_box(figures::fig2e(Scale::Quick))));
+    group.bench_function("fig2a", |b| {
+        b.iter(|| black_box(figures::fig2a(Scale::Quick)))
+    });
+    group.bench_function("fig2b", |b| {
+        b.iter(|| black_box(figures::fig2b(Scale::Quick)))
+    });
+    group.bench_function("fig2c", |b| {
+        b.iter(|| black_box(figures::fig2c(Scale::Quick)))
+    });
+    group.bench_function("fig2d", |b| {
+        b.iter(|| black_box(figures::fig2d(Scale::Quick)))
+    });
+    group.bench_function("fig2e", |b| {
+        b.iter(|| black_box(figures::fig2e(Scale::Quick)))
+    });
     group.finish();
 }
 
 fn bench_fig3(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig3");
     group.sample_size(10);
-    group.bench_function("fig3a", |b| b.iter(|| black_box(figures::fig3a(Scale::Quick))));
-    group.bench_function("fig3b", |b| b.iter(|| black_box(figures::fig3b(Scale::Quick))));
-    group.bench_function("fig3c", |b| b.iter(|| black_box(figures::fig3c(Scale::Quick))));
-    group.bench_function("fig3d", |b| b.iter(|| black_box(figures::fig3d(Scale::Quick))));
-    group.bench_function("fig3e", |b| b.iter(|| black_box(figures::fig3e(Scale::Quick))));
-    group.bench_function("fig3f", |b| b.iter(|| black_box(figures::fig3f(Scale::Quick))));
+    group.bench_function("fig3a", |b| {
+        b.iter(|| black_box(figures::fig3a(Scale::Quick)))
+    });
+    group.bench_function("fig3b", |b| {
+        b.iter(|| black_box(figures::fig3b(Scale::Quick)))
+    });
+    group.bench_function("fig3c", |b| {
+        b.iter(|| black_box(figures::fig3c(Scale::Quick)))
+    });
+    group.bench_function("fig3d", |b| {
+        b.iter(|| black_box(figures::fig3d(Scale::Quick)))
+    });
+    group.bench_function("fig3e", |b| {
+        b.iter(|| black_box(figures::fig3e(Scale::Quick)))
+    });
+    group.bench_function("fig3f", |b| {
+        b.iter(|| black_box(figures::fig3f(Scale::Quick)))
+    });
     group.finish();
 }
 

@@ -15,7 +15,13 @@ fn bench_protocols(c: &mut Criterion) {
     let nodes = trace.nodes();
     let horizon = trace.end_time().unwrap_or(SimTime::from_secs(1));
     let mut rng = dtn_sim::rng::stream(9, "bench-routing");
-    let msgs = uniform_messages(&nodes, 80, horizon, Some(SimDuration::from_days(2)), &mut rng);
+    let msgs = uniform_messages(
+        &nodes,
+        80,
+        horizon,
+        Some(SimDuration::from_days(2)),
+        &mut rng,
+    );
 
     let mut group = c.benchmark_group("routing_protocols");
     group.sample_size(20);

@@ -1,0 +1,60 @@
+//! Serial vs parallel sweep throughput.
+//!
+//! Benchmarks the same quick-scale figure sweep three ways — the legacy
+//! serial `sweep_shared_trace`, the parallel executor pinned to one worker
+//! (executor overhead), and the parallel executor with one worker per core —
+//! and prints the resulting speedup. On a machine with 4+ cores the
+//! parallel/auto configuration should run the sweep at least ~2× faster than
+//! the serial baseline; on a single-core machine all three configurations
+//! converge (the executor's overhead is one `Arc` clone per cell).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtn_trace::generators::NusConfig;
+use dtn_trace::ContactTrace;
+use mbt_experiments::runner::SimParams;
+use mbt_experiments::sweep::sweep_shared_trace;
+use mbt_experiments::{ExecConfig, ParallelRunner};
+use std::hint::black_box;
+
+const XS: [f64; 5] = [0.1, 0.3, 0.5, 0.7, 0.9];
+
+fn bench_trace() -> ContactTrace {
+    NusConfig::new(30, 6).seed(42).generate()
+}
+
+fn params_for(x: f64) -> SimParams {
+    SimParams {
+        internet_fraction: x,
+        days: 6,
+        seed: 42,
+        ..SimParams::default()
+    }
+}
+
+fn run_parallel(trace: &ContactTrace, jobs: usize) {
+    let runner = ParallelRunner::new(ExecConfig::default().jobs(jobs));
+    black_box(runner.sweep_shared_trace("bench", "bench", "x", &XS, trace, params_for));
+}
+
+fn bench_sweep_throughput(c: &mut Criterion) {
+    let trace = bench_trace();
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+
+    let mut group = c.benchmark_group("sweep_throughput");
+    group.sample_size(10);
+    group.bench_function("serial_legacy", |b| {
+        b.iter(|| {
+            black_box(sweep_shared_trace(
+                "bench", "bench", "x", &XS, &trace, params_for,
+            ))
+        })
+    });
+    group.bench_function("parallel_jobs1", |b| b.iter(|| run_parallel(&trace, 1)));
+    group.bench_function(format!("parallel_jobs{cores}_auto"), |b| {
+        b.iter(|| run_parallel(&trace, 0))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_throughput);
+criterion_main!(benches);

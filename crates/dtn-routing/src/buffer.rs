@@ -94,7 +94,8 @@ impl Buffer {
                 }
             }
         }
-        self.copies.insert(message.id(), StoredCopy { message, tokens });
+        self.copies
+            .insert(message.id(), StoredCopy { message, tokens });
         true
     }
 

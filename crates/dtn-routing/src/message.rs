@@ -97,7 +97,13 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let m = Message::new(3, NodeId::new(1), NodeId::new(2), SimTime::from_secs(5), None);
+        let m = Message::new(
+            3,
+            NodeId::new(1),
+            NodeId::new(2),
+            SimTime::from_secs(5),
+            None,
+        );
         assert_eq!(m.id(), MessageId(3));
         assert_eq!(m.src(), NodeId::new(1));
         assert_eq!(m.dst(), NodeId::new(2));

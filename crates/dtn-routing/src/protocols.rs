@@ -299,8 +299,7 @@ impl RoutingProtocol for Prophet {
         let mut actions = Vec::new();
         for copy in view.a.iter() {
             let dst = copy.message.dst();
-            let better = dst == b
-                || self.predictability(b, dst) > self.predictability(a, dst);
+            let better = dst == b || self.predictability(b, dst) > self.predictability(a, dst);
             if better && !view.b.contains(copy.message.id()) {
                 actions.push(Action::Replicate {
                     id: copy.message.id(),
@@ -312,8 +311,7 @@ impl RoutingProtocol for Prophet {
         }
         for copy in view.b.iter() {
             let dst = copy.message.dst();
-            let better = dst == a
-                || self.predictability(a, dst) > self.predictability(b, dst);
+            let better = dst == a || self.predictability(a, dst) > self.predictability(b, dst);
             if better && !view.a.contains(copy.message.id()) {
                 actions.push(Action::Replicate {
                     id: copy.message.id(),
@@ -461,7 +459,10 @@ mod tests {
         p.on_contact(
             n(0),
             n(1),
-            &ContactView { a: &empty, b: &empty },
+            &ContactView {
+                a: &empty,
+                b: &empty,
+            },
             SimTime::from_secs(0),
         );
         let fresh = p.predictability(n(0), n(1));
@@ -470,7 +471,10 @@ mod tests {
         p.on_contact(
             n(0),
             n(2),
-            &ContactView { a: &empty, b: &empty },
+            &ContactView {
+                a: &empty,
+                b: &empty,
+            },
             SimTime::from_days(1),
         );
         assert!(p.predictability(n(0), n(1)) < fresh);
@@ -490,14 +494,20 @@ mod tests {
             p.on_contact(
                 n(1),
                 n(2),
-                &ContactView { a: &empty, b: &empty },
+                &ContactView {
+                    a: &empty,
+                    b: &empty,
+                },
                 SimTime::from_secs(t * 10),
             );
         }
         p.on_contact(
             n(0),
             n(1),
-            &ContactView { a: &empty, b: &empty },
+            &ContactView {
+                a: &empty,
+                b: &empty,
+            },
             SimTime::from_secs(100),
         );
         assert!(p.predictability(n(0), n(2)) > 0.0);
@@ -513,13 +523,21 @@ mod tests {
             p.on_contact(
                 n(1),
                 n(5),
-                &ContactView { a: &empty, b: &empty },
+                &ContactView {
+                    a: &empty,
+                    b: &empty,
+                },
                 SimTime::from_secs(t),
             );
         }
         let a = buf_with(&[(1, 0, 5, 1)]);
         let b = Buffer::unbounded();
-        let actions = p.on_contact(n(0), n(1), &ContactView { a: &a, b: &b }, SimTime::from_secs(10));
+        let actions = p.on_contact(
+            n(0),
+            n(1),
+            &ContactView { a: &a, b: &b },
+            SimTime::from_secs(10),
+        );
         assert!(actions.iter().any(|act| matches!(
             act,
             Action::Replicate { id: MessageId(1), from, .. } if *from == n(0)
@@ -535,13 +553,21 @@ mod tests {
             p.on_contact(
                 n(0),
                 n(5),
-                &ContactView { a: &empty, b: &empty },
+                &ContactView {
+                    a: &empty,
+                    b: &empty,
+                },
                 SimTime::from_secs(t),
             );
         }
         let a = buf_with(&[(1, 0, 5, 1)]);
         let b = Buffer::unbounded();
-        let actions = p.on_contact(n(0), n(1), &ContactView { a: &a, b: &b }, SimTime::from_secs(10));
+        let actions = p.on_contact(
+            n(0),
+            n(1),
+            &ContactView { a: &a, b: &b },
+            SimTime::from_secs(10),
+        );
         assert!(actions.is_empty(), "worse carrier must not receive a copy");
     }
 
@@ -568,7 +594,10 @@ mod tests {
         let b = Buffer::unbounded();
         let mut p = SprayAndWait::new(8);
         let actions = p.on_contact(n(0), n(1), &ContactView { a: &a, b: &b }, SimTime::ZERO);
-        assert!(actions.is_empty(), "wait phase: no relay to non-destination");
+        assert!(
+            actions.is_empty(),
+            "wait phase: no relay to non-destination"
+        );
     }
 
     #[test]

@@ -93,27 +93,34 @@ impl<'a, P: RoutingProtocol> RoutingSim<'a, P> {
         let initial_tokens = self.protocol.initial_tokens();
 
         let mut pending = messages.into_iter().peekable();
-        let inject = |buffers: &mut Vec<Buffer>,
-                          created_time: &mut BTreeMap<MessageId, SimTime>,
-                          delivered_at: &mut BTreeMap<MessageId, SimTime>,
-                          now: SimTime,
-                          pending: &mut std::iter::Peekable<std::vec::IntoIter<Message>>| {
-            while pending.peek().is_some_and(|m| m.created() <= now) {
-                let m = pending.next().expect("peeked");
-                created_time.insert(m.id(), m.created());
-                if m.src() == m.dst() {
-                    delivered_at.insert(m.id(), m.created());
-                    continue;
+        let inject =
+            |buffers: &mut Vec<Buffer>,
+             created_time: &mut BTreeMap<MessageId, SimTime>,
+             delivered_at: &mut BTreeMap<MessageId, SimTime>,
+             now: SimTime,
+             pending: &mut std::iter::Peekable<std::vec::IntoIter<Message>>| {
+                while pending.peek().is_some_and(|m| m.created() <= now) {
+                    let m = pending.next().expect("peeked");
+                    created_time.insert(m.id(), m.created());
+                    if m.src() == m.dst() {
+                        delivered_at.insert(m.id(), m.created());
+                        continue;
+                    }
+                    if m.src().index() < buffers.len() {
+                        buffers[m.src().index()].insert(m.clone(), initial_tokens);
+                    }
                 }
-                if m.src().index() < buffers.len() {
-                    buffers[m.src().index()].insert(m.clone(), initial_tokens);
-                }
-            }
-        };
+            };
 
         for contact in self.trace.iter() {
             let now = contact.start();
-            inject(&mut buffers, &mut created_time, &mut delivered_at, now, &mut pending);
+            inject(
+                &mut buffers,
+                &mut created_time,
+                &mut delivered_at,
+                now,
+                &mut pending,
+            );
             for pair in contact.pairs() {
                 let (a, b) = pair;
                 if a.index() >= buffers.len() || b.index() >= buffers.len() {
@@ -130,14 +137,8 @@ impl<'a, P: RoutingProtocol> RoutingSim<'a, P> {
                 };
                 let limit = self.transfers_per_contact.unwrap_or(usize::MAX);
                 for action in actions.into_iter().take(limit) {
-                    transmissions += apply_action(
-                        &mut buffers,
-                        a,
-                        b,
-                        action,
-                        now,
-                        &mut delivered_at,
-                    );
+                    transmissions +=
+                        apply_action(&mut buffers, a, b, action, now, &mut delivered_at);
                 }
             }
         }
@@ -278,7 +279,13 @@ mod tests {
     }
 
     fn msg_0_to_3() -> Vec<Message> {
-        vec![Message::new(0, NodeId::new(0), NodeId::new(3), SimTime::ZERO, None)]
+        vec![Message::new(
+            0,
+            NodeId::new(0),
+            NodeId::new(3),
+            SimTime::ZERO,
+            None,
+        )]
     }
 
     #[test]
@@ -308,9 +315,17 @@ mod tests {
     #[test]
     fn spray_and_wait_bounded_copies() {
         // Star: node 0 meets 1..=5; only node 5 is the destination.
-        let contacts: Vec<Contact> = (1..=5).map(|i| pc(0, i, i as u64 * 10, i as u64 * 10 + 5)).collect();
+        let contacts: Vec<Contact> = (1..=5)
+            .map(|i| pc(0, i, i as u64 * 10, i as u64 * 10 + 5))
+            .collect();
         let trace: ContactTrace = contacts.into_iter().collect();
-        let msgs = vec![Message::new(0, NodeId::new(0), NodeId::new(5), SimTime::ZERO, None)];
+        let msgs = vec![Message::new(
+            0,
+            NodeId::new(0),
+            NodeId::new(5),
+            SimTime::ZERO,
+            None,
+        )];
         let r = RoutingSim::new(&trace, SprayAndWait::new(4)).run(msgs);
         assert_eq!(r.delivered, 1);
         // Tokens 4: gives 2, then 1; then wait-phase; plus the final direct
@@ -327,7 +342,13 @@ mod tests {
             contacts.push(pc(1, 2, round * 100 + 50, round * 100 + 55));
         }
         let trace: ContactTrace = contacts.into_iter().collect();
-        let msgs = vec![Message::new(0, NodeId::new(0), NodeId::new(2), SimTime::from_secs(120), None)];
+        let msgs = vec![Message::new(
+            0,
+            NodeId::new(0),
+            NodeId::new(2),
+            SimTime::from_secs(120),
+            None,
+        )];
         let r = RoutingSim::new(&trace, Prophet::new()).run(msgs);
         assert_eq!(r.delivered, 1, "prophet should route through the shuttle");
     }
@@ -381,7 +402,13 @@ mod tests {
         )
         .unwrap();
         let trace: ContactTrace = vec![clique].into_iter().collect();
-        let msgs = vec![Message::new(0, NodeId::new(0), NodeId::new(2), SimTime::ZERO, None)];
+        let msgs = vec![Message::new(
+            0,
+            NodeId::new(0),
+            NodeId::new(2),
+            SimTime::ZERO,
+            None,
+        )];
         let r = RoutingSim::new(&trace, Epidemic::new()).run(msgs);
         assert_eq!(r.delivered, 1);
     }
@@ -389,7 +416,13 @@ mod tests {
     #[test]
     fn self_addressed_messages_deliver_instantly() {
         let trace = chain_trace();
-        let msgs = vec![Message::new(0, NodeId::new(1), NodeId::new(1), SimTime::ZERO, None)];
+        let msgs = vec![Message::new(
+            0,
+            NodeId::new(1),
+            NodeId::new(1),
+            SimTime::ZERO,
+            None,
+        )];
         let r = RoutingSim::new(&trace, Epidemic::new()).run(msgs);
         assert_eq!(r.delivered, 1);
         assert_eq!(r.transmissions, 0);
@@ -411,7 +444,10 @@ mod tests {
         for m in &msgs {
             assert_ne!(m.src(), m.dst());
             assert!(m.created().as_secs() < 1000);
-            assert_eq!(m.expires().unwrap(), m.created() + SimDuration::from_secs(500));
+            assert_eq!(
+                m.expires().unwrap(),
+                m.created() + SimDuration::from_secs(500)
+            );
         }
     }
 

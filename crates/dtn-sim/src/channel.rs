@@ -210,7 +210,10 @@ mod tests {
 
     #[test]
     fn capacities_equal_at_n2_diverge_after() {
-        assert_eq!(broadcast_per_node_capacity(2), pairwise_per_node_capacity(2));
+        assert_eq!(
+            broadcast_per_node_capacity(2),
+            pairwise_per_node_capacity(2)
+        );
         assert!(broadcast_per_node_capacity(3) > pairwise_per_node_capacity(3));
     }
 

@@ -111,9 +111,11 @@ impl<'a> Simulator<'a> {
         for (idx, contact) in self.trace.iter().enumerate() {
             let within = self.horizon.is_none_or(|h| contact.start() <= h);
             if within {
-                self.queue.push(contact.start(), Event::ContactStart { contact: idx });
+                self.queue
+                    .push(contact.start(), Event::ContactStart { contact: idx });
                 if self.horizon.is_none_or(|h| contact.end() <= h) {
-                    self.queue.push(contact.end(), Event::ContactEnd { contact: idx });
+                    self.queue
+                        .push(contact.end(), Event::ContactEnd { contact: idx });
                 }
             }
         }
@@ -179,12 +181,18 @@ mod tests {
             self.log.push(format!("start@{}", ctx.now().as_secs()));
         }
         fn on_contact_start(&mut self, ctx: &mut SimCtx<'_>, c: &Contact) {
-            self.log
-                .push(format!("cs@{}:{}", ctx.now().as_secs(), c.participants()[0]));
+            self.log.push(format!(
+                "cs@{}:{}",
+                ctx.now().as_secs(),
+                c.participants()[0]
+            ));
         }
         fn on_contact_end(&mut self, ctx: &mut SimCtx<'_>, c: &Contact) {
-            self.log
-                .push(format!("ce@{}:{}", ctx.now().as_secs(), c.participants()[0]));
+            self.log.push(format!(
+                "ce@{}:{}",
+                ctx.now().as_secs(),
+                c.participants()[0]
+            ));
         }
         fn on_scheduled(&mut self, ctx: &mut SimCtx<'_>, tag: u64) {
             self.log.push(format!("ev{tag}@{}", ctx.now().as_secs()));
@@ -196,13 +204,22 @@ mod tests {
 
     #[test]
     fn contacts_fire_in_order() {
-        let trace: ContactTrace = vec![pc(0, 1, 10, 20), pc(2, 3, 15, 30)].into_iter().collect();
+        let trace: ContactTrace = vec![pc(0, 1, 10, 20), pc(2, 3, 15, 30)]
+            .into_iter()
+            .collect();
         let mut rec = Recorder::default();
         let end = Simulator::new(&trace).run(&mut rec);
         assert_eq!(end, SimTime::from_secs(30));
         assert_eq!(
             rec.log,
-            vec!["start@0", "cs@10:n0", "cs@15:n2", "ce@20:n0", "ce@30:n2", "finish@30"]
+            vec![
+                "start@0",
+                "cs@10:n0",
+                "cs@15:n2",
+                "ce@20:n0",
+                "ce@30:n2",
+                "finish@30"
+            ]
         );
     }
 
@@ -239,7 +256,9 @@ mod tests {
 
     #[test]
     fn horizon_cuts_run_short() {
-        let trace: ContactTrace = vec![pc(0, 1, 10, 20), pc(2, 3, 100, 110)].into_iter().collect();
+        let trace: ContactTrace = vec![pc(0, 1, 10, 20), pc(2, 3, 100, 110)]
+            .into_iter()
+            .collect();
         let mut rec = Recorder::default();
         let end = Simulator::new(&trace)
             .horizon(SimTime::from_secs(50))
@@ -271,7 +290,9 @@ mod tests {
 
     #[test]
     fn end_start_same_instant_runs_end_first() {
-        let trace: ContactTrace = vec![pc(0, 1, 10, 20), pc(2, 3, 20, 25)].into_iter().collect();
+        let trace: ContactTrace = vec![pc(0, 1, 10, 20), pc(2, 3, 20, 25)]
+            .into_iter()
+            .collect();
         let mut rec = Recorder::default();
         Simulator::new(&trace).run(&mut rec);
         let pos_end = rec.log.iter().position(|l| l == "ce@20:n0").unwrap();

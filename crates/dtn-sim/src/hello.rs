@@ -97,7 +97,11 @@ impl NeighborTable {
     pub fn neighbors(&self, now: SimTime) -> Vec<NodeId> {
         self.last_heard
             .iter()
-            .filter(|&(_, &at)| now.checked_duration_since(at).is_some_and(|d| d <= HELLO_WINDOW) || at > now)
+            .filter(|&(_, &at)| {
+                now.checked_duration_since(at)
+                    .is_some_and(|d| d <= HELLO_WINDOW)
+                    || at > now
+            })
             .map(|(&n, _)| n)
             .collect()
     }
@@ -107,7 +111,10 @@ impl NeighborTable {
         let stale: Vec<NodeId> = self
             .last_heard
             .iter()
-            .filter(|&(_, &at)| now.checked_duration_since(at).is_some_and(|d| d > HELLO_WINDOW))
+            .filter(|&(_, &at)| {
+                now.checked_duration_since(at)
+                    .is_some_and(|d| d > HELLO_WINDOW)
+            })
             .map(|(&n, _)| n)
             .collect();
         for n in stale {

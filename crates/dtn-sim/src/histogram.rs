@@ -84,7 +84,10 @@ impl DelayHistogram {
 
     /// The maximum sample.
     pub fn max(&self) -> Option<SimDuration> {
-        self.samples.iter().max().map(|&s| SimDuration::from_secs(s))
+        self.samples
+            .iter()
+            .max()
+            .map(|&s| SimDuration::from_secs(s))
     }
 
     /// The mean in seconds.

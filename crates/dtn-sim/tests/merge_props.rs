@@ -1,0 +1,133 @@
+//! Property tests for [`DeliveryStats::merge`].
+//!
+//! The parallel sweep executor reduces per-replicate results by merging, so
+//! the merge must behave like a commutative monoid on the observable surface:
+//! counts, ratios, mean delays, and the measured-node predicate. These
+//! properties are what `SeriesPoint::from_replicates` relies on for
+//! order-independent (and therefore thread-count-independent) reductions.
+
+use dtn_sim::DeliveryStats;
+use dtn_trace::{NodeId, SimTime};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// One recorded event: node id, op kind (0 = query, 1 = metadata delivery,
+/// 2 = file delivery), and timestamp in seconds.
+type Op = (u32, u8, u64);
+
+fn build(ops: &[Op]) -> DeliveryStats {
+    let mut stats = DeliveryStats::measuring_all();
+    for &(node, op, secs) in ops {
+        let node = NodeId::new(node);
+        let at = SimTime::from_secs(secs);
+        match op {
+            0 => {
+                stats.record_query(node, at);
+            }
+            1 => stats.record_metadata_delivery(node, at),
+            _ => stats.record_file_delivery(node, at),
+        }
+    }
+    stats
+}
+
+/// The observable surface the executor's reduction depends on.
+fn observe(s: &DeliveryStats) -> (u64, u64, u64, f64, f64, Option<f64>, Option<f64>) {
+    (
+        s.queries(),
+        s.metadata_delivered(),
+        s.files_delivered(),
+        s.metadata_delivery_ratio(),
+        s.file_delivery_ratio(),
+        s.mean_metadata_delay_secs(),
+        s.mean_file_delay_secs(),
+    )
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    vec((0u32..6, 0u8..3, 0u64..10_000), 0..30)
+}
+
+proptest! {
+    #[test]
+    fn merge_is_commutative_on_observables(
+        a in ops_strategy(),
+        b in ops_strategy(),
+    ) {
+        let mut ab = build(&a);
+        ab.merge(&build(&b));
+        let mut ba = build(&b);
+        ba.merge(&build(&a));
+        prop_assert_eq!(observe(&ab), observe(&ba));
+    }
+
+    #[test]
+    fn merge_is_associative_on_observables(
+        a in ops_strategy(),
+        b in ops_strategy(),
+        c in ops_strategy(),
+    ) {
+        // (a + b) + c
+        let mut left = build(&a);
+        left.merge(&build(&b));
+        left.merge(&build(&c));
+        // a + (b + c)
+        let mut bc = build(&b);
+        bc.merge(&build(&c));
+        let mut right = build(&a);
+        right.merge(&bc);
+        prop_assert_eq!(observe(&left), observe(&right));
+    }
+
+    #[test]
+    fn merging_empty_is_identity(a in ops_strategy()) {
+        let reference = build(&a);
+
+        // a + 0
+        let mut right = build(&a);
+        right.merge(&DeliveryStats::default());
+        prop_assert_eq!(observe(&reference), observe(&right));
+
+        // 0 + a
+        let mut left = DeliveryStats::default();
+        left.merge(&reference);
+        prop_assert_eq!(observe(&reference), observe(&left));
+    }
+
+    #[test]
+    fn merged_ratios_equal_pooled_count_ratios(
+        a in ops_strategy(),
+        b in ops_strategy(),
+    ) {
+        let sa = build(&a);
+        let sb = build(&b);
+        let queries = sa.queries() + sb.queries();
+        let metadata = sa.metadata_delivered() + sb.metadata_delivered();
+        let files = sa.files_delivered() + sb.files_delivered();
+
+        let mut merged = build(&a);
+        merged.merge(&sb);
+
+        prop_assert_eq!(merged.queries(), queries);
+        prop_assert_eq!(merged.metadata_delivered(), metadata);
+        prop_assert_eq!(merged.files_delivered(), files);
+        let expect_meta = if queries == 0 { 0.0 } else { metadata as f64 / queries as f64 };
+        let expect_file = if queries == 0 { 0.0 } else { files as f64 / queries as f64 };
+        prop_assert_eq!(merged.metadata_delivery_ratio(), expect_meta);
+        prop_assert_eq!(merged.file_delivery_ratio(), expect_file);
+    }
+
+    #[test]
+    fn merge_preserves_measured_membership(
+        nodes_a in vec(0u32..12, 0..6),
+        nodes_b in vec(0u32..12, 0..6),
+        probe in 0u32..12,
+    ) {
+        let a = DeliveryStats::new(nodes_a.iter().copied().map(NodeId::new));
+        let b = DeliveryStats::new(nodes_b.iter().copied().map(NodeId::new));
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let node = NodeId::new(probe);
+        prop_assert_eq!(merged.measures(node), a.measures(node) || b.measures(node));
+    }
+}

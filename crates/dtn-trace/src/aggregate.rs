@@ -161,7 +161,9 @@ mod tests {
 
     #[test]
     fn accumulates_weights() {
-        let t: ContactTrace = vec![pc(0, 1, 0, 30), pc(1, 0, 100, 150)].into_iter().collect();
+        let t: ContactTrace = vec![pc(0, 1, 0, 30), pc(1, 0, 100, 150)]
+            .into_iter()
+            .collect();
         let g = AggregateGraph::from_trace(&t);
         assert_eq!(g.meeting_count(NodeId::new(0), NodeId::new(1)), 2);
         assert_eq!(
@@ -193,7 +195,10 @@ mod tests {
         let g = AggregateGraph::from_trace(&t);
         let comps = g.components();
         assert_eq!(comps.len(), 2);
-        assert_eq!(comps[0], vec![NodeId::new(2), NodeId::new(3), NodeId::new(4)]);
+        assert_eq!(
+            comps[0],
+            vec![NodeId::new(2), NodeId::new(3), NodeId::new(4)]
+        );
         assert!(!g.is_connected());
     }
 

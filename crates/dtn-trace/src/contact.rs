@@ -94,7 +94,12 @@ impl Contact {
     ///
     /// Returns [`ContactError::EmptyInterval`] if `end <= start` and
     /// [`ContactError::DuplicateParticipant`] if `a == b`.
-    pub fn pairwise(a: NodeId, b: NodeId, start: SimTime, end: SimTime) -> Result<Self, ContactError> {
+    pub fn pairwise(
+        a: NodeId,
+        b: NodeId,
+        start: SimTime,
+        end: SimTime,
+    ) -> Result<Self, ContactError> {
         if a == b {
             return Err(ContactError::DuplicateParticipant(a));
         }
@@ -278,7 +283,10 @@ mod tests {
     #[test]
     fn rejects_singleton() {
         let err = Contact::clique(vec![NodeId::new(1)], t(0), t(10)).unwrap_err();
-        assert!(matches!(err, ContactError::TooFewParticipants { distinct: 1 }));
+        assert!(matches!(
+            err,
+            ContactError::TooFewParticipants { distinct: 1 }
+        ));
     }
 
     #[test]
@@ -299,14 +307,22 @@ mod tests {
             t(10),
         )
         .unwrap();
-        assert_eq!(c.peers_of(NodeId::new(1)), vec![NodeId::new(0), NodeId::new(2)]);
+        assert_eq!(
+            c.peers_of(NodeId::new(1)),
+            vec![NodeId::new(0), NodeId::new(2)]
+        );
         assert!(c.peers_of(NodeId::new(9)).is_empty());
     }
 
     #[test]
     fn pairs_enumerates_all() {
         let c = Contact::clique(
-            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3)],
+            vec![
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(2),
+                NodeId::new(3),
+            ],
             t(0),
             t(10),
         )

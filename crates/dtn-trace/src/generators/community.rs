@@ -80,7 +80,10 @@ impl CommunityConfig {
     ///
     /// Panics unless `fraction` ∈ [0, 1].
     pub fn traveler_fraction(mut self, fraction: f64) -> Self {
-        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "fraction must be in [0, 1]"
+        );
         self.traveler_fraction = fraction;
         self
     }
@@ -130,11 +133,9 @@ impl CommunityConfig {
         let slot_gap = (12 * 3_600) / u64::from(self.gatherings_per_day).max(1);
         for day in 0..self.days {
             for slot in 0..self.gatherings_per_day {
-                let start_secs =
-                    day * SECONDS_PER_DAY + 8 * 3_600 + u64::from(slot) * slot_gap;
+                let start_secs = day * SECONDS_PER_DAY + 8 * 3_600 + u64::from(slot) * slot_gap;
                 // Where does each node gather this slot?
-                let mut attendees: Vec<Vec<NodeId>> =
-                    vec![Vec::new(); self.communities as usize];
+                let mut attendees: Vec<Vec<NodeId>> = vec![Vec::new(); self.communities as usize];
                 for n in 0..self.nodes {
                     if self.attendance < 1.0 && rng.gen::<f64>() >= self.attendance {
                         continue;
@@ -260,7 +261,10 @@ mod tests {
 
     #[test]
     fn zero_attendance_is_empty() {
-        let t = CommunityConfig::new(20, 3).seed(6).attendance(0.0).generate();
+        let t = CommunityConfig::new(20, 3)
+            .seed(6)
+            .attendance(0.0)
+            .generate();
         assert!(t.is_empty());
     }
 

@@ -145,8 +145,7 @@ impl DieselNetConfig {
             d == 1 || d == self.routes - 1 || (ra.min(rb) == 0 && ra.max(rb) == self.routes / 2)
         };
 
-        let window_secs =
-            (self.service_end_hour - self.service_start_hour) * 3_600;
+        let window_secs = (self.service_end_hour - self.service_start_hour) * 3_600;
         let mut builder = ContactTrace::builder();
 
         for a in 0..self.buses {
@@ -166,9 +165,8 @@ impl DieselNetConfig {
                     let meetings = sample_poisson(&mut rng, rate);
                     for _ in 0..meetings {
                         let offset = rng.gen_range(0..window_secs.max(1));
-                        let start = day * SECONDS_PER_DAY
-                            + self.service_start_hour * 3_600
-                            + offset;
+                        let start =
+                            day * SECONDS_PER_DAY + self.service_start_hour * 3_600 + offset;
                         let dur = sample_exponential(&mut rng, self.mean_contact_secs)
                             .round()
                             .max(5.0) as u64;
@@ -259,8 +257,16 @@ mod tests {
         let t = cfg.generate();
         for c in t.iter() {
             let sod = c.start().second_of_day();
-            assert!(sod >= 6 * 3600, "contact starts before service at {}", c.start());
-            assert!(sod < 22 * 3600, "contact starts after service at {}", c.start());
+            assert!(
+                sod >= 6 * 3600,
+                "contact starts before service at {}",
+                c.start()
+            );
+            assert!(
+                sod < 22 * 3600,
+                "contact starts after service at {}",
+                c.start()
+            );
             assert!(c.end().second_of_day() <= 22 * 3600 || c.end().second_of_day() == 0);
         }
     }
@@ -270,7 +276,10 @@ mod tests {
         let t = DieselNetConfig::new(20, 5).seed(5).generate();
         let stats = TraceStats::compute(&t);
         let mean = stats.mean_contact_duration_secs().unwrap();
-        assert!(mean > 10.0 && mean < 200.0, "mean duration {mean} out of range");
+        assert!(
+            mean > 10.0 && mean < 200.0,
+            "mean duration {mean} out of range"
+        );
     }
 
     #[test]
@@ -300,11 +309,15 @@ mod tests {
         let cfg = DieselNetConfig::new(16, 9).seed(17);
         let t = cfg.generate();
         let stats = TraceStats::compute(&t);
-        let any_frequent = t
-            .nodes()
-            .iter()
-            .any(|&n| !stats.frequent_contacts(n, cfg.frequent_contact_window()).is_empty());
-        assert!(any_frequent, "expected at least one frequent pair over 9 days");
+        let any_frequent = t.nodes().iter().any(|&n| {
+            !stats
+                .frequent_contacts(n, cfg.frequent_contact_window())
+                .is_empty()
+        });
+        assert!(
+            any_frequent,
+            "expected at least one frequent pair over 9 days"
+        );
     }
 
     #[test]

@@ -111,7 +111,10 @@ impl NusConfig {
     ///
     /// Panics unless `0.0 <= rate <= 1.0`.
     pub fn attendance_rate(mut self, rate: f64) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "attendance rate must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "attendance rate must be in [0, 1]"
+        );
         self.attendance_rate = rate;
         self
     }
@@ -147,9 +150,7 @@ impl NusConfig {
         // low-numbered ("large intro") courses by sampling from a shuffled
         // deck with two copies of the first half.
         let mut enrollment: Vec<Vec<u32>> = Vec::with_capacity(self.students as usize);
-        let mut deck: Vec<u32> = (0..self.courses)
-            .chain(0..self.courses / 2)
-            .collect();
+        let mut deck: Vec<u32> = (0..self.courses).chain(0..self.courses / 2).collect();
         for _ in 0..self.students {
             deck.shuffle(&mut rng);
             let mut picked: Vec<u32> = Vec::with_capacity(courses_per_student as usize);
@@ -208,18 +209,15 @@ impl NusConfig {
                     if cell_day != weekday {
                         continue;
                     }
-                    let start_secs = day * SECONDS_PER_DAY
-                        + 9 * 3_600
-                        + slot as u64 * self.session_secs;
+                    let start_secs =
+                        day * SECONDS_PER_DAY + 9 * 3_600 + slot as u64 * self.session_secs;
                     let end_secs = start_secs + self.session_secs;
                     let mut attendees: Vec<NodeId> = Vec::new();
                     for &student in &roster[course] {
                         if busy[student.index()][slot as usize] {
                             continue;
                         }
-                        if self.attendance_rate >= 1.0
-                            || rng.gen::<f64>() < self.attendance_rate
-                        {
+                        if self.attendance_rate >= 1.0 || rng.gen::<f64>() < self.attendance_rate {
                             attendees.push(student);
                         }
                     }
@@ -279,10 +277,7 @@ mod tests {
             for (i, a) in group.iter().enumerate() {
                 for b in &group[i + 1..] {
                     for p in a.participants() {
-                        assert!(
-                            !b.involves(*p),
-                            "student {p} in two simultaneous cliques"
-                        );
+                        assert!(!b.involves(*p), "student {p} in two simultaneous cliques");
                     }
                 }
             }
@@ -300,7 +295,10 @@ mod tests {
 
     #[test]
     fn weekends_on_when_requested() {
-        let t = NusConfig::new(40, 14).seed(3).weekends_off(false).generate();
+        let t = NusConfig::new(40, 14)
+            .seed(3)
+            .weekends_off(false)
+            .generate();
         let has_weekend = t.iter().any(|c| c.start().day() % 7 >= 5);
         assert!(has_weekend);
     }
@@ -316,14 +314,23 @@ mod tests {
 
     #[test]
     fn zero_attendance_yields_empty_trace() {
-        let t = NusConfig::new(40, 7).seed(5).attendance_rate(0.0).generate();
+        let t = NusConfig::new(40, 7)
+            .seed(5)
+            .attendance_rate(0.0)
+            .generate();
         assert!(t.is_empty());
     }
 
     #[test]
     fn lower_attendance_means_smaller_cliques() {
-        let full = NusConfig::new(100, 7).seed(6).attendance_rate(1.0).generate();
-        let half = NusConfig::new(100, 7).seed(6).attendance_rate(0.5).generate();
+        let full = NusConfig::new(100, 7)
+            .seed(6)
+            .attendance_rate(1.0)
+            .generate();
+        let half = NusConfig::new(100, 7)
+            .seed(6)
+            .attendance_rate(0.5)
+            .generate();
         let mean = |t: &ContactTrace| {
             t.iter().map(|c| c.size()).sum::<usize>() as f64 / t.len().max(1) as f64
         };
@@ -352,7 +359,11 @@ mod tests {
 
     #[test]
     fn respects_course_count() {
-        let t = NusConfig::new(30, 7).seed(8).courses(3).courses_per_student(2).generate();
+        let t = NusConfig::new(30, 7)
+            .seed(8)
+            .courses(3)
+            .courses_per_student(2)
+            .generate();
         assert!(!t.is_empty());
     }
 }

@@ -187,7 +187,13 @@ impl RandomWaypointConfig {
         for i in 0..n {
             for j in (i + 1)..n {
                 if let Some(start) = open_since[i][j] {
-                    push_pair(&mut builder, i, j, start, self.duration_secs + self.step_secs);
+                    push_pair(
+                        &mut builder,
+                        i,
+                        j,
+                        start,
+                        self.duration_secs + self.step_secs,
+                    );
                 }
             }
         }

@@ -50,7 +50,7 @@ pub mod trace;
 pub use aggregate::AggregateGraph;
 pub use contact::{Contact, ContactError, ContactKind};
 pub use node::NodeId;
-pub use parser::{ParseTraceError, read_trace, write_trace};
+pub use parser::{read_trace, write_trace, ParseTraceError};
 pub use space_time::SpaceTimeGraph;
 pub use stats::TraceStats;
 pub use time::{SimDuration, SimTime, SECONDS_PER_DAY};

@@ -141,12 +141,12 @@ pub fn read_trace<R: Read>(reader: R) -> Result<ContactTrace, ParseTraceError> {
         let end = parse_u64(fields.next(), line_no, "end time")?;
         let nodes: Vec<NodeId> = fields
             .map(|tok| {
-                tok.parse::<u32>().map(NodeId::new).map_err(|_| {
-                    ParseTraceError::Syntax {
+                tok.parse::<u32>()
+                    .map(NodeId::new)
+                    .map_err(|_| ParseTraceError::Syntax {
                         line: line_no,
                         message: format!("invalid node id `{tok}`"),
-                    }
-                })
+                    })
             })
             .collect::<Result<_, _>>()?;
         let contact = Contact::clique(nodes, SimTime::from_secs(start), SimTime::from_secs(end))

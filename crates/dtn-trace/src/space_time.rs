@@ -57,11 +57,7 @@ impl SpaceTimeGraph {
     /// The map always contains `source` (at `created`). Unreachable nodes are
     /// absent. Within a clique contact the message reaches all participants
     /// as soon as any carrier participates.
-    pub fn earliest_delivery(
-        &self,
-        source: NodeId,
-        created: SimTime,
-    ) -> BTreeMap<NodeId, SimTime> {
+    pub fn earliest_delivery(&self, source: NodeId, created: SimTime) -> BTreeMap<NodeId, SimTime> {
         let mut earliest: BTreeMap<NodeId, SimTime> = BTreeMap::new();
         earliest.insert(source, created);
 
@@ -168,7 +164,9 @@ mod tests {
 
     #[test]
     fn two_hop_store_carry_forward() {
-        let t: ContactTrace = vec![pc(0, 1, 10, 15), pc(1, 2, 50, 60)].into_iter().collect();
+        let t: ContactTrace = vec![pc(0, 1, 10, 15), pc(1, 2, 50, 60)]
+            .into_iter()
+            .collect();
         let g = SpaceTimeGraph::new(&t);
         let d = g.earliest_delivery(NodeId::new(0), SimTime::ZERO);
         assert_eq!(d[&NodeId::new(2)], SimTime::from_secs(50));
@@ -177,7 +175,9 @@ mod tests {
     #[test]
     fn long_contact_relays_after_late_infection() {
         // Contact B starts before A but is still open when A infects n1.
-        let t: ContactTrace = vec![pc(1, 2, 5, 30), pc(0, 1, 10, 20)].into_iter().collect();
+        let t: ContactTrace = vec![pc(1, 2, 5, 30), pc(0, 1, 10, 20)]
+            .into_iter()
+            .collect();
         let g = SpaceTimeGraph::new(&t);
         let d = g.earliest_delivery(NodeId::new(0), SimTime::ZERO);
         assert_eq!(d[&NodeId::new(2)], SimTime::from_secs(10));
@@ -186,7 +186,12 @@ mod tests {
     #[test]
     fn clique_reaches_all_participants() {
         let clique = Contact::clique(
-            vec![NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3)],
+            vec![
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(2),
+                NodeId::new(3),
+            ],
             SimTime::from_secs(100),
             SimTime::from_secs(200),
         )
@@ -203,7 +208,9 @@ mod tests {
 
     #[test]
     fn reachable_respects_deadline() {
-        let t: ContactTrace = vec![pc(0, 1, 10, 15), pc(1, 2, 50, 60)].into_iter().collect();
+        let t: ContactTrace = vec![pc(0, 1, 10, 15), pc(1, 2, 50, 60)]
+            .into_iter()
+            .collect();
         let g = SpaceTimeGraph::new(&t);
         let within = g.reachable(NodeId::new(0), SimTime::ZERO, Some(SimTime::from_secs(20)));
         assert_eq!(within, vec![NodeId::new(0), NodeId::new(1)]);
@@ -215,7 +222,10 @@ mod tests {
     fn delivery_delay_reports_none_when_unreachable() {
         let t: ContactTrace = vec![pc(0, 1, 10, 15)].into_iter().collect();
         let g = SpaceTimeGraph::new(&t);
-        assert_eq!(g.delivery_delay(NodeId::new(0), NodeId::new(9), SimTime::ZERO), None);
+        assert_eq!(
+            g.delivery_delay(NodeId::new(0), NodeId::new(9), SimTime::ZERO),
+            None
+        );
         assert_eq!(
             g.delivery_delay(NodeId::new(0), NodeId::new(1), SimTime::ZERO),
             Some(SimDuration::from_secs(10))

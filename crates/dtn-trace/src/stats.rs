@@ -266,7 +266,9 @@ mod tests {
 
     #[test]
     fn counts_and_durations() {
-        let t: ContactTrace = vec![pc(0, 1, 0, 30), pc(0, 1, 100, 160)].into_iter().collect();
+        let t: ContactTrace = vec![pc(0, 1, 0, 30), pc(0, 1, 100, 160)]
+            .into_iter()
+            .collect();
         let s = TraceStats::compute(&t);
         assert_eq!(s.contact_count(), 2);
         assert_eq!(s.mean_contact_duration_secs(), Some(45.0));

@@ -287,7 +287,10 @@ mod tests {
     #[test]
     fn nodes_and_counts() {
         let t: ContactTrace = vec![pc(0, 5, 0, 1), pc(5, 9, 2, 3)].into_iter().collect();
-        assert_eq!(t.nodes(), vec![NodeId::new(0), NodeId::new(5), NodeId::new(9)]);
+        assert_eq!(
+            t.nodes(),
+            vec![NodeId::new(0), NodeId::new(5), NodeId::new(9)]
+        );
         assert_eq!(t.node_count(), 3);
         assert_eq!(t.id_space(), 10);
     }
@@ -304,7 +307,9 @@ mod tests {
 
     #[test]
     fn span_covers_first_to_last() {
-        let t: ContactTrace = vec![pc(0, 1, 10, 100), pc(1, 2, 20, 30)].into_iter().collect();
+        let t: ContactTrace = vec![pc(0, 1, 10, 100), pc(1, 2, 20, 30)]
+            .into_iter()
+            .collect();
         assert_eq!(t.span(), SimDuration::from_secs(90));
         assert_eq!(t.end_time(), Some(SimTime::from_secs(100)));
     }

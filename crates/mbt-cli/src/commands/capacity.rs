@@ -16,7 +16,11 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let mut out = capacity_table_text(&rows);
     out.push_str(&format!(
         "crossover statement: {}\n",
-        if crossover_holds(&rows) { "HOLDS" } else { "VIOLATED" }
+        if crossover_holds(&rows) {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     ));
     Ok(out)
 }

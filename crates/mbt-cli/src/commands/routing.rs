@@ -20,7 +20,9 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let file = File::open(&path).map_err(|e| CliError::Io(path.clone(), e))?;
     let trace = read_trace(file).map_err(|e| CliError::Usage(e.to_string()))?;
     if trace.node_count() < 2 {
-        return Err(CliError::Usage("trace has fewer than two nodes".to_string()));
+        return Err(CliError::Usage(
+            "trace has fewer than two nodes".to_string(),
+        ));
     }
 
     let count = args.parse_or("messages", 200u64, "an integer")?;

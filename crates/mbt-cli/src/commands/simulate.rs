@@ -39,7 +39,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         .metadata_per_contact(args.parse_or("metadata-per-contact", 20u32, "an integer")?)
         .files_per_contact(args.parse_or("files-per-contact", 4u32, "an integer")?)
         .broadcast_loss_rate(
-            args.parse_or("loss", 0.0f64, "a number in [0,1]")?.clamp(0.0, 1.0),
+            args.parse_or("loss", 0.0f64, "a number in [0,1]")?
+                .clamp(0.0, 1.0),
         );
     if args.flag("tft") {
         config = config.cooperation(CooperationMode::TitForTat);
@@ -58,9 +59,11 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         ttl_days: args.parse_or("ttl", 3u64, "an integer")?,
         days: args.parse_or("days", default_days, "an integer")?,
         seed: args.parse_or("seed", 42u64, "an integer")?,
-        frequent_window: SimDuration::from_days(
-            args.parse_or("frequent-days", 1u64, "an integer")?,
-        ),
+        frequent_window: SimDuration::from_days(args.parse_or(
+            "frequent-days",
+            1u64,
+            "an integer",
+        )?),
         churn: args
             .parse_or("churn", 0.0f64, "a number in [0,1]")?
             .clamp(0.0, 1.0),
@@ -73,7 +76,11 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let r = run_simulation(&trace, &params);
 
     let mut out = String::new();
-    let _ = writeln!(out, "protocol {protocol} over {path} ({} contacts)", r.contacts);
+    let _ = writeln!(
+        out,
+        "protocol {protocol} over {path} ({} contacts)",
+        r.contacts
+    );
     let _ = writeln!(out, "  queries (measured nodes): {}", r.queries);
     let _ = writeln!(
         out,
@@ -141,7 +148,11 @@ mod tests {
     #[test]
     fn rejects_unknown_protocol() {
         let path = trace_file("reject");
-        let err = run(&args(&format!("{} --protocol carrier-pigeon", path.display()))).unwrap_err();
+        let err = run(&args(&format!(
+            "{} --protocol carrier-pigeon",
+            path.display()
+        )))
+        .unwrap_err();
         assert!(err.to_string().contains("carrier-pigeon"));
     }
 }

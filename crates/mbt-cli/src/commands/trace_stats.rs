@@ -23,7 +23,11 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let _ = writeln!(out, "trace: {path}");
     let _ = writeln!(out, "  contacts:        {}", trace.len());
     let _ = writeln!(out, "  nodes:           {}", trace.node_count());
-    let _ = writeln!(out, "  span:            {:.2} days", trace.span().as_days_f64());
+    let _ = writeln!(
+        out,
+        "  span:            {:.2} days",
+        trace.span().as_days_f64()
+    );
     if let Some(mean) = stats.mean_contact_duration_secs() {
         let _ = writeln!(out, "  mean duration:   {mean:.0} s");
     }
@@ -54,7 +58,11 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         graph.edge_count(),
         graph.density(),
         components.len(),
-        if graph.is_connected() { " (connected)" } else { "" }
+        if graph.is_connected() {
+            " (connected)"
+        } else {
+            ""
+        }
     );
     if let Some(largest) = components.first() {
         let _ = writeln!(out, "  largest component: {} nodes", largest.len());

@@ -141,7 +141,13 @@ mod tests {
     #[test]
     fn help_flags_print_usage() {
         let args = Args::parse(vec!["--help".to_string()]).unwrap();
-        for cmd in ["gen-trace", "trace-stats", "simulate", "routing", "capacity"] {
+        for cmd in [
+            "gen-trace",
+            "trace-stats",
+            "simulate",
+            "routing",
+            "capacity",
+        ] {
             let out = dispatch(cmd, &args).unwrap();
             assert!(out.contains("mbt"), "{cmd} help: {out}");
         }

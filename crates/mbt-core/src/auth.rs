@@ -109,7 +109,10 @@ impl fmt::Display for AuthError {
         match self {
             AuthError::UnknownPublisher(p) => write!(f, "unknown publisher `{p}`"),
             AuthError::BadSignature { publisher } => {
-                write!(f, "metadata failed authentication for publisher `{publisher}`")
+                write!(
+                    f,
+                    "metadata failed authentication for publisher `{publisher}`"
+                )
             }
         }
     }
@@ -203,7 +206,10 @@ mod tests {
     fn hmac_sha1_long_key() {
         // Keys longer than the block size are hashed first (RFC 2202 case 6).
         let key = [0xaau8; 80];
-        let tag = hmac_sha1(&key, b"Test Using Larger Than Block-Size Key - Hash Key First");
+        let tag = hmac_sha1(
+            &key,
+            b"Test Using Larger Than Block-Size Key - Hash Key First",
+        );
         assert_eq!(tag.to_hex(), "aa4ae5e15272d00e95705637ce8a3b55ed402112");
     }
 

@@ -253,7 +253,12 @@ mod tests {
 
     #[test]
     fn search_limit_clamped_to_one() {
-        assert_eq!(MbtConfig::new().internet_search_limit(0).internet_search_limit_value(), 1);
+        assert_eq!(
+            MbtConfig::new()
+                .internet_search_limit(0)
+                .internet_search_limit_value(),
+            1
+        );
     }
 
     #[test]
@@ -264,7 +269,10 @@ mod tests {
 
     #[test]
     fn ordering_defaults_and_builder() {
-        assert_eq!(MbtConfig::new().ordering_value(), BroadcastOrdering::TwoPhase);
+        assert_eq!(
+            MbtConfig::new().ordering_value(),
+            BroadcastOrdering::TwoPhase
+        );
         let c = MbtConfig::new().ordering(BroadcastOrdering::RarestFirst);
         assert_eq!(c.ordering_value(), BroadcastOrdering::RarestFirst);
         assert_eq!(BroadcastOrdering::TwoPhase.to_string(), "two-phase");

@@ -69,8 +69,7 @@ impl CreditLedger {
 
     /// Peers with recorded credit, sorted by descending credit (ties by id).
     pub fn ranked_peers(&self) -> Vec<(NodeId, f64)> {
-        let mut out: Vec<(NodeId, f64)> =
-            self.credits.iter().map(|(&n, &c)| (n, c)).collect();
+        let mut out: Vec<(NodeId, f64)> = self.credits.iter().map(|(&n, &c)| (n, c)).collect();
         out.sort_by(|a, b| {
             b.1.partial_cmp(&a.1)
                 .expect("credits are finite")

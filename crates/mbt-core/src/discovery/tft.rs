@@ -167,9 +167,7 @@ mod tests {
     #[test]
     fn budget_truncates() {
         let ledger = CreditLedger::new();
-        let metas: Vec<Metadata> = (0..5)
-            .map(|i| meta("x", &format!("mbt://{i}")))
-            .collect();
+        let metas: Vec<Metadata> = (0..5).map(|i| meta("x", &format!("mbt://{i}"))).collect();
         let offers: Vec<MetadataOffer<'_>> = metas
             .iter()
             .map(|m| MetadataOffer::build(m, Popularity::new(0.5), &[]))

@@ -133,7 +133,12 @@ mod tests {
 
     #[test]
     fn unsendable_offers_skipped() {
-        let offers = vec![Offer::new(uri("mbt://ghost"), Popularity::MAX, vec![n(1)], vec![])];
+        let offers = vec![Offer::new(
+            uri("mbt://ghost"),
+            Popularity::MAX,
+            vec![n(1)],
+            vec![],
+        )];
         assert!(schedule(offers, 10).is_empty());
     }
 

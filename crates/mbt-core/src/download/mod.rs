@@ -105,7 +105,12 @@ mod tests {
 
     #[test]
     fn offer_without_holders_not_sendable() {
-        let o = Offer::new(Uri::new("mbt://a").unwrap(), Popularity::MIN, vec![n(1)], vec![]);
+        let o = Offer::new(
+            Uri::new("mbt://a").unwrap(),
+            Popularity::MIN,
+            vec![n(1)],
+            vec![],
+        );
         assert!(!o.sendable());
     }
 }

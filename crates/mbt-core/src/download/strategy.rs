@@ -152,7 +152,11 @@ mod tests {
             ],
             10,
         );
-        assert_eq!(s2[0].item, uri("mbt://b"), "popularity breaks equal-request ties");
+        assert_eq!(
+            s2[0].item,
+            uri("mbt://b"),
+            "popularity breaks equal-request ties"
+        );
     }
 
     #[test]
@@ -193,7 +197,10 @@ mod tests {
                 offer("mbt://a", 0.5, &[5], &[1]),
             ]
         };
-        assert_eq!(rarest_first_schedule(mk(), 10), rarest_first_schedule(mk(), 10));
+        assert_eq!(
+            rarest_first_schedule(mk(), 10),
+            rarest_first_schedule(mk(), 10)
+        );
         assert_eq!(rarest_first_schedule(mk(), 10)[0].item, uri("mbt://a"));
     }
 }

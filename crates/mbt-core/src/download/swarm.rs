@@ -106,7 +106,9 @@ impl Swarm {
     /// Pieces `member` still misses.
     pub fn missing(&self, member: NodeId) -> Vec<u32> {
         let held = &self.holdings[self.slot_of(member)];
-        (0..self.piece_count()).filter(|i| !held.contains(i)).collect()
+        (0..self.piece_count())
+            .filter(|i| !held.contains(i))
+            .collect()
     }
 
     /// True if `member` has every piece.
@@ -182,7 +184,11 @@ impl Swarm {
                 return Some(round);
             }
             if self.step(ordering).is_none() {
-                return if self.all_complete() { Some(round) } else { None };
+                return if self.all_complete() {
+                    Some(round)
+                } else {
+                    None
+                };
             }
         }
         if self.all_complete() {
@@ -229,7 +235,9 @@ mod tests {
         for i in 0..p as u32 {
             swarm.grant(NodeId::new(0), i);
         }
-        let rounds = swarm.run_to_completion(BroadcastOrdering::TwoPhase, 1000).unwrap();
+        let rounds = swarm
+            .run_to_completion(BroadcastOrdering::TwoPhase, 1000)
+            .unwrap();
         assert_eq!(rounds as u64, p);
         assert!(rounds < (p as usize) * (n as usize - 1));
     }
@@ -249,7 +257,10 @@ mod tests {
     fn impossible_swarm_reports_none() {
         let mut swarm = Swarm::new(meta(2), members(2));
         swarm.grant(NodeId::new(0), 0); // piece 1 exists nowhere
-        assert_eq!(swarm.run_to_completion(BroadcastOrdering::TwoPhase, 100), None);
+        assert_eq!(
+            swarm.run_to_completion(BroadcastOrdering::TwoPhase, 100),
+            None
+        );
         assert!(!swarm.all_complete());
         // Member 1 received piece 0 during the attempt but piece 1 is gone.
         assert_eq!(swarm.missing(NodeId::new(1)), vec![1]);
@@ -272,7 +283,10 @@ mod tests {
         swarm.grant(NodeId::new(0), 0);
         swarm.grant(NodeId::new(1), 0); // piece 0 fully replicated
         let offers = swarm.offers();
-        assert!(offers.is_empty(), "piece 0 needs nobody, piece 1 has nobody");
+        assert!(
+            offers.is_empty(),
+            "piece 0 needs nobody, piece 1 has nobody"
+        );
     }
 
     #[test]

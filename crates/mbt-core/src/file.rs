@@ -43,7 +43,10 @@ impl fmt::Display for AssembleError {
                 write!(f, "piece belongs to {actual}, assembling {expected}")
             }
             AssembleError::IndexOutOfRange { index, count } => {
-                write!(f, "piece index {index} out of range (file has {count} pieces)")
+                write!(
+                    f,
+                    "piece index {index} out of range (file has {count} pieces)"
+                )
             }
             AssembleError::ChecksumMismatch { index } => {
                 write!(f, "piece {index} failed checksum verification")
@@ -243,7 +246,10 @@ mod tests {
         let mut asm = FileAssembler::new(meta);
         let bogus = Piece::new(PieceId::new(uri, 99), vec![0u8; 64]);
         let err = asm.add_piece(bogus).unwrap_err();
-        assert!(matches!(err, AssembleError::IndexOutOfRange { index: 99, .. }));
+        assert!(matches!(
+            err,
+            AssembleError::IndexOutOfRange { index: 99, .. }
+        ));
     }
 
     #[test]
@@ -264,7 +270,9 @@ mod tests {
     #[test]
     fn empty_file_is_trivially_complete() {
         let uri = Uri::new("mbt://empty").unwrap();
-        let meta = Metadata::builder("Empty", "FOX", uri).content(&[], 64).build();
+        let meta = Metadata::builder("Empty", "FOX", uri)
+            .content(&[], 64)
+            .build();
         let asm = FileAssembler::new(meta);
         assert!(asm.is_complete());
         assert_eq!(asm.assemble().unwrap(), Vec::<u8>::new());

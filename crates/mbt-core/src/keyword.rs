@@ -64,10 +64,7 @@ impl InvertedIndex {
                 .entry(token.clone())
                 .or_default()
                 .insert(uri.clone());
-            self.tokens_of
-                .entry(uri.clone())
-                .or_default()
-                .insert(token);
+            self.tokens_of.entry(uri.clone()).or_default().insert(token);
         }
     }
 

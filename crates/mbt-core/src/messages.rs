@@ -89,10 +89,7 @@ mod tests {
 
     #[test]
     fn hello_payload_fields() {
-        let p = HelloPayload::new(
-            vec!["fox news".into()],
-            vec![Uri::new("mbt://a").unwrap()],
-        );
+        let p = HelloPayload::new(vec!["fox news".into()], vec![Uri::new("mbt://a").unwrap()]);
         assert_eq!(p.queries.len(), 1);
         assert_eq!(p.downloading.len(), 1);
         assert_eq!(HelloPayload::default().queries.len(), 0);

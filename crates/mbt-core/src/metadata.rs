@@ -410,7 +410,9 @@ mod tests {
     #[test]
     fn wire_size_is_much_smaller_than_file() {
         let data = vec![0u8; 100_000];
-        let m = Metadata::builder("x", "p", uri()).content(&data, 4096).build();
+        let m = Metadata::builder("x", "p", uri())
+            .content(&data, 4096)
+            .build();
         assert!((m.wire_size() as u64) < m.size() / 10);
     }
 

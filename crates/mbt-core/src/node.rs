@@ -252,7 +252,10 @@ impl MbtNode {
 
     /// Records a popularity observation, keeping the maximum seen.
     pub fn note_popularity(&mut self, uri: &Uri, p: Popularity) {
-        let entry = self.popularity.entry(uri.clone()).or_insert(Popularity::MIN);
+        let entry = self
+            .popularity
+            .entry(uri.clone())
+            .or_insert(Popularity::MIN);
         if p > *entry {
             *entry = p;
         }
@@ -289,7 +292,11 @@ impl MbtNode {
     }
 
     /// Stores metadata received from the Internet; returns `true` if new.
-    fn store_metadata_from_internet(&mut self, metadata: &Metadata, popularity: Popularity) -> bool {
+    fn store_metadata_from_internet(
+        &mut self,
+        metadata: &Metadata,
+        popularity: Popularity,
+    ) -> bool {
         self.note_popularity(metadata.uri(), popularity);
         if self.metadata.insert(metadata.clone()) {
             self.events.push(NodeEvent::MetadataStored {
@@ -447,7 +454,10 @@ pub fn run_contact(
     let protocol = nodes[members[0]].protocol;
     let config = nodes[members[0]].config.clone();
     for &idx in members {
-        assert_eq!(nodes[idx].protocol, protocol, "mixed protocols in one contact");
+        assert_eq!(
+            nodes[idx].protocol, protocol,
+            "mixed protocols in one contact"
+        );
         assert_eq!(
             nodes[idx].config.cooperation_value(),
             config.cooperation_value(),
@@ -521,7 +531,10 @@ pub fn run_contact(
                     continue;
                 }
                 for (query, expires) in &snap.own_queries {
-                    if nodes[idx].queries.add_foreign(snap.id, query.clone(), *expires) {
+                    if nodes[idx]
+                        .queries
+                        .add_foreign(snap.id, query.clone(), *expires)
+                    {
                         report.queries_distributed += 1;
                     }
                 }
@@ -569,13 +582,18 @@ pub fn run_contact(
             })
             .filter(|o| {
                 // Skip metadata every member already holds or has rejected.
-                snapshots.iter().any(|s| {
-                    !s.metadata_uris.contains(&o.item) && !s.rejected.contains(&o.item)
-                })
+                snapshots
+                    .iter()
+                    .any(|s| !s.metadata_uris.contains(&o.item) && !s.rejected.contains(&o.item))
             })
             .collect();
-        let schedule = schedule_broadcasts(&config, &member_ids, &snapshots, offers,
-            config.metadata_per_contact_value() as usize);
+        let schedule = schedule_broadcasts(
+            &config,
+            &member_ids,
+            &snapshots,
+            offers,
+            config.metadata_per_contact_value() as usize,
+        );
         for b in &schedule {
             let (meta, pop, _) = &metadata_catalog[&b.item];
             report.metadata_broadcasts += 1;
@@ -641,13 +659,18 @@ pub fn run_contact(
             })
             .filter(|o| {
                 // Skip files every member already holds or refuses.
-                snapshots.iter().any(|s| {
-                    !s.file_uris.contains(&o.item) && !s.rejected.contains(&o.item)
-                })
+                snapshots
+                    .iter()
+                    .any(|s| !s.file_uris.contains(&o.item) && !s.rejected.contains(&o.item))
             })
             .collect();
-        let schedule = schedule_broadcasts(&config, &member_ids, &snapshots, offers,
-            config.files_per_contact_value() as usize);
+        let schedule = schedule_broadcasts(
+            &config,
+            &member_ids,
+            &snapshots,
+            offers,
+            config.files_per_contact_value() as usize,
+        );
         for b in &schedule {
             report.file_broadcasts += 1;
             // The file's metadata rides along with the file (as in prior
@@ -738,10 +761,8 @@ fn schedule_broadcasts(
             }
         },
         CooperationMode::TitForTat => {
-            let ledgers: BTreeMap<NodeId, &CreditLedger> = snapshots
-                .iter()
-                .map(|s| (s.id, &s.ledger))
-                .collect();
+            let ledgers: BTreeMap<NodeId, &CreditLedger> =
+                snapshots.iter().map(|s| (s.id, &s.ledger)).collect();
             dl_tft::schedule(member_ids, offers, |id| ledgers[&id], slots)
         }
     }
@@ -800,7 +821,10 @@ mod tests {
         n.internet_session(&mut server, SimTime::ZERO);
         assert!(n.has_metadata(&uri("mbt://a")));
         assert!(n.has_file(&uri("mbt://a")));
-        assert!(!n.has_file(&uri("mbt://b")), "only queried files downloaded");
+        assert!(
+            !n.has_file(&uri("mbt://b")),
+            "only queried files downloaded"
+        );
         // Push phase pulled the popular metadata too.
         assert!(n.has_metadata(&uri("mbt://b")));
         let events = n.drain_events();
@@ -818,7 +842,10 @@ mod tests {
         n.add_query(Query::new("fox news").unwrap(), None);
         n.internet_session(&mut server, SimTime::ZERO);
         assert!(n.has_file(&uri("mbt://a")));
-        assert!(!n.has_metadata(&uri("mbt://b")), "MBT-QM pulls no push metadata");
+        assert!(
+            !n.has_metadata(&uri("mbt://b")),
+            "MBT-QM pulls no push metadata"
+        );
     }
 
     #[test]
@@ -843,7 +870,8 @@ mod tests {
         let mut nodes = vec![node(0, ProtocolKind::Mbt), node(1, ProtocolKind::Mbt)];
         nodes[0].set_frequent_contacts([NodeId::new(1)]);
         nodes[1].add_query(Query::new("fox news").unwrap(), None);
-        let report = run_pairwise_contact(&mut nodes, 0, 1, SimTime::ZERO, SimDuration::from_secs(60));
+        let report =
+            run_pairwise_contact(&mut nodes, 0, 1, SimTime::ZERO, SimDuration::from_secs(60));
         assert_eq!(report.queries_distributed, 1);
         assert_eq!(nodes[0].query_count(), 1);
         // Not symmetric: node 1 did not list node 0 as frequent.
@@ -855,7 +883,8 @@ mod tests {
         let mut nodes = vec![node(0, ProtocolKind::MbtQ), node(1, ProtocolKind::MbtQ)];
         nodes[0].set_frequent_contacts([NodeId::new(1)]);
         nodes[1].add_query(Query::new("fox news").unwrap(), None);
-        let report = run_pairwise_contact(&mut nodes, 0, 1, SimTime::ZERO, SimDuration::from_secs(60));
+        let report =
+            run_pairwise_contact(&mut nodes, 0, 1, SimTime::ZERO, SimDuration::from_secs(60));
         assert_eq!(report.queries_distributed, 0);
         assert_eq!(nodes[0].query_count(), 0);
     }
@@ -867,7 +896,8 @@ mod tests {
         nodes[0].metadata.insert(m);
         nodes[0].note_popularity(&uri("mbt://a"), Popularity::new(0.4));
         nodes[1].add_query(Query::new("evening news").unwrap(), None);
-        let report = run_pairwise_contact(&mut nodes, 0, 1, SimTime::ZERO, SimDuration::from_secs(60));
+        let report =
+            run_pairwise_contact(&mut nodes, 0, 1, SimTime::ZERO, SimDuration::from_secs(60));
         assert_eq!(report.metadata_broadcasts, 1);
         assert!(nodes[1].has_metadata(&uri("mbt://a")));
         // Tit-for-tat bookkeeping ran on the receiver.
@@ -884,7 +914,8 @@ mod tests {
         let mut nodes = vec![node(0, ProtocolKind::MbtQm), node(1, ProtocolKind::MbtQm)];
         nodes[0].metadata.insert(meta("fox news", "mbt://a"));
         nodes[1].add_query(Query::new("fox news").unwrap(), None);
-        let report = run_pairwise_contact(&mut nodes, 0, 1, SimTime::ZERO, SimDuration::from_secs(60));
+        let report =
+            run_pairwise_contact(&mut nodes, 0, 1, SimTime::ZERO, SimDuration::from_secs(60));
         assert_eq!(report.metadata_broadcasts, 0);
         assert!(!nodes[1].has_metadata(&uri("mbt://a")));
     }
@@ -895,10 +926,14 @@ mod tests {
         nodes[0].metadata.insert(meta("fox news", "mbt://a"));
         nodes[0].files.insert(uri("mbt://a"), None);
         nodes[0].note_popularity(&uri("mbt://a"), Popularity::new(0.8));
-        let report = run_pairwise_contact(&mut nodes, 0, 1, SimTime::ZERO, SimDuration::from_secs(60));
+        let report =
+            run_pairwise_contact(&mut nodes, 0, 1, SimTime::ZERO, SimDuration::from_secs(60));
         assert_eq!(report.file_broadcasts, 1);
         assert!(nodes[1].has_file(&uri("mbt://a")));
-        assert!(nodes[1].has_metadata(&uri("mbt://a")), "metadata rides with the file");
+        assert!(
+            nodes[1].has_metadata(&uri("mbt://a")),
+            "metadata rides with the file"
+        );
     }
 
     #[test]
@@ -946,7 +981,8 @@ mod tests {
         }
         nodes[0].metadata.insert(meta("fox news", "mbt://a"));
         nodes[0].files.insert(uri("mbt://a"), None);
-        let report = run_pairwise_contact(&mut nodes, 0, 1, SimTime::ZERO, SimDuration::from_secs(30));
+        let report =
+            run_pairwise_contact(&mut nodes, 0, 1, SimTime::ZERO, SimDuration::from_secs(30));
         assert!(report.metadata_broadcasts > 0, "metadata still flows");
         assert_eq!(report.file_broadcasts, 0, "file phase skipped");
     }
@@ -961,7 +997,8 @@ mod tests {
         for n in nodes.iter_mut() {
             n.config = MbtConfig::new().metadata_per_contact(5);
         }
-        let report = run_pairwise_contact(&mut nodes, 0, 1, SimTime::ZERO, SimDuration::from_secs(60));
+        let report =
+            run_pairwise_contact(&mut nodes, 0, 1, SimTime::ZERO, SimDuration::from_secs(60));
         assert_eq!(report.metadata_broadcasts, 5);
         assert_eq!(nodes[1].metadata_count(), 5);
     }
@@ -992,7 +1029,8 @@ mod tests {
         }
         nodes[0].metadata.insert(meta("fox news", "mbt://a"));
         nodes[1].add_query(Query::new("fox news").unwrap(), None);
-        let report = run_pairwise_contact(&mut nodes, 0, 1, SimTime::ZERO, SimDuration::from_secs(60));
+        let report =
+            run_pairwise_contact(&mut nodes, 0, 1, SimTime::ZERO, SimDuration::from_secs(60));
         assert_eq!(report.metadata_broadcasts, 1);
         assert!(nodes[1].has_metadata(&uri("mbt://a")));
     }
@@ -1018,11 +1056,19 @@ mod tests {
 
         run_pairwise_contact(&mut nodes, 0, 1, SimTime::ZERO, SimDuration::from_secs(60));
         assert!(!nodes[1].has_metadata(&uri("mbt://fake")), "forgery stored");
-        assert!(nodes[1].has_rejected(&uri("mbt://fake")), "forgery not blacklisted");
+        assert!(
+            nodes[1].has_rejected(&uri("mbt://fake")),
+            "forgery not blacklisted"
+        );
 
         // A second contact no longer offers the fake: no metadata broadcast.
-        let report =
-            run_pairwise_contact(&mut nodes, 0, 1, SimTime::from_secs(100), SimDuration::from_secs(60));
+        let report = run_pairwise_contact(
+            &mut nodes,
+            0,
+            1,
+            SimTime::from_secs(100),
+            SimDuration::from_secs(60),
+        );
         assert_eq!(report.metadata_broadcasts, 0, "blacklisted item re-offered");
     }
 
@@ -1111,14 +1157,21 @@ mod tests {
         };
         let mut nodes = vec![mk(0), mk(1), mk(2)];
         for idx in [0usize, 1] {
-            nodes[idx].metadata.insert(meta("common show", "mbt://common"));
+            nodes[idx]
+                .metadata
+                .insert(meta("common show", "mbt://common"));
             nodes[idx].files.insert(uri("mbt://common"), None);
             nodes[idx].note_popularity(&uri("mbt://common"), Popularity::new(0.9));
         }
         nodes[0].metadata.insert(meta("rare show", "mbt://rare"));
         nodes[0].files.insert(uri("mbt://rare"), None);
         nodes[0].note_popularity(&uri("mbt://rare"), Popularity::new(0.1));
-        run_contact(&mut nodes, &[0, 1, 2], SimTime::ZERO, SimDuration::from_secs(600));
+        run_contact(
+            &mut nodes,
+            &[0, 1, 2],
+            SimTime::ZERO,
+            SimDuration::from_secs(600),
+        );
         assert!(nodes[2].has_file(&uri("mbt://rare")));
         assert!(!nodes[2].has_file(&uri("mbt://common")));
     }
@@ -1134,7 +1187,12 @@ mod tests {
     #[should_panic(expected = "duplicate member")]
     fn duplicate_member_panics() {
         let mut nodes = vec![node(0, ProtocolKind::Mbt), node(1, ProtocolKind::Mbt)];
-        run_contact(&mut nodes, &[0, 0], SimTime::ZERO, SimDuration::from_secs(60));
+        run_contact(
+            &mut nodes,
+            &[0, 0],
+            SimTime::ZERO,
+            SimDuration::from_secs(60),
+        );
     }
 
     #[test]
@@ -1152,6 +1210,9 @@ mod tests {
         n.add_query(Query::new("fox news").unwrap(), None);
         assert_eq!(n.wanted_uris(), vec![uri("mbt://a")]);
         n.files.insert(uri("mbt://a"), None);
-        assert!(n.wanted_uris().is_empty(), "held files are no longer wanted");
+        assert!(
+            n.wanted_uris().is_empty(),
+            "held files are no longer wanted"
+        );
     }
 }

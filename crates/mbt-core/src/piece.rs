@@ -155,7 +155,10 @@ mod tests {
         let data: Vec<u8> = (0..1000u32).map(|i| i as u8).collect();
         let pieces = split_into_pieces(&uri(), &data, 256);
         assert_eq!(pieces.len(), 4);
-        let rejoined: Vec<u8> = pieces.iter().flat_map(|p| p.data().iter().copied()).collect();
+        let rejoined: Vec<u8> = pieces
+            .iter()
+            .flat_map(|p| p.data().iter().copied())
+            .collect();
         assert_eq!(rejoined, data);
     }
 

@@ -77,10 +77,7 @@ where
 
 /// Applies a selection policy to a ranked list, returning the chosen
 /// metadata if any qualifies.
-pub fn select<'a>(
-    results: &[RankedResult<'a>],
-    policy: SelectionPolicy,
-) -> Option<&'a Metadata> {
+pub fn select<'a>(results: &[RankedResult<'a>], policy: SelectionPolicy) -> Option<&'a Metadata> {
     match policy {
         SelectionPolicy::BestRanked => results.first().map(|r| r.metadata),
         SelectionPolicy::MostPopular => results
@@ -135,11 +132,17 @@ mod tests {
         let pop = pop_table(&[("mbt://a", 0.9), ("mbt://b", 0.1)]);
         let ranked = rank([&a, &b], &q, pop, None);
         assert_eq!(
-            select(&ranked, SelectionPolicy::BestRanked).unwrap().uri().as_str(),
+            select(&ranked, SelectionPolicy::BestRanked)
+                .unwrap()
+                .uri()
+                .as_str(),
             "mbt://a"
         );
         assert_eq!(
-            select(&ranked, SelectionPolicy::MostPopular).unwrap().uri().as_str(),
+            select(&ranked, SelectionPolicy::MostPopular)
+                .unwrap()
+                .uri()
+                .as_str(),
             "mbt://a"
         );
     }
@@ -162,7 +165,10 @@ mod tests {
         let ranked = rank([&real, &fake], &q, pop, Some(&registry));
         // Naive policy falls for the fake:
         assert_eq!(
-            select(&ranked, SelectionPolicy::BestRanked).unwrap().uri().as_str(),
+            select(&ranked, SelectionPolicy::BestRanked)
+                .unwrap()
+                .uri()
+                .as_str(),
             "mbt://fake"
         );
         // Authentication-aware policy does not:

@@ -237,10 +237,7 @@ mod tests {
 
     #[test]
     fn search_respects_limit_and_best_match() {
-        let s = server_with(&[
-            ("news one", "mbt://a", 0.2),
-            ("news two", "mbt://b", 0.8),
-        ]);
+        let s = server_with(&[("news one", "mbt://a", 0.2), ("news two", "mbt://b", 0.8)]);
         let q = Query::new("news").unwrap();
         assert_eq!(s.search(&q, 1).len(), 1);
         assert_eq!(s.best_match(&q).unwrap().uri().as_str(), "mbt://b");

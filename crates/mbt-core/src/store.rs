@@ -78,7 +78,10 @@ impl MetadataStore {
 
     /// All stored metadata matching `query`, in URI order.
     pub fn matching(&self, query: &Query) -> Vec<&Metadata> {
-        self.map.values().filter(|m| m.matches_query(query)).collect()
+        self.map
+            .values()
+            .filter(|m| m.matches_query(query))
+            .collect()
     }
 
     /// Removes records expired at `now`; returns how many were dropped.
@@ -189,8 +192,7 @@ impl QueryStore {
     /// All queries with their owners; `me` is reported as the owner of own
     /// queries.
     pub fn all_with_owner(&self, me: NodeId) -> Vec<(NodeId, &Query)> {
-        let mut out: Vec<(NodeId, &Query)> =
-            self.own.iter().map(|e| (me, &e.query)).collect();
+        let mut out: Vec<(NodeId, &Query)> = self.own.iter().map(|e| (me, &e.query)).collect();
         out.extend(self.foreign.iter().map(|(o, e)| (*o, &e.query)));
         out
     }

@@ -120,6 +120,8 @@ mod tests {
     #[test]
     fn error_messages() {
         assert!(InvalidUri::Empty.to_string().contains("empty"));
-        assert!(InvalidUri::ContainsWhitespace.to_string().contains("whitespace"));
+        assert!(InvalidUri::ContainsWhitespace
+            .to_string()
+            .contains("whitespace"));
     }
 }

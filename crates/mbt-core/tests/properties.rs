@@ -16,10 +16,9 @@ fn arb_uri() -> impl Strategy<Value = Uri> {
 }
 
 fn arb_meta() -> impl Strategy<Value = Metadata> {
-    (arb_uri(), "[a-z ]{1,30}", 0usize..3)
-        .prop_map(|(uri, name, pubidx)| {
-            Metadata::builder(name, ["FOX", "ABC", "CBS"][pubidx], uri).build()
-        })
+    (arb_uri(), "[a-z ]{1,30}", 0usize..3).prop_map(|(uri, name, pubidx)| {
+        Metadata::builder(name, ["FOX", "ABC", "CBS"][pubidx], uri).build()
+    })
 }
 
 proptest! {

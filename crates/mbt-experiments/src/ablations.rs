@@ -12,6 +12,7 @@ use dtn_trace::generators::NusConfig;
 use dtn_trace::ContactTrace;
 use mbt_core::{BroadcastOrdering, CooperationMode, MbtConfig, ProtocolKind};
 
+use crate::exec::{ExecConfig, ParallelRunner};
 use crate::figures::Scale;
 use crate::runner::{run_simulation, SimParams, SimResult};
 
@@ -32,6 +33,20 @@ fn scale_trace(scale: Scale) -> ContactTrace {
     NusConfig::new(students, days).seed(42).generate()
 }
 
+/// Runs every labelled configuration against `trace` on the runner's pool,
+/// preserving input order.
+fn run_rows(
+    trace: &ContactTrace,
+    configs: Vec<(String, SimParams)>,
+    exec: &ExecConfig,
+) -> Vec<AblationRow> {
+    let runner = ParallelRunner::new(*exec);
+    runner.run_all(&configs, |(label, params)| AblationRow {
+        label: label.clone(),
+        result: run_simulation(trace, params),
+    })
+}
+
 fn scale_params(scale: Scale) -> SimParams {
     SimParams {
         days: match scale {
@@ -45,131 +60,156 @@ fn scale_params(scale: Scale) -> SimParams {
 
 /// Cooperative vs tit-for-tat scheduling, full MBT.
 pub fn cooperation_ablation(scale: Scale) -> Vec<AblationRow> {
+    cooperation_ablation_with(scale, &ExecConfig::default())
+}
+
+/// [`cooperation_ablation`] with explicit execution.
+pub fn cooperation_ablation_with(scale: Scale, exec: &ExecConfig) -> Vec<AblationRow> {
     let trace = scale_trace(scale);
-    [CooperationMode::Cooperative, CooperationMode::TitForTat]
+    let configs = [CooperationMode::Cooperative, CooperationMode::TitForTat]
         .into_iter()
         .map(|mode| {
-            let params = SimParams {
-                protocol: ProtocolKind::Mbt,
-                config: MbtConfig::new().cooperation(mode),
-                ..scale_params(scale)
-            };
-            AblationRow {
-                label: format!("cooperation={mode}"),
-                result: run_simulation(&trace, &params),
-            }
+            (
+                format!("cooperation={mode}"),
+                SimParams {
+                    protocol: ProtocolKind::Mbt,
+                    config: MbtConfig::new().cooperation(mode),
+                    ..scale_params(scale)
+                },
+            )
         })
-        .collect()
+        .collect();
+    run_rows(&trace, configs, exec)
 }
 
 /// Discovery-first vs download-first contact ordering.
 pub fn discovery_first_ablation(scale: Scale) -> Vec<AblationRow> {
+    discovery_first_ablation_with(scale, &ExecConfig::default())
+}
+
+/// [`discovery_first_ablation`] with explicit execution.
+pub fn discovery_first_ablation_with(scale: Scale, exec: &ExecConfig) -> Vec<AblationRow> {
     let trace = scale_trace(scale);
-    [true, false]
+    let configs = [true, false]
         .into_iter()
         .map(|first| {
-            let params = SimParams {
-                config: MbtConfig::new().discovery_first(first),
-                ..scale_params(scale)
-            };
-            AblationRow {
-                label: format!("discovery_first={first}"),
-                result: run_simulation(&trace, &params),
-            }
+            (
+                format!("discovery_first={first}"),
+                SimParams {
+                    config: MbtConfig::new().discovery_first(first),
+                    ..scale_params(scale)
+                },
+            )
         })
-        .collect()
+        .collect();
+    run_rows(&trace, configs, exec)
 }
 
 /// Two-phase (paper §V-A) vs rarest-first (BitTorrent-style) broadcast
 /// ordering, cooperative mode.
 pub fn ordering_ablation(scale: Scale) -> Vec<AblationRow> {
+    ordering_ablation_with(scale, &ExecConfig::default())
+}
+
+/// [`ordering_ablation`] with explicit execution.
+pub fn ordering_ablation_with(scale: Scale, exec: &ExecConfig) -> Vec<AblationRow> {
     let trace = scale_trace(scale);
-    [BroadcastOrdering::TwoPhase, BroadcastOrdering::RarestFirst]
+    let configs = [BroadcastOrdering::TwoPhase, BroadcastOrdering::RarestFirst]
         .into_iter()
         .map(|ordering| {
-            let params = SimParams {
-                config: MbtConfig::new().ordering(ordering),
-                ..scale_params(scale)
-            };
-            AblationRow {
-                label: format!("ordering={ordering}"),
-                result: run_simulation(&trace, &params),
-            }
+            (
+                format!("ordering={ordering}"),
+                SimParams {
+                    config: MbtConfig::new().ordering(ordering),
+                    ..scale_params(scale)
+                },
+            )
         })
-        .collect()
+        .collect();
+    run_rows(&trace, configs, exec)
 }
 
 /// Gating the file phase on minimum contact length (0 s, 60 s, 600 s).
 pub fn short_contact_ablation(scale: Scale) -> Vec<AblationRow> {
+    short_contact_ablation_with(scale, &ExecConfig::default())
+}
+
+/// [`short_contact_ablation`] with explicit execution.
+pub fn short_contact_ablation_with(scale: Scale, exec: &ExecConfig) -> Vec<AblationRow> {
     let trace = scale_trace(scale);
-    [0u64, 60, 600]
+    let configs = [0u64, 60, 600]
         .into_iter()
         .map(|min_secs| {
-            let params = SimParams {
-                config: MbtConfig::new().min_download_contact_secs(min_secs),
-                ..scale_params(scale)
-            };
-            AblationRow {
-                label: format!("min_download_contact_secs={min_secs}"),
-                result: run_simulation(&trace, &params),
-            }
+            (
+                format!("min_download_contact_secs={min_secs}"),
+                SimParams {
+                    config: MbtConfig::new().min_download_contact_secs(min_secs),
+                    ..scale_params(scale)
+                },
+            )
         })
-        .collect()
+        .collect();
+    run_rows(&trace, configs, exec)
 }
 
 /// Failure injection: broadcast frame loss (0 %, 10 %, 30 %) and node churn
 /// (0 %, 20 % of measured nodes dying mid-run), full MBT.
 pub fn failure_ablation(scale: Scale) -> Vec<AblationRow> {
+    failure_ablation_with(scale, &ExecConfig::default())
+}
+
+/// [`failure_ablation`] with explicit execution.
+pub fn failure_ablation_with(scale: Scale, exec: &ExecConfig) -> Vec<AblationRow> {
     let trace = scale_trace(scale);
-    let mut rows = Vec::new();
+    let mut configs: Vec<(String, SimParams)> = Vec::new();
     for loss in [0.0, 0.1, 0.3] {
-        let params = SimParams {
-            config: MbtConfig::new().broadcast_loss_rate(loss),
-            ..scale_params(scale)
-        };
-        rows.push(AblationRow {
-            label: format!("broadcast_loss={loss:.1}"),
-            result: run_simulation(&trace, &params),
-        });
+        configs.push((
+            format!("broadcast_loss={loss:.1}"),
+            SimParams {
+                config: MbtConfig::new().broadcast_loss_rate(loss),
+                ..scale_params(scale)
+            },
+        ));
     }
-    {
-        let churn = 0.2;
-        let params = SimParams {
+    let churn = 0.2;
+    configs.push((
+        format!("node_churn={churn:.1}"),
+        SimParams {
             churn,
             ..scale_params(scale)
-        };
-        rows.push(AblationRow {
-            label: format!("node_churn={churn:.1}"),
-            result: run_simulation(&trace, &params),
-        });
-    }
-    rows
+        },
+    ));
+    run_rows(&trace, configs, exec)
 }
 
 /// Metadata pollution (§I "fake files" / §III-B item f): no adversary vs a
 /// 20 % polluter population, with and without publisher authentication.
 pub fn pollution_ablation(scale: Scale) -> Vec<AblationRow> {
+    pollution_ablation_with(scale, &ExecConfig::default())
+}
+
+/// [`pollution_ablation`] with explicit execution.
+pub fn pollution_ablation_with(scale: Scale, exec: &ExecConfig) -> Vec<AblationRow> {
     let trace = scale_trace(scale);
     let configs = [
         ("clean", 0.0, false),
         ("polluted, no auth", 0.2, false),
         ("polluted, auth on", 0.2, true),
-    ];
-    configs
-        .into_iter()
-        .map(|(label, polluter_fraction, verify_metadata)| {
-            let params = SimParams {
+    ]
+    .into_iter()
+    .map(|(label, polluter_fraction, verify_metadata)| {
+        (
+            label.to_string(),
+            SimParams {
                 polluter_fraction,
                 fakes_per_day: 4,
                 verify_metadata,
                 ..scale_params(scale)
-            };
-            AblationRow {
-                label: label.to_string(),
-                result: run_simulation(&trace, &params),
-            }
-        })
-        .collect()
+            },
+        )
+    })
+    .collect();
+    run_rows(&trace, configs, exec)
 }
 
 /// Renders ablation rows as an aligned text table.

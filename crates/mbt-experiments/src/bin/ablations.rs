@@ -1,53 +1,59 @@
 //! Runs the design-choice ablations listed in `DESIGN.md`.
 //!
-//! Usage: `cargo run -p mbt-experiments --bin ablations --release [-- --quick]`
+//! Usage: `cargo run -p mbt-experiments --bin ablations --release -- \
+//!   [--quick] [--jobs N]`
 
 use mbt_experiments::ablations::{
-    ablation_table, cooperation_ablation, discovery_first_ablation, failure_ablation,
-    ordering_ablation, pollution_ablation, short_contact_ablation,
+    ablation_table, cooperation_ablation_with, discovery_first_ablation_with,
+    failure_ablation_with, ordering_ablation_with, pollution_ablation_with,
+    short_contact_ablation_with,
 };
-use mbt_experiments::scale_from_args;
+use mbt_experiments::{exec_from_args, scale_from_args};
 
 fn main() {
     let scale = scale_from_args();
+    let exec = exec_from_args();
     println!("Design ablations (NUS-style trace), scale {scale:?}\n");
     println!(
         "{}",
-        ablation_table("cooperation mode (§IV-B/§V-B)", &cooperation_ablation(scale))
+        ablation_table(
+            "cooperation mode (§IV-B/§V-B)",
+            &cooperation_ablation_with(scale, &exec)
+        )
     );
     println!(
         "{}",
         ablation_table(
             "discovery-first contact ordering (§V)",
-            &discovery_first_ablation(scale)
+            &discovery_first_ablation_with(scale, &exec)
         )
     );
     println!(
         "{}",
         ablation_table(
             "short-contact file-phase gating (§V)",
-            &short_contact_ablation(scale)
+            &short_contact_ablation_with(scale, &exec)
         )
     );
     println!(
         "{}",
         ablation_table(
             "broadcast ordering: two-phase (§V-A) vs rarest-first (BitTorrent)",
-            &ordering_ablation(scale)
+            &ordering_ablation_with(scale, &exec)
         )
     );
     println!(
         "{}",
         ablation_table(
             "failure injection: broadcast loss and node churn",
-            &failure_ablation(scale)
+            &failure_ablation_with(scale, &exec)
         )
     );
     println!(
         "{}",
         ablation_table(
             "metadata pollution: fake publishers vs authentication (\u{a7}I, \u{a7}III-B.f)",
-            &pollution_ablation(scale)
+            &pollution_ablation_with(scale, &exec)
         )
     );
 }

@@ -1,27 +1,37 @@
 //! Runs every experiment in the repository: Figures 2 and 3, the capacity
 //! analysis, and the ablations. This is the harness behind `EXPERIMENTS.md`.
 //!
-//! Usage: `cargo run -p mbt-experiments --bin all_experiments --release [-- --quick]`
+//! Usage: `cargo run -p mbt-experiments --bin all_experiments --release -- \
+//!   [--quick] [--jobs N] [--replicates R]`
+//!
+//! `--jobs N` sets the worker thread count (0 = one per core) and
+//! `--replicates R` runs R independently-seeded replicates per sweep cell,
+//! populating the stddev columns of the CSV output.
 
 use mbt_experiments::ablations::{
-    ablation_table, cooperation_ablation, discovery_first_ablation, failure_ablation,
-    ordering_ablation, pollution_ablation, short_contact_ablation,
+    ablation_table, cooperation_ablation_with, discovery_first_ablation_with,
+    failure_ablation_with, ordering_ablation_with, pollution_ablation_with,
+    short_contact_ablation_with,
 };
+use mbt_experiments::capacity::{capacity_table, crossover_holds};
+use mbt_experiments::figures::{all_fig2_with, all_fig3_with};
 use mbt_experiments::mobility::{mobility_comparison, mobility_table};
-use mbt_experiments::progress::{delivery_progress, progress_table};
+use mbt_experiments::progress::{delivery_progress_with, progress_table};
+use mbt_experiments::report::{capacity_table_text, figure_csv, figure_table};
 use mbt_experiments::routing::{
     bound_table, dissemination_bound, routing_comparison, routing_table,
 };
-use mbt_experiments::capacity::{capacity_table, crossover_holds};
-use mbt_experiments::figures::{all_fig2, all_fig3};
-use mbt_experiments::report::{capacity_table_text, figure_csv, figure_table};
-use mbt_experiments::{scale_from_args, write_csv};
+use mbt_experiments::{exec_from_args, scale_from_args, write_csv};
 
 fn main() {
     let scale = scale_from_args();
+    let exec = exec_from_args();
     println!("=== MBT reproduction: all experiments (scale {scale:?}) ===\n");
 
-    for fig in all_fig2(scale).into_iter().chain(all_fig3(scale)) {
+    for fig in all_fig2_with(scale, &exec)
+        .into_iter()
+        .chain(all_fig3_with(scale, &exec))
+    {
         print!("{}", figure_table(&fig));
         if let Some(path) = write_csv(&fig.id, &figure_csv(&fig)) {
             println!("  -> {}", path.display());
@@ -34,46 +44,53 @@ fn main() {
     print!("{}", capacity_table_text(&rows));
     println!(
         "crossover statement: {}\n",
-        if crossover_holds(&rows) { "HOLDS" } else { "VIOLATED" }
+        if crossover_holds(&rows) {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
 
     println!(
         "{}",
-        ablation_table("cooperation mode (§IV-B/§V-B)", &cooperation_ablation(scale))
+        ablation_table(
+            "cooperation mode (§IV-B/§V-B)",
+            &cooperation_ablation_with(scale, &exec)
+        )
     );
     println!(
         "{}",
         ablation_table(
             "discovery-first contact ordering (§V)",
-            &discovery_first_ablation(scale)
+            &discovery_first_ablation_with(scale, &exec)
         )
     );
     println!(
         "{}",
         ablation_table(
             "short-contact file-phase gating (§V)",
-            &short_contact_ablation(scale)
+            &short_contact_ablation_with(scale, &exec)
         )
     );
     println!(
         "{}",
         ablation_table(
             "broadcast ordering: two-phase (§V-A) vs rarest-first (BitTorrent)",
-            &ordering_ablation(scale)
+            &ordering_ablation_with(scale, &exec)
         )
     );
     println!(
         "{}",
         ablation_table(
             "failure injection: broadcast loss and node churn",
-            &failure_ablation(scale)
+            &failure_ablation_with(scale, &exec)
         )
     );
     println!(
         "{}",
         ablation_table(
             "metadata pollution: fake publishers vs authentication (\u{a7}I, \u{a7}III-B.f)",
-            &pollution_ablation(scale)
+            &pollution_ablation_with(scale, &exec)
         )
     );
 
@@ -84,5 +101,5 @@ fn main() {
     println!("\n== protocols across mobility models (extension) ==");
     print!("{}", mobility_table(&mobility_comparison(scale)));
     println!("\n== cumulative delivery progression, NUS trace (extension) ==");
-    print!("{}", progress_table(&delivery_progress(scale)));
+    print!("{}", progress_table(&delivery_progress_with(scale, &exec)));
 }

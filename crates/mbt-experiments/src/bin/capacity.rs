@@ -13,6 +13,10 @@ fn main() {
     print!("{}", capacity_table_text(&rows));
     println!(
         "\ncrossover statement (broadcast ≥ pair-wise, equal only at n=2): {}",
-        if crossover_holds(&rows) { "HOLDS" } else { "VIOLATED" }
+        if crossover_holds(&rows) {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     );
 }

@@ -1,15 +1,21 @@
 //! Regenerates Figure 2 (a)–(e): the UMassDieselNet-style evaluation.
 //!
-//! Usage: `cargo run -p mbt-experiments --bin fig2 --release [-- --quick]`
+//! Usage: `cargo run -p mbt-experiments --bin fig2 --release -- \
+//!   [--quick] [--jobs N] [--replicates R]`
+//!
+//! `--jobs N` sets the worker thread count (0 = one per core) and
+//! `--replicates R` runs R independently-seeded replicates per sweep cell,
+//! populating the stddev columns of the CSV output.
 
-use mbt_experiments::figures::all_fig2;
+use mbt_experiments::figures::all_fig2_with;
 use mbt_experiments::report::{figure_csv, figure_table};
-use mbt_experiments::{scale_from_args, write_csv};
+use mbt_experiments::{exec_from_args, scale_from_args, write_csv};
 
 fn main() {
     let scale = scale_from_args();
+    let exec = exec_from_args();
     println!("Reproducing Figure 2 (DieselNet-style trace), scale {scale:?}\n");
-    for fig in all_fig2(scale) {
+    for fig in all_fig2_with(scale, &exec) {
         print!("{}", figure_table(&fig));
         if let Some(path) = write_csv(&fig.id, &figure_csv(&fig)) {
             println!("  -> {}", path.display());

@@ -8,8 +8,7 @@
 //! time-to-distribute comparison.
 
 use dtn_sim::channel::{
-    broadcast_per_node_capacity, pairwise_per_node_capacity, simulate_receptions,
-    TransmissionMode,
+    broadcast_per_node_capacity, pairwise_per_node_capacity, simulate_receptions, TransmissionMode,
 };
 
 /// One row of the capacity table.
@@ -79,8 +78,16 @@ mod tests {
     #[test]
     fn simulation_matches_analysis() {
         for row in capacity_table(12, 1000) {
-            assert!((row.broadcast - row.broadcast_sim).abs() < 1e-12, "n={}", row.n);
-            assert!((row.pairwise - row.pairwise_sim).abs() < 1e-12, "n={}", row.n);
+            assert!(
+                (row.broadcast - row.broadcast_sim).abs() < 1e-12,
+                "n={}",
+                row.n
+            );
+            assert!(
+                (row.pairwise - row.pairwise_sim).abs() < 1e-12,
+                "n={}",
+                row.n
+            );
         }
     }
 

@@ -1,0 +1,320 @@
+//! Parallel, replicated sweep execution.
+//!
+//! The paper's Fig. 2/3 evaluations are parameter sweeps (internet fraction,
+//! files/day, TTL, buffers) over three protocol variants. Run serially with
+//! a single seed they are slow and report point estimates with no variance.
+//! [`ParallelRunner`] fans every *(figure point × protocol × replicate)*
+//! cell of a sweep out over a rayon thread pool and merges the per-replicate
+//! results into mean/min/max/stddev summaries per [`SeriesPoint`].
+//!
+//! # Determinism contract
+//!
+//! Results are **bit-identical regardless of thread count or scheduling
+//! order** because no randomness flows through the executor itself:
+//!
+//! - every cell derives its own seed as
+//!   `derive_seed(&[master, point_idx, protocol_idx, replicate_idx])`, so a
+//!   cell's seed depends only on its grid coordinates;
+//! - the immutable [`ContactTrace`] is shared via [`Arc`], never
+//!   regenerated per cell;
+//! - cell results are collected and reduced in grid order, never in
+//!   completion order.
+//!
+//! `tests/parallel_determinism.rs` pins this contract: the same figure run
+//! with `--jobs 1` and `--jobs 8` must render byte-identical CSV.
+
+use std::sync::Arc;
+
+use dtn_sim::rng::derive_seed;
+use dtn_trace::ContactTrace;
+use mbt_core::ProtocolKind;
+use rayon::prelude::*;
+use rayon::{ThreadPool, ThreadPoolBuilder};
+
+use crate::runner::{run_simulation, SimParams, SimResult};
+use crate::sweep::{Figure, ProtocolSeries, SeriesPoint};
+
+/// How a sweep executes: worker count, replicate count, and the master seed
+/// every cell seed is derived from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Worker threads; `0` means one per available core.
+    pub jobs: usize,
+    /// Independent replicate runs per (point, protocol) cell; clamped to at
+    /// least 1.
+    pub replicates: u32,
+    /// Master seed: cell seeds are
+    /// `derive_seed(&[master_seed, point_idx, protocol_idx, replicate_idx])`.
+    pub master_seed: u64,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        ExecConfig {
+            jobs: 0,
+            replicates: 1,
+            master_seed: 42,
+        }
+    }
+}
+
+impl ExecConfig {
+    /// Single-threaded execution (identical results, no parallelism).
+    pub fn serial() -> ExecConfig {
+        ExecConfig {
+            jobs: 1,
+            ..ExecConfig::default()
+        }
+    }
+
+    /// Sets the worker count (`0` = one per core).
+    pub fn jobs(mut self, jobs: usize) -> ExecConfig {
+        self.jobs = jobs;
+        self
+    }
+
+    /// Sets the replicate count (clamped to ≥ 1 at execution time).
+    pub fn replicates(mut self, replicates: u32) -> ExecConfig {
+        self.replicates = replicates;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn master_seed(mut self, seed: u64) -> ExecConfig {
+        self.master_seed = seed;
+        self
+    }
+}
+
+/// One executable cell of a sweep grid.
+#[derive(Debug, Clone)]
+struct Cell {
+    point_idx: usize,
+    trace: Arc<ContactTrace>,
+    params: SimParams,
+}
+
+/// Parallel sweep executor. See the module docs for the determinism
+/// contract.
+#[derive(Debug)]
+pub struct ParallelRunner {
+    cfg: ExecConfig,
+    pool: ThreadPool,
+}
+
+impl ParallelRunner {
+    /// Builds a runner (and its thread pool) for `cfg`.
+    pub fn new(cfg: ExecConfig) -> ParallelRunner {
+        let pool = ThreadPoolBuilder::new()
+            .num_threads(cfg.jobs)
+            .build()
+            .expect("thread pool construction cannot fail");
+        ParallelRunner { cfg, pool }
+    }
+
+    /// The effective replicate count (≥ 1).
+    pub fn replicates(&self) -> u32 {
+        self.cfg.replicates.max(1)
+    }
+
+    /// Runs `f` over `items` on this runner's pool, returning results in
+    /// input order. The generic escape hatch for non-sweep workloads
+    /// (ablations, progression) that still want deterministic parallelism.
+    pub fn run_all<T: Sync, R: Send>(&self, items: &[T], f: impl Fn(&T) -> R + Sync) -> Vec<R> {
+        self.pool.install(|| items.par_iter().map(f).collect())
+    }
+
+    /// Runs a sweep: `setup` produces the trace and base parameters per x
+    /// value (serially, in x order), then every
+    /// *(point × protocol × replicate)* cell is simulated on the pool. Each
+    /// trace is generated once and shared across its cells via [`Arc`].
+    pub fn sweep<F>(&self, id: &str, title: &str, x_label: &str, xs: &[f64], mut setup: F) -> Figure
+    where
+        F: FnMut(f64) -> (ContactTrace, SimParams),
+    {
+        let prepared: Vec<(Arc<ContactTrace>, SimParams)> = xs
+            .iter()
+            .map(|&x| {
+                let (trace, params) = setup(x);
+                (Arc::new(trace), params)
+            })
+            .collect();
+        self.run_prepared(id, title, x_label, xs, &prepared)
+    }
+
+    /// Like [`ParallelRunner::sweep`] but with one fixed trace shared by
+    /// every x value — the common case when the swept parameter does not
+    /// affect mobility. The trace is cloned once into an [`Arc`], never per
+    /// cell.
+    pub fn sweep_shared_trace<F>(
+        &self,
+        id: &str,
+        title: &str,
+        x_label: &str,
+        xs: &[f64],
+        trace: &ContactTrace,
+        mut params_for: F,
+    ) -> Figure
+    where
+        F: FnMut(f64) -> SimParams,
+    {
+        let shared = Arc::new(trace.clone());
+        let prepared: Vec<(Arc<ContactTrace>, SimParams)> = xs
+            .iter()
+            .map(|&x| (Arc::clone(&shared), params_for(x)))
+            .collect();
+        self.run_prepared(id, title, x_label, xs, &prepared)
+    }
+
+    fn run_prepared(
+        &self,
+        id: &str,
+        title: &str,
+        x_label: &str,
+        xs: &[f64],
+        prepared: &[(Arc<ContactTrace>, SimParams)],
+    ) -> Figure {
+        let replicates = self.replicates();
+        let protocols = ProtocolKind::ALL;
+
+        // Grid order: point-major, then protocol, then replicate. The cell
+        // at flat index ((point * n_protos) + proto) * replicates + rep is
+        // fully determined by its coordinates, including its derived seed.
+        let mut cells: Vec<Cell> =
+            Vec::with_capacity(prepared.len() * protocols.len() * replicates as usize);
+        for (point_idx, (trace, base)) in prepared.iter().enumerate() {
+            for (proto_idx, &protocol) in protocols.iter().enumerate() {
+                for rep in 0..replicates {
+                    let mut params = base.clone();
+                    params.protocol = protocol;
+                    params.seed = derive_seed(&[
+                        self.cfg.master_seed,
+                        point_idx as u64,
+                        proto_idx as u64,
+                        u64::from(rep),
+                    ]);
+                    cells.push(Cell {
+                        point_idx,
+                        trace: Arc::clone(trace),
+                        params,
+                    });
+                }
+            }
+        }
+
+        let results: Vec<SimResult> =
+            self.run_all(&cells, |cell| run_simulation(&cell.trace, &cell.params));
+
+        // Deterministic reduction in grid order.
+        let series: Vec<ProtocolSeries> = protocols
+            .iter()
+            .enumerate()
+            .map(|(proto_idx, &protocol)| {
+                let points: Vec<SeriesPoint> = xs
+                    .iter()
+                    .enumerate()
+                    .map(|(point_idx, &x)| {
+                        let base = (point_idx * protocols.len() + proto_idx) * replicates as usize;
+                        let replicate_results: Vec<SimResult> = (0..replicates as usize)
+                            .map(|rep| {
+                                debug_assert_eq!(cells[base + rep].point_idx, point_idx);
+                                results[base + rep].clone()
+                            })
+                            .collect();
+                        SeriesPoint::from_replicates(x, replicate_results)
+                    })
+                    .collect();
+                ProtocolSeries { protocol, points }
+            })
+            .collect();
+
+        Figure {
+            id: id.to_string(),
+            title: title.to_string(),
+            x_label: x_label.to_string(),
+            series,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_trace::generators::NusConfig;
+
+    fn quick_params(days: u64) -> SimParams {
+        SimParams {
+            files_per_day: 5,
+            days,
+            ..SimParams::default()
+        }
+    }
+
+    fn run_with(cfg: ExecConfig) -> Figure {
+        let trace = NusConfig::new(20, 5).seed(3).generate();
+        ParallelRunner::new(cfg).sweep_shared_trace("t", "t", "x", &[0.2, 0.6], &trace, |x| {
+            SimParams {
+                internet_fraction: x,
+                ..quick_params(5)
+            }
+        })
+    }
+
+    #[test]
+    fn grid_is_complete() {
+        let fig = run_with(ExecConfig::default());
+        assert_eq!(fig.series.len(), ProtocolKind::ALL.len());
+        for s in &fig.series {
+            assert_eq!(s.points.len(), 2);
+            assert_eq!(s.points[0].x, 0.2);
+            assert_eq!(s.points[1].x, 0.6);
+        }
+    }
+
+    #[test]
+    fn jobs_do_not_change_results() {
+        let serial = run_with(ExecConfig::serial());
+        let parallel = run_with(ExecConfig::default().jobs(8));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn replicates_populate_summaries() {
+        let fig = run_with(ExecConfig::serial().replicates(3));
+        for s in &fig.series {
+            for p in &s.points {
+                assert_eq!(p.metadata.n, 3);
+                assert_eq!(p.file.n, 3);
+                assert!(p.metadata.min <= p.metadata.mean);
+                assert!(p.metadata.mean <= p.metadata.max);
+                assert!(p.metadata.stddev >= 0.0);
+                // Pooled counts: three replicates' queries accumulated.
+                assert!(p.result.queries > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn master_seed_changes_results() {
+        let a = run_with(ExecConfig::serial());
+        let b = run_with(ExecConfig::serial().master_seed(7));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn replicate_count_changes_spread_not_grid() {
+        let one = run_with(ExecConfig::serial());
+        let three = run_with(ExecConfig::serial().replicates(3));
+        assert_eq!(one.series.len(), three.series.len());
+        // Replicate 0 of each cell uses the same derived seed, so the first
+        // replicate's contribution is shared; the summaries differ.
+        for (s1, s3) in one.series.iter().zip(&three.series) {
+            for (p1, p3) in s1.points.iter().zip(&s3.points) {
+                assert_eq!(p1.metadata.n, 1);
+                assert_eq!(p3.metadata.n, 3);
+                assert!(p3.metadata.min <= p1.metadata_ratio + 1e-12);
+                assert!(p3.metadata.max + 1e-12 >= p1.metadata_ratio);
+            }
+        }
+    }
+}

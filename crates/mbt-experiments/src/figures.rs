@@ -10,8 +10,9 @@ use dtn_trace::generators::{DieselNetConfig, NusConfig};
 use dtn_trace::{ContactTrace, SimDuration};
 use mbt_core::MbtConfig;
 
+use crate::exec::{ExecConfig, ParallelRunner};
 use crate::runner::SimParams;
-use crate::sweep::{sweep, sweep_shared_trace, Figure};
+use crate::sweep::Figure;
 
 /// How big to run the experiments.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -56,7 +57,9 @@ impl Scale {
 const SEED: u64 = 42;
 
 fn dieselnet_trace(scale: Scale) -> ContactTrace {
-    DieselNetConfig::new(scale.buses(), scale.days()).seed(SEED).generate()
+    DieselNetConfig::new(scale.buses(), scale.days())
+        .seed(SEED)
+        .generate()
 }
 
 fn nus_trace(scale: Scale) -> ContactTrace {
@@ -91,9 +94,15 @@ fn nus_params(scale: Scale) -> SimParams {
 
 /// Fig 2(a): delivery ratios vs percentage of Internet-access nodes.
 pub fn fig2a(scale: Scale) -> Figure {
+    fig2a_with(scale, &ExecConfig::default())
+}
+
+/// [`fig2a`] with explicit execution (jobs/replicates/master seed).
+pub fn fig2a_with(scale: Scale, exec: &ExecConfig) -> Figure {
+    let runner = ParallelRunner::new(*exec);
     let trace = dieselnet_trace(scale);
     let xs = scale.xs(&[0.1, 0.3, 0.5, 0.7, 0.9], &[0.1, 0.5, 0.9]);
-    sweep_shared_trace(
+    runner.sweep_shared_trace(
         "fig2a",
         "DieselNet: delivery ratio vs % Internet-access nodes",
         "internet-access fraction",
@@ -108,9 +117,15 @@ pub fn fig2a(scale: Scale) -> Figure {
 
 /// Fig 2(b): delivery ratios vs number of new files per day.
 pub fn fig2b(scale: Scale) -> Figure {
+    fig2b_with(scale, &ExecConfig::default())
+}
+
+/// [`fig2b`] with explicit execution (jobs/replicates/master seed).
+pub fn fig2b_with(scale: Scale, exec: &ExecConfig) -> Figure {
+    let runner = ParallelRunner::new(*exec);
     let trace = dieselnet_trace(scale);
     let xs = scale.xs(&[10.0, 25.0, 50.0, 75.0, 100.0], &[10.0, 50.0]);
-    sweep_shared_trace(
+    runner.sweep_shared_trace(
         "fig2b",
         "DieselNet: delivery ratio vs new files per day",
         "new files per day",
@@ -125,9 +140,15 @@ pub fn fig2b(scale: Scale) -> Figure {
 
 /// Fig 2(c): delivery ratios vs file time-to-live.
 pub fn fig2c(scale: Scale) -> Figure {
+    fig2c_with(scale, &ExecConfig::default())
+}
+
+/// [`fig2c`] with explicit execution (jobs/replicates/master seed).
+pub fn fig2c_with(scale: Scale, exec: &ExecConfig) -> Figure {
+    let runner = ParallelRunner::new(*exec);
     let trace = dieselnet_trace(scale);
     let xs = scale.xs(&[1.0, 2.0, 3.0, 4.0, 5.0], &[1.0, 3.0, 5.0]);
-    sweep_shared_trace(
+    runner.sweep_shared_trace(
         "fig2c",
         "DieselNet: delivery ratio vs TTL of file (days)",
         "TTL (days)",
@@ -145,9 +166,15 @@ pub fn fig2c(scale: Scale) -> Figure {
 /// MBT-Q's metadata ratio can win because the few circulating metadata are
 /// biased.
 pub fn fig2d(scale: Scale) -> Figure {
+    fig2d_with(scale, &ExecConfig::default())
+}
+
+/// [`fig2d`] with explicit execution (jobs/replicates/master seed).
+pub fn fig2d_with(scale: Scale, exec: &ExecConfig) -> Figure {
+    let runner = ParallelRunner::new(*exec);
     let trace = dieselnet_trace(scale);
     let xs = scale.xs(&[1.0, 5.0, 10.0, 20.0, 40.0], &[1.0, 20.0]);
-    sweep_shared_trace(
+    runner.sweep_shared_trace(
         "fig2d",
         "DieselNet: delivery ratio vs metadata per contact",
         "metadata per contact",
@@ -162,9 +189,15 @@ pub fn fig2d(scale: Scale) -> Figure {
 
 /// Fig 2(e): delivery ratios vs files exchanged per contact.
 pub fn fig2e(scale: Scale) -> Figure {
+    fig2e_with(scale, &ExecConfig::default())
+}
+
+/// [`fig2e`] with explicit execution (jobs/replicates/master seed).
+pub fn fig2e_with(scale: Scale, exec: &ExecConfig) -> Figure {
+    let runner = ParallelRunner::new(*exec);
     let trace = dieselnet_trace(scale);
     let xs = scale.xs(&[1.0, 2.0, 4.0, 6.0, 10.0], &[1.0, 4.0]);
-    sweep_shared_trace(
+    runner.sweep_shared_trace(
         "fig2e",
         "DieselNet: delivery ratio vs files per contact",
         "files per contact",
@@ -183,9 +216,15 @@ pub fn fig2e(scale: Scale) -> Figure {
 /// paper highlights that MBT/MBT-Q file ratios rise quickly while MBT-QM
 /// stays flat (it has no file discovery process).
 pub fn fig3a(scale: Scale) -> Figure {
+    fig3a_with(scale, &ExecConfig::default())
+}
+
+/// [`fig3a`] with explicit execution (jobs/replicates/master seed).
+pub fn fig3a_with(scale: Scale, exec: &ExecConfig) -> Figure {
+    let runner = ParallelRunner::new(*exec);
     let trace = nus_trace(scale);
     let xs = scale.xs(&[0.1, 0.3, 0.5, 0.7, 0.9], &[0.1, 0.5, 0.9]);
-    sweep_shared_trace(
+    runner.sweep_shared_trace(
         "fig3a",
         "NUS: delivery ratio vs % Internet-access nodes",
         "internet-access fraction",
@@ -200,9 +239,15 @@ pub fn fig3a(scale: Scale) -> Figure {
 
 /// Fig 3(b): delivery ratios vs number of new files per day.
 pub fn fig3b(scale: Scale) -> Figure {
+    fig3b_with(scale, &ExecConfig::default())
+}
+
+/// [`fig3b`] with explicit execution (jobs/replicates/master seed).
+pub fn fig3b_with(scale: Scale, exec: &ExecConfig) -> Figure {
+    let runner = ParallelRunner::new(*exec);
     let trace = nus_trace(scale);
     let xs = scale.xs(&[10.0, 25.0, 50.0, 75.0, 100.0], &[10.0, 50.0]);
-    sweep_shared_trace(
+    runner.sweep_shared_trace(
         "fig3b",
         "NUS: delivery ratio vs new files per day",
         "new files per day",
@@ -217,9 +262,15 @@ pub fn fig3b(scale: Scale) -> Figure {
 
 /// Fig 3(c): delivery ratios vs file time-to-live.
 pub fn fig3c(scale: Scale) -> Figure {
+    fig3c_with(scale, &ExecConfig::default())
+}
+
+/// [`fig3c`] with explicit execution (jobs/replicates/master seed).
+pub fn fig3c_with(scale: Scale, exec: &ExecConfig) -> Figure {
+    let runner = ParallelRunner::new(*exec);
     let trace = nus_trace(scale);
     let xs = scale.xs(&[1.0, 2.0, 3.0, 4.0, 5.0], &[1.0, 3.0, 5.0]);
-    sweep_shared_trace(
+    runner.sweep_shared_trace(
         "fig3c",
         "NUS: delivery ratio vs TTL of file (days)",
         "TTL (days)",
@@ -234,9 +285,15 @@ pub fn fig3c(scale: Scale) -> Figure {
 
 /// Fig 3(d): delivery ratios vs metadata exchanged per contact.
 pub fn fig3d(scale: Scale) -> Figure {
+    fig3d_with(scale, &ExecConfig::default())
+}
+
+/// [`fig3d`] with explicit execution (jobs/replicates/master seed).
+pub fn fig3d_with(scale: Scale, exec: &ExecConfig) -> Figure {
+    let runner = ParallelRunner::new(*exec);
     let trace = nus_trace(scale);
     let xs = scale.xs(&[1.0, 5.0, 10.0, 20.0, 40.0], &[1.0, 20.0]);
-    sweep_shared_trace(
+    runner.sweep_shared_trace(
         "fig3d",
         "NUS: delivery ratio vs metadata per contact",
         "metadata per contact",
@@ -251,9 +308,15 @@ pub fn fig3d(scale: Scale) -> Figure {
 
 /// Fig 3(e): delivery ratios vs files exchanged per contact.
 pub fn fig3e(scale: Scale) -> Figure {
+    fig3e_with(scale, &ExecConfig::default())
+}
+
+/// [`fig3e`] with explicit execution (jobs/replicates/master seed).
+pub fn fig3e_with(scale: Scale, exec: &ExecConfig) -> Figure {
+    let runner = ParallelRunner::new(*exec);
     let trace = nus_trace(scale);
     let xs = scale.xs(&[1.0, 2.0, 4.0, 6.0, 10.0], &[1.0, 4.0]);
-    sweep_shared_trace(
+    runner.sweep_shared_trace(
         "fig3e",
         "NUS: delivery ratio vs files per contact",
         "files per contact",
@@ -270,35 +333,52 @@ pub fn fig3e(scale: Scale) -> Figure {
 /// enrolled student actually attends a class session. Mobility itself changes
 /// with x, so each x regenerates the trace.
 pub fn fig3f(scale: Scale) -> Figure {
+    fig3f_with(scale, &ExecConfig::default())
+}
+
+/// [`fig3f`] with explicit execution (jobs/replicates/master seed).
+pub fn fig3f_with(scale: Scale, exec: &ExecConfig) -> Figure {
+    let runner = ParallelRunner::new(*exec);
     let xs = scale.xs(&[0.5, 0.6, 0.7, 0.8, 0.9, 1.0], &[0.5, 1.0]);
-    sweep(
+    runner.sweep(
         "fig3f",
         "NUS: delivery ratio vs attendance rate",
         "attendance rate",
         &xs,
-        |x| {
-            (
-                nus_trace_with_attendance(scale, x),
-                nus_params(scale),
-            )
-        },
+        |x| (nus_trace_with_attendance(scale, x), nus_params(scale)),
     )
 }
 
 /// Every Figure-2 experiment in order.
 pub fn all_fig2(scale: Scale) -> Vec<Figure> {
-    vec![fig2a(scale), fig2b(scale), fig2c(scale), fig2d(scale), fig2e(scale)]
+    all_fig2_with(scale, &ExecConfig::default())
+}
+
+/// [`all_fig2`] with explicit execution.
+pub fn all_fig2_with(scale: Scale, exec: &ExecConfig) -> Vec<Figure> {
+    vec![
+        fig2a_with(scale, exec),
+        fig2b_with(scale, exec),
+        fig2c_with(scale, exec),
+        fig2d_with(scale, exec),
+        fig2e_with(scale, exec),
+    ]
 }
 
 /// Every Figure-3 experiment in order.
 pub fn all_fig3(scale: Scale) -> Vec<Figure> {
+    all_fig3_with(scale, &ExecConfig::default())
+}
+
+/// [`all_fig3`] with explicit execution.
+pub fn all_fig3_with(scale: Scale, exec: &ExecConfig) -> Vec<Figure> {
     vec![
-        fig3a(scale),
-        fig3b(scale),
-        fig3c(scale),
-        fig3d(scale),
-        fig3e(scale),
-        fig3f(scale),
+        fig3a_with(scale, exec),
+        fig3b_with(scale, exec),
+        fig3c_with(scale, exec),
+        fig3d_with(scale, exec),
+        fig3e_with(scale, exec),
+        fig3f_with(scale, exec),
     ]
 }
 

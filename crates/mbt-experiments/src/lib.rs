@@ -29,6 +29,7 @@
 
 pub mod ablations;
 pub mod capacity;
+pub mod exec;
 pub mod figures;
 pub mod mobility;
 pub mod progress;
@@ -38,9 +39,10 @@ pub mod runner;
 pub mod sweep;
 pub mod workload;
 
+pub use exec::{ExecConfig, ParallelRunner};
 pub use figures::Scale;
 pub use runner::{run_simulation, SimParams, SimResult};
-pub use sweep::{Figure, ProtocolSeries, SeriesPoint};
+pub use sweep::{Figure, ProtocolSeries, RatioSummary, SeriesPoint};
 
 /// Parses the common `--quick` flag from argv.
 pub fn scale_from_args() -> Scale {
@@ -49,6 +51,30 @@ pub fn scale_from_args() -> Scale {
     } else {
         Scale::Full
     }
+}
+
+/// Parses the common execution flags from argv: `--jobs N` (worker threads,
+/// 0 = one per core) and `--replicates R` (independent runs per sweep
+/// cell). Unrecognised or malformed values fall back to the defaults.
+pub fn exec_from_args() -> ExecConfig {
+    let mut cfg = ExecConfig::default();
+    let mut args = std::env::args();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--jobs" => {
+                if let Some(n) = args.next().and_then(|v| v.parse().ok()) {
+                    cfg.jobs = n;
+                }
+            }
+            "--replicates" => {
+                if let Some(r) = args.next().and_then(|v| v.parse().ok()) {
+                    cfg.replicates = r;
+                }
+            }
+            _ => {}
+        }
+    }
+    cfg
 }
 
 /// Writes a CSV string to `results/<name>.csv` (creating the directory),

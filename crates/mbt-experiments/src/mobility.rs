@@ -75,8 +75,8 @@ pub fn mobility_comparison(scale: Scale) -> Vec<MobilityRow> {
             continue;
         }
         let graph = AggregateGraph::from_trace(&trace);
-        let mean_clique = trace.iter().map(|c| c.size()).sum::<usize>() as f64
-            / trace.len().max(1) as f64;
+        let mean_clique =
+            trace.iter().map(|c| c.size()).sum::<usize>() as f64 / trace.len().max(1) as f64;
         for protocol in ProtocolKind::ALL {
             let params = SimParams {
                 protocol,

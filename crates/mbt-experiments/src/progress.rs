@@ -8,6 +8,7 @@
 use dtn_trace::generators::NusConfig;
 use mbt_core::ProtocolKind;
 
+use crate::exec::{ExecConfig, ParallelRunner};
 use crate::figures::Scale;
 use crate::runner::{run_simulation, SimParams};
 
@@ -26,39 +27,43 @@ pub struct ProgressSeries {
 
 /// Runs the progression experiment on the NUS-style trace.
 pub fn delivery_progress(scale: Scale) -> Vec<ProgressSeries> {
+    delivery_progress_with(scale, &ExecConfig::default())
+}
+
+/// [`delivery_progress`] with explicit execution: the three protocol runs
+/// execute on the runner's pool, with results collected in protocol order.
+pub fn delivery_progress_with(scale: Scale, exec: &ExecConfig) -> Vec<ProgressSeries> {
     let (students, days) = match scale {
         Scale::Quick => (30, 6),
         Scale::Full => (80, 15),
     };
     let trace = NusConfig::new(students, days).seed(42).generate();
-    ProtocolKind::ALL
-        .iter()
-        .map(|&protocol| {
-            let r = run_simulation(
-                &trace,
-                &SimParams {
-                    protocol,
-                    days,
-                    seed: 42,
-                    ..SimParams::default()
-                },
-            );
-            let cumulate = |v: &[u64]| {
-                v.iter()
-                    .scan(0u64, |acc, &x| {
-                        *acc += x;
-                        Some(*acc)
-                    })
-                    .collect::<Vec<u64>>()
-            };
-            ProgressSeries {
+    let runner = ParallelRunner::new(*exec);
+    runner.run_all(&ProtocolKind::ALL, |&protocol| {
+        let r = run_simulation(
+            &trace,
+            &SimParams {
                 protocol,
-                queries: r.queries,
-                cumulative_metadata: cumulate(&r.daily_metadata_delivered),
-                cumulative_files: cumulate(&r.daily_files_delivered),
-            }
-        })
-        .collect()
+                days,
+                seed: 42,
+                ..SimParams::default()
+            },
+        );
+        let cumulate = |v: &[u64]| {
+            v.iter()
+                .scan(0u64, |acc, &x| {
+                    *acc += x;
+                    Some(*acc)
+                })
+                .collect::<Vec<u64>>()
+        };
+        ProgressSeries {
+            protocol,
+            queries: r.queries,
+            cumulative_metadata: cumulate(&r.daily_metadata_delivered),
+            cumulative_files: cumulate(&r.daily_files_delivered),
+        }
+    })
 }
 
 /// Renders the progression as a day-by-day table.

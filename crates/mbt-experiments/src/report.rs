@@ -29,21 +29,27 @@ pub fn figure_table(fig: &Figure) -> String {
     out
 }
 
-/// Renders a figure as CSV: `x,protocol,metadata_ratio,file_ratio,queries,
-/// metadata_delivered,files_delivered`.
+/// Renders a figure as CSV: `x,protocol,metadata_ratio,file_ratio,
+/// metadata_stddev,file_stddev,replicates,queries,metadata_delivered,
+/// files_delivered`. The stddev columns carry the replicate spread (0 when a
+/// point was produced by a single run).
 pub fn figure_csv(fig: &Figure) -> String {
     let mut out = String::from(
-        "x,protocol,metadata_ratio,file_ratio,queries,metadata_delivered,files_delivered\n",
+        "x,protocol,metadata_ratio,file_ratio,metadata_stddev,file_stddev,\
+         replicates,queries,metadata_delivered,files_delivered\n",
     );
     for s in &fig.series {
         for p in &s.points {
             let _ = writeln!(
                 out,
-                "{},{},{:.6},{:.6},{},{},{}",
+                "{},{},{:.6},{:.6},{:.6},{:.6},{},{},{},{}",
                 p.x,
                 s.protocol,
                 p.metadata_ratio,
                 p.file_ratio,
+                p.metadata.stddev,
+                p.file.stddev,
+                p.metadata.n,
                 p.result.queries,
                 p.result.metadata_delivered,
                 p.result.files_delivered
@@ -65,8 +71,13 @@ pub fn capacity_table_text(rows: &[CapacityRow]) -> String {
         let _ = writeln!(
             out,
             "{:>4} {:>12.4} {:>12.4} {:>14.4} {:>14.4} {:>14} {:>14}",
-            r.n, r.broadcast, r.pairwise, r.broadcast_sim, r.pairwise_sim,
-            r.slots_broadcast, r.slots_pairwise
+            r.n,
+            r.broadcast,
+            r.pairwise,
+            r.broadcast_sim,
+            r.pairwise_sim,
+            r.slots_broadcast,
+            r.slots_pairwise
         );
     }
     out
@@ -87,12 +98,14 @@ mod tests {
             x_label: "x".into(),
             series: vec![ProtocolSeries {
                 protocol: ProtocolKind::Mbt,
-                points: vec![SeriesPoint {
-                    x: 0.5,
-                    metadata_ratio: 0.75,
-                    file_ratio: 0.5,
-                    result: SimResult::default(),
-                }],
+                points: vec![SeriesPoint::single(
+                    0.5,
+                    SimResult {
+                        metadata_ratio: 0.75,
+                        file_ratio: 0.5,
+                        ..SimResult::default()
+                    },
+                )],
             }],
         }
     }
@@ -112,7 +125,8 @@ mod tests {
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines.len(), 2);
         assert!(lines[0].starts_with("x,protocol"));
-        assert!(lines[1].starts_with("0.5,MBT,0.750000,0.500000"));
+        assert!(lines[0].contains("metadata_stddev,file_stddev"));
+        assert!(lines[1].starts_with("0.5,MBT,0.750000,0.500000,0.000000,0.000000,1"));
     }
 
     #[test]

@@ -5,17 +5,97 @@ use mbt_core::ProtocolKind;
 
 use crate::runner::{run_simulation, SimParams, SimResult};
 
-/// One point of a sweep: the x value and both delivery ratios.
+/// Summary statistics of one delivery ratio across replicate runs.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RatioSummary {
+    /// Mean ratio across replicates.
+    pub mean: f64,
+    /// Smallest replicate ratio.
+    pub min: f64,
+    /// Largest replicate ratio.
+    pub max: f64,
+    /// Sample standard deviation (0 with fewer than two replicates).
+    pub stddev: f64,
+    /// Number of replicates summarised.
+    pub n: u32,
+}
+
+impl RatioSummary {
+    /// Summarises `samples` (must be non-empty). The mean is accumulated in
+    /// sample order, so the result is bit-identical for a fixed sample list.
+    pub fn from_samples(samples: &[f64]) -> RatioSummary {
+        assert!(!samples.is_empty(), "RatioSummary of zero samples");
+        let n = samples.len();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let stddev = if n < 2 {
+            0.0
+        } else {
+            let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n - 1) as f64;
+            var.sqrt()
+        };
+        RatioSummary {
+            mean,
+            min,
+            max,
+            stddev,
+            n: n as u32,
+        }
+    }
+}
+
+/// One point of a sweep: the x value and both delivery ratios, summarised
+/// over however many replicate runs produced it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SeriesPoint {
     /// The swept parameter's value.
     pub x: f64,
-    /// Metadata delivery ratio at this point.
+    /// Metadata delivery ratio at this point (mean across replicates).
     pub metadata_ratio: f64,
-    /// File delivery ratio at this point.
+    /// File delivery ratio at this point (mean across replicates).
     pub file_ratio: f64,
-    /// The full result, for deeper inspection.
+    /// Replicate spread of the metadata ratio.
+    pub metadata: RatioSummary,
+    /// Replicate spread of the file ratio.
+    pub file: RatioSummary,
+    /// The full result: the run itself for a single run, or every
+    /// replicate merged (pooled counts) for a replicated point.
     pub result: SimResult,
+}
+
+impl SeriesPoint {
+    /// A point backed by one simulation run.
+    pub fn single(x: f64, result: SimResult) -> SeriesPoint {
+        SeriesPoint::from_replicates(x, vec![result])
+    }
+
+    /// A point summarising one or more replicate runs: the headline ratios
+    /// are means of the per-replicate ratios, and `result` pools counts via
+    /// [`SimResult::merge`]. Panics on an empty replicate list.
+    pub fn from_replicates(x: f64, replicates: Vec<SimResult>) -> SeriesPoint {
+        assert!(
+            !replicates.is_empty(),
+            "SeriesPoint needs at least one replicate"
+        );
+        let meta_samples: Vec<f64> = replicates.iter().map(|r| r.metadata_ratio).collect();
+        let file_samples: Vec<f64> = replicates.iter().map(|r| r.file_ratio).collect();
+        let metadata = RatioSummary::from_samples(&meta_samples);
+        let file = RatioSummary::from_samples(&file_samples);
+        let mut iter = replicates.into_iter();
+        let mut result = iter.next().expect("non-empty");
+        for r in iter {
+            result.merge(&r);
+        }
+        SeriesPoint {
+            x,
+            metadata_ratio: metadata.mean,
+            file_ratio: file.mean,
+            metadata,
+            file,
+            result,
+        }
+    }
 }
 
 /// One protocol's curve across the sweep.
@@ -71,12 +151,7 @@ where
             let mut p = params.clone();
             p.protocol = s.protocol;
             let result = run_simulation(&trace, &p);
-            s.points.push(SeriesPoint {
-                x,
-                metadata_ratio: result.metadata_ratio,
-                file_ratio: result.file_ratio,
-                result,
-            });
+            s.points.push(SeriesPoint::single(x, result));
         }
     }
     Figure {
@@ -111,20 +186,15 @@ mod tests {
     #[test]
     fn sweep_produces_full_grid() {
         let trace = NusConfig::new(20, 5).seed(3).generate();
-        let fig = sweep_shared_trace(
-            "test",
-            "test sweep",
-            "x",
-            &[0.2, 0.6],
-            &trace,
-            |x| SimParams {
+        let fig = sweep_shared_trace("test", "test sweep", "x", &[0.2, 0.6], &trace, |x| {
+            SimParams {
                 internet_fraction: x,
                 files_per_day: 5,
                 days: 5,
                 seed: 1,
                 ..SimParams::default()
-            },
-        );
+            }
+        });
         assert_eq!(fig.series.len(), 3);
         for s in &fig.series {
             assert_eq!(s.points.len(), 2);

@@ -33,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     write_trace(&mut buf, &trace)?;
     let reloaded = read_trace(buf.as_slice())?;
     assert_eq!(reloaded, trace);
-    println!("  trace serialized to {} bytes of text and reloaded\n", buf.len());
+    println!(
+        "  trace serialized to {} bytes of text and reloaded\n",
+        buf.len()
+    );
 
     println!("running all three protocol variants (30% of buses pass WiFi depots):");
     for protocol in ProtocolKind::ALL {

@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (peer, credit) in bob_ledger.ranked_peers() {
         println!("  {peer}: {credit:.1} credit");
     }
-    println!("  {carol}: {:.1} credit (never contributed)\n", bob_ledger.credit_of(carol));
+    println!(
+        "  {carol}: {:.1} credit (never contributed)\n",
+        bob_ledger.credit_of(carol)
+    );
 
     // Bob now holds two metadata: one Alice asked for, one Carol asked for.
     // His contact is short — the budget allows only ONE metadata.

@@ -47,7 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     for (i, h) in holdings.iter().enumerate() {
-        println!("  node {i} starts with {} / {} pieces", h.len(), pieces.len());
+        println!(
+            "  node {i} starts with {} / {} pieces",
+            h.len(),
+            pieces.len()
+        );
     }
 
     // Swarm rounds: one broadcast per round, rarest piece first.
@@ -82,7 +86,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         rounds += 1;
     }
     println!("\nswarm complete after {rounds} broadcast rounds");
-    let pairwise_transfers: usize = 6 * pieces.len() - holdings.iter().map(BTreeSet::len).sum::<usize>()
+    let pairwise_transfers: usize = 6 * pieces.len()
+        - holdings.iter().map(BTreeSet::len).sum::<usize>()
         + rounds * (members.len() - 1); // receivers served per broadcast
     println!(
         "(a pair-wise scheme would have needed ≥ {} individual transfers)",

@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         SimTime::from_secs(600),
         SimDuration::from_secs(45),
     );
-    println!("after street contact: node 1 has file = {}", nodes[1].has_file(&uri));
+    println!(
+        "after street contact: node 1 has file = {}",
+        nodes[1].has_file(&uri)
+    );
 
     // 5. Nodes 1, 2, 3, 4 sit in one classroom: a clique contact. One
     //    broadcast from node 1 serves all three receivers simultaneously.

@@ -1,0 +1,676 @@
+//! Offline shim for the subset of the `proptest` API this workspace uses.
+//!
+//! Implements a non-shrinking property-testing harness: the `proptest!`
+//! macro runs each property for `ProptestConfig::cases` deterministic cases,
+//! sampling inputs from [`Strategy`] values. Failures panic with the normal
+//! assertion message (there is no shrinking phase); cases are seeded from
+//! the test's module path and case index, so failures reproduce exactly.
+
+use std::collections::BTreeSet;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Deterministic case generator (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// RNG for case `case` of the named test: reproducible run to run.
+    pub fn for_case(test_name: &str, case: u64) -> TestRng {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in test_name.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x1_0000_0000_01b3);
+        }
+        TestRng(h ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0);
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// Runner configuration. Only the case count is honoured.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of values of type `Value`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+// ----- numeric range strategies -----
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                (lo as i128 + rng.below(span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + (rng.next_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                lo + (rng.next_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+impl_float_range_strategy!(f32, f64);
+
+// ----- tuple strategies -----
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.sample(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+// ----- string pattern strategy -----
+
+/// `&str` strategies interpret the string as a tiny regex subset: literal
+/// characters, character classes `[a-z0-9 ,.!-]`, groups `( ... )`, and
+/// `{m,n}` repetition counts after a class or group.
+impl Strategy for str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        gen_atoms(&atoms, rng, &mut out);
+        out
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Atom {
+    Literal(char),
+    Class(Vec<(char, char)>),
+    Group(Vec<(Atom, u32, u32)>),
+}
+
+type CountedAtom = (Atom, u32, u32);
+
+fn parse_pattern(pat: &str) -> Vec<CountedAtom> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut pos = 0;
+    let atoms = parse_seq(&chars, &mut pos, None);
+    assert!(pos == chars.len(), "unsupported pattern: {pat:?}");
+    atoms
+}
+
+fn parse_seq(chars: &[char], pos: &mut usize, until: Option<char>) -> Vec<CountedAtom> {
+    let mut out = Vec::new();
+    while *pos < chars.len() {
+        if Some(chars[*pos]) == until {
+            return out;
+        }
+        let atom = match chars[*pos] {
+            '[' => {
+                *pos += 1;
+                let mut ranges = Vec::new();
+                while *pos < chars.len() && chars[*pos] != ']' {
+                    let c = chars[*pos];
+                    if *pos + 2 < chars.len() && chars[*pos + 1] == '-' && chars[*pos + 2] != ']' {
+                        ranges.push((c, chars[*pos + 2]));
+                        *pos += 3;
+                    } else {
+                        ranges.push((c, c));
+                        *pos += 1;
+                    }
+                }
+                assert!(*pos < chars.len(), "unterminated class");
+                *pos += 1; // ']'
+                Atom::Class(ranges)
+            }
+            '(' => {
+                *pos += 1;
+                let inner = parse_seq(chars, pos, Some(')'));
+                assert!(*pos < chars.len(), "unterminated group");
+                *pos += 1; // ')'
+                Atom::Group(inner)
+            }
+            c => {
+                *pos += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (lo, hi) = parse_quantifier(chars, pos);
+        out.push((atom, lo, hi));
+    }
+    assert!(until.is_none(), "unterminated group");
+    out
+}
+
+fn parse_quantifier(chars: &[char], pos: &mut usize) -> (u32, u32) {
+    if *pos >= chars.len() || chars[*pos] != '{' {
+        return (1, 1);
+    }
+    *pos += 1;
+    let mut body = String::new();
+    while *pos < chars.len() && chars[*pos] != '}' {
+        body.push(chars[*pos]);
+        *pos += 1;
+    }
+    assert!(*pos < chars.len(), "unterminated quantifier");
+    *pos += 1; // '}'
+    if let Some((lo, hi)) = body.split_once(',') {
+        (
+            lo.trim().parse().expect("bad quantifier"),
+            hi.trim().parse().expect("bad quantifier"),
+        )
+    } else {
+        let n: u32 = body.trim().parse().expect("bad quantifier");
+        (n, n)
+    }
+}
+
+fn gen_atoms(atoms: &[CountedAtom], rng: &mut TestRng, out: &mut String) {
+    for (atom, lo, hi) in atoms {
+        let reps = if lo == hi {
+            *lo
+        } else {
+            *lo + rng.below(u64::from(hi - lo) + 1) as u32
+        };
+        for _ in 0..reps {
+            match atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(ranges) => {
+                    let total: u64 = ranges
+                        .iter()
+                        .map(|&(a, b)| (b as u64) - (a as u64) + 1)
+                        .sum();
+                    let mut k = rng.below(total.max(1));
+                    for &(a, b) in ranges {
+                        let size = (b as u64) - (a as u64) + 1;
+                        if k < size {
+                            out.push(char::from_u32(a as u32 + k as u32).unwrap_or(a));
+                            break;
+                        }
+                        k -= size;
+                    }
+                }
+                Atom::Group(inner) => gen_atoms(inner, rng, out),
+            }
+        }
+    }
+}
+
+// ----- any::<T>() -----
+
+/// Types with a canonical "anything" strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for sample::Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        sample::Index(rng.next_u64())
+    }
+}
+
+/// Strategy produced by [`any`].
+#[derive(Debug)]
+pub struct AnyStrategy<T>(PhantomData<fn() -> T>);
+
+impl<T> Clone for AnyStrategy<T> {
+    fn clone(&self) -> Self {
+        AnyStrategy(PhantomData)
+    }
+}
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+pub mod bool {
+    //! Boolean strategies.
+
+    /// Either boolean with equal probability.
+    pub const ANY: crate::AnyStrategy<bool> = crate::AnyStrategy(std::marker::PhantomData);
+}
+
+pub mod sample {
+    //! Index sampling.
+
+    /// An index into a runtime-sized collection.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Index(pub(crate) u64);
+
+    impl Index {
+        /// Maps this index into `0..len` (`len` must be non-zero).
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::{BTreeSet, Range, RangeInclusive, Strategy, TestRng};
+
+    /// A size specification for collection strategies.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // inclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut TestRng) -> usize {
+            if self.lo == self.hi {
+                self.lo
+            } else {
+                self.lo + rng.below((self.hi - self.lo + 1) as u64) as usize
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with a sampled length.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors of `element` values with lengths in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Strategy for `BTreeSet<S::Value>`; may generate fewer elements than
+    /// requested if duplicates are drawn (best-effort, like a bounded retry).
+    #[derive(Debug, Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates ordered sets of `element` values with sizes in `size`.
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let want = self.size.sample(rng);
+            let mut out = BTreeSet::new();
+            let mut tries = 0;
+            while out.len() < want && tries < want * 10 + 10 {
+                out.insert(self.element.sample(rng));
+                tries += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod strategy {
+    //! Strategy trait re-exports (API-compatibility module).
+    pub use crate::{Just, Map, Strategy};
+}
+
+pub mod prop {
+    //! The `prop` alias module exposed by the prelude.
+    pub use crate::bool;
+    pub use crate::collection;
+    pub use crate::sample;
+    pub use crate::strategy;
+}
+
+pub mod prelude {
+    //! Single-import surface mirroring `proptest::prelude`.
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+// ----- macros -----
+
+/// Asserts a condition inside a property (panics with the message on
+/// failure; this shim has no shrinking phase).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skips the current case when the assumption does not hold.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+/// Declares property tests: an optional `#![proptest_config(..)]` attribute
+/// followed by `#[test] fn name(input in strategy, ..) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    ( #![proptest_config($cfg:expr)] $($rest:tt)* ) => {
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__proptest_items! { cfg = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( cfg = $cfg:expr; ) => {};
+    ( cfg = $cfg:expr;
+      $(#[$meta:meta])*
+      fn $name:ident( $($args:tt)* ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            for __case in 0..u64::from(__cfg.cases) {
+                let mut __rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case,
+                );
+                $crate::__proptest_body! { __rng, [ $($args)* ], $body }
+            }
+        }
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    // Peel one `pattern in strategy` binding off the argument list.
+    ( $rng:ident, [ $pat:pat in $strat:expr ], $body:block ) => {
+        let $pat = $crate::Strategy::sample(&$strat, &mut $rng);
+        $crate::__proptest_run! { $body }
+    };
+    ( $rng:ident, [ $pat:pat in $strat:expr, $($rest:tt)* ], $body:block ) => {
+        let $pat = $crate::Strategy::sample(&$strat, &mut $rng);
+        $crate::__proptest_body! { $rng, [ $($rest)* ], $body }
+    };
+    ( $rng:ident, [ ], $body:block ) => {
+        $crate::__proptest_run! { $body }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_run {
+    ( $body:block ) => {
+        // The closure gives `prop_assume!` an early-exit `return` target.
+        #[allow(clippy::redundant_closure_call)]
+        (|| -> () { $body })()
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = crate::TestRng::for_case("ranges", 0);
+        for _ in 0..500 {
+            let v = (5u32..10).sample(&mut rng);
+            assert!((5..10).contains(&v));
+            let f = (0.25f64..=0.75).sample(&mut rng);
+            assert!((0.25..=0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn string_pattern_generates_expected_shape() {
+        let mut rng = crate::TestRng::for_case("pattern", 0);
+        for _ in 0..200 {
+            let s = "[a-z]{1,8}( [a-z]{1,8}){0,4}".sample(&mut rng);
+            assert!(!s.is_empty());
+            for word in s.split(' ') {
+                assert!((1..=8).contains(&word.len()), "bad word in {s:?}");
+                assert!(word.chars().all(|c| c.is_ascii_lowercase()));
+            }
+        }
+    }
+
+    #[test]
+    fn collections_respect_sizes() {
+        let mut rng = crate::TestRng::for_case("collections", 0);
+        for _ in 0..100 {
+            let v = crate::collection::vec(0u8..10, 2..5).sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            let s = crate::collection::btree_set(0u32..1000, 0..6).sample(&mut rng);
+            assert!(s.len() < 6);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn macro_binds_tuples((a, b) in (0u32..10, 10u32..20), mut v in crate::collection::vec(any::<u8>(), 0..4)) {
+            prop_assert!(a < 10);
+            prop_assert!((10..20).contains(&b));
+            v.push(0);
+            prop_assert!(!v.is_empty());
+        }
+
+        #[test]
+        fn assume_skips(x in 0u64..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+}

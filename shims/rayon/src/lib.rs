@@ -1,0 +1,313 @@
+//! Offline shim for the subset of the `rayon` API this workspace uses.
+//!
+//! Implements data parallelism over slices with `std::thread::scope` and an
+//! atomic work index: `items.par_iter().map(f).collect::<Vec<_>>()` runs `f`
+//! on a pool of OS threads and merges results **in input order**, so the
+//! output is bit-identical regardless of thread count or scheduling.
+//!
+//! The executing thread count comes from the innermost enclosing
+//! [`ThreadPool::install`], falling back to [`std::thread::available_parallelism`].
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// Thread count installed by the innermost `ThreadPool::install`.
+    static INSTALLED_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// The number of threads parallel operations on this thread will use.
+pub fn current_num_threads() -> usize {
+    INSTALLED_THREADS
+        .with(Cell::get)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+        .max(1)
+}
+
+/// Error building a thread pool (the shim never fails).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// A builder with default (automatic) thread count.
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the pool's thread count; `0` means automatic.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Builds the pool.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { threads })
+    }
+}
+
+/// A scoped thread-count context; the shim spawns OS threads per operation
+/// rather than keeping persistent workers.
+#[derive(Debug)]
+pub struct ThreadPool {
+    threads: usize,
+}
+
+impl ThreadPool {
+    /// The pool's thread count.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `op` with this pool's thread count governing parallel iterators.
+    pub fn install<R, OP: FnOnce() -> R>(&self, op: OP) -> R {
+        let prev = INSTALLED_THREADS.with(|c| c.replace(Some(self.threads)));
+        let result = op();
+        INSTALLED_THREADS.with(|c| c.set(prev));
+        result
+    }
+}
+
+/// Runs `f` over `0..n`, fanning out over `threads` workers pulling indices
+/// from a shared atomic counter; results are returned in index order.
+fn parallel_indexed<R: Send, F: Fn(usize) -> R + Sync>(n: usize, threads: usize, f: F) -> Vec<R> {
+    if threads <= 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let counter = AtomicUsize::new(0);
+    let workers = threads.min(n);
+    let mut indexed: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut out = Vec::new();
+                    loop {
+                        let i = counter.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        out.push((i, f(i)));
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    });
+    indexed.sort_unstable_by_key(|&(i, _)| i);
+    indexed.into_iter().map(|(_, r)| r).collect()
+}
+
+/// A parallel iterator: a description of items plus how to produce them.
+pub trait ParallelIterator: Sized {
+    /// The element type.
+    type Item: Send;
+
+    /// Executes the pipeline, returning items in deterministic input order.
+    fn drive(self) -> Vec<Self::Item>;
+
+    /// Maps every element through `f` in parallel.
+    fn map<R: Send, F: Fn(Self::Item) -> R + Sync>(self, f: F) -> Map<Self, F> {
+        Map { base: self, f }
+    }
+
+    /// Collects the results (in input order).
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.drive().into_iter().collect()
+    }
+}
+
+/// Borrowed-slice parallel iterator.
+#[derive(Debug)]
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParIter<'a, T> {
+    type Item = &'a T;
+
+    fn drive(self) -> Vec<&'a T> {
+        self.items.iter().collect()
+    }
+
+    fn map<R: Send, F: Fn(&'a T) -> R + Sync>(self, f: F) -> Map<Self, F> {
+        Map { base: self, f }
+    }
+}
+
+/// Owned-vec parallel iterator.
+#[derive(Debug)]
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send + Sync> ParallelIterator for IntoParIter<T> {
+    type Item = T;
+
+    fn drive(self) -> Vec<T> {
+        self.items
+    }
+}
+
+/// Map stage over a slice iterator: the parallel fan-out happens here.
+#[derive(Debug)]
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> ParallelIterator for Map<ParIter<'a, T>, F> {
+    type Item = R;
+
+    fn drive(self) -> Vec<R> {
+        let items = self.base.items;
+        let f = &self.f;
+        parallel_indexed(items.len(), current_num_threads(), |i| f(&items[i]))
+    }
+}
+
+impl<T: Send + Sync, R: Send, F: Fn(T) -> R + Sync> ParallelIterator for Map<IntoParIter<T>, F> {
+    type Item = R;
+
+    fn drive(self) -> Vec<R> {
+        let mut slots: Vec<Option<T>> = self.base.items.into_iter().map(Some).collect();
+        let n = slots.len();
+        // Hand out ownership index-wise: each index is taken exactly once.
+        let slot_refs: Vec<std::sync::Mutex<Option<T>>> =
+            slots.drain(..).map(std::sync::Mutex::new).collect();
+        let f = &self.f;
+        parallel_indexed(n, current_num_threads(), |i| {
+            let item = slot_refs[i]
+                .lock()
+                .expect("slot poisoned")
+                .take()
+                .expect("slot reused");
+            f(item)
+        })
+    }
+}
+
+/// `.par_iter()` on borrowable collections.
+pub trait IntoParallelRefIterator<'a> {
+    /// The borrowed parallel iterator type.
+    type Iter;
+
+    /// Borrows `self` as a parallel iterator.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParIter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = ParIter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// `.into_par_iter()` on owned collections.
+pub trait IntoParallelIterator {
+    /// The owned parallel iterator type.
+    type Iter;
+
+    /// Consumes `self` into a parallel iterator.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl<T: Send + Sync> IntoParallelIterator for Vec<T> {
+    type Iter = IntoParIter<T>;
+    fn into_par_iter(self) -> IntoParIter<T> {
+        IntoParIter { items: self }
+    }
+}
+
+pub mod prelude {
+    //! Single-import surface mirroring `rayon::prelude`.
+    pub use crate::{IntoParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<u64> = (0..1000).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(8).build().unwrap();
+        let doubled: Vec<u64> = pool.install(|| v.par_iter().map(|&x| x * 2).collect());
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_result() {
+        let v: Vec<u64> = (0..257).collect();
+        let run = |jobs: usize| -> Vec<u64> {
+            let pool = ThreadPoolBuilder::new().num_threads(jobs).build().unwrap();
+            pool.install(|| {
+                v.par_iter()
+                    .map(|&x| x.wrapping_mul(31).rotate_left(7))
+                    .collect()
+            })
+        };
+        assert_eq!(run(1), run(2));
+        assert_eq!(run(1), run(16));
+    }
+
+    #[test]
+    fn into_par_iter_moves_items() {
+        let v: Vec<String> = (0..50).map(|i| i.to_string()).collect();
+        let lens: Vec<usize> = v.into_par_iter().map(|s| s.len()).collect();
+        assert_eq!(lens.len(), 50);
+        assert_eq!(lens[0], 1);
+        assert_eq!(lens[10], 2);
+    }
+
+    #[test]
+    fn install_nests_and_restores() {
+        let outer = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let inner = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        outer.install(|| {
+            assert_eq!(current_num_threads(), 2);
+            inner.install(|| assert_eq!(current_num_threads(), 5));
+            assert_eq!(current_num_threads(), 2);
+        });
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+        let one = [7u32];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+    }
+}

@@ -67,5 +67,8 @@ fn dieselnet_simulation_deterministic_too() {
         frequent_window: dtn_trace::SimDuration::from_days(3),
         ..SimParams::default()
     };
-    assert_eq!(run_simulation(&trace, &params), run_simulation(&trace, &params));
+    assert_eq!(
+        run_simulation(&trace, &params),
+        run_simulation(&trace, &params)
+    );
 }

@@ -20,8 +20,16 @@ fn nus_simulation_delivers_metadata_and_files() {
         ..SimParams::default()
     };
     let r = run_simulation(&trace, &params);
-    assert!(r.queries > 50, "expected a busy workload, got {} queries", r.queries);
-    assert!(r.metadata_ratio > 0.05, "metadata ratio {}", r.metadata_ratio);
+    assert!(
+        r.queries > 50,
+        "expected a busy workload, got {} queries",
+        r.queries
+    );
+    assert!(
+        r.metadata_ratio > 0.05,
+        "metadata ratio {}",
+        r.metadata_ratio
+    );
     assert!(r.file_ratio > 0.0, "file ratio {}", r.file_ratio);
     assert!(r.metadata_ratio >= r.file_ratio);
 }
@@ -39,7 +47,10 @@ fn dieselnet_simulation_delivers_over_pairwise_contacts() {
     };
     let r = run_simulation(&trace, &params);
     assert!(r.queries > 0);
-    assert!(r.metadata_delivered > 0, "no metadata delivered on bus trace");
+    assert!(
+        r.metadata_delivered > 0,
+        "no metadata delivered on bus trace"
+    );
 }
 
 #[test]
@@ -62,13 +73,31 @@ fn manual_three_hop_relay_through_the_dtn() {
     assert!(nodes[0].has_file(&uri));
 
     // Node 0 meets node 1: metadata and file pushed (popularity phase).
-    run_pairwise_contact(&mut nodes, 0, 1, SimTime::from_secs(100), SimDuration::from_secs(300));
-    assert!(nodes[1].has_file(&uri), "relay should carry the popular file");
+    run_pairwise_contact(
+        &mut nodes,
+        0,
+        1,
+        SimTime::from_secs(100),
+        SimDuration::from_secs(300),
+    );
+    assert!(
+        nodes[1].has_file(&uri),
+        "relay should carry the popular file"
+    );
 
     // Node 1 later meets node 2, which actually wants the file.
-    run_pairwise_contact(&mut nodes, 1, 2, SimTime::from_secs(5_000), SimDuration::from_secs(300));
+    run_pairwise_contact(
+        &mut nodes,
+        1,
+        2,
+        SimTime::from_secs(5_000),
+        SimDuration::from_secs(300),
+    );
     assert!(nodes[2].has_metadata(&uri));
-    assert!(nodes[2].has_file(&uri), "requester served through the relay");
+    assert!(
+        nodes[2].has_file(&uri),
+        "requester served through the relay"
+    );
 }
 
 #[test]
@@ -84,13 +113,17 @@ fn space_time_reachability_sanity() {
 fn simulation_scales_with_contact_budget() {
     let trace = NusConfig::new(30, 6).seed(9).generate();
     let tight = SimParams {
-        config: MbtConfig::new().metadata_per_contact(1).files_per_contact(1),
+        config: MbtConfig::new()
+            .metadata_per_contact(1)
+            .files_per_contact(1),
         days: 6,
         seed: 9,
         ..SimParams::default()
     };
     let roomy = SimParams {
-        config: MbtConfig::new().metadata_per_contact(40).files_per_contact(10),
+        config: MbtConfig::new()
+            .metadata_per_contact(40)
+            .files_per_contact(10),
         days: 6,
         seed: 9,
         ..SimParams::default()

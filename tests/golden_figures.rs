@@ -1,0 +1,127 @@
+//! Golden-figure regression tests.
+//!
+//! Regenerates Fig. 2(a) and Fig. 3(a) at `Scale::Quick` and diffs the
+//! rendered CSV against checked-in fixtures, so any change to the simulator,
+//! workload, RNG, executor, or CSV schema that shifts figure output fails CI
+//! explicitly instead of silently drifting. The paper's headline protocol
+//! ordering (MBT ≥ MBT-Q ≥ MBT-QM on metadata delivery) is asserted
+//! directly as well.
+//!
+//! To update the fixtures after an *intentional* change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p mbt-experiments --test golden_figures
+//! ```
+//!
+//! and commit the resulting `tests/fixtures/*.csv` alongside the change.
+
+use mbt_core::ProtocolKind;
+use mbt_experiments::figures::{fig2a_with, fig3a_with};
+use mbt_experiments::report::figure_csv;
+use mbt_experiments::sweep::Figure;
+use mbt_experiments::{ExecConfig, Scale};
+
+fn fixture_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/fixtures")
+        .join(name)
+}
+
+/// Compares `fig`'s CSV against the named fixture; with `UPDATE_GOLDEN=1`
+/// rewrites the fixture instead.
+fn assert_matches_golden(fig: &Figure, name: &str) {
+    let csv = figure_csv(fig);
+    let path = fixture_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &csv).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); run UPDATE_GOLDEN=1 cargo test \
+             -p mbt-experiments --test golden_figures to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        csv,
+        golden,
+        "{} drifted from its golden fixture {}; if the change is intentional, \
+         regenerate with UPDATE_GOLDEN=1 and commit the fixture",
+        fig.id,
+        path.display()
+    );
+}
+
+fn series_mean(fig: &Figure, protocol: ProtocolKind) -> f64 {
+    let s = fig.series_for(protocol).expect("series present");
+    s.points.iter().map(|p| p.metadata_ratio).sum::<f64>() / s.points.len() as f64
+}
+
+/// Per-point slack: a floor of 0.02 plus two combined standard errors of the
+/// two points' replicate spreads. At `Scale::Quick` adjacent variants can
+/// tie within simulation noise (sparse points generate only tens of
+/// queries), but a genuine regression — a variant losing its mechanism —
+/// shifts ratios far beyond this.
+fn slack(a: &mbt_experiments::SeriesPoint, b: &mbt_experiments::SeriesPoint) -> f64 {
+    let var = a.metadata.stddev * a.metadata.stddev + b.metadata.stddev * b.metadata.stddev;
+    let n = a.metadata.n.max(1) as f64;
+    0.02 + 2.0 * (var / n).sqrt()
+}
+
+/// The paper's §VI-B ordering: MBT ≥ MBT-Q ≥ MBT-QM on metadata delivery —
+/// strictly on the series means, within [`slack`] per point.
+fn assert_protocol_ordering(fig: &Figure) {
+    let mean_mbt = series_mean(fig, ProtocolKind::Mbt);
+    let mean_q = series_mean(fig, ProtocolKind::MbtQ);
+    let mean_qm = series_mean(fig, ProtocolKind::MbtQm);
+    assert!(
+        mean_mbt >= mean_q && mean_q >= mean_qm,
+        "{}: mean metadata ordering violated: MBT {mean_mbt} / MBT-Q {mean_q} / MBT-QM {mean_qm}",
+        fig.id
+    );
+
+    let mbt = fig.series_for(ProtocolKind::Mbt).expect("MBT series");
+    let q = fig.series_for(ProtocolKind::MbtQ).expect("MBT-Q series");
+    let qm = fig.series_for(ProtocolKind::MbtQm).expect("MBT-QM series");
+    for ((pm, pq), pqm) in mbt.points.iter().zip(&q.points).zip(&qm.points) {
+        assert!(
+            pm.metadata_ratio >= pq.metadata_ratio - slack(pm, pq),
+            "{}: at x={}, MBT {} < MBT-Q {}",
+            fig.id,
+            pm.x,
+            pm.metadata_ratio,
+            pq.metadata_ratio
+        );
+        assert!(
+            pq.metadata_ratio >= pqm.metadata_ratio - slack(pq, pqm),
+            "{}: at x={}, MBT-Q {} < MBT-QM {}",
+            fig.id,
+            pq.x,
+            pq.metadata_ratio,
+            pqm.metadata_ratio
+        );
+    }
+}
+
+/// Three replicates: deterministic (seeds derive from grid coordinates),
+/// smooths single-run noise, and pins non-zero stddev columns in the
+/// fixtures.
+fn golden_exec() -> ExecConfig {
+    ExecConfig::default().replicates(3)
+}
+
+#[test]
+fn fig2a_quick_matches_golden() {
+    let fig = fig2a_with(Scale::Quick, &golden_exec());
+    assert_protocol_ordering(&fig);
+    assert_matches_golden(&fig, "fig2a_quick.csv");
+}
+
+#[test]
+fn fig3a_quick_matches_golden() {
+    let fig = fig3a_with(Scale::Quick, &golden_exec());
+    assert_protocol_ordering(&fig);
+    assert_matches_golden(&fig, "fig3a_quick.csv");
+}

@@ -41,7 +41,12 @@ fn credits_accumulate_through_contacts() {
     let mut all = vec![nodes.remove(0), nodes.remove(0), source];
     all[1].add_query(Query::new("evening news").unwrap(), None);
     // Contact among source (index 2) and node 0 (index 0): node 0 learns it.
-    run_contact(&mut all, &[0, 2], SimTime::from_secs(10), SimDuration::from_secs(60));
+    run_contact(
+        &mut all,
+        &[0, 2],
+        SimTime::from_secs(10),
+        SimDuration::from_secs(60),
+    );
     assert!(all[0].has_metadata(&Uri::new("mbt://a").unwrap()));
     // node 0 credited the source for the (unmatched) metadata.
     assert!(all[0].credits().credit_of(NodeId::new(2)) > 0.0);
@@ -49,7 +54,12 @@ fn credits_accumulate_through_contacts() {
     // Now node 0 meets node 1, whose query matches: node 1 pays +5 for the
     // matched metadata and +5 again for the matched file that rode along
     // (§V-B reuses the same credit mechanism for file downloads).
-    run_contact(&mut all, &[0, 1], SimTime::from_secs(100), SimDuration::from_secs(60));
+    run_contact(
+        &mut all,
+        &[0, 1],
+        SimTime::from_secs(100),
+        SimDuration::from_secs(60),
+    );
     assert!(all[1].has_metadata(&Uri::new("mbt://a").unwrap()));
     assert!(all[1].has_file(&Uri::new("mbt://a").unwrap()));
     assert_eq!(all[1].credits().credit_of(NodeId::new(0)), 10.0);
@@ -90,10 +100,18 @@ fn free_riders_still_receive_broadcasts() {
     nodes[0].add_query(Query::new("hot clip").unwrap(), None);
     nodes[0].internet_session(&mut server, SimTime::ZERO);
 
-    run_contact(&mut nodes, &[0, 1, 2], SimTime::from_secs(50), SimDuration::from_secs(600));
+    run_contact(
+        &mut nodes,
+        &[0, 1, 2],
+        SimTime::from_secs(50),
+        SimDuration::from_secs(600),
+    );
     let uri = Uri::new("mbt://hot").unwrap();
     assert!(nodes[1].has_file(&uri));
-    assert!(nodes[2].has_file(&uri), "free-rider receives the broadcast too");
+    assert!(
+        nodes[2].has_file(&uri),
+        "free-rider receives the broadcast too"
+    );
 }
 
 #[test]
@@ -120,7 +138,12 @@ fn tft_and_cooperative_agree_when_everyone_is_equal() {
         nodes[0].set_internet_access(true);
         nodes[0].add_query(Query::new("clip").unwrap(), None);
         nodes[0].internet_session(&mut server, SimTime::ZERO);
-        run_contact(&mut nodes, &[0, 1, 2], SimTime::from_secs(10), SimDuration::from_secs(600));
+        run_contact(
+            &mut nodes,
+            &[0, 1, 2],
+            SimTime::from_secs(10),
+            SimDuration::from_secs(600),
+        );
         (0..5)
             .map(|i| nodes[2].has_metadata(&Uri::new(format!("mbt://x{i}")).unwrap()))
             .collect::<Vec<bool>>()

@@ -1,0 +1,58 @@
+//! The parallel executor's determinism contract, end to end.
+//!
+//! The same figure run with `--jobs 1` and `--jobs 8` — and run twice with
+//! the same configuration — must produce byte-identical merged results. This
+//! holds because every sweep cell derives its seed from its grid coordinates
+//! (`derive_seed(&[master, point, protocol, replicate])`) and the reduction
+//! happens in grid order, never completion order.
+
+use mbt_experiments::figures::fig2a_with;
+use mbt_experiments::report::figure_csv;
+use mbt_experiments::{ExecConfig, Scale};
+
+fn exec(jobs: usize) -> ExecConfig {
+    ExecConfig::default().jobs(jobs).replicates(2)
+}
+
+#[test]
+fn jobs_1_and_jobs_8_are_byte_identical() {
+    let serial = fig2a_with(Scale::Quick, &exec(1));
+    let parallel = fig2a_with(Scale::Quick, &exec(8));
+    assert_eq!(serial, parallel, "thread count changed sweep results");
+    assert_eq!(
+        figure_csv(&serial),
+        figure_csv(&parallel),
+        "thread count changed rendered CSV bytes"
+    );
+}
+
+#[test]
+fn repeated_invocations_are_byte_identical() {
+    let first = fig2a_with(Scale::Quick, &exec(8));
+    let second = fig2a_with(Scale::Quick, &exec(8));
+    assert_eq!(first, second, "same config, different results across runs");
+    assert_eq!(figure_csv(&first), figure_csv(&second));
+}
+
+#[test]
+fn auto_jobs_matches_serial() {
+    // jobs = 0 (one worker per core) must agree with explicit serial runs.
+    let auto = fig2a_with(Scale::Quick, &ExecConfig::default());
+    let serial = fig2a_with(Scale::Quick, &ExecConfig::serial());
+    assert_eq!(auto, serial);
+}
+
+#[test]
+fn replicated_points_pool_counts_and_report_spread() {
+    let fig = fig2a_with(Scale::Quick, &exec(4));
+    for series in &fig.series {
+        for point in &series.points {
+            assert_eq!(point.metadata.n, 2, "expected two replicates");
+            assert!(point.metadata.min <= point.metadata.mean);
+            assert!(point.metadata.mean <= point.metadata.max);
+            assert!(point.metadata.stddev >= 0.0);
+            // Pooled counts from both replicates back the merged result.
+            assert!(point.result.queries > 0);
+        }
+    }
+}

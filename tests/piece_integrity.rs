@@ -97,7 +97,10 @@ fn tampering_with_any_single_byte_is_caught() {
             let mut tampered = p.data().to_vec();
             tampered[byte] ^= 0x01;
             let bad = Piece::new(PieceId::new(uri.clone(), pi as u32), tampered);
-            assert!(!meta.verify_piece(&bad), "piece {pi} byte {byte} not caught");
+            assert!(
+                !meta.verify_piece(&bad),
+                "piece {pi} byte {byte} not caught"
+            );
         }
     }
 }

@@ -1,11 +1,11 @@
 //! Integration: the fake-publisher attack (§I "fake files") end to end, and
 //! the §III-B item-f authentication defense.
 
-use mbt_experiments::runner::{run_simulation, SimParams};
-use mbt_experiments::workload::{forge_fake, generate_batch, publisher_registry, WorkloadConfig};
 use dtn_trace::generators::NusConfig;
 use mbt_core::selection::{rank, select, SelectionPolicy};
 use mbt_core::{Popularity, Query};
+use mbt_experiments::runner::{run_simulation, SimParams};
+use mbt_experiments::workload::{forge_fake, generate_batch, publisher_registry, WorkloadConfig};
 
 #[test]
 fn pollution_attack_and_defense_shapes() {
@@ -110,7 +110,9 @@ fn user_selection_layer_also_filters_fakes() {
         &fake.uri
     );
     assert_eq!(
-        select(&ranked, SelectionPolicy::AuthenticatedOnly).unwrap().uri(),
+        select(&ranked, SelectionPolicy::AuthenticatedOnly)
+            .unwrap()
+            .uri(),
         &real.uri
     );
 }

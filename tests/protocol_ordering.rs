@@ -82,5 +82,8 @@ fn variants_differ_in_mechanism_counters() {
     assert_eq!(qm.queries_distributed, 0);
     assert!(mbt.metadata_broadcasts > 0);
     assert!(q.metadata_broadcasts > 0);
-    assert_eq!(qm.metadata_broadcasts, 0, "MBT-QM has no standalone metadata");
+    assert_eq!(
+        qm.metadata_broadcasts, 0,
+        "MBT-QM has no standalone metadata"
+    );
 }
