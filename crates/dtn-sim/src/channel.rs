@@ -51,6 +51,33 @@ pub fn pairwise_per_node_capacity(n: usize) -> f64 {
     1.0 / n as f64
 }
 
+/// Expected per-node useful bandwidth under broadcast when each frame is
+/// independently lost with probability `loss`: `(1 - loss) * (n - 1) / n`.
+/// Returns 0 for `n < 2`; `loss` is clamped to `[0, 1]`.
+///
+/// # Example
+///
+/// ```
+/// let clean = dtn_sim::channel::lossy_broadcast_capacity(8, 0.0);
+/// let degraded = dtn_sim::channel::lossy_broadcast_capacity(8, 0.25);
+/// assert_eq!(clean, dtn_sim::broadcast_per_node_capacity(8));
+/// assert!(degraded < clean);
+/// ```
+pub fn lossy_broadcast_capacity(n: usize, loss: f64) -> f64 {
+    broadcast_per_node_capacity(n) * (1.0 - loss.clamp(0.0, 1.0))
+}
+
+/// Scales a per-contact transfer allowance by the surviving fraction of a
+/// truncated contact: `floor(slots * keep)`, with `keep` clamped to `[0, 1]`.
+/// A keep fraction of exactly 1 is the identity.
+pub fn truncated_budget(slots: u32, keep: f64) -> u32 {
+    let keep = keep.clamp(0.0, 1.0);
+    if keep >= 1.0 {
+        return slots;
+    }
+    (f64::from(slots) * keep).floor() as u32
+}
+
 /// Transmission mode within a clique.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TransmissionMode {
@@ -242,6 +269,28 @@ mod tests {
     fn simulate_receptions_degenerate() {
         assert_eq!(simulate_receptions(TransmissionMode::Broadcast, 1, 10), 0);
         assert_eq!(simulate_receptions(TransmissionMode::Pairwise, 0, 10), 0);
+    }
+
+    #[test]
+    fn lossy_capacity_interpolates_to_zero() {
+        assert_eq!(
+            lossy_broadcast_capacity(8, 0.0),
+            broadcast_per_node_capacity(8)
+        );
+        assert_eq!(lossy_broadcast_capacity(8, 1.0), 0.0);
+        let half = lossy_broadcast_capacity(8, 0.5);
+        assert!((half - broadcast_per_node_capacity(8) / 2.0).abs() < 1e-12);
+        // Out-of-range losses clamp instead of producing negative capacity.
+        assert_eq!(lossy_broadcast_capacity(8, 2.0), 0.0);
+    }
+
+    #[test]
+    fn truncated_budget_scales_and_keeps_identity() {
+        assert_eq!(truncated_budget(20, 1.0), 20);
+        assert_eq!(truncated_budget(20, 0.5), 10);
+        assert_eq!(truncated_budget(20, 0.0), 0);
+        assert_eq!(truncated_budget(3, 0.9), 2);
+        assert_eq!(truncated_budget(20, 1.5), 20);
     }
 
     #[test]

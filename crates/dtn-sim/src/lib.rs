@@ -9,8 +9,9 @@
 //!   broadcast-based file download (§V),
 //! - the [`channel`] capacity models contrasting broadcast and pair-wise
 //!   transmission, plus per-contact transfer budgets,
-//! - [`hello`]-message bookkeeping (§III-B), and
-//! - delivery-ratio [`metrics`] and deterministic [`rng`] utilities.
+//! - [`hello`]-message bookkeeping (§III-B),
+//! - delivery-ratio [`metrics`] and deterministic [`rng`] utilities, and
+//! - deterministic fault injection ([`faults`]) for robustness experiments.
 //!
 //! # Example
 //!
@@ -43,6 +44,7 @@ pub mod channel;
 pub mod clique;
 pub mod engine;
 pub mod event;
+pub mod faults;
 pub mod hello;
 pub mod histogram;
 pub mod metrics;
@@ -52,5 +54,6 @@ pub use channel::{broadcast_per_node_capacity, pairwise_per_node_capacity, Conta
 pub use clique::NeighborGraph;
 pub use engine::{SimCtx, SimHandler, Simulator};
 pub use event::{Event, EventQueue};
+pub use faults::{FaultKind, FaultPlan};
 pub use hello::{HelloBeacon, NeighborTable};
 pub use metrics::DeliveryStats;

@@ -48,6 +48,35 @@ fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
     vec((0u32..6, 0u8..3, 0u64..10_000), 0..30)
 }
 
+/// Regression (ISSUE 2): cells with zero attempted transfers — possible
+/// under heavy churn, where nodes are down for whole contact windows — must
+/// pool to ratio 0, never NaN, at every layer of the reduction.
+#[test]
+fn zero_attempted_transfer_cells_pool_without_nan() {
+    // Raw stats: deliveries recorded but no queries (denominator is zero).
+    let mut stats = DeliveryStats::measuring_all();
+    stats.record_metadata_delivery(NodeId::new(1), SimTime::from_secs(10));
+    stats.record_file_delivery(NodeId::new(1), SimTime::from_secs(20));
+    assert_eq!(stats.queries(), 0);
+    assert_eq!(stats.metadata_delivery_ratio(), 0.0);
+    assert_eq!(stats.file_delivery_ratio(), 0.0);
+    // Merging two zero-query cells keeps the denominator zero.
+    let mut merged = DeliveryStats::default();
+    merged.merge(&stats);
+    merged.merge(&DeliveryStats::default());
+    assert_eq!(merged.metadata_delivery_ratio(), 0.0);
+    assert_eq!(merged.file_delivery_ratio(), 0.0);
+
+    // Executor layer: pooling empty simulation results and summarising an
+    // empty replicate set both stay finite.
+    let mut pooled = mbt_experiments::SimResult::default();
+    pooled.merge(&mbt_experiments::SimResult::default());
+    assert_eq!(pooled.metadata_ratio, 0.0);
+    assert_eq!(pooled.file_ratio, 0.0);
+    let summary = mbt_experiments::RatioSummary::from_samples(&[]);
+    assert!(summary.mean.is_finite() && summary.stddev.is_finite());
+}
+
 proptest! {
     #[test]
     fn merge_is_commutative_on_observables(
@@ -115,6 +144,21 @@ proptest! {
         let expect_file = if queries == 0 { 0.0 } else { files as f64 / queries as f64 };
         prop_assert_eq!(merged.metadata_delivery_ratio(), expect_meta);
         prop_assert_eq!(merged.file_delivery_ratio(), expect_file);
+    }
+
+    /// Ratios are total functions: finite and non-negative for every op
+    /// stream, including streams with no queries at all.
+    #[test]
+    fn merged_ratios_are_always_finite(
+        a in ops_strategy(),
+        b in ops_strategy(),
+    ) {
+        let mut merged = build(&a);
+        merged.merge(&build(&b));
+        for ratio in [merged.metadata_delivery_ratio(), merged.file_delivery_ratio()] {
+            prop_assert!(ratio.is_finite(), "ratio {ratio} is not finite");
+            prop_assert!(ratio >= 0.0);
+        }
     }
 
     #[test]

@@ -42,6 +42,7 @@ pub mod contact;
 pub mod generators;
 pub mod node;
 pub mod parser;
+pub mod perturb;
 pub mod space_time;
 pub mod stats;
 pub mod time;
@@ -51,6 +52,7 @@ pub use aggregate::AggregateGraph;
 pub use contact::{Contact, ContactError, ContactKind};
 pub use node::NodeId;
 pub use parser::{read_trace, write_trace, ParseTraceError};
+pub use perturb::Perturbation;
 pub use space_time::SpaceTimeGraph;
 pub use stats::TraceStats;
 pub use time::{SimDuration, SimTime, SECONDS_PER_DAY};

@@ -4,14 +4,15 @@ use std::fs::File;
 use std::io::BufWriter;
 
 use dtn_trace::generators::{DieselNetConfig, NusConfig, RandomWaypointConfig};
-use dtn_trace::{write_trace, ContactTrace};
+use dtn_trace::{write_trace, ContactTrace, Perturbation};
 
 use crate::args::Args;
 use crate::CliError;
 
 /// Usage text for the subcommand.
 pub const USAGE: &str = "mbt gen-trace --out <file> [--model dieselnet|nus|rwp] \
-[--nodes N] [--days N] [--seed N] [--attendance 0..1] [--weekends]";
+[--nodes N] [--days N] [--seed N] [--attendance 0..1] [--weekends] \
+[--drop 0..1] [--truncate 0..1]";
 
 /// Runs the subcommand.
 pub fn run(args: &Args) -> Result<String, CliError> {
@@ -24,7 +25,7 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         .ok_or(crate::args::ArgError::MissingOption("out"))?
         .to_string();
 
-    let trace: ContactTrace = match model.as_str() {
+    let mut trace: ContactTrace = match model.as_str() {
         "dieselnet" => DieselNetConfig::new(nodes, days).seed(seed).generate(),
         "nus" => {
             let attendance = args.parse_or("attendance", 1.0f64, "a number in [0,1]")?;
@@ -44,10 +45,32 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         }
     };
 
+    // Optional degradation: drop contacts and truncate windows before
+    // writing, so the file itself records the perturbed mobility.
+    let drop = args
+        .parse_or("drop", 0.0f64, "a number in [0,1]")?
+        .clamp(0.0, 1.0);
+    let truncate = args
+        .parse_or("truncate", 0.0f64, "a number in [0,1]")?
+        .clamp(0.0, 1.0);
+    let perturbation = Perturbation::new()
+        .drop_rate(drop)
+        .truncate_rate(truncate)
+        .seed(seed);
+    let mut note = String::new();
+    if !perturbation.is_noop() {
+        let before = trace.len();
+        trace = perturbation.apply(&trace);
+        note = format!(
+            " (perturbed: drop {drop:.2}, truncate {truncate:.2}; {before} -> {} contacts)",
+            trace.len()
+        );
+    }
+
     let file = File::create(&out).map_err(|e| CliError::Io(out.clone(), e))?;
     write_trace(BufWriter::new(file), &trace).map_err(|e| CliError::Io(out.clone(), e))?;
     Ok(format!(
-        "wrote {} contacts among {} nodes ({} days, model {model}) to {out}",
+        "wrote {} contacts among {} nodes ({} days, model {model}) to {out}{note}",
         trace.len(),
         trace.node_count(),
         days
@@ -75,6 +98,28 @@ mod tests {
         assert!(msg.contains("wrote"));
         let trace = dtn_trace::read_trace(std::fs::File::open(&path).unwrap()).unwrap();
         assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn drop_perturbation_thins_the_written_trace() {
+        let dir = std::env::temp_dir().join("mbt-cli-test-gen");
+        std::fs::create_dir_all(&dir).unwrap();
+        let clean = dir.join("clean.trace");
+        let thinned = dir.join("thinned.trace");
+        run(&args(&format!(
+            "--model dieselnet --nodes 10 --days 3 --seed 1 --out {}",
+            clean.display()
+        )))
+        .unwrap();
+        let msg = run(&args(&format!(
+            "--model dieselnet --nodes 10 --days 3 --seed 1 --drop 0.5 --out {}",
+            thinned.display()
+        )))
+        .unwrap();
+        assert!(msg.contains("perturbed"), "missing note: {msg}");
+        let full = dtn_trace::read_trace(std::fs::File::open(&clean).unwrap()).unwrap();
+        let thin = dtn_trace::read_trace(std::fs::File::open(&thinned).unwrap()).unwrap();
+        assert!(thin.len() < full.len(), "drop 0.5 should remove contacts");
     }
 
     #[test]

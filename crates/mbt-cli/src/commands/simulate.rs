@@ -3,6 +3,7 @@
 use std::fmt::Write as _;
 use std::fs::File;
 
+use dtn_sim::FaultPlan;
 use dtn_trace::{read_trace, SimDuration};
 use mbt_core::{BroadcastOrdering, CooperationMode, MbtConfig, ProtocolKind};
 use mbt_experiments::runner::{run_simulation, SimParams};
@@ -14,8 +15,8 @@ use crate::CliError;
 pub const USAGE: &str = "mbt simulate <trace-file> [--protocol mbt|mbt-q|mbt-qm] \
 [--internet 0..1] [--files-per-day N] [--ttl N] [--days N] [--seed N] \
 [--metadata-per-contact N] [--files-per-contact N] [--frequent-days N] \
-[--loss 0..1] [--churn 0..1] [--polluters 0..1] [--fakes-per-day N] \
-[--tft] [--rarest-first] [--verify]";
+[--loss 0..1] [--churn 0..1] [--truncate 0..1] [--corrupt 0..1] \
+[--polluters 0..1] [--fakes-per-day N] [--tft] [--rarest-first] [--verify]";
 
 /// Runs the subcommand.
 pub fn run(args: &Args) -> Result<String, CliError> {
@@ -37,17 +38,26 @@ pub fn run(args: &Args) -> Result<String, CliError> {
     let default_days = trace.span().as_days_f64().ceil().max(1.0) as u64;
     let mut config = MbtConfig::new()
         .metadata_per_contact(args.parse_or("metadata-per-contact", 20u32, "an integer")?)
-        .files_per_contact(args.parse_or("files-per-contact", 4u32, "an integer")?)
-        .broadcast_loss_rate(
-            args.parse_or("loss", 0.0f64, "a number in [0,1]")?
-                .clamp(0.0, 1.0),
-        );
+        .files_per_contact(args.parse_or("files-per-contact", 4u32, "an integer")?);
     if args.flag("tft") {
         config = config.cooperation(CooperationMode::TitForTat);
     }
     if args.flag("rarest-first") {
         config = config.ordering(BroadcastOrdering::RarestFirst);
     }
+
+    let seed = args.parse_or("seed", 42u64, "an integer")?;
+    let rate = |name: &str| -> Result<f64, CliError> {
+        Ok(args
+            .parse_or(name, 0.0f64, "a number in [0,1]")?
+            .clamp(0.0, 1.0))
+    };
+    let faults = FaultPlan::none()
+        .loss(rate("loss")?)
+        .truncate(rate("truncate")?)
+        .churn(rate("churn")?)
+        .corruption(rate("corrupt")?)
+        .seed(seed);
 
     let params = SimParams {
         protocol,
@@ -58,15 +68,16 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         files_per_day: args.parse_or("files-per-day", 40u32, "an integer")?,
         ttl_days: args.parse_or("ttl", 3u64, "an integer")?,
         days: args.parse_or("days", default_days, "an integer")?,
-        seed: args.parse_or("seed", 42u64, "an integer")?,
+        seed,
         frequent_window: SimDuration::from_days(args.parse_or(
             "frequent-days",
             1u64,
             "an integer",
         )?),
-        churn: args
-            .parse_or("churn", 0.0f64, "a number in [0,1]")?
-            .clamp(0.0, 1.0),
+        // Structured fault injection subsumes the legacy permanent-death
+        // churn: `--churn` now drives the plan's down intervals.
+        churn: 0.0,
+        faults,
         polluter_fraction: args
             .parse_or("polluters", 0.0f64, "a number in [0,1]")?
             .clamp(0.0, 1.0),
@@ -103,6 +114,19 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         "  broadcasts: {} metadata, {} files; {} queries distributed",
         r.metadata_broadcasts, r.file_broadcasts, r.queries_distributed
     );
+    if !faults.is_noop() {
+        let _ = writeln!(
+            out,
+            "  faults: loss {:.2}, truncate {:.2}, churn {:.2}, corrupt {:.2} \
+             -> {} frames lost, {} corrupt receptions",
+            faults.loss_rate,
+            faults.truncate_rate,
+            faults.churn,
+            faults.corruption_rate,
+            r.frames_lost,
+            r.corrupt_receptions
+        );
+    }
     Ok(out)
 }
 
@@ -143,6 +167,25 @@ mod tests {
         )))
         .unwrap();
         assert!(out.contains("MBT-QM"));
+    }
+
+    #[test]
+    fn fault_flags_print_a_summary_line() {
+        let path = trace_file("faults");
+        let out = run(&args(&format!(
+            "{} --loss 0.3 --truncate 0.4 --churn 0.2 --corrupt 0.1 --files-per-day 8",
+            path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("faults: loss 0.30"), "missing summary: {out}");
+        assert!(out.contains("frames lost"));
+    }
+
+    #[test]
+    fn clean_run_prints_no_fault_line() {
+        let path = trace_file("clean");
+        let out = run(&args(&format!("{} --files-per-day 8", path.display()))).unwrap();
+        assert!(!out.contains("faults:"), "unexpected fault line: {out}");
     }
 
     #[test]

@@ -2,6 +2,8 @@
 
 use std::fmt;
 
+use dtn_sim::FaultPlan;
+
 /// Cooperation mode: altruistic or tit-for-tat (paper §IV-A/B, §V-A/B).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum CooperationMode {
@@ -69,8 +71,7 @@ pub struct MbtConfig {
     ordering: BroadcastOrdering,
     discovery_first: bool,
     min_download_contact_secs: u64,
-    broadcast_loss_rate: f64,
-    loss_seed: u64,
+    faults: FaultPlan,
 }
 
 impl Default for MbtConfig {
@@ -84,8 +85,7 @@ impl Default for MbtConfig {
             ordering: BroadcastOrdering::TwoPhase,
             discovery_first: true,
             min_download_contact_secs: 0,
-            broadcast_loss_rate: 0.0,
-            loss_seed: 0,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -148,22 +148,30 @@ impl MbtConfig {
         self
     }
 
+    /// Installs a complete fault-injection plan (loss, truncation, churn,
+    /// corruption). Replaces any previously-set plan.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = plan;
+        self
+    }
+
     /// Per-receiver probability that a broadcast frame is lost (failure
     /// injection; default 0). Each (contact instant, sender, receiver, item)
-    /// draws independently and deterministically from `loss_seed`.
+    /// draws independently and deterministically from the fault seed.
+    /// Shorthand for adjusting the loss rate of the [`FaultPlan`].
     ///
     /// # Panics
     ///
     /// Panics unless `rate` ∈ [0, 1].
     pub fn broadcast_loss_rate(mut self, rate: f64) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "loss rate must be in [0, 1]");
-        self.broadcast_loss_rate = rate;
+        self.faults = self.faults.loss(rate);
         self
     }
 
-    /// Seed for the deterministic loss rolls (default 0).
+    /// Seed for the deterministic fault rolls (default 0). Shorthand for
+    /// adjusting the seed of the [`FaultPlan`].
     pub fn loss_seed(mut self, seed: u64) -> Self {
-        self.loss_seed = seed;
+        self.faults = self.faults.seed(seed);
         self
     }
 
@@ -207,14 +215,19 @@ impl MbtConfig {
         self.min_download_contact_secs
     }
 
-    /// The broadcast loss probability.
-    pub fn broadcast_loss_rate_value(&self) -> f64 {
-        self.broadcast_loss_rate
+    /// The fault-injection plan.
+    pub fn faults_value(&self) -> FaultPlan {
+        self.faults
     }
 
-    /// The loss-roll seed.
+    /// The broadcast loss probability.
+    pub fn broadcast_loss_rate_value(&self) -> f64 {
+        self.faults.loss_rate
+    }
+
+    /// The fault-roll seed.
     pub fn loss_seed_value(&self) -> u64 {
-        self.loss_seed
+        self.faults.seed
     }
 }
 
@@ -259,6 +272,22 @@ mod tests {
                 .internet_search_limit_value(),
             1
         );
+    }
+
+    #[test]
+    fn loss_builders_delegate_to_the_fault_plan() {
+        let c = MbtConfig::new().broadcast_loss_rate(0.3).loss_seed(9);
+        assert_eq!(c.broadcast_loss_rate_value(), 0.3);
+        assert_eq!(c.loss_seed_value(), 9);
+        assert_eq!(c.faults_value(), FaultPlan::none().loss(0.3).seed(9));
+    }
+
+    #[test]
+    fn faults_builder_installs_a_full_plan() {
+        let plan = FaultPlan::none().loss(0.1).truncate(0.2).churn(0.3).seed(4);
+        let c = MbtConfig::new().faults(plan);
+        assert_eq!(c.faults_value(), plan);
+        assert!(MbtConfig::new().faults_value().is_noop());
     }
 
     #[test]

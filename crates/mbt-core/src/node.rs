@@ -401,6 +401,12 @@ pub struct ContactReport {
     pub file_broadcasts: usize,
     /// Queries newly stored for frequent contacts.
     pub queries_distributed: usize,
+    /// Receptions that failed because the broadcast frame was lost
+    /// (fault injection; 0 without a loss plan).
+    pub frames_lost: usize,
+    /// File receptions discarded because checksum verification caught
+    /// corrupted pieces (fault injection; 0 without a corruption plan).
+    pub corrupt_receptions: usize,
 }
 
 /// Per-member snapshot taken at the start of a contact.
@@ -542,22 +548,20 @@ pub fn run_contact(
         }
     }
 
-    // Failure injection: each (instant, sender, receiver, item) draws an
-    // independent, deterministic loss roll.
+    // Failure injection (see `dtn_sim::faults`): every roll is a pure
+    // function of the plan seed and the event's coordinates. Truncation
+    // shrinks both the contact's effective duration (the file-phase gate)
+    // and its transfer budgets by the same surviving fraction; a plan with
+    // truncation off keeps both exactly as configured.
+    let faults = config.faults_value();
+    let keep = faults.contact_keep(now, &member_ids);
+    let effective_duration = faults.truncated_duration(now, &member_ids, duration);
+    let metadata_slots =
+        dtn_sim::channel::truncated_budget(config.metadata_per_contact_value(), keep) as usize;
+    let file_slots =
+        dtn_sim::channel::truncated_budget(config.files_per_contact_value(), keep) as usize;
     let frame_lost = |sender: NodeId, receiver: NodeId, item: &Uri| -> bool {
-        let rate = config.broadcast_loss_rate_value();
-        if rate <= 0.0 {
-            return false;
-        }
-        use rand::Rng as _;
-        let seed = dtn_sim::rng::derive_seed(&[
-            config.loss_seed_value(),
-            now.as_secs(),
-            u64::from(sender.raw()),
-            u64::from(receiver.raw()),
-        ]);
-        let mut rng = dtn_sim::rng::stream(seed, item.as_str());
-        rng.gen::<f64>() < rate
+        faults.frame_lost(now, sender, receiver, item.as_str())
     };
 
     // --- Phase closures. ---
@@ -587,13 +591,8 @@ pub fn run_contact(
                     .any(|s| !s.metadata_uris.contains(&o.item) && !s.rejected.contains(&o.item))
             })
             .collect();
-        let schedule = schedule_broadcasts(
-            &config,
-            &member_ids,
-            &snapshots,
-            offers,
-            config.metadata_per_contact_value() as usize,
-        );
+        let schedule =
+            schedule_broadcasts(&config, &member_ids, &snapshots, offers, metadata_slots);
         for b in &schedule {
             let (meta, pop, _) = &metadata_catalog[&b.item];
             report.metadata_broadcasts += 1;
@@ -603,6 +602,7 @@ pub fn run_contact(
                     continue;
                 }
                 if frame_lost(b.sender, receiver.id, &b.item) {
+                    report.frames_lost += 1;
                     continue;
                 }
                 if !receiver.accepts_metadata(meta) {
@@ -632,7 +632,7 @@ pub fn run_contact(
     };
 
     let file_phase = |nodes: &mut [MbtNode], report: &mut ContactReport| {
-        if duration.as_secs() < config.min_download_contact_secs_value() {
+        if effective_duration.as_secs() < config.min_download_contact_secs_value() {
             return;
         }
         let offers: Vec<Offer<Uri>> = file_catalog
@@ -664,13 +664,7 @@ pub fn run_contact(
                     .any(|s| !s.file_uris.contains(&o.item) && !s.rejected.contains(&o.item))
             })
             .collect();
-        let schedule = schedule_broadcasts(
-            &config,
-            &member_ids,
-            &snapshots,
-            offers,
-            config.files_per_contact_value() as usize,
-        );
+        let schedule = schedule_broadcasts(&config, &member_ids, &snapshots, offers, file_slots);
         for b in &schedule {
             report.file_broadcasts += 1;
             // The file's metadata rides along with the file (as in prior
@@ -688,6 +682,15 @@ pub fn run_contact(
                     continue;
                 }
                 if frame_lost(b.sender, receiver.id, &b.item) {
+                    report.frames_lost += 1;
+                    continue;
+                }
+                if faults.corrupts(now, b.sender, receiver.id, b.item.as_str()) {
+                    // The pieces arrived mangled: checksum verification (see
+                    // `Metadata::verify_piece`) catches them, nothing is
+                    // stored, and no credit is awarded — the file stays
+                    // wanted and is re-fetched at a later contact.
+                    report.corrupt_receptions += 1;
                     continue;
                 }
                 let mut expires = None;

@@ -193,6 +193,21 @@ impl ParallelRunner {
                         proto_idx as u64,
                         u64::from(rep),
                     ]);
+                    // Fault streams get their own per-cell seed in a
+                    // disjoint domain: derive_seed(&[master, point, proto,
+                    // rep, FAULT_STREAM]); each fault kind then mixes in its
+                    // own tag (see `dtn_sim::faults`). A noop plan keeps
+                    // seed untouched so the cell stays byte-identical to a
+                    // fault-free run.
+                    if !params.faults.is_noop() {
+                        params.faults = params.faults.seed(derive_seed(&[
+                            self.cfg.master_seed,
+                            point_idx as u64,
+                            proto_idx as u64,
+                            u64::from(rep),
+                            dtn_sim::faults::FAULT_STREAM,
+                        ]));
+                    }
                     cells.push(Cell {
                         point_idx,
                         trace: Arc::clone(trace),
@@ -292,6 +307,29 @@ mod tests {
                 assert!(p.result.queries > 0);
             }
         }
+    }
+
+    #[test]
+    fn faulty_cells_get_grid_derived_seeds_and_stay_deterministic() {
+        use dtn_sim::FaultPlan;
+        let trace = NusConfig::new(20, 5).seed(3).generate();
+        let run = |cfg: ExecConfig| {
+            ParallelRunner::new(cfg).sweep_shared_trace("t", "t", "loss", &[0.25], &trace, |x| {
+                SimParams {
+                    faults: FaultPlan::none().loss(x),
+                    ..quick_params(5)
+                }
+            })
+        };
+        let serial = run(ExecConfig::serial());
+        let parallel = run(ExecConfig::default().jobs(8));
+        assert_eq!(serial, parallel);
+        let lost: u64 = serial
+            .series
+            .iter()
+            .map(|s| s.points[0].result.frames_lost)
+            .sum();
+        assert!(lost > 0, "loss plan should drop frames");
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! the NUS-style classroom clique trace. Each function returns a
 //! [`Figure`] holding one series per protocol (MBT, MBT-Q, MBT-QM).
 
+use dtn_sim::FaultPlan;
 use dtn_trace::generators::{DieselNetConfig, NusConfig};
 use dtn_trace::{ContactTrace, SimDuration};
 use mbt_core::MbtConfig;
@@ -349,6 +350,41 @@ pub fn fig3f_with(scale: Scale, exec: &ExecConfig) -> Figure {
     )
 }
 
+// ----- Fault injection -----
+
+/// Robustness sweep (not in the paper): delivery ratios vs broadcast
+/// frame-loss rate on the NUS trace, across all three protocol variants.
+/// Loss 0 is the clean baseline — a noop plan, byte-identical to the
+/// fault-free sweep; for lossy cells the executor derives the fault seed
+/// from the cell's grid coordinates, so `--jobs N` runs stay bit-identical.
+pub fn fault_sweep(scale: Scale) -> Figure {
+    fault_sweep_with(scale, &ExecConfig::default())
+}
+
+/// [`fault_sweep`] with explicit execution (jobs/replicates/master seed).
+pub fn fault_sweep_with(scale: Scale, exec: &ExecConfig) -> Figure {
+    let xs = scale.xs(&[0.0, 0.1, 0.2, 0.3, 0.4, 0.5], &[0.0, 0.25, 0.5]);
+    fault_sweep_xs(scale, exec, &xs)
+}
+
+/// [`fault_sweep`] over caller-chosen loss rates (the determinism tests use
+/// this to pin the loss=0 point against the fault-free path).
+pub fn fault_sweep_xs(scale: Scale, exec: &ExecConfig, xs: &[f64]) -> Figure {
+    let runner = ParallelRunner::new(*exec);
+    let trace = nus_trace(scale);
+    runner.sweep_shared_trace(
+        "fault_sweep",
+        "NUS: delivery ratio vs broadcast loss rate",
+        "loss rate",
+        xs,
+        &trace,
+        |x| SimParams {
+            faults: FaultPlan::none().loss(x),
+            ..nus_params(scale)
+        },
+    )
+}
+
 /// Every Figure-2 experiment in order.
 pub fn all_fig2(scale: Scale) -> Vec<Figure> {
     all_fig2_with(scale, &ExecConfig::default())
@@ -412,6 +448,24 @@ mod tests {
             "MBT {} < MBT-QM {}",
             mbt.points[last].file_ratio,
             qm.points[last].file_ratio
+        );
+    }
+
+    #[test]
+    fn quick_fault_sweep_loses_delivery_at_high_loss() {
+        let fig = fault_sweep(Scale::Quick);
+        assert_eq!(fig.series.len(), 3);
+        let mbt = fig.series_for(ProtocolKind::Mbt).unwrap();
+        assert_eq!(mbt.points[0].x, 0.0);
+        let clean = mbt.points.first().unwrap();
+        let lossy = mbt.points.last().unwrap();
+        assert_eq!(clean.result.frames_lost, 0, "loss 0 drops nothing");
+        assert!(lossy.result.frames_lost > 0, "loss 0.5 drops frames");
+        assert!(
+            lossy.file_ratio <= clean.file_ratio,
+            "heavy loss should not improve delivery ({} > {})",
+            lossy.file_ratio,
+            clean.file_ratio
         );
     }
 

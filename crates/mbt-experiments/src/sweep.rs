@@ -21,10 +21,14 @@ pub struct RatioSummary {
 }
 
 impl RatioSummary {
-    /// Summarises `samples` (must be non-empty). The mean is accumulated in
-    /// sample order, so the result is bit-identical for a fixed sample list.
+    /// Summarises `samples`. The mean is accumulated in sample order, so the
+    /// result is bit-identical for a fixed sample list. An empty sample list
+    /// (e.g. every replicate lost to heavy churn) yields the all-zero
+    /// default rather than NaN.
     pub fn from_samples(samples: &[f64]) -> RatioSummary {
-        assert!(!samples.is_empty(), "RatioSummary of zero samples");
+        if samples.is_empty() {
+            return RatioSummary::default();
+        }
         let n = samples.len();
         let mean = samples.iter().sum::<f64>() / n as f64;
         let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
@@ -201,6 +205,13 @@ mod tests {
             assert_eq!(s.points[0].x, 0.2);
         }
         assert!(fig.series_for(ProtocolKind::MbtQm).is_some());
+    }
+
+    #[test]
+    fn empty_ratio_summary_is_zero_not_nan() {
+        let s = RatioSummary::from_samples(&[]);
+        assert_eq!(s, RatioSummary::default());
+        assert!(s.mean.is_finite() && s.stddev.is_finite());
     }
 
     #[test]

@@ -16,7 +16,7 @@
 //! and commit the resulting `tests/fixtures/*.csv` alongside the change.
 
 use mbt_core::ProtocolKind;
-use mbt_experiments::figures::{fig2a_with, fig3a_with};
+use mbt_experiments::figures::{fault_sweep_with, fig2a_with, fig3a_with};
 use mbt_experiments::report::figure_csv;
 use mbt_experiments::sweep::Figure;
 use mbt_experiments::{ExecConfig, Scale};
@@ -110,6 +110,47 @@ fn assert_protocol_ordering(fig: &Figure) {
 /// fixtures.
 fn golden_exec() -> ExecConfig {
     ExecConfig::default().replicates(3)
+}
+
+/// The fault sweep keeps the paper's per-point ordering only while the
+/// channel still works: at loss ≤ 25% the protocols' mechanisms dominate,
+/// beyond that every variant converges toward zero and the comparison is
+/// pure noise. Same per-point [`slack`] as the clean figures.
+fn assert_protocol_ordering_up_to(fig: &Figure, max_x: f64) {
+    let mbt = fig.series_for(ProtocolKind::Mbt).expect("MBT series");
+    let q = fig.series_for(ProtocolKind::MbtQ).expect("MBT-Q series");
+    let qm = fig.series_for(ProtocolKind::MbtQm).expect("MBT-QM series");
+    let mut checked = 0;
+    for ((pm, pq), pqm) in mbt.points.iter().zip(&q.points).zip(&qm.points) {
+        if pm.x > max_x {
+            continue;
+        }
+        checked += 1;
+        assert!(
+            pm.metadata_ratio >= pq.metadata_ratio - slack(pm, pq),
+            "{}: at x={}, MBT {} < MBT-Q {}",
+            fig.id,
+            pm.x,
+            pm.metadata_ratio,
+            pq.metadata_ratio
+        );
+        assert!(
+            pq.metadata_ratio >= pqm.metadata_ratio - slack(pq, pqm),
+            "{}: at x={}, MBT-Q {} < MBT-QM {}",
+            fig.id,
+            pq.x,
+            pq.metadata_ratio,
+            pqm.metadata_ratio
+        );
+    }
+    assert!(checked > 0, "{}: no points at x <= {max_x}", fig.id);
+}
+
+#[test]
+fn fault_sweep_quick_matches_golden() {
+    let fig = fault_sweep_with(Scale::Quick, &golden_exec());
+    assert_protocol_ordering_up_to(&fig, 0.25);
+    assert_matches_golden(&fig, "fault_sweep_quick.csv");
 }
 
 #[test]

@@ -6,9 +6,11 @@
 //! (`derive_seed(&[master, point, protocol, replicate])`) and the reduction
 //! happens in grid order, never completion order.
 
-use mbt_experiments::figures::fig2a_with;
+use dtn_sim::FaultPlan;
+use dtn_trace::generators::NusConfig;
+use mbt_experiments::figures::{fault_sweep_with, fig2a_with};
 use mbt_experiments::report::figure_csv;
-use mbt_experiments::{ExecConfig, Scale};
+use mbt_experiments::{ExecConfig, ParallelRunner, Scale, SimParams};
 
 fn exec(jobs: usize) -> ExecConfig {
     ExecConfig::default().jobs(jobs).replicates(2)
@@ -40,6 +42,62 @@ fn auto_jobs_matches_serial() {
     let auto = fig2a_with(Scale::Quick, &ExecConfig::default());
     let serial = fig2a_with(Scale::Quick, &ExecConfig::serial());
     assert_eq!(auto, serial);
+}
+
+#[test]
+fn fault_sweep_jobs_1_and_jobs_8_are_byte_identical() {
+    // Fault streams reseed per cell from grid coordinates (with the extra
+    // FAULT_STREAM tag), so the determinism contract extends to faulty runs.
+    let serial = fault_sweep_with(Scale::Quick, &exec(1));
+    let parallel = fault_sweep_with(Scale::Quick, &exec(8));
+    assert_eq!(serial, parallel, "thread count changed fault-sweep results");
+    assert_eq!(
+        figure_csv(&serial),
+        figure_csv(&parallel),
+        "thread count changed rendered fault-sweep CSV bytes"
+    );
+}
+
+#[test]
+fn loss_zero_fault_sweep_is_byte_identical_to_no_fault_sweep() {
+    // A sweep whose plan carries rate 0 must not disturb a single byte of
+    // the fault-free output: zero-rate plans draw no random numbers and the
+    // executor leaves their seeds untouched. The CSV contains no figure
+    // id/title, so the two renders compare byte-for-byte.
+    let runner = ParallelRunner::new(exec(2));
+    let trace = NusConfig::new(20, 4)
+        .seed(7)
+        .attendance_rate(0.8)
+        .generate();
+    let base = || SimParams {
+        days: 4,
+        seed: 7,
+        ..SimParams::default()
+    };
+    let faulty = runner.sweep_shared_trace(
+        "fault_sweep",
+        "loss-zero fault sweep",
+        "loss rate",
+        &[0.0],
+        &trace,
+        |x| SimParams {
+            faults: FaultPlan::none().loss(x),
+            ..base()
+        },
+    );
+    let clean = runner.sweep_shared_trace(
+        "clean_sweep",
+        "no-fault sweep",
+        "loss rate",
+        &[0.0],
+        &trace,
+        |_| base(),
+    );
+    assert_eq!(
+        figure_csv(&faulty),
+        figure_csv(&clean),
+        "a zero-rate fault plan perturbed the fault-free sweep"
+    );
 }
 
 #[test]
