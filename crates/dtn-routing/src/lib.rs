@@ -13,7 +13,7 @@
 //!   (overhead lower bound);
 //! - [`protocols::Prophet`] — probabilistic routing with delivery
 //!   predictabilities, aging, and transitivity (Lindgren et al., the paper's
-//!   ref [10]);
+//!   ref \[10\]);
 //! - [`protocols::SprayAndWait`] — bounded-copy spraying (binary variant).
 //!
 //! [`sim::RoutingSim`] drives any of them over a

@@ -172,7 +172,7 @@ impl RoutingProtocol for DirectDelivery {
 }
 
 /// PRoPHET: probabilistic routing using history of encounters and
-/// transitivity (Lindgren, Doria, Schelén — the paper's ref [10]).
+/// transitivity (Lindgren, Doria, Schelén — the paper's ref \[10\]).
 ///
 /// Each node `x` maintains delivery predictabilities `P(x, y)`; on a contact
 /// the predictability for the encountered peer is reinforced, all entries

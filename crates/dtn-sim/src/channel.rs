@@ -67,6 +67,18 @@ pub fn lossy_broadcast_capacity(n: usize, loss: f64) -> f64 {
     broadcast_per_node_capacity(n) * (1.0 - loss.clamp(0.0, 1.0))
 }
 
+/// Nominal per-frame link-layer overhead in bytes (MAC + network headers),
+/// charged once per broadcast reception by the byte-accounting telemetry.
+/// The exact figure only scales `bytes_moved` reports; nothing in the
+/// simulation reads it back.
+pub const FRAME_HEADER_BYTES: u64 = 64;
+
+/// On-air bytes of one received frame carrying `payload` application bytes:
+/// payload plus [`FRAME_HEADER_BYTES`], saturating on overflow.
+pub fn frame_bytes(payload: u64) -> u64 {
+    payload.saturating_add(FRAME_HEADER_BYTES)
+}
+
 /// Scales a per-contact transfer allowance by the surviving fraction of a
 /// truncated contact: `floor(slots * keep)`, with `keep` clamped to `[0, 1]`.
 /// A keep fraction of exactly 1 is the identity.
@@ -282,6 +294,13 @@ mod tests {
         assert!((half - broadcast_per_node_capacity(8) / 2.0).abs() < 1e-12);
         // Out-of-range losses clamp instead of producing negative capacity.
         assert_eq!(lossy_broadcast_capacity(8, 2.0), 0.0);
+    }
+
+    #[test]
+    fn frame_bytes_add_header_and_saturate() {
+        assert_eq!(frame_bytes(0), FRAME_HEADER_BYTES);
+        assert_eq!(frame_bytes(1000), 1000 + FRAME_HEADER_BYTES);
+        assert_eq!(frame_bytes(u64::MAX), u64::MAX);
     }
 
     #[test]

@@ -10,8 +10,12 @@
 //! - the [`channel`] capacity models contrasting broadcast and pair-wise
 //!   transmission, plus per-contact transfer budgets,
 //! - [`hello`]-message bookkeeping (§III-B),
-//! - delivery-ratio [`metrics`] and deterministic [`rng`] utilities, and
-//! - deterministic fault injection ([`faults`]) for robustness experiments.
+//! - delivery-ratio [`metrics`] and deterministic [`rng`] utilities,
+//! - deterministic fault injection ([`faults`]) for robustness experiments,
+//!   and
+//! - always-on observability counters and phase spans ([`telemetry`]) that
+//!   feed the perf-report/bench tooling without perturbing simulation
+//!   output.
 //!
 //! # Example
 //!
@@ -49,6 +53,7 @@ pub mod hello;
 pub mod histogram;
 pub mod metrics;
 pub mod rng;
+pub mod telemetry;
 
 pub use channel::{broadcast_per_node_capacity, pairwise_per_node_capacity, ContactBudget};
 pub use clique::NeighborGraph;
@@ -57,3 +62,4 @@ pub use event::{Event, EventQueue};
 pub use faults::{FaultKind, FaultPlan};
 pub use hello::{HelloBeacon, NeighborTable};
 pub use metrics::DeliveryStats;
+pub use telemetry::{Counters, Phase, PhaseTimes, Telemetry};

@@ -1,7 +1,7 @@
 //! Community-based mobility trace generator.
 //!
 //! A caveman-style model widely used in the DTN literature (e.g. the social
-//! pocket-switched-network line of work the paper cites as [6]): nodes
+//! pocket-switched-network line of work the paper cites as \[6\]): nodes
 //! belong to *home communities* that gather daily; a fraction of nodes are
 //! *travelers* who sometimes visit another community's gathering. Contacts
 //! within a gathering are cliques. The result is a clustered contact graph

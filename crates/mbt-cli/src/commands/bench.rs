@@ -1,0 +1,124 @@
+//! `mbt bench` — run the quick-scale figure sweeps under telemetry and emit
+//! a schema-versioned perf report (`BENCH_sweep.json`).
+//!
+//! The report carries the schema tag, `git describe`, wall-clock per phase,
+//! cells/sec throughput, and the deterministic counter totals; `perf-check`
+//! diffs it against the committed baseline in CI.
+
+use std::fmt::Write as _;
+
+use dtn_sim::telemetry::{rate_per_sec, Phase};
+use mbt_experiments::perf::{run_bench, BenchReport};
+use mbt_experiments::{ExecConfig, Scale};
+
+use crate::args::Args;
+use crate::CliError;
+
+/// Usage text for the subcommand.
+pub const USAGE: &str = "mbt bench [--scale quick|full] [--jobs N] \
+[--replicates N] [--seed N] [--out PATH]
+
+runs fig2a + fig3a + the fault sweep under telemetry and writes a
+schema-versioned JSON perf report (default BENCH_sweep.json)";
+
+/// Runs the subcommand.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let scale = match args.str_or("scale", "quick") {
+        "quick" => Scale::Quick,
+        "full" => Scale::Full,
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown scale `{other}` (expected quick or full)"
+            )))
+        }
+    };
+    let exec = ExecConfig::default()
+        .jobs(args.parse_or("jobs", 1usize, "an integer")?)
+        .replicates(args.parse_or("replicates", 1u32, "an integer")?)
+        .master_seed(args.parse_or("seed", 42u64, "an integer")?);
+    let out_path = args.str_or("out", "BENCH_sweep.json").to_string();
+
+    let report = run_bench(scale, &exec);
+    std::fs::write(&out_path, report.to_json()).map_err(|e| CliError::Io(out_path.clone(), e))?;
+    Ok(render(&report, &out_path))
+}
+
+fn render(report: &BenchReport, out_path: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "bench {} ({}) — {} cells in {:.2}s ({:.2} cells/s)",
+        report.scale, report.git, report.cells, report.wall_secs, report.cells_per_sec
+    );
+    let _ = writeln!(out, "  sweeps: {}", report.sweeps.join(", "));
+    for phase in Phase::ALL {
+        let span = report.phases.get(phase);
+        let _ = writeln!(
+            out,
+            "  phase {:<20} {:>9.3}s",
+            phase.name(),
+            span.as_secs_f64()
+        );
+    }
+    for (name, value) in report.counters.entries() {
+        // Guarded rate: an empty sweep reports 0, never NaN.
+        let per_cell = if report.cells == 0 {
+            0.0
+        } else {
+            value as f64 / report.cells as f64
+        };
+        let _ = writeln!(
+            out,
+            "  counter {name:<20} {value:>12}  ({per_cell:.1}/cell)"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "  throughput {:.2} contacts/s",
+        rate_per_sec(
+            report.counters.contacts,
+            std::time::Duration::from_secs_f64(report.wall_secs.max(0.0)),
+        )
+    );
+    let _ = writeln!(out, "  report written to {out_path}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    fn out_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("mbt-cli-test-bench");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{name}.json"))
+    }
+
+    #[test]
+    fn quick_bench_writes_schema_versioned_report() {
+        let path = out_path("quick");
+        let out = run(&args(&format!(
+            "--scale quick --jobs 1 --out {}",
+            path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("cells"), "{out}");
+        assert!(out.contains("phase contact_processing"), "{out}");
+        let report = BenchReport::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(report.schema, mbt_experiments::perf::BENCH_SCHEMA);
+        assert_eq!(report.sweeps, ["fig2a", "fig3a", "fault_sweep"]);
+        assert!(report.cells > 0);
+        assert!(report.counters.contacts > 0);
+        assert!(report.counters.bytes_moved > 0);
+    }
+
+    #[test]
+    fn rejects_unknown_scale() {
+        let err = run(&args("--scale planetary")).unwrap_err();
+        assert!(err.to_string().contains("planetary"));
+    }
+}

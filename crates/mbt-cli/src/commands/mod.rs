@@ -1,5 +1,6 @@
 //! The `mbt` subcommands.
 
+pub mod bench;
 pub mod capacity;
 pub mod gen_trace;
 pub mod routing;

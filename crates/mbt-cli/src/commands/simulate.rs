@@ -2,11 +2,14 @@
 
 use std::fmt::Write as _;
 use std::fs::File;
+use std::time::Instant;
 
 use dtn_sim::FaultPlan;
 use dtn_trace::{read_trace, SimDuration};
 use mbt_core::{BroadcastOrdering, CooperationMode, MbtConfig, ProtocolKind};
-use mbt_experiments::runner::{run_simulation, SimParams};
+use mbt_experiments::perf::BenchReport;
+use mbt_experiments::runner::{run_simulation, run_simulation_observed, SimParams};
+use mbt_experiments::ExecConfig;
 
 use crate::args::Args;
 use crate::CliError;
@@ -16,7 +19,8 @@ pub const USAGE: &str = "mbt simulate <trace-file> [--protocol mbt|mbt-q|mbt-qm]
 [--internet 0..1] [--files-per-day N] [--ttl N] [--days N] [--seed N] \
 [--metadata-per-contact N] [--files-per-contact N] [--frequent-days N] \
 [--loss 0..1] [--churn 0..1] [--truncate 0..1] [--corrupt 0..1] \
-[--polluters 0..1] [--fakes-per-day N] [--tft] [--rarest-first] [--verify]";
+[--polluters 0..1] [--fakes-per-day N] [--tft] [--rarest-first] [--verify] \
+[--perf-report PATH]";
 
 /// Runs the subcommand.
 pub fn run(args: &Args) -> Result<String, CliError> {
@@ -84,7 +88,28 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         fakes_per_day: args.parse_or("fakes-per-day", 4u32, "an integer")?,
         verify_metadata: args.flag("verify"),
     };
-    let r = run_simulation(&trace, &params);
+    // With --perf-report the run goes through the observed path (identical
+    // results — telemetry never feeds back) and the telemetry is written as
+    // a schema-versioned JSON perf report.
+    let perf_path = args.opt_str("perf-report").map(str::to_string);
+    let started = Instant::now();
+    let (r, perf_line) = match &perf_path {
+        None => (run_simulation(&trace, &params), None),
+        Some(report_path) => {
+            let (r, telemetry) = run_simulation_observed(&trace, &params);
+            let report = BenchReport::new(
+                "simulate",
+                &ExecConfig::serial(),
+                1,
+                started.elapsed(),
+                &telemetry,
+                vec!["simulate".to_string()],
+            );
+            std::fs::write(report_path, report.to_json())
+                .map_err(|e| CliError::Io(report_path.clone(), e))?;
+            (r, Some(format!("  perf report written to {report_path}")))
+        }
+    };
 
     let mut out = String::new();
     let _ = writeln!(
@@ -126,6 +151,9 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             r.frames_lost,
             r.corrupt_receptions
         );
+    }
+    if let Some(line) = perf_line {
+        let _ = writeln!(out, "{line}");
     }
     Ok(out)
 }
@@ -186,6 +214,33 @@ mod tests {
         let path = trace_file("clean");
         let out = run(&args(&format!("{} --files-per-day 8", path.display()))).unwrap();
         assert!(!out.contains("faults:"), "unexpected fault line: {out}");
+    }
+
+    #[test]
+    fn perf_report_flag_writes_parseable_json_without_changing_results() {
+        let path = trace_file("perf");
+        let report_path = std::env::temp_dir().join("mbt-cli-test-sim/perf_report.json");
+        let plain = run(&args(&format!("{} --files-per-day 8", path.display()))).unwrap();
+        let observed = run(&args(&format!(
+            "{} --files-per-day 8 --perf-report {}",
+            path.display(),
+            report_path.display()
+        )))
+        .unwrap();
+        assert!(observed.contains("perf report written"));
+        // Identical simulation output apart from the report line.
+        assert_eq!(
+            plain,
+            observed.replace(
+                &format!("  perf report written to {}\n", report_path.display()),
+                ""
+            )
+        );
+        let report =
+            BenchReport::from_json(&std::fs::read_to_string(&report_path).unwrap()).unwrap();
+        assert_eq!(report.scale, "simulate");
+        assert_eq!(report.cells, 1);
+        assert!(report.counters.contacts > 0);
     }
 
     #[test]

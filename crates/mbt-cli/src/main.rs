@@ -7,6 +7,7 @@
 //! mbt simulate     run MBT / MBT-Q / MBT-QM over a trace, report delivery
 //! mbt routing      run a routing baseline (epidemic | prophet | spray | direct)
 //! mbt capacity     print the §V broadcast vs pair-wise capacity table
+//! mbt bench        run quick-scale sweeps under telemetry, emit a perf report
 //! ```
 
 use std::error::Error;
@@ -52,6 +53,7 @@ commands:
   simulate     run the MBT file-sharing simulation
   routing      run a store-carry-forward routing baseline
   capacity     print the broadcast vs pair-wise capacity table
+  bench        run benchmark sweeps and write a JSON perf report
 
 run `mbt <command> --help` for command options.";
 
@@ -86,6 +88,12 @@ fn dispatch(command: &str, args: &Args) -> Result<String, CliError> {
                 return Ok(commands::capacity::USAGE.to_string());
             }
             commands::capacity::run(args)
+        }
+        "bench" => {
+            if args.flag("help") {
+                return Ok(commands::bench::USAGE.to_string());
+            }
+            commands::bench::run(args)
         }
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`\n\n{TOP_USAGE}"
@@ -147,6 +155,7 @@ mod tests {
             "simulate",
             "routing",
             "capacity",
+            "bench",
         ] {
             let out = dispatch(cmd, &args).unwrap();
             assert!(out.contains("mbt"), "{cmd} help: {out}");

@@ -2,7 +2,7 @@
 //!
 //! "Each node sends metadata in two phases. In the first phase, metadata that
 //! match the query strings of the connected nodes are sent. Those that match
-//! the query strings of more nodes themselves are sent [first]. In this
+//! the query strings of more nodes themselves are sent \[first\]. In this
 //! phase, metadata that match the same number of query strings are sent in
 //! the order of decreasing popularity. In the second phase, other metadata
 //! that do not match any queries are sent in the order of decreasing

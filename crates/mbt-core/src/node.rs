@@ -10,6 +10,8 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use dtn_sim::channel::frame_bytes;
+use dtn_sim::telemetry::{Phase, PhaseTimes};
 use dtn_trace::{NodeId, SimDuration, SimTime};
 
 use crate::auth::KeyRegistry;
@@ -393,6 +395,11 @@ impl MbtNode {
 }
 
 /// Summary of one contact's broadcasts.
+///
+/// Every field is a deterministic count of the contact's event stream — the
+/// observability layer (`dtn_sim::telemetry`) aggregates these into run- and
+/// sweep-level [`dtn_sim::telemetry::Counters`] without perturbing the
+/// simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct ContactReport {
     /// Metadata broadcasts transmitted.
@@ -407,6 +414,26 @@ pub struct ContactReport {
     /// File receptions discarded because checksum verification caught
     /// corrupted pieces (fault injection; 0 without a corruption plan).
     pub corrupt_receptions: usize,
+    /// Hello beacons exchanged: one per participating member (the snapshot
+    /// each member advertises at contact start).
+    pub hello_exchanges: usize,
+    /// Metadata records newly stored by receivers during this contact,
+    /// including metadata riding along with file broadcasts.
+    pub metadata_received: usize,
+    /// File pieces successfully received as parts of completed file
+    /// broadcasts.
+    pub pieces_received: usize,
+    /// Application bytes successfully moved to receivers (metadata wire
+    /// bytes plus file content bytes, plus per-frame overhead).
+    pub bytes_moved: u64,
+}
+
+impl ContactReport {
+    /// Broadcast frames transmitted in this contact (metadata plus file
+    /// broadcasts).
+    pub fn frames_sent(&self) -> usize {
+        self.metadata_broadcasts + self.file_broadcasts
+    }
 }
 
 /// Per-member snapshot taken at the start of a contact.
@@ -445,6 +472,26 @@ pub fn run_contact(
     members: &[usize],
     now: SimTime,
     duration: SimDuration,
+) -> ContactReport {
+    let mut scratch = PhaseTimes::default();
+    run_contact_timed(nodes, members, now, duration, &mut scratch)
+}
+
+/// [`run_contact`] with phase timing: the metadata-broadcast phase is charged
+/// to [`Phase::Discovery`] and the file-broadcast phase to
+/// [`Phase::Download`] in `phases`. Timing is observational only — the
+/// returned report and every node's state are byte-identical to an untimed
+/// [`run_contact`].
+///
+/// # Panics
+///
+/// Same conditions as [`run_contact`].
+pub fn run_contact_timed(
+    nodes: &mut [MbtNode],
+    members: &[usize],
+    now: SimTime,
+    duration: SimDuration,
+    phases: &mut PhaseTimes,
 ) -> ContactReport {
     let mut report = ContactReport::default();
     if members.len() < 2 {
@@ -499,6 +546,7 @@ pub fn run_contact(
             }
         })
         .collect();
+    report.hello_exchanges = snapshots.len();
 
     // Clique-wide catalogs (metadata and complete files), with holders.
     let mut metadata_catalog: BTreeMap<Uri, (Metadata, Popularity, Vec<NodeId>)> = BTreeMap::new();
@@ -612,6 +660,7 @@ pub fn run_contact(
                     continue;
                 }
                 receiver.note_popularity(meta.uri(), *pop);
+                report.bytes_moved += frame_bytes(meta.wire_size() as u64);
                 let own = receiver.own_queries();
                 let outcome = receive_metadata(
                     &mut receiver.metadata,
@@ -622,6 +671,7 @@ pub fn run_contact(
                     Some(&mut receiver.credits),
                 );
                 if outcome != crate::discovery::ReceiveOutcome::Duplicate {
+                    report.metadata_received += 1;
                     receiver.events.push(NodeEvent::MetadataStored {
                         uri: meta.uri().clone(),
                         from: Source::Peer(b.sender),
@@ -704,6 +754,10 @@ pub fn run_contact(
                     expires = meta.expires();
                     receiver.note_popularity(&b.item, *pop);
                     if receiver.metadata.insert(meta.clone()) {
+                        // Metadata riding a file frame: no extra frame
+                        // header, just its wire bytes.
+                        report.metadata_received += 1;
+                        report.bytes_moved += meta.wire_size() as u64;
                         receiver.events.push(NodeEvent::MetadataStored {
                             uri: b.item.clone(),
                             from: Source::Peer(b.sender),
@@ -722,6 +776,12 @@ pub fn run_contact(
                         .unwrap_or(false)
                 };
                 if receiver.files.insert(b.item.clone(), expires) {
+                    let (pieces, content_bytes) = meta_entry
+                        .as_ref()
+                        .map(|(m, _, _)| (m.piece_count() as usize, m.size()))
+                        .unwrap_or((1, 0));
+                    report.pieces_received += pieces;
+                    report.bytes_moved += frame_bytes(content_bytes);
                     receiver.events.push(NodeEvent::FileCompleted {
                         uri: b.item.clone(),
                         from: Source::Peer(b.sender),
@@ -738,12 +798,14 @@ pub fn run_contact(
         }
     };
 
+    // Wall-clock spans are observational: they are charged to the caller's
+    // `phases` and never read back, so timing cannot perturb the contact.
     if config.discovery_first_value() {
-        metadata_phase(nodes, &mut report);
-        file_phase(nodes, &mut report);
+        phases.time(Phase::Discovery, || metadata_phase(nodes, &mut report));
+        phases.time(Phase::Download, || file_phase(nodes, &mut report));
     } else {
-        file_phase(nodes, &mut report);
-        metadata_phase(nodes, &mut report);
+        phases.time(Phase::Download, || file_phase(nodes, &mut report));
+        phases.time(Phase::Discovery, || metadata_phase(nodes, &mut report));
     }
     report
 }

@@ -24,14 +24,16 @@
 //! with `--jobs 1` and `--jobs 8` must render byte-identical CSV.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use dtn_sim::rng::derive_seed;
+use dtn_sim::telemetry::{Phase, Telemetry};
 use dtn_trace::ContactTrace;
 use mbt_core::ProtocolKind;
 use rayon::prelude::*;
 use rayon::{ThreadPool, ThreadPoolBuilder};
 
-use crate::runner::{run_simulation, SimParams, SimResult};
+use crate::runner::{run_simulation, run_simulation_observed, SimParams, SimResult};
 use crate::sweep::{Figure, ProtocolSeries, SeriesPoint};
 
 /// How a sweep executes: worker count, replicate count, and the master seed
@@ -166,6 +168,62 @@ impl ParallelRunner {
         self.run_prepared(id, title, x_label, xs, &prepared)
     }
 
+    /// Like [`ParallelRunner::sweep`] but also collecting merged
+    /// [`Telemetry`] for the whole grid: trace generation is charged to the
+    /// trace-load span, each cell's counters and phase spans are merged **in
+    /// grid order**, and the summary reduction is charged to the reduction
+    /// span. The [`Figure`] is byte-identical to the unobserved variant.
+    pub fn sweep_observed<F>(
+        &self,
+        id: &str,
+        title: &str,
+        x_label: &str,
+        xs: &[f64],
+        mut setup: F,
+    ) -> (Figure, Telemetry)
+    where
+        F: FnMut(f64) -> (ContactTrace, SimParams),
+    {
+        let mut telemetry = Telemetry::default();
+        let started = Instant::now();
+        let prepared: Vec<(Arc<ContactTrace>, SimParams)> = xs
+            .iter()
+            .map(|&x| {
+                let (trace, params) = setup(x);
+                (Arc::new(trace), params)
+            })
+            .collect();
+        telemetry.phases.add(Phase::TraceLoad, started.elapsed());
+        let fig = self.run_prepared_observed(id, title, x_label, xs, &prepared, &mut telemetry);
+        (fig, telemetry)
+    }
+
+    /// Observed counterpart of [`ParallelRunner::sweep_shared_trace`]. See
+    /// [`ParallelRunner::sweep_observed`] for the telemetry contract.
+    pub fn sweep_shared_trace_observed<F>(
+        &self,
+        id: &str,
+        title: &str,
+        x_label: &str,
+        xs: &[f64],
+        trace: &ContactTrace,
+        mut params_for: F,
+    ) -> (Figure, Telemetry)
+    where
+        F: FnMut(f64) -> SimParams,
+    {
+        let mut telemetry = Telemetry::default();
+        let started = Instant::now();
+        let shared = Arc::new(trace.clone());
+        let prepared: Vec<(Arc<ContactTrace>, SimParams)> = xs
+            .iter()
+            .map(|&x| (Arc::clone(&shared), params_for(x)))
+            .collect();
+        telemetry.phases.add(Phase::TraceLoad, started.elapsed());
+        let fig = self.run_prepared_observed(id, title, x_label, xs, &prepared, &mut telemetry);
+        (fig, telemetry)
+    }
+
     fn run_prepared(
         &self,
         id: &str,
@@ -174,6 +232,41 @@ impl ParallelRunner {
         xs: &[f64],
         prepared: &[(Arc<ContactTrace>, SimParams)],
     ) -> Figure {
+        let cells = self.build_cells(prepared);
+        let results: Vec<SimResult> =
+            self.run_all(&cells, |cell| run_simulation(&cell.trace, &cell.params));
+        reduce(id, title, x_label, xs, self.replicates(), &cells, &results)
+    }
+
+    fn run_prepared_observed(
+        &self,
+        id: &str,
+        title: &str,
+        x_label: &str,
+        xs: &[f64],
+        prepared: &[(Arc<ContactTrace>, SimParams)],
+        telemetry: &mut Telemetry,
+    ) -> Figure {
+        let cells = self.build_cells(prepared);
+        let observed: Vec<(SimResult, Telemetry)> = self.run_all(&cells, |cell| {
+            run_simulation_observed(&cell.trace, &cell.params)
+        });
+        // run_all returns results in input (= grid) order, so merging here
+        // keeps the counters bit-identical for any worker count; only the
+        // wall-clock spans vary run to run.
+        let mut results: Vec<SimResult> = Vec::with_capacity(observed.len());
+        for (result, cell_telemetry) in observed {
+            telemetry.merge(&cell_telemetry);
+            results.push(result);
+        }
+        let started = Instant::now();
+        let fig = reduce(id, title, x_label, xs, self.replicates(), &cells, &results);
+        telemetry.phases.add(Phase::Reduction, started.elapsed());
+        fig
+    }
+
+    /// Expands the prepared per-point inputs into the flat cell grid.
+    fn build_cells(&self, prepared: &[(Arc<ContactTrace>, SimParams)]) -> Vec<Cell> {
         let replicates = self.replicates();
         let protocols = ProtocolKind::ALL;
 
@@ -216,39 +309,48 @@ impl ParallelRunner {
                 }
             }
         }
+        cells
+    }
+}
 
-        let results: Vec<SimResult> =
-            self.run_all(&cells, |cell| run_simulation(&cell.trace, &cell.params));
+/// Deterministic reduction in grid order.
+fn reduce(
+    id: &str,
+    title: &str,
+    x_label: &str,
+    xs: &[f64],
+    replicates: u32,
+    cells: &[Cell],
+    results: &[SimResult],
+) -> Figure {
+    let protocols = ProtocolKind::ALL;
+    let series: Vec<ProtocolSeries> = protocols
+        .iter()
+        .enumerate()
+        .map(|(proto_idx, &protocol)| {
+            let points: Vec<SeriesPoint> = xs
+                .iter()
+                .enumerate()
+                .map(|(point_idx, &x)| {
+                    let base = (point_idx * protocols.len() + proto_idx) * replicates as usize;
+                    let replicate_results: Vec<SimResult> = (0..replicates as usize)
+                        .map(|rep| {
+                            debug_assert_eq!(cells[base + rep].point_idx, point_idx);
+                            results[base + rep].clone()
+                        })
+                        .collect();
+                    SeriesPoint::from_replicates(x, replicate_results)
+                })
+                .collect();
+            ProtocolSeries { protocol, points }
+        })
+        .collect();
 
-        // Deterministic reduction in grid order.
-        let series: Vec<ProtocolSeries> = protocols
-            .iter()
-            .enumerate()
-            .map(|(proto_idx, &protocol)| {
-                let points: Vec<SeriesPoint> = xs
-                    .iter()
-                    .enumerate()
-                    .map(|(point_idx, &x)| {
-                        let base = (point_idx * protocols.len() + proto_idx) * replicates as usize;
-                        let replicate_results: Vec<SimResult> = (0..replicates as usize)
-                            .map(|rep| {
-                                debug_assert_eq!(cells[base + rep].point_idx, point_idx);
-                                results[base + rep].clone()
-                            })
-                            .collect();
-                        SeriesPoint::from_replicates(x, replicate_results)
-                    })
-                    .collect();
-                ProtocolSeries { protocol, points }
-            })
-            .collect();
-
-        Figure {
-            id: id.to_string(),
-            title: title.to_string(),
-            x_label: x_label.to_string(),
-            series,
-        }
+    Figure {
+        id: id.to_string(),
+        title: title.to_string(),
+        x_label: x_label.to_string(),
+        series,
     }
 }
 

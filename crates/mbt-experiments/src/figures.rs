@@ -6,6 +6,7 @@
 //! the NUS-style classroom clique trace. Each function returns a
 //! [`Figure`] holding one series per protocol (MBT, MBT-Q, MBT-QM).
 
+use dtn_sim::telemetry::Telemetry;
 use dtn_sim::FaultPlan;
 use dtn_trace::generators::{DieselNetConfig, NusConfig};
 use dtn_trace::{ContactTrace, SimDuration};
@@ -104,6 +105,25 @@ pub fn fig2a_with(scale: Scale, exec: &ExecConfig) -> Figure {
     let trace = dieselnet_trace(scale);
     let xs = scale.xs(&[0.1, 0.3, 0.5, 0.7, 0.9], &[0.1, 0.5, 0.9]);
     runner.sweep_shared_trace(
+        "fig2a",
+        "DieselNet: delivery ratio vs % Internet-access nodes",
+        "internet-access fraction",
+        &xs,
+        &trace,
+        |x| SimParams {
+            internet_fraction: x,
+            ..dieselnet_params(scale)
+        },
+    )
+}
+
+/// [`fig2a`] with telemetry: same figure byte-for-byte, plus the merged
+/// counters and phase spans of the whole sweep. The bench harness runs this.
+pub fn fig2a_observed(scale: Scale, exec: &ExecConfig) -> (Figure, Telemetry) {
+    let runner = ParallelRunner::new(*exec);
+    let trace = dieselnet_trace(scale);
+    let xs = scale.xs(&[0.1, 0.3, 0.5, 0.7, 0.9], &[0.1, 0.5, 0.9]);
+    runner.sweep_shared_trace_observed(
         "fig2a",
         "DieselNet: delivery ratio vs % Internet-access nodes",
         "internet-access fraction",
@@ -226,6 +246,25 @@ pub fn fig3a_with(scale: Scale, exec: &ExecConfig) -> Figure {
     let trace = nus_trace(scale);
     let xs = scale.xs(&[0.1, 0.3, 0.5, 0.7, 0.9], &[0.1, 0.5, 0.9]);
     runner.sweep_shared_trace(
+        "fig3a",
+        "NUS: delivery ratio vs % Internet-access nodes",
+        "internet-access fraction",
+        &xs,
+        &trace,
+        |x| SimParams {
+            internet_fraction: x,
+            ..nus_params(scale)
+        },
+    )
+}
+
+/// [`fig3a`] with telemetry: same figure byte-for-byte, plus the merged
+/// counters and phase spans of the whole sweep. The bench harness runs this.
+pub fn fig3a_observed(scale: Scale, exec: &ExecConfig) -> (Figure, Telemetry) {
+    let runner = ParallelRunner::new(*exec);
+    let trace = nus_trace(scale);
+    let xs = scale.xs(&[0.1, 0.3, 0.5, 0.7, 0.9], &[0.1, 0.5, 0.9]);
+    runner.sweep_shared_trace_observed(
         "fig3a",
         "NUS: delivery ratio vs % Internet-access nodes",
         "internet-access fraction",
@@ -377,6 +416,26 @@ pub fn fault_sweep_xs(scale: Scale, exec: &ExecConfig, xs: &[f64]) -> Figure {
         "NUS: delivery ratio vs broadcast loss rate",
         "loss rate",
         xs,
+        &trace,
+        |x| SimParams {
+            faults: FaultPlan::none().loss(x),
+            ..nus_params(scale)
+        },
+    )
+}
+
+/// [`fault_sweep`] with telemetry: same figure byte-for-byte, plus the
+/// merged counters and phase spans. The bench harness runs this to exercise
+/// the fault-injection paths (frame loss shows up in the loss counters).
+pub fn fault_sweep_observed(scale: Scale, exec: &ExecConfig) -> (Figure, Telemetry) {
+    let xs = scale.xs(&[0.0, 0.1, 0.2, 0.3, 0.4, 0.5], &[0.0, 0.25, 0.5]);
+    let runner = ParallelRunner::new(*exec);
+    let trace = nus_trace(scale);
+    runner.sweep_shared_trace_observed(
+        "fault_sweep",
+        "NUS: delivery ratio vs broadcast loss rate",
+        "loss rate",
+        &xs,
         &trace,
         |x| SimParams {
             faults: FaultPlan::none().loss(x),

@@ -32,6 +32,7 @@ pub mod capacity;
 pub mod exec;
 pub mod figures;
 pub mod mobility;
+pub mod perf;
 pub mod progress;
 pub mod report;
 pub mod routing;
@@ -41,7 +42,8 @@ pub mod workload;
 
 pub use exec::{ExecConfig, ParallelRunner};
 pub use figures::Scale;
-pub use runner::{run_simulation, SimParams, SimResult};
+pub use perf::{BenchReport, Tolerance};
+pub use runner::{run_simulation, run_simulation_observed, SimParams, SimResult};
 pub use sweep::{Figure, ProtocolSeries, RatioSummary, SeriesPoint};
 
 /// Parses the common `--quick` flag from argv.

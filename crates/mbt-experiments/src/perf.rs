@@ -1,0 +1,723 @@
+//! Perf reports, bench harness, and baseline comparison.
+//!
+//! The observability layer ([`dtn_sim::telemetry`]) produces counters and
+//! phase spans; this module turns them into a schema-versioned JSON report
+//! (`BENCH_sweep.json`), runs the quick-scale bench sweeps that feed it, and
+//! diffs a fresh report against a committed baseline.
+//!
+//! The comparison rules mirror the determinism contract:
+//!
+//! - **counters are compared exactly** — they are a pure function of the
+//!   deterministic event stream, so any drift is a behaviour change, not
+//!   noise;
+//! - **timings are thresholded** — wall clock varies run to run, so only a
+//!   relative regression beyond [`Tolerance::rel`] (plus an absolute slack)
+//!   fails, and phases whose baseline is tiny are skipped entirely.
+//!
+//! No serde is available in this workspace, so the JSON writer and the
+//! minimal recursive-descent parser here are hand-rolled. Counter values
+//! round-trip through f64, which is exact below 2^53 — far above anything a
+//! bench run produces.
+
+use std::process::Command;
+use std::time::{Duration, Instant};
+
+use dtn_sim::telemetry::{rate_per_sec, Counters, Phase, PhaseTimes, Telemetry};
+
+use crate::exec::ExecConfig;
+use crate::figures::{self, Scale};
+use crate::sweep::Figure;
+
+/// Schema tag every report carries; bumped on any incompatible layout
+/// change. [`compare`] refuses to diff reports with different tags.
+pub const BENCH_SCHEMA: &str = "mbt-bench-v1";
+
+/// One perf report: identification, shape, timings, and counter totals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchReport {
+    /// Schema tag ([`BENCH_SCHEMA`] for reports written by this build).
+    pub schema: String,
+    /// `git describe --always --dirty` of the producing checkout, or
+    /// `"unknown"` outside a repository.
+    pub git: String,
+    /// Human label for the workload ("quick", "full", "simulate", …).
+    pub scale: String,
+    /// Worker threads the producing run used (`0` = one per core).
+    pub jobs: usize,
+    /// Replicates per sweep cell.
+    pub replicates: u32,
+    /// Simulation cells executed (point × protocol × replicate, summed over
+    /// sweeps).
+    pub cells: u64,
+    /// End-to-end wall clock of the bench in seconds.
+    pub wall_secs: f64,
+    /// `cells / wall_secs`, `0.0` when either is zero (empty-sweep guard —
+    /// see [`rate_per_sec`]).
+    pub cells_per_sec: f64,
+    /// Wall-clock per instrumented phase. `discovery` and `download` are
+    /// sub-spans of `contact_processing`; phases do not sum to `wall_secs`.
+    pub phases: PhaseTimes,
+    /// Deterministic counter totals, merged in grid order.
+    pub counters: Counters,
+    /// Ids of the sweeps that contributed, in execution order.
+    pub sweeps: Vec<String>,
+}
+
+impl BenchReport {
+    /// Assembles a report from an observed run. Degenerate inputs (zero
+    /// cells or zero wall clock) yield a valid report with a zero rate
+    /// rather than NaN.
+    pub fn new(
+        scale: &str,
+        exec: &ExecConfig,
+        cells: u64,
+        wall: Duration,
+        telemetry: &Telemetry,
+        sweeps: Vec<String>,
+    ) -> BenchReport {
+        BenchReport {
+            schema: BENCH_SCHEMA.to_string(),
+            git: git_describe(),
+            scale: scale.to_string(),
+            jobs: exec.jobs,
+            replicates: exec.replicates.max(1),
+            cells,
+            wall_secs: wall.as_secs_f64(),
+            cells_per_sec: rate_per_sec(cells, wall),
+            phases: telemetry.phases,
+            counters: telemetry.counters,
+            sweeps,
+        }
+    }
+
+    /// Renders the report as pretty-printed JSON (stable key order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(1024);
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": {},\n", json_str(&self.schema)));
+        out.push_str(&format!("  \"git\": {},\n", json_str(&self.git)));
+        out.push_str(&format!("  \"scale\": {},\n", json_str(&self.scale)));
+        out.push_str(&format!("  \"jobs\": {},\n", self.jobs));
+        out.push_str(&format!("  \"replicates\": {},\n", self.replicates));
+        out.push_str(&format!("  \"cells\": {},\n", self.cells));
+        out.push_str(&format!("  \"wall_secs\": {:.6},\n", self.wall_secs));
+        out.push_str(&format!(
+            "  \"cells_per_sec\": {:.6},\n",
+            self.cells_per_sec
+        ));
+        out.push_str("  \"phases\": {\n");
+        for (i, phase) in Phase::ALL.iter().enumerate() {
+            let sep = if i + 1 == Phase::ALL.len() { "" } else { "," };
+            out.push_str(&format!(
+                "    \"{}\": {:.6}{sep}\n",
+                phase.name(),
+                self.phases.get(*phase).as_secs_f64()
+            ));
+        }
+        out.push_str("  },\n");
+        out.push_str("  \"counters\": {\n");
+        let entries = self.counters.entries();
+        for (i, (name, value)) in entries.iter().enumerate() {
+            let sep = if i + 1 == entries.len() { "" } else { "," };
+            out.push_str(&format!("    \"{name}\": {value}{sep}\n"));
+        }
+        out.push_str("  },\n");
+        out.push_str("  \"sweeps\": [");
+        for (i, id) in self.sweeps.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_str(id));
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+
+    /// Parses a report previously written by [`BenchReport::to_json`].
+    /// Unknown phase or counter keys are ignored (forward compatibility);
+    /// missing keys default to zero / empty.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first syntax or type error.
+    pub fn from_json(text: &str) -> Result<BenchReport, String> {
+        let value = json::parse(text)?;
+        let obj = value.as_obj().ok_or("top level is not an object")?;
+        let mut report = BenchReport {
+            schema: String::new(),
+            git: String::new(),
+            scale: String::new(),
+            jobs: 0,
+            replicates: 1,
+            cells: 0,
+            wall_secs: 0.0,
+            cells_per_sec: 0.0,
+            phases: PhaseTimes::default(),
+            counters: Counters::default(),
+            sweeps: Vec::new(),
+        };
+        for (key, val) in obj {
+            match key.as_str() {
+                "schema" => report.schema = val.expect_str(key)?,
+                "git" => report.git = val.expect_str(key)?,
+                "scale" => report.scale = val.expect_str(key)?,
+                "jobs" => report.jobs = val.expect_num(key)? as usize,
+                "replicates" => report.replicates = val.expect_num(key)? as u32,
+                "cells" => report.cells = val.expect_num(key)? as u64,
+                "wall_secs" => report.wall_secs = val.expect_num(key)?,
+                "cells_per_sec" => report.cells_per_sec = val.expect_num(key)?,
+                "phases" => {
+                    for (name, secs) in val.as_obj().ok_or("phases is not an object")? {
+                        if let Some(phase) = Phase::from_name(name) {
+                            let secs = secs.expect_num(name)?;
+                            report
+                                .phases
+                                .add(phase, Duration::from_secs_f64(secs.max(0.0)));
+                        }
+                    }
+                }
+                "counters" => {
+                    for (name, count) in val.as_obj().ok_or("counters is not an object")? {
+                        let count = count.expect_num(name)? as u64;
+                        let _ = report.counters.set(name, count);
+                    }
+                }
+                "sweeps" => {
+                    for item in val.as_arr().ok_or("sweeps is not an array")? {
+                        report.sweeps.push(item.expect_str("sweeps[]")?);
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(report)
+    }
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// `git describe --always --dirty` of the current checkout, or `"unknown"`
+/// when git is unavailable (e.g. a source tarball).
+pub fn git_describe() -> String {
+    Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+/// Comparison thresholds for [`compare`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Maximum allowed relative wall-clock growth (0.30 = +30%).
+    pub rel: f64,
+    /// Absolute slack in seconds added on top of the relative allowance —
+    /// keeps sub-second phases from failing on scheduler jitter.
+    pub abs_secs: f64,
+    /// Phases whose baseline is below this many seconds are not compared at
+    /// all (too noisy to threshold meaningfully).
+    pub min_phase_secs: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        Tolerance {
+            rel: 0.30,
+            abs_secs: 0.25,
+            min_phase_secs: 0.05,
+        }
+    }
+}
+
+/// Diffs `current` against `baseline`, returning one message per violation
+/// (empty = pass).
+///
+/// Schema and report shape (cells, replicates, sweeps) must match exactly;
+/// counters must match exactly (they are deterministic); timings are only
+/// compared when both runs used the same `jobs`, and only fail when the
+/// current value exceeds `baseline * (1 + rel) + abs_secs`.
+pub fn compare(current: &BenchReport, baseline: &BenchReport, tol: &Tolerance) -> Vec<String> {
+    let mut errors = Vec::new();
+    if current.schema != baseline.schema {
+        errors.push(format!(
+            "schema mismatch: current `{}` vs baseline `{}` (regenerate the baseline)",
+            current.schema, baseline.schema
+        ));
+        return errors;
+    }
+    if current.cells != baseline.cells {
+        errors.push(format!(
+            "cell count drift: current {} vs baseline {}",
+            current.cells, baseline.cells
+        ));
+    }
+    if current.replicates != baseline.replicates {
+        errors.push(format!(
+            "replicate count drift: current {} vs baseline {}",
+            current.replicates, baseline.replicates
+        ));
+    }
+    if current.sweeps != baseline.sweeps {
+        errors.push(format!(
+            "sweep set drift: current {:?} vs baseline {:?}",
+            current.sweeps, baseline.sweeps
+        ));
+    }
+    for ((name, cur), (_, base)) in current
+        .counters
+        .entries()
+        .iter()
+        .zip(baseline.counters.entries().iter())
+    {
+        if cur != base {
+            errors.push(format!(
+                "counter `{name}` drifted: current {cur} vs baseline {base} \
+                 (counters are deterministic — this is a behaviour change)"
+            ));
+        }
+    }
+    if current.jobs == baseline.jobs {
+        let allowed = |base: f64| base * (1.0 + tol.rel) + tol.abs_secs;
+        if baseline.wall_secs >= tol.min_phase_secs
+            && current.wall_secs > allowed(baseline.wall_secs)
+        {
+            errors.push(format!(
+                "wall clock regressed: current {:.3}s vs baseline {:.3}s (limit {:.3}s)",
+                current.wall_secs,
+                baseline.wall_secs,
+                allowed(baseline.wall_secs)
+            ));
+        }
+        for phase in Phase::ALL {
+            let base = baseline.phases.get(phase).as_secs_f64();
+            let cur = current.phases.get(phase).as_secs_f64();
+            if base >= tol.min_phase_secs && cur > allowed(base) {
+                errors.push(format!(
+                    "phase `{}` regressed: current {:.3}s vs baseline {:.3}s (limit {:.3}s)",
+                    phase.name(),
+                    cur,
+                    base,
+                    allowed(base)
+                ));
+            }
+        }
+    }
+    errors
+}
+
+/// Number of simulation cells behind a rendered figure: series × points ×
+/// replicates. Zero for an empty figure.
+pub fn figure_cells(fig: &Figure, replicates: u32) -> u64 {
+    let points: usize = fig.series.iter().map(|s| s.points.len()).sum();
+    points as u64 * u64::from(replicates.max(1))
+}
+
+/// An observed sweep entry point: a figure function plus its telemetry.
+type ObservedSweep = fn(Scale, &ExecConfig) -> (Figure, Telemetry);
+
+/// Runs the bench sweeps (fig 2a, fig 3a, and the fault sweep — one per
+/// trace family plus the fault-injection path) under telemetry and
+/// assembles the report. The figures themselves are byte-identical to their
+/// unobserved counterparts and are discarded; only the observations are
+/// kept.
+pub fn run_bench(scale: Scale, exec: &ExecConfig) -> BenchReport {
+    let scale_label = match scale {
+        Scale::Quick => "quick",
+        Scale::Full => "full",
+    };
+    let started = Instant::now();
+    let mut telemetry = Telemetry::default();
+    let mut cells = 0u64;
+    let mut sweeps = Vec::new();
+    let runs: [ObservedSweep; 3] = [
+        figures::fig2a_observed,
+        figures::fig3a_observed,
+        figures::fault_sweep_observed,
+    ];
+    for run in runs {
+        let (fig, sweep_telemetry) = run(scale, exec);
+        telemetry.merge(&sweep_telemetry);
+        cells += figure_cells(&fig, exec.replicates);
+        sweeps.push(fig.id);
+    }
+    BenchReport::new(
+        scale_label,
+        exec,
+        cells,
+        started.elapsed(),
+        &telemetry,
+        sweeps,
+    )
+}
+
+/// Minimal recursive-descent JSON parser — just enough for
+/// [`BenchReport::from_json`]. Numbers are f64 (exact for every integer a
+/// report can hold); no surrogate-pair `\u` handling beyond the BMP.
+mod json {
+    /// A parsed JSON value.
+    #[derive(Debug, Clone, PartialEq)]
+    pub enum Value {
+        /// `null`.
+        Null,
+        /// `true` / `false`.
+        Bool(bool),
+        /// Any number.
+        Num(f64),
+        /// A string.
+        Str(String),
+        /// An array.
+        Arr(Vec<Value>),
+        /// An object, in source order.
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(fields) => Some(fields),
+                _ => None,
+            }
+        }
+
+        pub fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(items) => Some(items),
+                _ => None,
+            }
+        }
+
+        pub fn expect_str(&self, key: &str) -> Result<String, String> {
+            match self {
+                Value::Str(s) => Ok(s.clone()),
+                _ => Err(format!("`{key}` is not a string")),
+            }
+        }
+
+        pub fn expect_num(&self, key: &str) -> Result<f64, String> {
+            match self {
+                Value::Num(n) => Ok(*n),
+                _ => Err(format!("`{key}` is not a number")),
+            }
+        }
+    }
+
+    /// Parses one JSON document (trailing whitespace allowed).
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+
+    fn skip_ws(bytes: &[u8], pos: &mut usize) {
+        while *pos < bytes.len() && bytes[*pos].is_ascii_whitespace() {
+            *pos += 1;
+        }
+    }
+
+    fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            None => Err("unexpected end of input".to_string()),
+            Some(b'{') => parse_obj(bytes, pos),
+            Some(b'[') => parse_arr(bytes, pos),
+            Some(b'"') => Ok(Value::Str(parse_str(bytes, pos)?)),
+            Some(b't') => parse_lit(bytes, pos, "true", Value::Bool(true)),
+            Some(b'f') => parse_lit(bytes, pos, "false", Value::Bool(false)),
+            Some(b'n') => parse_lit(bytes, pos, "null", Value::Null),
+            Some(_) => parse_num(bytes, pos),
+        }
+    }
+
+    fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Value) -> Result<Value, String> {
+        if bytes[*pos..].starts_with(lit.as_bytes()) {
+            *pos += lit.len();
+            Ok(value)
+        } else {
+            Err(format!("bad literal at byte {pos}", pos = *pos))
+        }
+    }
+
+    fn parse_num(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        let start = *pos;
+        while *pos < bytes.len()
+            && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        {
+            *pos += 1;
+        }
+        std::str::from_utf8(&bytes[start..*pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Value::Num)
+            .ok_or_else(|| format!("bad number at byte {start}"))
+    }
+
+    fn parse_str(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+        *pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            match bytes.get(*pos) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    *pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *pos += 1;
+                    match bytes.get(*pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = bytes
+                                .get(*pos + 1..*pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("bad \\u escape")?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            *pos += 4;
+                        }
+                        _ => return Err("bad escape".to_string()),
+                    }
+                    *pos += 1;
+                }
+                Some(&b) if b < 0x80 => {
+                    out.push(b as char);
+                    *pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: copy the full scalar.
+                    let rest = std::str::from_utf8(&bytes[*pos..])
+                        .map_err(|_| "invalid utf-8 in string".to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    *pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_arr(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        *pos += 1; // '['
+        let mut items = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b']') {
+            *pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(parse_value(bytes, pos)?);
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b']') => {
+                    *pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(format!("expected , or ] at byte {pos}", pos = *pos)),
+            }
+        }
+    }
+
+    fn parse_obj(bytes: &[u8], pos: &mut usize) -> Result<Value, String> {
+        *pos += 1; // '{'
+        let mut fields = Vec::new();
+        skip_ws(bytes, pos);
+        if bytes.get(*pos) == Some(&b'}') {
+            *pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) != Some(&b'"') {
+                return Err(format!("expected object key at byte {pos}", pos = *pos));
+            }
+            let key = parse_str(bytes, pos)?;
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) != Some(&b':') {
+                return Err(format!("expected : at byte {pos}", pos = *pos));
+            }
+            *pos += 1;
+            fields.push((key, parse_value(bytes, pos)?));
+            skip_ws(bytes, pos);
+            match bytes.get(*pos) {
+                Some(b',') => *pos += 1,
+                Some(b'}') => {
+                    *pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(format!("expected , or }} at byte {pos}", pos = *pos)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> BenchReport {
+        let mut telemetry = Telemetry::default();
+        telemetry.counters.contacts = 120;
+        telemetry.counters.bytes_moved = 9_876_543;
+        telemetry
+            .phases
+            .add(Phase::ContactProcessing, Duration::from_millis(1500));
+        telemetry
+            .phases
+            .add(Phase::Discovery, Duration::from_millis(600));
+        BenchReport::new(
+            "quick",
+            &ExecConfig::default().jobs(2),
+            27,
+            Duration::from_secs(3),
+            &telemetry,
+            vec!["fig2a".into(), "fig3a".into()],
+        )
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = sample_report();
+        let parsed = BenchReport::from_json(&report.to_json()).unwrap();
+        // Timings round-trip at µs precision; everything else exactly.
+        assert_eq!(parsed.schema, report.schema);
+        assert_eq!(parsed.counters, report.counters);
+        assert_eq!(parsed.cells, report.cells);
+        assert_eq!(parsed.sweeps, report.sweeps);
+        assert!((parsed.wall_secs - report.wall_secs).abs() < 1e-5);
+        for phase in Phase::ALL {
+            let (a, b) = (parsed.phases.get(phase), report.phases.get(phase));
+            assert!(a.abs_diff(b) < Duration::from_micros(2), "{phase:?}");
+        }
+    }
+
+    #[test]
+    fn identical_reports_compare_clean() {
+        let report = sample_report();
+        assert!(compare(&report, &report, &Tolerance::default()).is_empty());
+    }
+
+    #[test]
+    fn counter_drift_fails_exactly() {
+        let baseline = sample_report();
+        let mut current = baseline.clone();
+        current.counters.contacts += 1;
+        let errors = compare(&current, &baseline, &Tolerance::default());
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert!(errors[0].contains("contacts"), "{errors:?}");
+    }
+
+    #[test]
+    fn small_timing_jitter_passes_large_regression_fails() {
+        let baseline = sample_report();
+        let mut current = baseline.clone();
+        current.wall_secs = baseline.wall_secs * 1.1; // within 30%
+        assert!(compare(&current, &baseline, &Tolerance::default()).is_empty());
+        current.wall_secs = baseline.wall_secs * 2.0;
+        let errors = compare(&current, &baseline, &Tolerance::default());
+        assert!(
+            errors.iter().any(|e| e.contains("wall clock")),
+            "{errors:?}"
+        );
+    }
+
+    #[test]
+    fn timings_skipped_across_job_counts() {
+        let baseline = sample_report();
+        let mut current = baseline.clone();
+        current.jobs = baseline.jobs + 2;
+        current.wall_secs = baseline.wall_secs * 10.0; // would fail same-jobs
+        assert!(compare(&current, &baseline, &Tolerance::default()).is_empty());
+    }
+
+    #[test]
+    fn schema_mismatch_is_a_hard_failure() {
+        let baseline = sample_report();
+        let mut current = baseline.clone();
+        current.schema = "mbt-bench-v999".to_string();
+        let errors = compare(&current, &baseline, &Tolerance::default());
+        assert_eq!(errors.len(), 1);
+        assert!(errors[0].contains("schema"));
+    }
+
+    #[test]
+    fn zero_cell_report_has_zero_rate_not_nan() {
+        let report = BenchReport::new(
+            "empty",
+            &ExecConfig::serial(),
+            0,
+            Duration::ZERO,
+            &Telemetry::default(),
+            Vec::new(),
+        );
+        assert_eq!(report.cells_per_sec, 0.0);
+        assert!(report.cells_per_sec.is_finite());
+        let parsed = BenchReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed.cells, 0);
+        assert_eq!(parsed.cells_per_sec, 0.0);
+        assert!(compare(&parsed, &report, &Tolerance::default()).is_empty());
+    }
+
+    #[test]
+    fn parser_ignores_unknown_keys() {
+        let text = r#"{
+            "schema": "mbt-bench-v1",
+            "future_field": [1, 2, {"x": true}],
+            "counters": {"contacts": 5, "from_the_future": 9},
+            "phases": {"discovery": 0.5, "warp": 1.0},
+            "cells": 3
+        }"#;
+        let report = BenchReport::from_json(text).unwrap();
+        assert_eq!(report.counters.contacts, 5);
+        assert_eq!(report.cells, 3);
+        assert_eq!(
+            report.phases.get(Phase::Discovery),
+            Duration::from_millis(500)
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(BenchReport::from_json("").is_err());
+        assert!(BenchReport::from_json("{").is_err());
+        assert!(BenchReport::from_json("{\"schema\": }").is_err());
+        assert!(BenchReport::from_json("[1, 2").is_err());
+        assert!(BenchReport::from_json("{} trailing").is_err());
+    }
+
+    #[test]
+    fn git_describe_never_panics() {
+        let desc = git_describe();
+        assert!(!desc.is_empty());
+    }
+}

@@ -1,0 +1,94 @@
+//! The perf-report pipeline, end to end: the bench harness, the JSON
+//! round-trip, the baseline comparison, and the committed
+//! `tests/fixtures/bench_baseline.json` fixture itself.
+//!
+//! To refresh the baseline after an *intentional* behaviour change:
+//!
+//! ```text
+//! cargo build --release -p mbt-cli
+//! ./target/release/mbt bench --scale quick --jobs 2 --out /tmp/BENCH_sweep.json
+//! UPDATE_BASELINE=1 ./target/release/perf-check /tmp/BENCH_sweep.json
+//! ```
+//!
+//! and commit the rewritten fixture alongside the change.
+
+use std::time::Duration;
+
+use dtn_sim::telemetry::Telemetry;
+use mbt_experiments::perf::{compare, figure_cells, run_bench, BenchReport, BENCH_SCHEMA};
+use mbt_experiments::{ExecConfig, Scale, Tolerance};
+
+fn baseline_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/fixtures/bench_baseline.json")
+}
+
+fn quick_bench() -> BenchReport {
+    run_bench(Scale::Quick, &ExecConfig::default().jobs(2))
+}
+
+#[test]
+fn bench_report_round_trips_and_compares_clean_against_itself() {
+    let report = quick_bench();
+    assert_eq!(report.schema, BENCH_SCHEMA);
+    assert_eq!(report.sweeps, ["fig2a", "fig3a", "fault_sweep"]);
+    assert!(report.cells > 0);
+    assert!(report.cells_per_sec.is_finite());
+    let parsed = BenchReport::from_json(&report.to_json()).unwrap();
+    assert!(
+        compare(&parsed, &report, &Tolerance::default()).is_empty(),
+        "a report must be within tolerance of itself after a JSON round-trip"
+    );
+}
+
+#[test]
+fn committed_baseline_matches_current_behaviour() {
+    // The same gate CI applies via perf-check: a fresh quick bench must
+    // agree with the committed baseline on every deterministic field.
+    // Timings are not compared here (test machines vary); perf-check
+    // thresholds them separately.
+    let baseline_text = std::fs::read_to_string(baseline_path())
+        .expect("missing tests/fixtures/bench_baseline.json (see module docs to regenerate)");
+    let baseline = BenchReport::from_json(&baseline_text).unwrap();
+    assert_eq!(baseline.schema, BENCH_SCHEMA);
+
+    let mut fresh = quick_bench();
+    // Force the timing comparisons to be skipped: only the deterministic
+    // fields (counters, cells, replicates, sweeps) remain.
+    fresh.jobs = baseline.jobs + 1;
+    let errors = compare(&fresh, &baseline, &Tolerance::default());
+    assert!(
+        errors.is_empty(),
+        "fresh bench drifted from the committed baseline — if the change is \
+         intentional, regenerate the fixture (see module docs):\n  {}",
+        errors.join("\n  ")
+    );
+}
+
+#[test]
+fn zero_cell_report_stays_finite_and_comparable() {
+    // Empty-sweep guard: a report over zero cells must carry zeroed rates
+    // (never NaN or a div-by-zero panic) and still survive the JSON
+    // round-trip and baseline comparison.
+    let empty = BenchReport::new(
+        "empty",
+        &ExecConfig::serial(),
+        0,
+        Duration::ZERO,
+        &Telemetry::default(),
+        Vec::new(),
+    );
+    assert_eq!(empty.cells_per_sec, 0.0);
+    assert!(empty.counters.is_zero());
+    let parsed = BenchReport::from_json(&empty.to_json()).unwrap();
+    assert!(compare(&parsed, &empty, &Tolerance::default()).is_empty());
+}
+
+#[test]
+fn figure_cells_counts_the_grid() {
+    let (fig, _) = mbt_experiments::figures::fig2a_observed(Scale::Quick, &ExecConfig::serial());
+    // Quick fig2a: 3 protocols × 3 points.
+    assert_eq!(figure_cells(&fig, 1), 9);
+    assert_eq!(figure_cells(&fig, 4), 36);
+    assert_eq!(figure_cells(&fig, 0), 9, "replicates clamp to 1");
+}

@@ -8,7 +8,9 @@
 
 use dtn_sim::FaultPlan;
 use dtn_trace::generators::NusConfig;
-use mbt_experiments::figures::{fault_sweep_with, fig2a_with};
+use mbt_experiments::figures::{
+    fault_sweep_observed, fault_sweep_with, fig2a_observed, fig2a_with,
+};
 use mbt_experiments::report::figure_csv;
 use mbt_experiments::{ExecConfig, ParallelRunner, Scale, SimParams};
 
@@ -97,6 +99,52 @@ fn loss_zero_fault_sweep_is_byte_identical_to_no_fault_sweep() {
         figure_csv(&faulty),
         figure_csv(&clean),
         "a zero-rate fault plan perturbed the fault-free sweep"
+    );
+}
+
+#[test]
+fn telemetry_counters_are_identical_jobs_1_vs_8() {
+    // Counters are a pure function of the deterministic event stream and are
+    // merged in grid order, so they inherit the executor's determinism
+    // contract: any worker count produces the same totals. (Phase timings
+    // are wall clock and deliberately excluded from this comparison.)
+    let (fig_serial, tel_serial) = fig2a_observed(Scale::Quick, &exec(1));
+    let (fig_parallel, tel_parallel) = fig2a_observed(Scale::Quick, &exec(8));
+    assert_eq!(fig_serial, fig_parallel);
+    assert_eq!(
+        tel_serial.counters, tel_parallel.counters,
+        "thread count changed telemetry counters"
+    );
+    assert!(tel_serial.counters.contacts > 0, "counters never fired");
+    assert!(tel_serial.counters.bytes_moved > 0, "no bytes accounted");
+
+    let (_, tel_faulty_1) = fault_sweep_observed(Scale::Quick, &exec(1));
+    let (_, tel_faulty_8) = fault_sweep_observed(Scale::Quick, &exec(8));
+    assert_eq!(
+        tel_faulty_1.counters, tel_faulty_8.counters,
+        "thread count changed fault-sweep telemetry counters"
+    );
+    assert!(
+        tel_faulty_1.counters.frames_lost > 0,
+        "loss cells drop frames"
+    );
+}
+
+#[test]
+fn telemetry_on_and_off_render_identical_csv() {
+    // Enabling observation must not perturb simulation output: the observed
+    // sweep's figure is byte-identical to the unobserved sweep's.
+    let plain = fig2a_with(Scale::Quick, &exec(2));
+    let (observed, telemetry) = fig2a_observed(Scale::Quick, &exec(2));
+    assert_eq!(plain, observed, "telemetry perturbed sweep results");
+    assert_eq!(
+        figure_csv(&plain),
+        figure_csv(&observed),
+        "telemetry changed rendered CSV bytes"
+    );
+    assert!(
+        !telemetry.counters.is_zero(),
+        "observation recorded nothing"
     );
 }
 
