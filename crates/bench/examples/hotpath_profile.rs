@@ -1,0 +1,95 @@
+//! Section-level profiler for the contact hot path: splits one bench
+//! iteration into clone / pre-phase (hello snapshots + catalogs) /
+//! discovery / download, via the `PhaseTimes` spans `run_contact_timed`
+//! already charges. Useful when `contact_hot_path` moves and criterion's
+//! single number does not say which section did it.
+//!
+//! ```sh
+//! cargo run --release -p bench --example hotpath_profile
+//! ```
+use dtn_sim::telemetry::{Phase, PhaseTimes};
+use dtn_trace::{NodeId, SimDuration, SimTime};
+use mbt_core::node::run_contact_timed;
+use mbt_core::{MbtConfig, MbtNode, Metadata, Popularity, ProtocolKind, Query, Uri};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn catalog(records: usize) -> Vec<(Metadata, Popularity)> {
+    const TOPICS: [&str; 8] = [
+        "news", "comedy", "sports", "weather", "drama", "music", "talk", "film",
+    ];
+    const PUBLISHERS: [&str; 4] = ["FOX", "ABC", "CBS", "NBC"];
+    (0..records)
+        .map(|i| {
+            let topic = TOPICS[i % TOPICS.len()];
+            let publisher = PUBLISHERS[i % PUBLISHERS.len()];
+            let uri = Uri::new(format!("mbt://{publisher}/{topic}/ep-{i}")).unwrap();
+            let meta =
+                Metadata::builder(format!("{publisher} {topic} episode {i}"), publisher, uri)
+                    .description(format!("nightly {topic} broadcast number {i}"))
+                    .build();
+            let pop = Popularity::new(((i % 97) as f64 + 1.0) / 97.0);
+            (meta, pop)
+        })
+        .collect()
+}
+
+fn clique(records: usize, members: usize) -> Vec<MbtNode> {
+    let catalog = catalog(records);
+    let mut nodes: Vec<MbtNode> = (0..members)
+        .map(|i| MbtNode::new(NodeId::new(i as u32), ProtocolKind::Mbt, MbtConfig::new()))
+        .collect();
+    for (meta, pop) in &catalog {
+        nodes[0].seed_content(meta.clone(), *pop, true);
+    }
+    let _ = nodes[0].drain_events();
+    let queries = [
+        "fox news",
+        "abc comedy",
+        "cbs sports",
+        "nbc weather",
+        "drama",
+        "music",
+    ];
+    for (i, node) in nodes.iter_mut().enumerate().skip(1) {
+        for q in queries.iter().skip(i % 2).step_by(2) {
+            node.add_query(Query::new(*q).unwrap(), None);
+        }
+    }
+    nodes
+}
+
+fn main() {
+    let records = 4096;
+    let members = 2;
+    let nodes = clique(records, members);
+    let member_idx: Vec<usize> = (0..members).collect();
+    let iters = 200;
+
+    let mut clone_t = std::time::Duration::ZERO;
+    let mut contact_t = std::time::Duration::ZERO;
+    let mut phases = PhaseTimes::default();
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        let mut fresh = nodes.clone();
+        clone_t += t0.elapsed();
+        let t1 = Instant::now();
+        black_box(run_contact_timed(
+            &mut fresh,
+            &member_idx,
+            SimTime::from_secs(3600),
+            SimDuration::from_secs(300),
+            &mut phases,
+        ));
+        contact_t += t1.elapsed();
+    }
+    let per = |d: std::time::Duration| d.as_secs_f64() * 1e3 / iters as f64;
+    println!("clone      {:8.3} ms", per(clone_t));
+    println!("contact    {:8.3} ms", per(contact_t));
+    println!("  discovery {:7.3} ms", per(phases.get(Phase::Discovery)));
+    println!("  download  {:7.3} ms", per(phases.get(Phase::Download)));
+    println!(
+        "  pre-phase {:7.3} ms",
+        per(contact_t) - per(phases.get(Phase::Discovery)) - per(phases.get(Phase::Download))
+    );
+}

@@ -69,6 +69,13 @@ pub struct Counters {
     /// File receptions discarded by checksum verification after injected
     /// piece corruption.
     pub corrupt_receptions: u64,
+    /// Hello snapshots whose wanted-URI list was served from the node's
+    /// memoized cache (no recomputation). Deterministic: the hit/miss
+    /// pattern is a pure function of the event stream.
+    pub wanted_cache_hits: u64,
+    /// Inverted-index lookups performed to (re)compute wanted-URI lists on
+    /// cache misses (one per own query per miss).
+    pub index_lookups: u64,
 }
 
 impl Counters {
@@ -83,6 +90,8 @@ impl Counters {
         self.pieces_transferred += other.pieces_transferred;
         self.bytes_moved += other.bytes_moved;
         self.corrupt_receptions += other.corrupt_receptions;
+        self.wanted_cache_hits += other.wanted_cache_hits;
+        self.index_lookups += other.index_lookups;
     }
 
     /// True if every counter is zero (the state of a fresh accumulator).
@@ -92,7 +101,7 @@ impl Counters {
 
     /// Every counter as a `(name, value)` pair, in a fixed rendering order.
     /// The names double as the keys of the perf-report JSON schema.
-    pub fn entries(&self) -> [(&'static str, u64); 9] {
+    pub fn entries(&self) -> [(&'static str, u64); 11] {
         [
             ("contacts", self.contacts),
             ("hello_exchanges", self.hello_exchanges),
@@ -103,6 +112,8 @@ impl Counters {
             ("pieces_transferred", self.pieces_transferred),
             ("bytes_moved", self.bytes_moved),
             ("corrupt_receptions", self.corrupt_receptions),
+            ("wanted_cache_hits", self.wanted_cache_hits),
+            ("index_lookups", self.index_lookups),
         ]
     }
 
@@ -120,6 +131,8 @@ impl Counters {
             "pieces_transferred" => self.pieces_transferred = value,
             "bytes_moved" => self.bytes_moved = value,
             "corrupt_receptions" => self.corrupt_receptions = value,
+            "wanted_cache_hits" => self.wanted_cache_hits = value,
+            "index_lookups" => self.index_lookups = value,
             _ => return false,
         }
         true
@@ -283,6 +296,8 @@ mod tests {
             pieces_transferred: 7,
             bytes_moved: 8,
             corrupt_receptions: 9,
+            wanted_cache_hits: 10,
+            index_lookups: 11,
         };
         let b = a;
         a.merge(&b);
@@ -317,6 +332,8 @@ mod tests {
             pieces_transferred: 7,
             bytes_moved: 8,
             corrupt_receptions: 9,
+            wanted_cache_hits: 10,
+            index_lookups: 11,
         };
         let mut b = Counters::default();
         for (name, value) in a.entries() {

@@ -47,10 +47,10 @@ impl<'a> MetadataOffer<'a> {
         popularity: Popularity,
         peer_queries: &[(NodeId, Query)],
     ) -> Self {
-        let tokens = metadata.tokens();
+        let tokens = metadata.token_set();
         let mut requesters: Vec<NodeId> = peer_queries
             .iter()
-            .filter(|(_, q)| q.matches_tokens(&tokens))
+            .filter(|(_, q)| q.matches_token_set(tokens))
             .map(|(n, _)| *n)
             .collect();
         requesters.sort_unstable();
@@ -95,8 +95,9 @@ pub fn receive_metadata(
     if !store.insert(metadata.clone()) {
         return ReceiveOutcome::Duplicate;
     }
-    let tokens = metadata.tokens();
-    let matched = own_queries.iter().any(|q| q.matches_tokens(&tokens));
+    let matched = own_queries
+        .iter()
+        .any(|q| q.matches_token_set(metadata.token_set()));
     if let Some(ledger) = ledger {
         if matched {
             ledger.reward_matched(sender);

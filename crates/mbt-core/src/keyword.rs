@@ -30,6 +30,62 @@ pub fn tokenize(text: &str) -> Vec<String> {
     out
 }
 
+/// An immutable, sorted, deduplicated token set built once and probed many
+/// times.
+///
+/// [`Metadata`](crate::Metadata) caches one of these at build time so that
+/// per-contact query matching is a binary-search probe instead of a fresh
+/// `format!` + [`tokenize`] pass per record per peer.
+///
+/// # Example
+///
+/// ```
+/// use mbt_core::keyword::TokenSet;
+///
+/// let set = TokenSet::from_text("FOX evening news");
+/// assert!(set.contains("news"));
+/// assert!(!set.contains("cnn"));
+/// assert_eq!(set.len(), 3);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash)]
+pub struct TokenSet {
+    sorted: Box<[Box<str>]>,
+}
+
+impl TokenSet {
+    /// Tokenizes `text` (same rules as [`tokenize`]) into a sorted set.
+    pub fn from_text(text: &str) -> Self {
+        let mut tokens: Vec<Box<str>> = tokenize(text)
+            .into_iter()
+            .map(String::into_boxed_str)
+            .collect();
+        tokens.sort_unstable();
+        TokenSet {
+            sorted: tokens.into_boxed_slice(),
+        }
+    }
+
+    /// True if `token` is in the set. Allocation-free.
+    pub fn contains(&self, token: &str) -> bool {
+        self.sorted.binary_search_by(|t| (**t).cmp(token)).is_ok()
+    }
+
+    /// The tokens in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = &str> {
+        self.sorted.iter().map(|t| &**t)
+    }
+
+    /// Number of distinct tokens.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// True if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+}
+
 /// An inverted index from tokens to the URIs of metadata containing them.
 ///
 /// # Example
@@ -60,12 +116,30 @@ impl InvertedIndex {
     /// Indexes `text` under `uri` (adds to any existing tokens for the URI).
     pub fn insert(&mut self, uri: &Uri, text: &str) {
         for token in tokenize(text) {
-            self.by_token
-                .entry(token.clone())
-                .or_default()
-                .insert(uri.clone());
-            self.tokens_of.entry(uri.clone()).or_default().insert(token);
+            self.insert_one(uri, token);
         }
+    }
+
+    /// Indexes pre-computed `tokens` under `uri`, skipping re-tokenization.
+    ///
+    /// Used by [`MetadataStore`](crate::store::MetadataStore) and
+    /// [`MetadataServer`](crate::server::MetadataServer) to index a record
+    /// from its cached [`TokenSet`] rather than its raw text.
+    pub fn insert_tokens<'a, I>(&mut self, uri: &Uri, tokens: I)
+    where
+        I: IntoIterator<Item = &'a str>,
+    {
+        for token in tokens {
+            self.insert_one(uri, token.to_owned());
+        }
+    }
+
+    fn insert_one(&mut self, uri: &Uri, token: String) {
+        self.by_token
+            .entry(token.clone())
+            .or_default()
+            .insert(uri.clone());
+        self.tokens_of.entry(uri.clone()).or_default().insert(token);
     }
 
     /// Removes all tokens for `uri`.
@@ -86,23 +160,40 @@ impl InvertedIndex {
     ///
     /// An empty token list matches nothing.
     pub fn lookup_all(&self, tokens: &[String]) -> Vec<Uri> {
-        let mut iter = tokens.iter();
-        let Some(first) = iter.next() else {
-            return Vec::new();
-        };
-        let Some(mut acc) = self.by_token.get(first).cloned() else {
-            return Vec::new();
-        };
-        for token in iter {
+        self.lookup_all_ref(tokens).into_iter().cloned().collect()
+    }
+
+    /// Borrowing variant of [`lookup_all`](Self::lookup_all): the only
+    /// allocation is the result vector.
+    ///
+    /// Walks the smallest posting list and probes the others for membership,
+    /// so the cost is proportional to the rarest token's postings rather
+    /// than to set intersections.
+    pub fn lookup_all_ref(&self, tokens: &[String]) -> Vec<&Uri> {
+        let mut postings = Vec::with_capacity(tokens.len());
+        for token in tokens {
             let Some(set) = self.by_token.get(token) else {
                 return Vec::new();
             };
-            acc = acc.intersection(set).cloned().collect();
-            if acc.is_empty() {
-                return Vec::new();
-            }
+            postings.push(set);
         }
-        acc.into_iter().collect()
+        let Some(smallest) = postings
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, set)| set.len())
+            .map(|(i, _)| i)
+        else {
+            return Vec::new();
+        };
+        postings[smallest]
+            .iter()
+            .filter(|uri| {
+                postings
+                    .iter()
+                    .enumerate()
+                    .all(|(i, set)| i == smallest || set.contains(uri))
+            })
+            .collect()
     }
 
     /// URIs matching at least one token, with their match counts, sorted by

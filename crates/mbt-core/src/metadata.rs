@@ -9,11 +9,12 @@
 //! can be distributed even before the file itself is produced.
 
 use std::fmt;
+use std::sync::Arc;
 
 use dtn_trace::{SimDuration, SimTime};
 
 use crate::checksum::{sha1, Digest};
-use crate::keyword::tokenize;
+use crate::keyword::{tokenize, TokenSet};
 use crate::piece::{piece_count, Piece, PIECE_SIZE};
 use crate::query::Query;
 use crate::uri::Uri;
@@ -22,6 +23,11 @@ use crate::uri::Uri;
 ///
 /// Construct with [`Metadata::builder`]; sign with
 /// [`auth::sign`](crate::auth::sign) to fill the authentication tag.
+///
+/// The record lives behind a shared allocation: cloning — which the contact
+/// loop does for every catalog entry and every snapshot at every contact —
+/// is a reference-count bump. The only post-build mutation,
+/// [`auth::sign`](crate::auth::sign), copies on write.
 ///
 /// # Example
 ///
@@ -39,6 +45,11 @@ use crate::uri::Uri;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Metadata {
+    inner: Arc<MetadataInner>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct MetadataInner {
     name: String,
     publisher: String,
     description: String,
@@ -49,6 +60,10 @@ pub struct Metadata {
     created: SimTime,
     expires: Option<SimTime>,
     auth_tag: Option<Digest>,
+    /// Token set of name + publisher + description, computed once at build
+    /// time. Derived from the text fields, so it never disagrees with
+    /// [`Metadata::tokens`] and does not perturb equality.
+    tokens: TokenSet,
 }
 
 /// Builder for [`Metadata`].
@@ -109,17 +124,24 @@ impl MetadataBuilder {
 
     /// Finishes the metadata (unsigned; see [`crate::auth::sign`]).
     pub fn build(self) -> Metadata {
+        let tokens = TokenSet::from_text(&format!(
+            "{} {} {}",
+            self.name, self.publisher, self.description
+        ));
         Metadata {
-            name: self.name,
-            publisher: self.publisher,
-            description: self.description,
-            uri: self.uri,
-            size: self.size,
-            piece_size: self.piece_size,
-            piece_checksums: self.piece_checksums,
-            created: self.created,
-            expires: self.expires,
-            auth_tag: None,
+            inner: Arc::new(MetadataInner {
+                name: self.name,
+                publisher: self.publisher,
+                description: self.description,
+                uri: self.uri,
+                size: self.size,
+                piece_size: self.piece_size,
+                piece_checksums: self.piece_checksums,
+                created: self.created,
+                expires: self.expires,
+                auth_tag: None,
+                tokens,
+            }),
         }
     }
 }
@@ -146,90 +168,105 @@ impl Metadata {
 
     /// The file name.
     pub fn name(&self) -> &str {
-        &self.name
+        &self.inner.name
     }
 
     /// The publisher (e.g. "FOX", "ABC").
     pub fn publisher(&self) -> &str {
-        &self.publisher
+        &self.inner.publisher
     }
 
     /// The description / advertisement text.
     pub fn description(&self) -> &str {
-        &self.description
+        &self.inner.description
     }
 
     /// The file URI.
     pub fn uri(&self) -> &Uri {
-        &self.uri
+        &self.inner.uri
     }
 
     /// File size in bytes.
     pub fn size(&self) -> u64 {
-        self.size
+        self.inner.size
     }
 
     /// Piece size in bytes.
     pub fn piece_size(&self) -> u64 {
-        self.piece_size
+        self.inner.piece_size
     }
 
     /// Per-piece SHA-1 checksums.
     pub fn piece_checksums(&self) -> &[Digest] {
-        &self.piece_checksums
+        &self.inner.piece_checksums
     }
 
     /// Number of pieces the file divides into.
     pub fn piece_count(&self) -> u32 {
-        if self.piece_checksums.is_empty() {
-            piece_count(self.size, self.piece_size)
+        if self.inner.piece_checksums.is_empty() {
+            piece_count(self.inner.size, self.inner.piece_size)
         } else {
-            self.piece_checksums.len() as u32
+            self.inner.piece_checksums.len() as u32
         }
     }
 
     /// Creation instant.
     pub fn created(&self) -> SimTime {
-        self.created
+        self.inner.created
     }
 
     /// Expiry instant, if a TTL was set.
     pub fn expires(&self) -> Option<SimTime> {
-        self.expires
+        self.inner.expires
     }
 
     /// True if the metadata has expired at `now`.
     pub fn is_expired(&self, now: SimTime) -> bool {
-        self.expires.is_some_and(|e| now >= e)
+        self.inner.expires.is_some_and(|e| now >= e)
     }
 
     /// The authentication tag, if signed.
     pub fn auth_tag(&self) -> Option<Digest> {
-        self.auth_tag
+        self.inner.auth_tag
     }
 
     /// Sets the authentication tag (used by [`crate::auth::sign`]).
+    /// Copies on write if the record is shared.
     pub(crate) fn set_auth_tag(&mut self, tag: Digest) {
-        self.auth_tag = Some(tag);
+        Arc::make_mut(&mut self.inner).auth_tag = Some(tag);
     }
 
     /// The searchable tokens of this metadata (name + publisher +
-    /// description).
+    /// description), tokenized afresh in first-occurrence order.
+    ///
+    /// This is the uncached reference path; hot loops should probe
+    /// [`token_set`](Self::token_set) instead. The property suite checks
+    /// that the two always agree.
     pub fn tokens(&self) -> Vec<String> {
         tokenize(&format!(
             "{} {} {}",
-            self.name, self.publisher, self.description
+            self.inner.name, self.inner.publisher, self.inner.description
         ))
+    }
+
+    /// The cached, sorted token set computed once at build time.
+    pub fn token_set(&self) -> &TokenSet {
+        &self.inner.tokens
     }
 
     /// The concatenated searchable text.
     pub fn search_text(&self) -> String {
-        format!("{} {} {}", self.name, self.publisher, self.description)
+        format!(
+            "{} {} {}",
+            self.inner.name, self.inner.publisher, self.inner.description
+        )
     }
 
     /// True if `query` matches this metadata's searchable text.
+    ///
+    /// Allocation-free: probes the cached [`token_set`](Self::token_set).
     pub fn matches_query(&self, query: &Query) -> bool {
-        query.matches_tokens(&self.tokens())
+        query.matches_token_set(&self.inner.tokens)
     }
 
     /// Verifies a piece's payload against the recorded checksum.
@@ -237,11 +274,11 @@ impl Metadata {
     /// Returns `false` for a piece of another file, an out-of-range index, or
     /// a checksum mismatch.
     pub fn verify_piece(&self, piece: &Piece) -> bool {
-        if piece.id().uri() != &self.uri {
+        if piece.id().uri() != &self.inner.uri {
             return false;
         }
         let idx = piece.id().index() as usize;
-        match self.piece_checksums.get(idx) {
+        match self.inner.piece_checksums.get(idx) {
             Some(&expected) => piece.checksum() == expected,
             None => false,
         }
@@ -255,18 +292,18 @@ impl Metadata {
             out.extend_from_slice(&(s.len() as u64).to_be_bytes());
             out.extend_from_slice(s.as_bytes());
         };
-        push_str(&mut out, &self.name);
-        push_str(&mut out, &self.publisher);
-        push_str(&mut out, &self.description);
-        push_str(&mut out, self.uri.as_str());
-        out.extend_from_slice(&self.size.to_be_bytes());
-        out.extend_from_slice(&self.piece_size.to_be_bytes());
-        out.extend_from_slice(&(self.piece_checksums.len() as u64).to_be_bytes());
-        for d in &self.piece_checksums {
+        push_str(&mut out, &self.inner.name);
+        push_str(&mut out, &self.inner.publisher);
+        push_str(&mut out, &self.inner.description);
+        push_str(&mut out, self.inner.uri.as_str());
+        out.extend_from_slice(&self.inner.size.to_be_bytes());
+        out.extend_from_slice(&self.inner.piece_size.to_be_bytes());
+        out.extend_from_slice(&(self.inner.piece_checksums.len() as u64).to_be_bytes());
+        for d in &self.inner.piece_checksums {
             out.extend_from_slice(d.as_bytes());
         }
-        out.extend_from_slice(&self.created.as_secs().to_be_bytes());
-        match self.expires {
+        out.extend_from_slice(&self.inner.created.as_secs().to_be_bytes());
+        match self.inner.expires {
             Some(e) => {
                 out.push(1);
                 out.extend_from_slice(&e.as_secs().to_be_bytes());
@@ -280,11 +317,11 @@ impl Metadata {
     /// overhead). Metadata "use little bandwidth because they are much
     /// smaller than files" — this lets simulations account for it.
     pub fn wire_size(&self) -> usize {
-        self.name.len()
-            + self.publisher.len()
-            + self.description.len()
-            + self.uri.as_str().len()
-            + self.piece_checksums.len() * 20
+        self.inner.name.len()
+            + self.inner.publisher.len()
+            + self.inner.description.len()
+            + self.inner.uri.as_str().len()
+            + self.inner.piece_checksums.len() * 20
             + 64
     }
 }
@@ -294,10 +331,10 @@ impl fmt::Display for Metadata {
         write!(
             f,
             "{} by {} ({}, {} bytes, {} pieces)",
-            self.name,
-            self.publisher,
-            self.uri,
-            self.size,
+            self.inner.name,
+            self.inner.publisher,
+            self.inner.uri,
+            self.inner.size,
             self.piece_count()
         )
     }

@@ -8,6 +8,7 @@
 //! metadata broadcast (§IV), and the two-phase file broadcast (§V), under
 //! either the cooperative or the tit-for-tat scheduler.
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 
 use dtn_sim::channel::frame_bytes;
@@ -94,6 +95,19 @@ pub struct MbtNode {
     /// contact.
     rejected: BTreeMap<Uri, Option<SimTime>>,
     events: Vec<NodeEvent>,
+    /// Memoized [`wanted_uris`](MbtNode::wanted_uris) result, keyed by the
+    /// store versions it was computed from. `RefCell` so reads stay `&self`;
+    /// the node is never shared across threads while a contact mutates it.
+    wanted_cache: RefCell<WantedCache>,
+}
+
+/// Cache cell for [`MbtNode::wanted_uris`]: valid while the metadata, file,
+/// and own-query store versions all still match.
+#[derive(Debug, Clone, Default)]
+struct WantedCache {
+    valid: bool,
+    versions: (u64, u64, u64),
+    uris: Vec<Uri>,
 }
 
 impl MbtNode {
@@ -113,6 +127,7 @@ impl MbtNode {
             key_registry: None,
             rejected: BTreeMap::new(),
             events: Vec::new(),
+            wanted_cache: RefCell::new(WantedCache::default()),
         }
     }
 
@@ -266,17 +281,38 @@ impl MbtNode {
     /// URIs the node wants to download: it has metadata matching one of its
     /// own queries but not the file (the "downloading files" of the hello
     /// message, §III-B).
+    ///
+    /// Answered from a memoized cache that stays valid until one of the
+    /// metadata, file, or own-query stores mutates; a recompute is one
+    /// inverted-index lookup per own query instead of a full-store scan.
     pub fn wanted_uris(&self) -> Vec<Uri> {
-        let own: Vec<Query> = self.own_queries();
-        self.metadata
-            .iter()
-            .filter(|m| !self.files.contains(m.uri()))
-            .filter(|m| {
-                let tokens = m.tokens();
-                own.iter().any(|q| q.matches_tokens(&tokens))
-            })
-            .map(|m| m.uri().clone())
-            .collect()
+        self.wanted_uris_cached().0
+    }
+
+    /// [`wanted_uris`](Self::wanted_uris) plus whether the memoized list was
+    /// served without recomputation (the contact loop counts hits).
+    fn wanted_uris_cached(&self) -> (Vec<Uri>, bool) {
+        let versions = (
+            self.metadata.version(),
+            self.files.version(),
+            self.queries.own_version(),
+        );
+        let mut cache = self.wanted_cache.borrow_mut();
+        if cache.valid && cache.versions == versions {
+            return (cache.uris.clone(), true);
+        }
+        let mut wanted: BTreeSet<Uri> = BTreeSet::new();
+        for entry in self.queries.own() {
+            for uri in self.metadata.matching_uris(entry.query()) {
+                if !self.files.contains(uri) {
+                    wanted.insert(uri.clone());
+                }
+            }
+        }
+        cache.uris = wanted.into_iter().collect();
+        cache.versions = versions;
+        cache.valid = true;
+        (cache.uris.clone(), false)
     }
 
     /// Drops expired metadata, files, queries, and rejection records.
@@ -426,6 +462,16 @@ pub struct ContactReport {
     /// Application bytes successfully moved to receivers (metadata wire
     /// bytes plus file content bytes, plus per-frame overhead).
     pub bytes_moved: u64,
+    /// Hello snapshots whose wanted-URI list was served from the node's
+    /// memoized cache without recomputation. Purely observational: the list
+    /// itself is identical either way.
+    pub wanted_cache_hits: usize,
+    /// Inverted-index lookups performed during the contact: one per own
+    /// query when a wanted-URI list is recomputed on a cache miss, plus one
+    /// per (member store, relevant query) pair when the metadata phase
+    /// resolves requesters. Deterministic — a pure function of the contact's
+    /// inputs, never of timing.
+    pub index_lookups: usize,
 }
 
 impl ContactReport {
@@ -442,8 +488,6 @@ struct MemberSnapshot {
     id: NodeId,
     own_queries: Vec<(Query, Option<SimTime>)>,
     relevant_queries: Vec<Query>,
-    metadata_uris: BTreeSet<Uri>,
-    file_uris: BTreeSet<Uri>,
     wanted: BTreeSet<Uri>,
     /// URIs this member blacklisted after authentication failures (carried
     /// in its hello so peers stop offering them).
@@ -533,13 +577,17 @@ pub fn run_contact_timed(
             if protocol.distributes_queries() {
                 relevant.extend(n.queries.foreign().map(|(_, e)| e.query().clone()));
             }
+            let (wanted, cache_hit) = n.wanted_uris_cached();
+            if cache_hit {
+                report.wanted_cache_hits += 1;
+            } else {
+                report.index_lookups += own_queries.len();
+            }
             MemberSnapshot {
                 id: n.id,
                 own_queries,
                 relevant_queries: relevant,
-                metadata_uris: n.metadata.iter().map(|m| m.uri().clone()).collect(),
-                file_uris: n.files.iter().cloned().collect(),
-                wanted: n.wanted_uris().into_iter().collect(),
+                wanted: wanted.into_iter().collect(),
                 rejected: n.rejected.keys().cloned().collect(),
                 frequent: n.frequent_contacts.clone(),
                 ledger: n.credits.clone(),
@@ -617,26 +665,48 @@ pub fn run_contact_timed(
         if !protocol.distributes_metadata() {
             return;
         }
+        // Index-backed requester matching (the §IV-A hot loop): probe each
+        // member store's inverted index once per relevant query instead of
+        // re-matching every catalog record against every query string. The
+        // catalog is a union of the member stores, and stores only grow
+        // between the hello snapshot and this phase, so membership of a
+        // catalog URI in the union of lookups is exactly "some member holds
+        // a record whose tokens satisfy the query".
+        let matched: Vec<BTreeSet<Uri>> = snapshots
+            .iter()
+            .map(|s| {
+                let mut set = BTreeSet::new();
+                for q in &s.relevant_queries {
+                    for &idx in members {
+                        report.index_lookups += 1;
+                        for uri in nodes[idx].metadata.matching_uris(q) {
+                            set.insert(uri.clone());
+                        }
+                    }
+                }
+                set
+            })
+            .collect();
         let offers: Vec<Offer<Uri>> = metadata_catalog
             .iter()
+            .filter(|(uri, (_, _, holders))| {
+                // Skip metadata every member already holds or has rejected.
+                // A member holds a catalog record iff it is listed as a
+                // holder, so the probe is a scan of at most `members` ids.
+                snapshots
+                    .iter()
+                    .any(|s| !holders.contains(&s.id) && !s.rejected.contains(uri))
+            })
             .map(|(uri, (_, pop, holders))| {
                 let requesters: Vec<NodeId> = snapshots
                     .iter()
-                    .filter(|s| !s.metadata_uris.contains(uri) && !s.rejected.contains(uri))
-                    .filter(|s| {
-                        let meta = &metadata_catalog[uri].0;
-                        let tokens = meta.tokens();
-                        s.relevant_queries.iter().any(|q| q.matches_tokens(&tokens))
+                    .zip(&matched)
+                    .filter(|(s, m)| {
+                        m.contains(uri) && !holders.contains(&s.id) && !s.rejected.contains(uri)
                     })
-                    .map(|s| s.id)
+                    .map(|(s, _)| s.id)
                     .collect();
                 Offer::new(uri.clone(), *pop, requesters, holders.clone())
-            })
-            .filter(|o| {
-                // Skip metadata every member already holds or has rejected.
-                snapshots
-                    .iter()
-                    .any(|s| !s.metadata_uris.contains(&o.item) && !s.rejected.contains(&o.item))
             })
             .collect();
         let schedule =
@@ -687,6 +757,13 @@ pub fn run_contact_timed(
         }
         let offers: Vec<Offer<Uri>> = file_catalog
             .iter()
+            .filter(|(uri, holders)| {
+                // Skip files every member already holds or refuses (holder
+                // lists play the role the hello's URI inventory used to).
+                snapshots
+                    .iter()
+                    .any(|s| !holders.contains(&s.id) && !s.rejected.contains(uri))
+            })
             .map(|(uri, holders)| {
                 // A member requests a file it wants (announced as a
                 // "downloading URI" in its hello) and does not hold. Under
@@ -695,7 +772,7 @@ pub fn run_contact_timed(
                 let requesters: Vec<NodeId> = if protocol.distributes_metadata() {
                     snapshots
                         .iter()
-                        .filter(|s| !s.file_uris.contains(uri) && s.wanted.contains(uri))
+                        .filter(|s| s.wanted.contains(uri) && !holders.contains(&s.id))
                         .map(|s| s.id)
                         .collect()
                 } else {
@@ -706,12 +783,6 @@ pub fn run_contact_timed(
                     .map(|(_, p, _)| *p)
                     .unwrap_or(Popularity::MIN);
                 Offer::new(uri.clone(), pop, requesters, holders.clone())
-            })
-            .filter(|o| {
-                // Skip files every member already holds or refuses.
-                snapshots
-                    .iter()
-                    .any(|s| !s.file_uris.contains(&o.item) && !s.rejected.contains(&o.item))
             })
             .collect();
         let schedule = schedule_broadcasts(&config, &member_ids, &snapshots, offers, file_slots);
@@ -769,10 +840,7 @@ pub fn run_contact_timed(
                     receiver
                         .metadata
                         .get(&b.item)
-                        .map(|m| {
-                            let tokens = m.tokens();
-                            own.iter().any(|q| q.matches_tokens(&tokens))
-                        })
+                        .map(|m| own.iter().any(|q| q.matches_token_set(m.token_set())))
                         .unwrap_or(false)
                 };
                 if receiver.files.insert(b.item.clone(), expires) {

@@ -8,13 +8,19 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
-use crate::keyword::tokenize;
+use crate::keyword::{tokenize, TokenSet};
 
 /// A keyword query.
 ///
 /// A query matches a piece of text when **all** of its tokens occur in the
 /// text (AND semantics); ranking uses the match count.
+///
+/// The text and token list live behind a shared allocation (`Arc`), so the
+/// per-contact snapshots that clone query vectors for every clique member
+/// bump a reference count instead of deep-copying strings. Equality,
+/// ordering, and hashing remain content-based.
 ///
 /// # Example
 ///
@@ -28,6 +34,11 @@ use crate::keyword::tokenize;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Query {
+    inner: Arc<QueryInner>,
+}
+
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+struct QueryInner {
     text: String,
     tokens: Vec<String>,
 }
@@ -56,34 +67,45 @@ impl Query {
         if tokens.is_empty() {
             return Err(EmptyQuery);
         }
-        Ok(Query { text, tokens })
+        Ok(Query {
+            inner: Arc::new(QueryInner { text, tokens }),
+        })
     }
 
     /// The original query text.
     pub fn text(&self) -> &str {
-        &self.text
+        &self.inner.text
     }
 
     /// The query's tokens (lowercase, deduplicated).
     pub fn tokens(&self) -> &[String] {
-        &self.tokens
+        &self.inner.tokens
     }
 
     /// True if all query tokens occur in `text`.
     pub fn matches_text(&self, text: &str) -> bool {
         let hay = tokenize(text);
-        self.tokens.iter().all(|t| hay.contains(t))
+        self.inner.tokens.iter().all(|t| hay.contains(t))
     }
 
     /// True if all query tokens occur in the pre-tokenized `tokens` set.
     pub fn matches_tokens(&self, tokens: &[String]) -> bool {
-        self.tokens.iter().all(|t| tokens.contains(t))
+        self.inner.tokens.iter().all(|t| tokens.contains(t))
+    }
+
+    /// True if all query tokens occur in the cached token `set`.
+    ///
+    /// The allocation-free hot-path variant of
+    /// [`matches_tokens`](Self::matches_tokens): each probe is a binary
+    /// search on the record's prebuilt [`TokenSet`].
+    pub fn matches_token_set(&self, set: &TokenSet) -> bool {
+        self.inner.tokens.iter().all(|t| set.contains(t))
     }
 }
 
 impl fmt::Display for Query {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.text)
+        f.write_str(&self.inner.text)
     }
 }
 

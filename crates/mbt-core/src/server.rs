@@ -64,7 +64,7 @@ impl MetadataServer {
     pub fn publish(&mut self, metadata: Metadata, popularity: Popularity) {
         let uri = metadata.uri().clone();
         self.index.remove(&uri);
-        self.index.insert(&uri, &metadata.search_text());
+        self.index.insert_tokens(&uri, metadata.token_set().iter());
         self.popularity.insert(uri.clone(), popularity);
         self.metadata.insert(uri, metadata);
     }

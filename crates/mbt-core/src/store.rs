@@ -6,15 +6,24 @@
 //! have completed. Everything here is TTL-aware: expired entries are pruned
 //! so stale advertisements do not circulate forever.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 use dtn_trace::{NodeId, SimTime};
 
+use crate::keyword::InvertedIndex;
 use crate::metadata::Metadata;
 use crate::query::Query;
 use crate::uri::Uri;
 
 /// A node's local metadata collection.
+///
+/// Records are mirrored into an [`InvertedIndex`] maintained incrementally on
+/// insert/remove/prune, so [`matching`](MetadataStore::matching) is a posting
+/// -list intersection instead of a full-store scan. A monotonic
+/// [`version`](MetadataStore::version) counter bumps on every mutation;
+/// [`MbtNode`](crate::MbtNode) uses it to invalidate its cached wanted-URI
+/// list.
 ///
 /// # Example
 ///
@@ -31,6 +40,10 @@ use crate::uri::Uri;
 #[derive(Debug, Clone, Default)]
 pub struct MetadataStore {
     map: BTreeMap<Uri, Metadata>,
+    /// Copy-on-write: cloning a store (benchmark fixtures, experiment
+    /// replication) shares the index until the clone next mutates.
+    index: Arc<InvertedIndex>,
+    version: u64,
 }
 
 impl MetadataStore {
@@ -44,6 +57,9 @@ impl MetadataStore {
     pub fn insert(&mut self, metadata: Metadata) -> bool {
         match self.map.entry(metadata.uri().clone()) {
             std::collections::btree_map::Entry::Vacant(v) => {
+                Arc::make_mut(&mut self.index)
+                    .insert_tokens(metadata.uri(), metadata.token_set().iter());
+                self.version += 1;
                 v.insert(metadata);
                 true
             }
@@ -77,23 +93,62 @@ impl MetadataStore {
     }
 
     /// All stored metadata matching `query`, in URI order.
+    ///
+    /// Answered from the inverted index; returns exactly the records whose
+    /// token set contains every query token, like the linear
+    /// `matches_query` scan it replaced (the property suite checks the
+    /// equivalence).
     pub fn matching(&self, query: &Query) -> Vec<&Metadata> {
-        self.map
-            .values()
-            .filter(|m| m.matches_query(query))
+        self.index
+            .lookup_all_ref(query.tokens())
+            .into_iter()
+            .map(|uri| {
+                self.map
+                    .get(uri)
+                    .expect("index entry without a stored record")
+            })
             .collect()
+    }
+
+    /// URIs of stored metadata matching `query`, in URI order (index-only;
+    /// no record lookups).
+    pub fn matching_uris(&self, query: &Query) -> Vec<&Uri> {
+        self.index.lookup_all_ref(query.tokens())
     }
 
     /// Removes records expired at `now`; returns how many were dropped.
     pub fn prune_expired(&mut self, now: SimTime) -> usize {
-        let before = self.map.len();
-        self.map.retain(|_, m| !m.is_expired(now));
-        before - self.map.len()
+        let expired: Vec<Uri> = self
+            .map
+            .values()
+            .filter(|m| m.is_expired(now))
+            .map(|m| m.uri().clone())
+            .collect();
+        if !expired.is_empty() {
+            let index = Arc::make_mut(&mut self.index);
+            for uri in &expired {
+                self.map.remove(uri);
+                index.remove(uri);
+            }
+            self.version += 1;
+        }
+        expired.len()
     }
 
     /// Removes a record by URI; returns it if present.
     pub fn remove(&mut self, uri: &Uri) -> Option<Metadata> {
-        self.map.remove(uri)
+        let removed = self.map.remove(uri);
+        if removed.is_some() {
+            Arc::make_mut(&mut self.index).remove(uri);
+            self.version += 1;
+        }
+        removed
+    }
+
+    /// Monotonic mutation counter: bumps whenever the stored record set
+    /// changes.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 }
 
@@ -147,6 +202,15 @@ impl QueryEntry {
 pub struct QueryStore {
     own: Vec<QueryEntry>,
     foreign: Vec<(NodeId, QueryEntry)>,
+    /// Dedup keys for `own`, so `add_own` is a set probe instead of an
+    /// O(n) text scan. Iteration still goes through the insertion-ordered
+    /// vectors.
+    own_texts: BTreeSet<Box<str>>,
+    /// Dedup keys for `foreign`. `Query` equality is by text (tokens are a
+    /// pure function of it) and cloning is a reference-count bump, so the
+    /// probe allocates nothing.
+    foreign_keys: BTreeSet<(NodeId, Query)>,
+    own_version: u64,
 }
 
 impl QueryStore {
@@ -158,21 +222,19 @@ impl QueryStore {
     /// Adds one of the user's own queries (deduplicated by text).
     /// Returns `true` if it was new.
     pub fn add_own(&mut self, query: Query, expires: Option<SimTime>) -> bool {
-        if self.own.iter().any(|e| e.query.text() == query.text()) {
+        if self.own_texts.contains(query.text()) {
             return false;
         }
+        self.own_texts.insert(query.text().into());
         self.own.push(QueryEntry::new(query, expires));
+        self.own_version += 1;
         true
     }
 
     /// Adds a query on behalf of `owner` (deduplicated by owner + text).
     /// Returns `true` if it was new.
     pub fn add_foreign(&mut self, owner: NodeId, query: Query, expires: Option<SimTime>) -> bool {
-        if self
-            .foreign
-            .iter()
-            .any(|(o, e)| *o == owner && e.query.text() == query.text())
-        {
+        if !self.foreign_keys.insert((owner, query.clone())) {
             return false;
         }
         self.foreign.push((owner, QueryEntry::new(query, expires)));
@@ -201,15 +263,44 @@ impl QueryStore {
     pub fn remove_own(&mut self, text: &str) -> bool {
         let before = self.own.len();
         self.own.retain(|e| e.query.text() != text);
-        self.own.len() != before
+        let found = self.own.len() != before;
+        if found {
+            self.own_texts.remove(text);
+            self.own_version += 1;
+        }
+        found
     }
 
     /// Drops expired queries; returns how many were dropped.
     pub fn prune_expired(&mut self, now: SimTime) -> usize {
         let before = self.own.len() + self.foreign.len();
-        self.own.retain(|e| !e.is_expired(now));
-        self.foreign.retain(|(_, e)| !e.is_expired(now));
+        let own_before = self.own.len();
+        let own_texts = &mut self.own_texts;
+        self.own.retain(|e| {
+            let keep = !e.is_expired(now);
+            if !keep {
+                own_texts.remove(e.query.text());
+            }
+            keep
+        });
+        let foreign_keys = &mut self.foreign_keys;
+        self.foreign.retain(|(o, e)| {
+            let keep = !e.is_expired(now);
+            if !keep {
+                foreign_keys.remove(&(*o, e.query.clone()));
+            }
+            keep
+        });
+        if self.own.len() != own_before {
+            self.own_version += 1;
+        }
         before - (self.own.len() + self.foreign.len())
+    }
+
+    /// Monotonic mutation counter for the **own** query set (the input to
+    /// wanted-URI computation); foreign-query changes do not bump it.
+    pub fn own_version(&self) -> u64 {
+        self.own_version
     }
 
     /// Total number of stored queries (own + foreign).
@@ -228,6 +319,7 @@ impl QueryStore {
 #[derive(Debug, Clone, Default)]
 pub struct FileStore {
     files: BTreeMap<Uri, Option<SimTime>>,
+    version: u64,
 }
 
 impl FileStore {
@@ -239,6 +331,7 @@ impl FileStore {
     /// Records that the node holds the complete file at `uri`, expiring at
     /// `expires`. Returns `true` if it was new.
     pub fn insert(&mut self, uri: Uri, expires: Option<SimTime>) -> bool {
+        self.version += 1;
         self.files.insert(uri, expires).is_none()
     }
 
@@ -267,7 +360,16 @@ impl FileStore {
         let before = self.files.len();
         self.files
             .retain(|_, expires| !expires.is_some_and(|e| now >= e));
-        before - self.files.len()
+        let dropped = before - self.files.len();
+        if dropped > 0 {
+            self.version += 1;
+        }
+        dropped
+    }
+
+    /// Monotonic mutation counter: bumps on every insert or prune.
+    pub fn version(&self) -> u64 {
+        self.version
     }
 }
 

@@ -2,12 +2,17 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 
 /// The uniform resource identifier (URI) of a file.
 ///
 /// Every file shared through MBT is identified by its URI; file pieces are
 /// stamped with the URI and an offset (paper §III-B). URIs are opaque,
-/// non-empty, whitespace-free strings.
+/// non-empty, whitespace-free strings. The backing storage is shared
+/// (`Arc<str>`), so cloning a `Uri` — which the per-contact snapshots in
+/// [`run_contact`](crate::node::run_contact) do for every stored record —
+/// is a reference-count bump, not a string copy. Equality, ordering, and
+/// hashing remain content-based.
 ///
 /// # Example
 ///
@@ -19,7 +24,7 @@ use std::fmt;
 /// # Ok::<(), mbt_core::uri::InvalidUri>(())
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct Uri(String);
+pub struct Uri(Arc<str>);
 
 /// Error returned for malformed URIs.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -55,7 +60,7 @@ impl Uri {
         if s.chars().any(char::is_whitespace) {
             return Err(InvalidUri::ContainsWhitespace);
         }
-        Ok(Uri(s))
+        Ok(Uri(Arc::from(s)))
     }
 
     /// The URI as a string slice.

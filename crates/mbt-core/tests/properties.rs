@@ -106,6 +106,71 @@ proptest! {
     }
 
     #[test]
+    fn cached_token_matching_agrees_with_fresh_tokenize(
+        m in arb_meta(),
+        text in "[a-z]{1,6}( [a-z]{1,6}){0,3}"
+    ) {
+        // The token set cached at build time must answer every query exactly
+        // as a fresh tokenization of the record's text fields would.
+        let q = Query::new(text).unwrap();
+        let fresh = tokenize(&format!("{} {} {}", m.name(), m.publisher(), m.description()));
+        let expected = q.tokens().iter().all(|t| fresh.contains(t));
+        prop_assert_eq!(q.matches_token_set(m.token_set()), expected);
+        prop_assert_eq!(m.matches_query(&q), expected);
+        // A query built from any token of the record's own name matches.
+        for tok in tokenize(m.name()) {
+            let own = Query::new(tok).unwrap();
+            prop_assert!(own.matches_token_set(m.token_set()));
+        }
+    }
+
+    #[test]
+    fn index_backed_matching_equals_linear_scan(
+        metas in proptest::collection::vec(arb_meta(), 0..20),
+        text in "[a-z]{1,6}( [a-z]{1,6}){0,2}",
+        victim in any::<prop::sample::Index>()
+    ) {
+        use mbt_core::MetadataStore;
+        fn both(store: &MetadataStore, q: &Query) -> (Vec<Uri>, Vec<Uri>, Vec<Uri>) {
+            let indexed = store.matching(q).into_iter().map(|m| m.uri().clone()).collect();
+            let uris = store.matching_uris(q).into_iter().cloned().collect();
+            let scanned = store
+                .iter()
+                .filter(|m| m.matches_query(q))
+                .map(|m| m.uri().clone())
+                .collect();
+            (indexed, uris, scanned)
+        }
+        let mut store = MetadataStore::new();
+        for m in &metas {
+            store.insert(m.clone());
+        }
+        let queries: Vec<Query> = std::iter::once(Query::new(text).unwrap())
+            .chain(metas.iter().filter_map(|m| {
+                // A query drawn from a stored record's name exercises the
+                // non-empty result path.
+                Query::new(tokenize(m.name()).into_iter().next()?).ok()
+            }))
+            .collect();
+        for q in &queries {
+            let (indexed, uris, scanned) = both(&store, q);
+            prop_assert_eq!(&indexed, &scanned, "index vs scan diverged");
+            prop_assert_eq!(&uris, &scanned, "matching_uris vs scan diverged");
+        }
+        // Index maintenance: after a removal the index and scan still agree.
+        if !metas.is_empty() {
+            let gone = metas[victim.index(metas.len())].uri().clone();
+            store.remove(&gone);
+            for q in &queries {
+                let (indexed, uris, scanned) = both(&store, q);
+                prop_assert!(!indexed.contains(&gone));
+                prop_assert_eq!(&indexed, &scanned, "index stale after removal");
+                prop_assert_eq!(&uris, &scanned, "matching_uris stale after removal");
+            }
+        }
+    }
+
+    #[test]
     fn canonical_bytes_distinct_for_distinct_names(a in "[a-z]{1,20}", b in "[a-z]{1,20}") {
         prop_assume!(a != b);
         let uri = Uri::new("mbt://p/x").unwrap();
