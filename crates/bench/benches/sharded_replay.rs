@@ -1,0 +1,69 @@
+//! In-memory vs sharded trace replay, end to end.
+//!
+//! Runs the same quick-scale simulation over (a) a fully resident
+//! `ContactTrace` and (b) the same trace spilled to time-windowed shards and
+//! replayed shard by shard through the `TraceSource` seam. The two runs
+//! produce byte-identical results; the bench pins the streaming overhead —
+//! shard reopen + line parse per window — against the in-memory baseline so
+//! regressions in the shard reader show up as a widening gap. A third case
+//! isolates pure replay (drain the stream, no simulation) at a larger scale
+//! where the resident-memory advantage matters.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dtn_trace::generators::DieselNetConfig;
+use dtn_trace::{
+    ContactSink as _, ContactTrace, ShardWriter, ShardedTrace, SimDuration, TraceSource,
+};
+use mbt_experiments::runner::{run_simulation, SimParams};
+use std::hint::black_box;
+
+/// One shard per simulated day, the layout `mbt shard` produces by default.
+fn shard(trace: &ContactTrace, name: &str) -> ShardedTrace {
+    let dir = std::env::temp_dir().join(format!("mbt-bench-sharded-replay-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut writer = ShardWriter::create(&dir, SimDuration::from_days(1)).unwrap();
+    for c in trace.iter() {
+        writer.push_contact(c.clone());
+    }
+    writer.finish().unwrap()
+}
+
+fn sim_params(days: u64) -> SimParams {
+    SimParams {
+        days,
+        files_per_day: 10,
+        seed: 42,
+        ..SimParams::default()
+    }
+}
+
+fn bench_sharded_replay(c: &mut Criterion) {
+    let trace = DieselNetConfig::new(16, 6).seed(42).generate();
+    let sharded = shard(&trace, "sim");
+    let params = sim_params(6);
+
+    let mut group = c.benchmark_group("sharded_replay");
+    group.sample_size(10);
+    group.bench_function("simulate_in_memory", |b| {
+        b.iter(|| black_box(run_simulation(&trace, &params, None)))
+    });
+    group.bench_function("simulate_sharded", |b| {
+        b.iter(|| black_box(run_simulation(&sharded, &params, None)))
+    });
+
+    // Pure replay at 10x the simulated span: stream every contact without
+    // simulating, comparing resident-vector iteration against shard-by-shard
+    // reads from disk.
+    let big = DieselNetConfig::new(16, 60).seed(42).generate();
+    let big_sharded = shard(&big, "replay");
+    group.bench_function("drain_in_memory_60d", |b| {
+        b.iter(|| black_box(TraceSource::stream(&big).count()))
+    });
+    group.bench_function("drain_sharded_60d", |b| {
+        b.iter(|| black_box(big_sharded.stream().count()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sharded_replay);
+criterion_main!(benches);

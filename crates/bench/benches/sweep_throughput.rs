@@ -33,7 +33,7 @@ fn params_for(x: f64) -> SimParams {
 
 fn run_parallel(trace: &ContactTrace, jobs: usize) {
     let runner = ParallelRunner::new(ExecConfig::default().jobs(jobs));
-    black_box(runner.sweep_shared_trace("bench", "bench", "x", &XS, trace, params_for));
+    black_box(runner.sweep_shared_trace("bench", "bench", "x", &XS, trace, params_for, None));
 }
 
 fn bench_sweep_throughput(c: &mut Criterion) {

@@ -107,53 +107,168 @@ impl<'a> Simulator<'a> {
 
     /// Runs the simulation to completion (queue empty or horizon passed),
     /// returning the final clock value.
-    pub fn run<H: SimHandler>(mut self, handler: &mut H) -> SimTime {
-        for (idx, contact) in self.trace.iter().enumerate() {
-            let within = self.horizon.is_none_or(|h| contact.start() <= h);
-            if within {
-                self.queue
-                    .push(contact.start(), Event::ContactStart { contact: idx });
-                if self.horizon.is_none_or(|h| contact.end() <= h) {
-                    self.queue
-                        .push(contact.end(), Event::ContactEnd { contact: idx });
-                }
-            }
-        }
+    pub fn run<H: SimHandler>(self, handler: &mut H) -> SimTime {
+        run_streaming(
+            self.trace.iter().cloned(),
+            self.queue,
+            self.horizon,
+            handler,
+        )
+    }
+}
 
-        let mut now = SimTime::ZERO;
-        {
-            let mut ctx = SimCtx {
-                now,
-                queue: &mut self.queue,
-                horizon: self.horizon,
-            };
-            handler.on_start(&mut ctx);
+/// Drives a [`SimHandler`] through a *stream* of contacts in event order,
+/// holding only the contacts that are currently open.
+///
+/// The stream must yield contacts sorted by start time (the canonical
+/// [`ContactTrace`] order — both in-memory traces and sharded traces
+/// provide it). Given the same contact sequence, scheduled events, and
+/// handler, the event sequence is byte-identical to [`Simulator`] over the
+/// equivalent in-memory trace: contact events can never tie with each other
+/// on `(time, rank, key)` (the stream position is the key and is unique),
+/// so feeding the queue lazily cannot change the pop order.
+///
+/// Memory: the event queue and the open-contact table hold only contacts
+/// whose end has not fired yet — simulation state, not the trace.
+#[derive(Debug)]
+pub struct StreamSimulator<I> {
+    contacts: I,
+    queue: EventQueue,
+    horizon: Option<SimTime>,
+}
+
+impl<I: Iterator<Item = Contact>> StreamSimulator<I> {
+    /// Creates a streaming simulator over `contacts` (sorted by start).
+    pub fn new(contacts: I) -> Self {
+        StreamSimulator {
+            contacts,
+            queue: EventQueue::new(),
+            horizon: None,
         }
-        while let Some((time, event)) = self.queue.pop() {
-            if let Some(h) = self.horizon {
-                if time > h {
+    }
+
+    /// Stops the run at `at`: events strictly after the horizon never fire.
+    pub fn horizon(mut self, at: SimTime) -> Self {
+        self.horizon = Some(at);
+        self
+    }
+
+    /// Pre-registers a scheduled event before the run starts.
+    pub fn schedule(mut self, at: SimTime, tag: u64) -> Self {
+        self.queue.push(at, Event::Scheduled { tag });
+        self
+    }
+
+    /// Runs the simulation to completion, returning the final clock value.
+    pub fn run<H: SimHandler>(self, handler: &mut H) -> SimTime {
+        run_streaming(self.contacts, self.queue, self.horizon, handler)
+    }
+}
+
+/// Shared event-pump behind [`Simulator`] and [`StreamSimulator`].
+///
+/// Before each pop, contacts are admitted from the stream while their start
+/// time is at or before the queue's next event (or the queue is empty) —
+/// exactly the set whose events could sort ahead of anything already
+/// queued. Once a contact starts beyond the horizon the stream is dropped
+/// entirely (starts are sorted, nothing later can fire).
+fn run_streaming<I, H>(
+    contacts: I,
+    mut queue: EventQueue,
+    horizon: Option<SimTime>,
+    handler: &mut H,
+) -> SimTime
+where
+    I: Iterator<Item = Contact>,
+    H: SimHandler,
+{
+    use std::collections::BTreeMap;
+
+    let mut contacts = contacts.enumerate();
+    // The next contact pulled from the stream but not yet admitted, and the
+    // open contacts (admitted, end event not dispatched yet). The `bool`
+    // records whether an end event was enqueued — ends beyond the horizon
+    // are not, so those contacts retire right after their start fires.
+    let mut pending: Option<(usize, Contact)> = None;
+    let mut exhausted = false;
+    let mut open: BTreeMap<usize, (Contact, bool)> = BTreeMap::new();
+
+    let mut now = SimTime::ZERO;
+    {
+        let mut ctx = SimCtx {
+            now,
+            queue: &mut queue,
+            horizon,
+        };
+        handler.on_start(&mut ctx);
+    }
+    loop {
+        // Admit contacts that could sort ahead of the queue's next event.
+        loop {
+            if pending.is_none() {
+                if exhausted {
                     break;
                 }
+                match contacts.next() {
+                    Some(entry) => pending = Some(entry),
+                    None => {
+                        exhausted = true;
+                        break;
+                    }
+                }
             }
-            now = time;
-            let mut ctx = SimCtx {
-                now,
-                queue: &mut self.queue,
-                horizon: self.horizon,
-            };
-            match event {
-                Event::ContactStart { contact } => {
-                    handler.on_contact_start(&mut ctx, &self.trace.contacts()[contact]);
-                }
-                Event::ContactEnd { contact } => {
-                    handler.on_contact_end(&mut ctx, &self.trace.contacts()[contact]);
-                }
-                Event::Scheduled { tag } => handler.on_scheduled(&mut ctx, tag),
+            let (idx, contact) = pending.as_ref().expect("pending was just filled");
+            if horizon.is_some_and(|h| contact.start() > h) {
+                // Sorted starts: every remaining contact is beyond the
+                // horizon too.
+                pending = None;
+                exhausted = true;
+                break;
+            }
+            if queue.peek_time().is_some_and(|t| contact.start() > t) {
+                break;
+            }
+            let (idx, contact) = (*idx, pending.take().expect("pending is live").1);
+            queue.push(contact.start(), Event::ContactStart { contact: idx });
+            let end_within = horizon.is_none_or(|h| contact.end() <= h);
+            if end_within {
+                queue.push(contact.end(), Event::ContactEnd { contact: idx });
+            }
+            open.insert(idx, (contact, end_within));
+        }
+
+        let Some((time, event)) = queue.pop() else {
+            break;
+        };
+        if let Some(h) = horizon {
+            if time > h {
+                break;
             }
         }
-        handler.on_finish(now);
-        now
+        now = time;
+        let mut ctx = SimCtx {
+            now,
+            queue: &mut queue,
+            horizon,
+        };
+        match event {
+            Event::ContactStart { contact } => {
+                let (c, end_within) = open.get(&contact).expect("start of an admitted contact");
+                let end_within = *end_within;
+                handler.on_contact_start(&mut ctx, c);
+                if !end_within {
+                    open.remove(&contact);
+                }
+            }
+            Event::ContactEnd { contact } => {
+                let (c, _) = open.remove(&contact).expect("end of an open contact");
+                handler.on_contact_end(&mut ctx, &c);
+            }
+            Event::Scheduled { tag } => handler.on_scheduled(&mut ctx, tag),
+        }
     }
+    handler.on_finish(now);
+    now
 }
 
 #[cfg(test)]
@@ -328,5 +443,74 @@ mod tests {
         let end = Simulator::new(&trace).run(&mut rec);
         assert_eq!(end, SimTime::ZERO);
         assert_eq!(rec.log, vec!["start@0", "finish@0"]);
+    }
+
+    /// A trace with overlapping contacts, simultaneous starts/ends, and an
+    /// end coinciding with another contact's start — the shapes that stress
+    /// the event ordering rules.
+    fn gnarly_trace() -> ContactTrace {
+        vec![
+            pc(0, 1, 10, 20),
+            pc(2, 3, 10, 30), // same start as above, longer
+            pc(4, 5, 20, 25), // starts exactly when the first ends
+            pc(6, 7, 22, 40),
+            pc(8, 9, 40, 55), // starts when the previous ends
+            pc(1, 2, 40, 41), // simultaneous start, different pair
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    #[test]
+    fn stream_simulator_matches_simulator_event_for_event() {
+        let trace = gnarly_trace();
+        let mut upfront = Recorder::default();
+        let end_a = Simulator::new(&trace)
+            .schedule(SimTime::from_secs(15), 1)
+            .schedule(SimTime::from_secs(40), 2)
+            .run(&mut upfront);
+        let mut streamed = Recorder::default();
+        let end_b = StreamSimulator::new(trace.iter().cloned())
+            .schedule(SimTime::from_secs(15), 1)
+            .schedule(SimTime::from_secs(40), 2)
+            .run(&mut streamed);
+        assert_eq!(end_a, end_b);
+        assert_eq!(upfront.log, streamed.log);
+    }
+
+    #[test]
+    fn stream_simulator_matches_simulator_under_horizon() {
+        let trace = gnarly_trace();
+        // A horizon that truncates contact 3's end (40 > 35) and drops the
+        // last two contacts entirely.
+        let mut upfront = Recorder::default();
+        Simulator::new(&trace)
+            .horizon(SimTime::from_secs(35))
+            .run(&mut upfront);
+        let mut streamed = Recorder::default();
+        StreamSimulator::new(trace.iter().cloned())
+            .horizon(SimTime::from_secs(35))
+            .run(&mut streamed);
+        assert_eq!(upfront.log, streamed.log);
+    }
+
+    #[test]
+    fn stream_simulator_supports_self_scheduling_handlers() {
+        struct Ticker {
+            fired: Vec<u64>,
+        }
+        impl SimHandler for Ticker {
+            fn on_scheduled(&mut self, ctx: &mut SimCtx<'_>, tag: u64) {
+                self.fired.push(ctx.now().as_secs());
+                if tag < 3 {
+                    ctx.schedule(ctx.now() + dtn_trace::SimDuration::from_secs(10), tag + 1);
+                }
+            }
+        }
+        let mut h = Ticker { fired: vec![] };
+        StreamSimulator::new(std::iter::empty())
+            .schedule(SimTime::from_secs(5), 1)
+            .run(&mut h);
+        assert_eq!(h.fired, vec![5, 15, 25]);
     }
 }

@@ -57,7 +57,7 @@ pub mod telemetry;
 
 pub use channel::{broadcast_per_node_capacity, pairwise_per_node_capacity, ContactBudget};
 pub use clique::NeighborGraph;
-pub use engine::{SimCtx, SimHandler, Simulator};
+pub use engine::{SimCtx, SimHandler, Simulator, StreamSimulator};
 pub use event::{Event, EventQueue};
 pub use faults::{FaultKind, FaultPlan};
 pub use hello::{HelloBeacon, NeighborTable};

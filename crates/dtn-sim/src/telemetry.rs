@@ -15,8 +15,9 @@
 //! Counters are pure functions of the simulation's deterministic event
 //! stream: two runs with the same trace, parameters, and seed produce
 //! **byte-identical counter totals**, regardless of thread count, because
-//! per-cell counters merge in grid order (and `u64` addition is commutative
-//! and associative besides). Wall-clock spans are observational only — they
+//! per-cell counters merge in grid order (and the merge operations — `u64`
+//! addition for totals, maximum for `peak_resident_contacts` — are
+//! commutative and associative besides). Wall-clock spans are observational only — they
 //! are never fed back into simulation state, so enabling telemetry cannot
 //! perturb simulation output. `tests/parallel_determinism.rs` pins both
 //! properties.
@@ -76,10 +77,20 @@ pub struct Counters {
     /// Inverted-index lookups performed to (re)compute wanted-URI lists on
     /// cache misses (one per own query per miss).
     pub index_lookups: u64,
+    /// On-disk trace shards loaded by streaming replay. Zero for fully
+    /// in-memory runs. Additive on merge: total shard loads across all
+    /// streaming passes.
+    pub shards_loaded: u64,
+    /// Peak number of trace contacts resident in memory at once across the
+    /// runs merged so far. Merges by **maximum**, not addition — residency
+    /// is concurrent state, so the sweep-wide figure is the worst single
+    /// run, which keeps the value independent of `--jobs` and cell count.
+    pub peak_resident_contacts: u64,
 }
 
 impl Counters {
-    /// Adds another counter set into this one.
+    /// Adds another counter set into this one. Every counter adds except
+    /// [`Counters::peak_resident_contacts`], which takes the maximum.
     pub fn merge(&mut self, other: &Counters) {
         self.contacts += other.contacts;
         self.hello_exchanges += other.hello_exchanges;
@@ -92,6 +103,10 @@ impl Counters {
         self.corrupt_receptions += other.corrupt_receptions;
         self.wanted_cache_hits += other.wanted_cache_hits;
         self.index_lookups += other.index_lookups;
+        self.shards_loaded += other.shards_loaded;
+        self.peak_resident_contacts = self
+            .peak_resident_contacts
+            .max(other.peak_resident_contacts);
     }
 
     /// True if every counter is zero (the state of a fresh accumulator).
@@ -101,7 +116,7 @@ impl Counters {
 
     /// Every counter as a `(name, value)` pair, in a fixed rendering order.
     /// The names double as the keys of the perf-report JSON schema.
-    pub fn entries(&self) -> [(&'static str, u64); 11] {
+    pub fn entries(&self) -> [(&'static str, u64); 13] {
         [
             ("contacts", self.contacts),
             ("hello_exchanges", self.hello_exchanges),
@@ -114,6 +129,8 @@ impl Counters {
             ("corrupt_receptions", self.corrupt_receptions),
             ("wanted_cache_hits", self.wanted_cache_hits),
             ("index_lookups", self.index_lookups),
+            ("shards_loaded", self.shards_loaded),
+            ("peak_resident_contacts", self.peak_resident_contacts),
         ]
     }
 
@@ -133,6 +150,8 @@ impl Counters {
             "corrupt_receptions" => self.corrupt_receptions = value,
             "wanted_cache_hits" => self.wanted_cache_hits = value,
             "index_lookups" => self.index_lookups = value,
+            "shards_loaded" => self.shards_loaded = value,
+            "peak_resident_contacts" => self.peak_resident_contacts = value,
             _ => return false,
         }
         true
@@ -284,9 +303,8 @@ pub fn rate_per_sec(count: u64, elapsed: Duration) -> f64 {
 mod tests {
     use super::*;
 
-    #[test]
-    fn merge_adds_every_counter() {
-        let mut a = Counters {
+    fn distinct_counters() -> Counters {
+        Counters {
             contacts: 1,
             hello_exchanges: 2,
             clique_formations: 3,
@@ -298,12 +316,43 @@ mod tests {
             corrupt_receptions: 9,
             wanted_cache_hits: 10,
             index_lookups: 11,
-        };
+            shards_loaded: 12,
+            peak_resident_contacts: 13,
+        }
+    }
+
+    #[test]
+    fn merge_adds_every_counter_except_peak_which_maxes() {
+        let mut a = distinct_counters();
         let b = a;
         a.merge(&b);
-        for ((_, doubled), (_, original)) in a.entries().iter().zip(b.entries().iter()) {
-            assert_eq!(*doubled, original * 2);
+        for ((name, merged), (_, original)) in a.entries().iter().zip(b.entries().iter()) {
+            if *name == "peak_resident_contacts" {
+                assert_eq!(*merged, *original, "peak merges by max, not addition");
+            } else {
+                assert_eq!(*merged, original * 2, "{name} should add on merge");
+            }
         }
+    }
+
+    #[test]
+    fn peak_resident_takes_maximum_either_direction() {
+        let mut small = Counters {
+            peak_resident_contacts: 10,
+            ..Counters::default()
+        };
+        let large = Counters {
+            peak_resident_contacts: 500,
+            ..Counters::default()
+        };
+        small.merge(&large);
+        assert_eq!(small.peak_resident_contacts, 500);
+        let mut large = large;
+        large.merge(&Counters {
+            peak_resident_contacts: 10,
+            ..Counters::default()
+        });
+        assert_eq!(large.peak_resident_contacts, 500);
     }
 
     #[test]
@@ -322,19 +371,7 @@ mod tests {
 
     #[test]
     fn entries_round_trip_through_set() {
-        let a = Counters {
-            contacts: 1,
-            hello_exchanges: 2,
-            clique_formations: 3,
-            frames_sent: 4,
-            frames_lost: 5,
-            metadata_transferred: 6,
-            pieces_transferred: 7,
-            bytes_moved: 8,
-            corrupt_receptions: 9,
-            wanted_cache_hits: 10,
-            index_lookups: 11,
-        };
+        let a = distinct_counters();
         let mut b = Counters::default();
         for (name, value) in a.entries() {
             assert!(b.set(name, value), "unknown counter name {name}");

@@ -37,7 +37,7 @@ fn pooled_at_loss(trace: &ContactTrace, loss: f64, replicates: u64) -> SimResult
     for rep in 0..replicates {
         let mut params = quick_params(rep + 1);
         params.faults = FaultPlan::none().loss(loss).seed(1_000 + rep);
-        pooled.merge(&run_simulation(trace, &params));
+        pooled.merge(&run_simulation(trace, &params, None));
     }
     pooled
 }
@@ -86,12 +86,12 @@ fn delivery_ratio_is_monotone_non_increasing_in_loss() {
 #[test]
 fn zero_rate_plan_is_byte_identical_to_no_fault_path() {
     let trace = quick_trace();
-    let clean = run_simulation(&trace, &quick_params(5));
+    let clean = run_simulation(&trace, &quick_params(5), None);
     // Any combination of zero rates — even with a nonzero seed — must not
     // draw a single random number, so the runs are equal field-for-field.
     let mut zeroed = quick_params(5);
     zeroed.faults = FaultPlan::none().seed(0xDEAD_BEEF);
-    assert_eq!(clean, run_simulation(&trace, &zeroed));
+    assert_eq!(clean, run_simulation(&trace, &zeroed, None));
     let mut explicit = quick_params(5);
     explicit.faults = FaultPlan::none()
         .loss(0.0)
@@ -99,7 +99,7 @@ fn zero_rate_plan_is_byte_identical_to_no_fault_path() {
         .churn(0.0)
         .corruption(0.0)
         .seed(7);
-    assert_eq!(clean, run_simulation(&trace, &explicit));
+    assert_eq!(clean, run_simulation(&trace, &explicit, None));
 }
 
 #[test]
@@ -130,10 +130,10 @@ fn churned_nodes_never_originate_contacts_while_down() {
     .unwrap()]
     .into_iter()
     .collect();
-    let r = run_simulation(&inside, &params(plan));
+    let r = run_simulation(&inside, &params(plan), None);
     assert_eq!(r.contacts, 0, "contact ran during the down interval");
     // Without the plan the same contact happens — the trace is fine.
-    let clean = run_simulation(&inside, &params(FaultPlan::none()));
+    let clean = run_simulation(&inside, &params(FaultPlan::none()), None);
     assert_eq!(clean.contacts, 1);
 
     // A contact at an instant where both nodes are up still happens.
@@ -152,7 +152,7 @@ fn churned_nodes_never_originate_contacts_while_down() {
     .unwrap()]
     .into_iter()
     .collect();
-    let r = run_simulation(&outside, &params(plan));
+    let r = run_simulation(&outside, &params(plan), None);
     assert_eq!(
         r.contacts, 1,
         "contact outside every down interval must run"
@@ -171,13 +171,13 @@ fn configured_loss_rate_is_deterministic() {
     let trace = quick_trace();
     let mut params = quick_params(3);
     params.faults = FaultPlan::none().loss(loss).seed(9);
-    let a = run_simulation(&trace, &params);
-    let b = run_simulation(&trace, &params);
+    let a = run_simulation(&trace, &params, None);
+    let b = run_simulation(&trace, &params, None);
     assert_eq!(a, b);
     if loss > 0.0 {
         assert!(a.frames_lost > 0, "loss {loss} should drop frames");
     } else {
-        assert_eq!(a, run_simulation(&trace, &quick_params(3)));
+        assert_eq!(a, run_simulation(&trace, &quick_params(3), None));
     }
 }
 

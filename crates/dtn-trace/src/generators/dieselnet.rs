@@ -22,7 +22,7 @@ use rand::{Rng, SeedableRng};
 use crate::contact::Contact;
 use crate::node::NodeId;
 use crate::time::{SimDuration, SimTime, SECONDS_PER_DAY};
-use crate::trace::ContactTrace;
+use crate::trace::{ContactSink, ContactTrace};
 
 /// Configuration for the DieselNet-style generator.
 ///
@@ -132,6 +132,17 @@ impl DieselNetConfig {
     /// The output contains only pair-wise contacts, all within service
     /// hours, sorted by start time.
     pub fn generate(&self) -> ContactTrace {
+        let mut builder = ContactTrace::builder();
+        self.generate_into(&mut builder);
+        builder.build()
+    }
+
+    /// Generates the trace directly into `sink` — e.g. a
+    /// [`ShardWriter`](crate::shard::ShardWriter) — without ever holding the
+    /// full contact list in memory. The contact sequence (and RNG draw
+    /// order) is identical to [`DieselNetConfig::generate`], emitted in
+    /// generation order rather than sorted order.
+    pub fn generate_into<S: ContactSink + ?Sized>(&self, sink: &mut S) {
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0xD1E5_E1DE);
         let route_of: Vec<u32> = (0..self.buses).map(|b| b % self.routes).collect();
 
@@ -146,7 +157,6 @@ impl DieselNetConfig {
         };
 
         let window_secs = (self.service_end_hour - self.service_start_hour) * 3_600;
-        let mut builder = ContactTrace::builder();
 
         for a in 0..self.buses {
             for b in (a + 1)..self.buses {
@@ -182,12 +192,11 @@ impl DieselNetConfig {
                             SimTime::from_secs(end),
                         )
                         .expect("generator produces valid contacts");
-                        builder.push(contact);
+                        sink.push_contact(contact);
                     }
                 }
             }
         }
-        builder.build()
     }
 
     /// The paper's frequent-contact window for this trace: three days.
@@ -235,6 +244,14 @@ mod tests {
         let a = DieselNetConfig::new(10, 3).seed(7).generate();
         let b = DieselNetConfig::new(10, 3).seed(7).generate();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generate_into_builder_matches_generate() {
+        let cfg = DieselNetConfig::new(12, 4).seed(7);
+        let mut builder = ContactTrace::builder();
+        cfg.generate_into(&mut builder);
+        assert_eq!(builder.build(), cfg.generate());
     }
 
     #[test]

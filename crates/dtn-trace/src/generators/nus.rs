@@ -22,7 +22,7 @@ use rand::{Rng, SeedableRng};
 use crate::contact::Contact;
 use crate::node::NodeId;
 use crate::time::{SimDuration, SimTime, SECONDS_PER_DAY};
-use crate::trace::ContactTrace;
+use crate::trace::{ContactSink, ContactTrace};
 
 /// Configuration for the NUS-style campus generator.
 ///
@@ -143,6 +143,17 @@ impl NusConfig {
     /// are resolved by dropping attendance of the later course, preserving
     /// the non-overlapping-clique property).
     pub fn generate(&self) -> ContactTrace {
+        let mut builder = ContactTrace::builder();
+        self.generate_into(&mut builder);
+        builder.build()
+    }
+
+    /// Generates the trace directly into `sink` — e.g. a
+    /// [`ShardWriter`](crate::shard::ShardWriter) — without holding the full
+    /// contact list in memory. The contact sequence (and RNG draw order) is
+    /// identical to [`NusConfig::generate`], emitted in generation order
+    /// rather than sorted order.
+    pub fn generate_into<S: ContactSink + ?Sized>(&self, sink: &mut S) {
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x0005_CAFE);
         let courses_per_student = self.courses_per_student.min(self.courses);
 
@@ -192,7 +203,6 @@ impl NusConfig {
             }
         }
 
-        let mut builder = ContactTrace::builder();
         for day in 0..self.days {
             let weekday = (day % 7) as u32;
             if self.weekends_off && weekday >= 5 {
@@ -233,11 +243,10 @@ impl NusConfig {
                         SimTime::from_secs(end_secs),
                     )
                     .expect("generator produces valid cliques");
-                    builder.push(contact);
+                    sink.push_contact(contact);
                 }
             }
         }
-        builder.build()
     }
 
     /// The paper's frequent-contact window for this trace: one day.
@@ -256,6 +265,14 @@ mod tests {
         let a = NusConfig::new(40, 7).seed(5).generate();
         let b = NusConfig::new(40, 7).seed(5).generate();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generate_into_builder_matches_generate() {
+        let cfg = NusConfig::new(40, 7).seed(5).attendance_rate(0.8);
+        let mut builder = ContactTrace::builder();
+        cfg.generate_into(&mut builder);
+        assert_eq!(builder.build(), cfg.generate());
     }
 
     #[test]

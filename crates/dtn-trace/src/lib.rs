@@ -13,8 +13,11 @@
 //!   UMassDieselNet bus trace (pair-wise contacts) and the NUS student contact
 //!   trace (classroom cliques),
 //! - a space-time graph ([`space_time`]) for reachability and
-//!   earliest-delivery analysis, and
-//! - a plain-text serialization format ([`parser`]).
+//!   earliest-delivery analysis,
+//! - a plain-text serialization format ([`parser`]), and
+//! - a streaming abstraction ([`TraceSource`]) with an on-disk sharded
+//!   backend ([`shard`]) that replays arbitrarily large traces with at most
+//!   one time-window shard resident in memory.
 //!
 //! # Example
 //!
@@ -43,6 +46,8 @@ pub mod generators;
 pub mod node;
 pub mod parser;
 pub mod perturb;
+pub mod shard;
+pub mod source;
 pub mod space_time;
 pub mod stats;
 pub mod time;
@@ -51,9 +56,11 @@ pub mod trace;
 pub use aggregate::AggregateGraph;
 pub use contact::{Contact, ContactError, ContactKind};
 pub use node::NodeId;
-pub use parser::{read_trace, write_trace, ParseTraceError};
+pub use parser::{read_trace, write_trace, ContactReader, ParseTraceError};
 pub use perturb::Perturbation;
+pub use shard::{ShardError, ShardWriter, ShardedTrace};
+pub use source::{ContactStream, StreamStats, TraceSource};
 pub use space_time::SpaceTimeGraph;
 pub use stats::TraceStats;
 pub use time::{SimDuration, SimTime, SECONDS_PER_DAY};
-pub use trace::{ContactTrace, TraceBuilder};
+pub use trace::{ContactSink, ContactTrace, TraceBuilder};

@@ -120,15 +120,36 @@ pub fn write_trace<W: Write>(mut writer: W, trace: &ContactTrace) -> io::Result<
 /// Returns [`ParseTraceError`] on I/O failure, malformed lines, or lines
 /// describing invalid contacts (empty interval, duplicate node, singleton).
 pub fn read_trace<R: Read>(reader: R) -> Result<ContactTrace, ParseTraceError> {
-    let buffered = BufReader::new(reader);
     let mut builder = ContactTrace::builder();
-    for (idx, line) in buffered.lines().enumerate() {
-        let line_no = idx + 1;
-        let line = line?;
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
+    for contact in ContactReader::new(reader) {
+        builder.push(contact?);
+    }
+    Ok(builder.build())
+}
+
+/// Streaming reader over the text format: yields one [`Contact`] at a time
+/// without buffering the whole trace. Comments and blank lines are skipped;
+/// errors carry 1-based line numbers. After the first error the iterator
+/// is exhausted.
+#[derive(Debug)]
+pub struct ContactReader<R> {
+    lines: std::io::Lines<BufReader<R>>,
+    line_no: usize,
+    failed: bool,
+}
+
+impl<R: Read> ContactReader<R> {
+    /// Wraps `reader` for streaming parsing.
+    pub fn new(reader: R) -> Self {
+        ContactReader {
+            lines: BufReader::new(reader).lines(),
+            line_no: 0,
+            failed: false,
         }
+    }
+
+    fn parse_line(&self, trimmed: &str) -> Result<Contact, ParseTraceError> {
+        let line_no = self.line_no;
         let mut fields = trimmed.split_ascii_whitespace();
         let keyword = fields.next().expect("non-empty line has a first token");
         if keyword != "contact" {
@@ -149,14 +170,42 @@ pub fn read_trace<R: Read>(reader: R) -> Result<ContactTrace, ParseTraceError> {
                     })
             })
             .collect::<Result<_, _>>()?;
-        let contact = Contact::clique(nodes, SimTime::from_secs(start), SimTime::from_secs(end))
-            .map_err(|source| ParseTraceError::InvalidContact {
+        Contact::clique(nodes, SimTime::from_secs(start), SimTime::from_secs(end)).map_err(
+            |source| ParseTraceError::InvalidContact {
                 line: line_no,
                 source,
-            })?;
-        builder.push(contact);
+            },
+        )
     }
-    Ok(builder.build())
+}
+
+impl<R: Read> Iterator for ContactReader<R> {
+    type Item = Result<Contact, ParseTraceError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        loop {
+            let line = match self.lines.next()? {
+                Ok(line) => line,
+                Err(e) => {
+                    self.failed = true;
+                    return Some(Err(e.into()));
+                }
+            };
+            self.line_no += 1;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let result = self.parse_line(trimmed);
+            if result.is_err() {
+                self.failed = true;
+            }
+            return Some(result);
+        }
+    }
 }
 
 fn parse_u64(tok: Option<&str>, line: usize, what: &str) -> Result<u64, ParseTraceError> {
@@ -249,5 +298,27 @@ mod tests {
     fn empty_input_is_empty_trace() {
         let trace = read_trace("".as_bytes()).unwrap();
         assert!(trace.is_empty());
+    }
+
+    #[test]
+    fn streaming_reader_yields_contacts_in_file_order() {
+        let text = "# header\ncontact 10 20 1 2\n\ncontact 0 5 3 4\n";
+        let contacts: Vec<Contact> = ContactReader::new(text.as_bytes())
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(contacts.len(), 2);
+        // File order, not sorted order — sorting is the caller's job.
+        assert_eq!(contacts[0].start().as_secs(), 10);
+        assert_eq!(contacts[1].start().as_secs(), 0);
+    }
+
+    #[test]
+    fn streaming_reader_stops_after_first_error() {
+        let text = "contact 0 10 1 2\nbogus line\ncontact 20 30 1 2\n";
+        let mut reader = ContactReader::new(text.as_bytes());
+        assert!(reader.next().unwrap().is_ok());
+        let err = reader.next().unwrap().unwrap_err();
+        assert!(matches!(err, ParseTraceError::Syntax { line: 2, .. }));
+        assert!(reader.next().is_none());
     }
 }

@@ -1,0 +1,760 @@
+//! On-disk sharded traces: time-windowed segments with a manifest.
+//!
+//! A sharded trace is a directory:
+//!
+//! ```text
+//! trace-dir/
+//!   manifest.txt      # dtn-shard v1 header + summary facts + shard index
+//!   shard-00000.txt   # dtn-trace v1 text, contacts starting in window 0
+//!   shard-00003.txt   # windows with no contacts have no file
+//!   ...
+//! ```
+//!
+//! Contacts are partitioned by **start time** into fixed-width windows and
+//! each shard file is sorted in the canonical event order (start, end,
+//! participants). Because a given start time lands in exactly one window,
+//! concatenating shards in window order reproduces the exact global sort an
+//! in-memory [`ContactTrace`](crate::ContactTrace) would produce — sharded replay is
+//! byte-identical to in-memory replay by construction.
+//!
+//! The manifest carries everything a run needs without touching shard
+//! files: contact count, id space, node set, span, and per-shard contact
+//! counts. [`ShardedTrace::stream`] then faults shards in one at a time, so
+//! peak memory is bounded by the largest single shard.
+//!
+//! ```text
+//! # dtn-shard v1
+//! window-secs 86400
+//! contacts 1234
+//! id-space 16
+//! span-start 0
+//! span-end 518400
+//! nodes 0 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15
+//! shard shard-00000.txt 0 210
+//! shard shard-00001.txt 1 195
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::error::Error;
+use std::fmt;
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+use crate::contact::Contact;
+use crate::node::NodeId;
+use crate::parser::{ContactReader, ParseTraceError};
+use crate::source::{ContactStream, StreamStats, TraceSource};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{sort_contacts, ContactSink};
+
+/// Name of the manifest file inside a shard directory.
+pub const MANIFEST_FILE: &str = "manifest.txt";
+
+/// Format tag on the manifest's first line.
+const MANIFEST_HEADER: &str = "# dtn-shard v1";
+
+/// Node ids per `nodes` manifest line (keeps lines diff-friendly).
+const NODES_PER_LINE: usize = 16;
+
+/// Error produced while writing or reading a sharded trace.
+#[derive(Debug)]
+pub enum ShardError {
+    /// Underlying I/O failure, with the path involved.
+    Io {
+        /// What was being done.
+        context: String,
+        /// The underlying error.
+        source: io::Error,
+    },
+    /// A shard file could not be parsed.
+    Trace(ParseTraceError),
+    /// The manifest is malformed.
+    Manifest {
+        /// 1-based line number within the manifest.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The writer was configured with a zero-width window.
+    ZeroWindow,
+}
+
+impl fmt::Display for ShardError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShardError::Io { context, source } => write!(f, "i/o error {context}: {source}"),
+            ShardError::Trace(e) => write!(f, "shard file error: {e}"),
+            ShardError::Manifest { line, message } => {
+                write!(f, "manifest error on line {line}: {message}")
+            }
+            ShardError::ZeroWindow => write!(f, "shard window must be non-zero"),
+        }
+    }
+}
+
+impl Error for ShardError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ShardError::Io { source, .. } => Some(source),
+            ShardError::Trace(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ParseTraceError> for ShardError {
+    fn from(e: ParseTraceError) -> Self {
+        ShardError::Trace(e)
+    }
+}
+
+fn io_err(context: impl Into<String>) -> impl FnOnce(io::Error) -> ShardError {
+    let context = context.into();
+    move |source| ShardError::Io { context, source }
+}
+
+/// One shard in the manifest index.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardMeta {
+    /// File name relative to the shard directory.
+    pub file: String,
+    /// Zero-based window index (`start_secs / window_secs`).
+    pub window_index: u64,
+    /// Number of contacts in the shard.
+    pub contacts: u64,
+}
+
+/// Streams contacts into time-windowed shard files, never holding the whole
+/// trace in memory.
+///
+/// Accepts contacts in **any order** through [`ContactSink`] — each one is
+/// appended to its window's file as it arrives. [`ShardWriter::finish`]
+/// then sorts each shard (one shard resident at a time), writes the
+/// manifest, and opens the result for reading.
+///
+/// `push_contact` is infallible per the [`ContactSink`] contract, so I/O
+/// errors are buffered: after the first failure further pushes are dropped
+/// and `finish` reports the original error.
+#[derive(Debug)]
+pub struct ShardWriter {
+    dir: PathBuf,
+    window_secs: u64,
+    shards: BTreeMap<u64, (BufWriter<File>, u64)>,
+    nodes: BTreeSet<NodeId>,
+    id_space: usize,
+    contacts: u64,
+    min_start: Option<SimTime>,
+    max_end: Option<SimTime>,
+    error: Option<ShardError>,
+}
+
+/// File name of the shard for `window_index`.
+fn shard_file_name(window_index: u64) -> String {
+    format!("shard-{window_index:05}.txt")
+}
+
+fn write_contact_line<W: Write>(writer: &mut W, contact: &Contact) -> io::Result<()> {
+    write!(
+        writer,
+        "contact {} {}",
+        contact.start().as_secs(),
+        contact.end().as_secs()
+    )?;
+    for node in contact.participants() {
+        write!(writer, " {}", node.raw())?;
+    }
+    writeln!(writer)
+}
+
+impl ShardWriter {
+    /// Creates `dir` (and parents) and prepares to write shards of `window`
+    /// width, partitioned by contact start time.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::ZeroWindow`] for a zero-width window, or an I/O error
+    /// if the directory cannot be created.
+    pub fn create(dir: impl Into<PathBuf>, window: SimDuration) -> Result<ShardWriter, ShardError> {
+        let dir = dir.into();
+        if window.as_secs() == 0 {
+            return Err(ShardError::ZeroWindow);
+        }
+        fs::create_dir_all(&dir).map_err(io_err(format!("creating `{}`", dir.display())))?;
+        Ok(ShardWriter {
+            dir,
+            window_secs: window.as_secs(),
+            shards: BTreeMap::new(),
+            nodes: BTreeSet::new(),
+            id_space: 0,
+            contacts: 0,
+            min_start: None,
+            max_end: None,
+            error: None,
+        })
+    }
+
+    /// Number of contacts accepted so far.
+    pub fn len(&self) -> u64 {
+        self.contacts
+    }
+
+    /// True if no contacts have been accepted.
+    pub fn is_empty(&self) -> bool {
+        self.contacts == 0
+    }
+
+    fn append(&mut self, contact: &Contact) -> Result<(), ShardError> {
+        let window_index = contact.start().as_secs() / self.window_secs;
+        let (writer, count) = match self.shards.entry(window_index) {
+            std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::btree_map::Entry::Vacant(e) => {
+                let path = self.dir.join(shard_file_name(window_index));
+                let file = File::create(&path)
+                    .map_err(io_err(format!("creating `{}`", path.display())))?;
+                let mut writer = BufWriter::new(file);
+                writeln!(writer, "# dtn-trace v1")
+                    .map_err(io_err(format!("writing `{}`", path.display())))?;
+                e.insert((writer, 0))
+            }
+        };
+        write_contact_line(writer, contact).map_err(io_err("writing shard"))?;
+        *count += 1;
+        self.contacts += 1;
+        for node in contact.participants() {
+            self.nodes.insert(*node);
+            self.id_space = self.id_space.max(node.index() + 1);
+        }
+        self.min_start = Some(
+            self.min_start
+                .map_or(contact.start(), |t| t.min(contact.start())),
+        );
+        self.max_end = Some(self.max_end.map_or(contact.end(), |t| t.max(contact.end())));
+        Ok(())
+    }
+
+    /// Sorts every shard into event order (one shard in memory at a time),
+    /// writes the manifest, and opens the finished trace.
+    ///
+    /// # Errors
+    ///
+    /// The first error buffered during writing, or any I/O / parse error
+    /// during the sort and manifest pass.
+    pub fn finish(mut self) -> Result<ShardedTrace, ShardError> {
+        if let Some(error) = self.error.take() {
+            return Err(error);
+        }
+        let mut metas = Vec::with_capacity(self.shards.len());
+        for (window_index, (writer, count)) in std::mem::take(&mut self.shards) {
+            writer
+                .into_inner()
+                .map_err(|e| ShardError::Io {
+                    context: "flushing shard".to_string(),
+                    source: e.into_error(),
+                })?
+                .sync_data()
+                .ok();
+            let file = shard_file_name(window_index);
+            let path = self.dir.join(&file);
+            // Re-read the one shard, sort it, rewrite it. Memory is bounded
+            // by the largest shard — the invariant the reader relies on.
+            let handle =
+                File::open(&path).map_err(io_err(format!("reopening `{}`", path.display())))?;
+            let mut contacts: Vec<Contact> =
+                ContactReader::new(handle).collect::<Result<_, _>>()?;
+            sort_contacts(&mut contacts);
+            let out =
+                File::create(&path).map_err(io_err(format!("rewriting `{}`", path.display())))?;
+            let mut out = BufWriter::new(out);
+            writeln!(out, "# dtn-trace v1").map_err(io_err("writing shard header"))?;
+            for contact in &contacts {
+                write_contact_line(&mut out, contact).map_err(io_err("writing shard"))?;
+            }
+            out.flush().map_err(io_err("flushing shard"))?;
+            metas.push(ShardMeta {
+                file,
+                window_index,
+                contacts: count,
+            });
+        }
+        let manifest = Manifest {
+            window_secs: self.window_secs,
+            contacts: self.contacts,
+            id_space: self.id_space,
+            nodes: self.nodes.iter().copied().collect(),
+            span_start: self.min_start,
+            span_end: self.max_end,
+            shards: metas,
+        };
+        let path = self.dir.join(MANIFEST_FILE);
+        let file = File::create(&path).map_err(io_err(format!("creating `{}`", path.display())))?;
+        let mut writer = BufWriter::new(file);
+        manifest
+            .write(&mut writer)
+            .map_err(io_err("writing manifest"))?;
+        writer.flush().map_err(io_err("flushing manifest"))?;
+        Ok(ShardedTrace {
+            dir: self.dir,
+            manifest,
+        })
+    }
+}
+
+impl ContactSink for ShardWriter {
+    fn push_contact(&mut self, contact: Contact) {
+        if self.error.is_some() {
+            return;
+        }
+        if let Err(e) = self.append(&contact) {
+            self.error = Some(e);
+        }
+    }
+}
+
+/// Parsed manifest contents.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Manifest {
+    window_secs: u64,
+    contacts: u64,
+    id_space: usize,
+    nodes: Vec<NodeId>,
+    span_start: Option<SimTime>,
+    span_end: Option<SimTime>,
+    shards: Vec<ShardMeta>,
+}
+
+impl Manifest {
+    fn write<W: Write>(&self, writer: &mut W) -> io::Result<()> {
+        writeln!(writer, "{MANIFEST_HEADER}")?;
+        writeln!(writer, "window-secs {}", self.window_secs)?;
+        writeln!(writer, "contacts {}", self.contacts)?;
+        writeln!(writer, "id-space {}", self.id_space)?;
+        if let (Some(start), Some(end)) = (self.span_start, self.span_end) {
+            writeln!(writer, "span-start {}", start.as_secs())?;
+            writeln!(writer, "span-end {}", end.as_secs())?;
+        }
+        for chunk in self.nodes.chunks(NODES_PER_LINE) {
+            write!(writer, "nodes")?;
+            for node in chunk {
+                write!(writer, " {}", node.raw())?;
+            }
+            writeln!(writer)?;
+        }
+        for shard in &self.shards {
+            writeln!(
+                writer,
+                "shard {} {} {}",
+                shard.file, shard.window_index, shard.contacts
+            )?;
+        }
+        Ok(())
+    }
+
+    fn parse(text: &str) -> Result<Manifest, ShardError> {
+        let bad = |line: usize, message: String| ShardError::Manifest { line, message };
+        let mut lines = text.lines().enumerate();
+        match lines.next() {
+            Some((_, header)) if header.trim() == MANIFEST_HEADER => {}
+            Some((_, header)) => {
+                return Err(bad(
+                    1,
+                    format!("expected `{MANIFEST_HEADER}`, found `{header}`"),
+                ))
+            }
+            None => return Err(bad(1, "empty manifest".to_string())),
+        }
+        let mut manifest = Manifest {
+            window_secs: 0,
+            contacts: 0,
+            id_space: 0,
+            nodes: Vec::new(),
+            span_start: None,
+            span_end: None,
+            shards: Vec::new(),
+        };
+        for (idx, line) in lines {
+            let line_no = idx + 1;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let mut fields = trimmed.split_ascii_whitespace();
+            let keyword = fields.next().expect("non-empty line has a first token");
+            fn next_num<'a>(
+                fields: &mut impl Iterator<Item = &'a str>,
+                line_no: usize,
+                what: &str,
+            ) -> Result<u64, ShardError> {
+                let tok = fields.next().ok_or_else(|| ShardError::Manifest {
+                    line: line_no,
+                    message: format!("missing {what}"),
+                })?;
+                tok.parse::<u64>().map_err(|_| ShardError::Manifest {
+                    line: line_no,
+                    message: format!("invalid {what} `{tok}`"),
+                })
+            }
+            match keyword {
+                "window-secs" => {
+                    manifest.window_secs = next_num(&mut fields, line_no, "window width")?
+                }
+                "contacts" => manifest.contacts = next_num(&mut fields, line_no, "contact count")?,
+                "id-space" => {
+                    manifest.id_space = next_num(&mut fields, line_no, "id space")? as usize
+                }
+                "span-start" => {
+                    manifest.span_start = Some(SimTime::from_secs(next_num(
+                        &mut fields,
+                        line_no,
+                        "span start",
+                    )?))
+                }
+                "span-end" => {
+                    manifest.span_end = Some(SimTime::from_secs(next_num(
+                        &mut fields,
+                        line_no,
+                        "span end",
+                    )?))
+                }
+                "nodes" => {
+                    for tok in fields {
+                        let id = tok
+                            .parse::<u32>()
+                            .map_err(|_| bad(line_no, format!("invalid node id `{tok}`")))?;
+                        manifest.nodes.push(NodeId::new(id));
+                    }
+                }
+                "shard" => {
+                    let file = fields
+                        .next()
+                        .ok_or_else(|| bad(line_no, "missing shard file".to_string()))?
+                        .to_string();
+                    let window_index = next_num(&mut fields, line_no, "window index")?;
+                    let contacts = next_num(&mut fields, line_no, "shard contact count")?;
+                    manifest.shards.push(ShardMeta {
+                        file,
+                        window_index,
+                        contacts,
+                    });
+                }
+                other => return Err(bad(line_no, format!("unknown keyword `{other}`"))),
+            }
+        }
+        if manifest.window_secs == 0 {
+            return Err(ShardError::ZeroWindow);
+        }
+        let shard_total: u64 = manifest.shards.iter().map(|s| s.contacts).sum();
+        if shard_total != manifest.contacts {
+            return Err(bad(
+                1,
+                format!(
+                    "shard counts sum to {shard_total} but manifest declares {} contacts",
+                    manifest.contacts
+                ),
+            ));
+        }
+        Ok(manifest)
+    }
+}
+
+/// A sharded trace on disk, opened through its manifest.
+///
+/// Summary facts (length, node set, span) come straight from the manifest;
+/// [`ShardedTrace::stream`] replays contacts in event order with at most
+/// one shard resident.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedTrace {
+    dir: PathBuf,
+    manifest: Manifest,
+}
+
+impl ShardedTrace {
+    /// Opens the sharded trace stored in `dir` by reading its manifest.
+    ///
+    /// Shard files are opened lazily, one at a time, when streaming.
+    ///
+    /// # Errors
+    ///
+    /// I/O failure reading the manifest or a malformed manifest.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<ShardedTrace, ShardError> {
+        let dir = dir.into();
+        let path = dir.join(MANIFEST_FILE);
+        let text =
+            fs::read_to_string(&path).map_err(io_err(format!("reading `{}`", path.display())))?;
+        let manifest = Manifest::parse(&text)?;
+        Ok(ShardedTrace { dir, manifest })
+    }
+
+    /// The directory holding the manifest and shard files.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Width of each time window.
+    pub fn window(&self) -> SimDuration {
+        SimDuration::from_secs(self.manifest.window_secs)
+    }
+
+    /// Number of shard files.
+    pub fn shard_count(&self) -> usize {
+        self.manifest.shards.len()
+    }
+
+    /// The shard index, in window order.
+    pub fn shards(&self) -> &[ShardMeta] {
+        &self.manifest.shards
+    }
+
+    /// Contact count of the fullest shard — the streaming memory bound.
+    pub fn largest_shard_contacts(&self) -> u64 {
+        self.manifest
+            .shards
+            .iter()
+            .map(|s| s.contacts)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl TraceSource for ShardedTrace {
+    fn len(&self) -> usize {
+        self.manifest.contacts as usize
+    }
+
+    fn nodes(&self) -> Vec<NodeId> {
+        self.manifest.nodes.clone()
+    }
+
+    fn id_space(&self) -> usize {
+        self.manifest.id_space
+    }
+
+    fn start_time(&self) -> Option<SimTime> {
+        self.manifest.span_start
+    }
+
+    fn end_time(&self) -> Option<SimTime> {
+        self.manifest.span_end
+    }
+
+    fn stream(&self) -> Box<dyn ContactStream + '_> {
+        Box::new(ShardStream {
+            trace: self,
+            next_shard: 0,
+            current: Vec::new().into_iter(),
+            stats: StreamStats::default(),
+        })
+    }
+}
+
+/// Streaming iterator over a [`ShardedTrace`]: loads one shard at a time.
+///
+/// Shard files are trusted once the manifest opened cleanly; a shard that
+/// fails to read mid-stream panics rather than silently truncating the
+/// replay (a short trace would corrupt results downstream).
+#[derive(Debug)]
+struct ShardStream<'a> {
+    trace: &'a ShardedTrace,
+    next_shard: usize,
+    current: std::vec::IntoIter<Contact>,
+    stats: StreamStats,
+}
+
+impl ShardStream<'_> {
+    fn load_next_shard(&mut self) -> bool {
+        let Some(meta) = self.trace.manifest.shards.get(self.next_shard) else {
+            return false;
+        };
+        self.next_shard += 1;
+        let path = self.trace.dir.join(&meta.file);
+        let file = File::open(&path)
+            .unwrap_or_else(|e| panic!("cannot open shard `{}`: {e}", path.display()));
+        let contacts: Vec<Contact> = ContactReader::new(file)
+            .collect::<Result<_, _>>()
+            .unwrap_or_else(|e| panic!("cannot parse shard `{}`: {e}", path.display()));
+        self.stats.shards_loaded += 1;
+        self.stats.peak_resident_contacts =
+            self.stats.peak_resident_contacts.max(contacts.len() as u64);
+        self.current = contacts.into_iter();
+        true
+    }
+}
+
+impl Iterator for ShardStream<'_> {
+    type Item = Contact;
+
+    fn next(&mut self) -> Option<Contact> {
+        loop {
+            if let Some(contact) = self.current.next() {
+                return Some(contact);
+            }
+            if !self.load_next_shard() {
+                return None;
+            }
+        }
+    }
+}
+
+impl ContactStream for ShardStream<'_> {
+    fn stream_stats(&self) -> StreamStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::ContactTrace;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static DIR_SEQ: AtomicUsize = AtomicUsize::new(0);
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let seq = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "dtn-shard-test-{}-{}-{}",
+            tag,
+            std::process::id(),
+            seq
+        ))
+    }
+
+    fn pc(a: u32, b: u32, start: u64, end: u64) -> Contact {
+        Contact::pairwise(
+            NodeId::new(a),
+            NodeId::new(b),
+            SimTime::from_secs(start),
+            SimTime::from_secs(end),
+        )
+        .unwrap()
+    }
+
+    fn sample_contacts() -> Vec<Contact> {
+        vec![
+            pc(0, 1, 250, 400), // window 2
+            pc(1, 2, 10, 20),   // window 0
+            pc(2, 3, 120, 130), // window 1
+            pc(0, 3, 115, 300), // window 1, crosses boundary (start decides)
+            pc(4, 5, 10, 15),   // window 0, start tie with different end
+        ]
+    }
+
+    fn write_sample(dir: &Path) -> ShardedTrace {
+        let mut writer = ShardWriter::create(dir, SimDuration::from_secs(100)).unwrap();
+        for contact in sample_contacts() {
+            writer.push_contact(contact);
+        }
+        writer.finish().unwrap()
+    }
+
+    #[test]
+    fn round_trip_matches_in_memory_sort() {
+        let dir = temp_dir("round-trip");
+        let sharded = write_sample(&dir);
+        let in_memory: ContactTrace = sample_contacts().into_iter().collect();
+        let streamed: Vec<Contact> = TraceSource::stream(&sharded).collect();
+        assert_eq!(streamed, in_memory.contacts());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_facts_match_in_memory_facts() {
+        let dir = temp_dir("facts");
+        let sharded = write_sample(&dir);
+        let in_memory: ContactTrace = sample_contacts().into_iter().collect();
+        assert_eq!(TraceSource::len(&sharded), in_memory.len());
+        assert_eq!(TraceSource::nodes(&sharded), in_memory.nodes());
+        assert_eq!(TraceSource::id_space(&sharded), in_memory.id_space());
+        assert_eq!(TraceSource::start_time(&sharded), in_memory.start_time());
+        assert_eq!(TraceSource::end_time(&sharded), in_memory.end_time());
+        assert_eq!(TraceSource::span(&sharded), in_memory.span());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn reopen_equals_writer_result() {
+        let dir = temp_dir("reopen");
+        let written = write_sample(&dir);
+        let reopened = ShardedTrace::open(&dir).unwrap();
+        assert_eq!(written, reopened);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn stream_stats_bound_by_largest_shard() {
+        let dir = temp_dir("stats");
+        let sharded = write_sample(&dir);
+        let mut stream = TraceSource::stream(&sharded);
+        while stream.next().is_some() {}
+        let stats = stream.stream_stats();
+        assert_eq!(stats.shards_loaded, sharded.shard_count() as u64);
+        assert_eq!(
+            stats.peak_resident_contacts,
+            sharded.largest_shard_contacts()
+        );
+        // 5 contacts over 3 windows: the bound is strictly below the total.
+        assert!(stats.peak_resident_contacts < TraceSource::len(&sharded) as u64);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn empty_writer_produces_empty_trace() {
+        let dir = temp_dir("empty");
+        let writer = ShardWriter::create(&dir, SimDuration::from_secs(60)).unwrap();
+        assert!(writer.is_empty());
+        let sharded = writer.finish().unwrap();
+        assert!(TraceSource::is_empty(&sharded));
+        assert_eq!(TraceSource::start_time(&sharded), None);
+        assert_eq!(TraceSource::span(&sharded), SimDuration::ZERO);
+        assert_eq!(TraceSource::stream(&sharded).count(), 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn zero_window_is_rejected() {
+        let dir = temp_dir("zero-window");
+        assert!(matches!(
+            ShardWriter::create(&dir, SimDuration::ZERO),
+            Err(ShardError::ZeroWindow)
+        ));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn open_missing_dir_fails() {
+        let dir = temp_dir("missing");
+        assert!(matches!(
+            ShardedTrace::open(&dir),
+            Err(ShardError::Io { .. })
+        ));
+    }
+
+    #[test]
+    fn manifest_rejects_bad_header_and_count_mismatch() {
+        let err = Manifest::parse("# not-a-shard\n").unwrap_err();
+        assert!(matches!(err, ShardError::Manifest { line: 1, .. }));
+
+        let text = "# dtn-shard v1\nwindow-secs 60\ncontacts 5\n\
+                    shard shard-00000.txt 0 2\n";
+        let err = Manifest::parse(text).unwrap_err();
+        assert!(err.to_string().contains("sum to 2"));
+    }
+
+    #[test]
+    fn manifest_rejects_unknown_keyword() {
+        let text = "# dtn-shard v1\nwindow-secs 60\nwarp 9\n";
+        let err = Manifest::parse(text).unwrap_err();
+        assert!(matches!(err, ShardError::Manifest { line: 3, .. }));
+    }
+
+    #[test]
+    fn shard_files_are_valid_standalone_traces() {
+        let dir = temp_dir("standalone");
+        let sharded = write_sample(&dir);
+        let first = &sharded.shards()[0];
+        let file = File::open(dir.join(&first.file)).unwrap();
+        let trace = crate::parser::read_trace(file).unwrap();
+        assert_eq!(trace.len() as u64, first.contacts);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -35,7 +35,7 @@ use crate::trace::ContactTrace;
 pub struct TraceStats {
     contact_count: usize,
     span: SimDuration,
-    durations: Vec<SimDuration>,
+    duration_total_secs: u64,
     /// Per unordered pair: sorted contact start times.
     pair_starts: BTreeMap<(NodeId, NodeId), Vec<SimTime>>,
     nodes: Vec<NodeId>,
@@ -47,10 +47,28 @@ impl TraceStats {
     /// Clique contacts contribute one pair-event to every unordered pair of
     /// participants (students in one classroom all "meet" each other).
     pub fn compute(trace: &ContactTrace) -> Self {
-        let mut durations = Vec::with_capacity(trace.len());
+        Self::compute_stream(trace.iter().cloned())
+    }
+
+    /// Computes statistics from one streaming pass, without requiring the
+    /// full trace in memory. Contacts may arrive in any order; span, node
+    /// set, and per-pair start lists are derived during the pass.
+    ///
+    /// `compute_stream(trace.iter().cloned())` is identical to
+    /// [`TraceStats::compute`] on the same trace.
+    pub fn compute_stream<I: IntoIterator<Item = crate::contact::Contact>>(contacts: I) -> Self {
+        let mut contact_count = 0usize;
+        let mut duration_total_secs = 0u64;
+        let mut min_start: Option<SimTime> = None;
+        let mut max_end: Option<SimTime> = None;
         let mut pair_starts: BTreeMap<(NodeId, NodeId), Vec<SimTime>> = BTreeMap::new();
-        for contact in trace.iter() {
-            durations.push(contact.duration());
+        let mut nodes: BTreeSet<NodeId> = BTreeSet::new();
+        for contact in contacts {
+            contact_count += 1;
+            duration_total_secs += contact.duration().as_secs();
+            min_start = Some(min_start.map_or(contact.start(), |t| t.min(contact.start())));
+            max_end = Some(max_end.map_or(contact.end(), |t| t.max(contact.end())));
+            nodes.extend(contact.participants().iter().copied());
             for pair in contact.pairs() {
                 pair_starts.entry(pair).or_default().push(contact.start());
             }
@@ -58,12 +76,16 @@ impl TraceStats {
         for starts in pair_starts.values_mut() {
             starts.sort_unstable();
         }
+        let span = match (min_start, max_end) {
+            (Some(s), Some(e)) => e.duration_since(s),
+            _ => SimDuration::ZERO,
+        };
         TraceStats {
-            contact_count: trace.len(),
-            span: trace.span(),
-            durations,
+            contact_count,
+            span,
+            duration_total_secs,
             pair_starts,
-            nodes: trace.nodes(),
+            nodes: nodes.into_iter().collect(),
         }
     }
 
@@ -84,11 +106,10 @@ impl TraceStats {
 
     /// Mean contact duration in seconds, or `None` for an empty trace.
     pub fn mean_contact_duration_secs(&self) -> Option<f64> {
-        if self.durations.is_empty() {
+        if self.contact_count == 0 {
             return None;
         }
-        let total: u64 = self.durations.iter().map(|d| d.as_secs()).sum();
-        Some(total as f64 / self.durations.len() as f64)
+        Some(self.duration_total_secs as f64 / self.contact_count as f64)
     }
 
     /// Number of contacts between the unordered pair `(a, b)`.
@@ -403,6 +424,30 @@ mod tests {
         let t: ContactTrace = vec![pc(0, 1, 0, 10)].into_iter().collect();
         let s = TraceStats::compute(&t);
         assert_eq!(s.mean_contact_size(&t), Some(2.0));
+    }
+
+    #[test]
+    fn compute_stream_matches_compute_regardless_of_order() {
+        let contacts = vec![pc(0, 1, 100, 200), pc(2, 3, 0, 50), pc(0, 2, 300, 400)];
+        let trace: ContactTrace = contacts.clone().into_iter().collect();
+        let from_trace = TraceStats::compute(&trace);
+        // Feed the un-sorted original order — stats must not depend on it.
+        let from_stream = TraceStats::compute_stream(contacts);
+        assert_eq!(from_stream.contact_count(), from_trace.contact_count());
+        assert_eq!(from_stream.span(), from_trace.span());
+        assert_eq!(from_stream.nodes(), from_trace.nodes());
+        assert_eq!(
+            from_stream.mean_contact_duration_secs(),
+            from_trace.mean_contact_duration_secs()
+        );
+        assert_eq!(
+            from_stream.pair_contact_count(NodeId::new(0), NodeId::new(1)),
+            from_trace.pair_contact_count(NodeId::new(0), NodeId::new(1))
+        );
+        assert_eq!(
+            from_stream.pooled_inter_contact_times(),
+            from_trace.pooled_inter_contact_times()
+        );
     }
 
     #[test]

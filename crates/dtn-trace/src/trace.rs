@@ -72,14 +72,46 @@ impl TraceBuilder {
     }
 
     /// Finishes the trace, sorting contacts into event order.
-    pub fn build(&self) -> ContactTrace {
+    ///
+    /// Consumes the builder so the contact buffer moves into the trace
+    /// without a copy. Use [`TraceBuilder::build_cloned`] to keep the
+    /// builder alive for further pushes.
+    pub fn build(mut self) -> ContactTrace {
+        sort_contacts(&mut self.contacts);
+        ContactTrace {
+            contacts: self.contacts,
+        }
+    }
+
+    /// Like [`TraceBuilder::build`] but leaves the builder intact, at the
+    /// cost of cloning the contact buffer.
+    pub fn build_cloned(&self) -> ContactTrace {
         let mut contacts = self.contacts.clone();
         sort_contacts(&mut contacts);
         ContactTrace { contacts }
     }
 }
 
-fn sort_contacts(contacts: &mut [Contact]) {
+/// A destination for generated contacts.
+///
+/// Generators emit through this trait so the same generation code can fill
+/// an in-memory [`TraceBuilder`] or stream straight to on-disk shards
+/// (`ShardWriter`) without ever materializing the full trace.
+pub trait ContactSink {
+    /// Accepts one contact, in any order.
+    fn push_contact(&mut self, contact: Contact);
+}
+
+impl ContactSink for TraceBuilder {
+    fn push_contact(&mut self, contact: Contact) {
+        self.push(contact);
+    }
+}
+
+/// Sorts contacts into event order: start time, then end time, then
+/// participants. This is the one canonical order — shard files use it too,
+/// so concatenating time-windowed shards reproduces the in-memory order.
+pub(crate) fn sort_contacts(contacts: &mut [Contact]) {
     contacts.sort_by(|a, b| {
         a.start()
             .cmp(&b.start())
@@ -267,6 +299,25 @@ mod tests {
         let t = b.build();
         let starts: Vec<u64> = t.iter().map(|c| c.start().as_secs()).collect();
         assert_eq!(starts, vec![5, 50, 100]);
+    }
+
+    #[test]
+    fn build_cloned_keeps_builder_usable() {
+        let mut b = ContactTrace::builder();
+        b.push(pc(0, 1, 9, 10));
+        let first = b.build_cloned();
+        assert_eq!(first.len(), 1);
+        b.push(pc(1, 2, 1, 2));
+        let second = b.build();
+        assert_eq!(second.len(), 2);
+        assert_eq!(second.contacts()[0].start().as_secs(), 1);
+    }
+
+    #[test]
+    fn contact_sink_feeds_builder() {
+        let mut b = ContactTrace::builder();
+        ContactSink::push_contact(&mut b, pc(0, 1, 5, 6));
+        assert_eq!(b.len(), 1);
     }
 
     #[test]

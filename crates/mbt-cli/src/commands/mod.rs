@@ -4,5 +4,7 @@ pub mod bench;
 pub mod capacity;
 pub mod gen_trace;
 pub mod routing;
+pub mod shard;
+pub mod shard_info;
 pub mod simulate;
 pub mod trace_stats;

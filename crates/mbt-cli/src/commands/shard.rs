@@ -1,0 +1,180 @@
+//! `mbt shard` — write a contact trace as time-windowed on-disk shards.
+//!
+//! Either generates a synthetic trace straight into the shard writer (the
+//! contacts never exist in memory all at once) or re-shards an existing
+//! trace file streamed contact by contact.
+
+use std::fs::File;
+
+use dtn_trace::generators::{DieselNetConfig, NusConfig, RandomWaypointConfig};
+use dtn_trace::{ContactReader, ContactSink as _, ShardWriter, SimDuration};
+
+use crate::args::Args;
+use crate::CliError;
+
+/// Usage text for the subcommand.
+pub const USAGE: &str = "mbt shard --out <dir> [--model dieselnet|nus|rwp] \
+[--nodes N] [--days N] [--seed N] [--attendance 0..1] [--weekends] \
+[--window-days N | --window-secs N] [--from <trace-file>]
+
+Writes time-windowed shards plus a manifest under <dir>. With --from, an
+existing trace file is streamed into shards instead of generating one.
+The dieselnet and nus models emit directly into the shard writer, so the
+full trace is never resident; feed the result to `mbt simulate <dir>` or
+inspect it with `mbt shard-info <dir>`.";
+
+/// Runs the subcommand.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let out = args
+        .opt_str("out")
+        .ok_or(crate::args::ArgError::MissingOption("out"))?
+        .to_string();
+    let window = if let Some(secs) = args.opt_str("window-secs") {
+        SimDuration::from_secs(
+            secs.parse()
+                .map_err(|_| CliError::Usage("--window-secs expects an integer".to_string()))?,
+        )
+    } else {
+        SimDuration::from_days(args.parse_or("window-days", 1u64, "an integer")?)
+    };
+
+    let mut writer =
+        ShardWriter::create(&out, window).map_err(|e| CliError::Usage(e.to_string()))?;
+
+    let described: String;
+    if let Some(from) = args.opt_str("from") {
+        let file = File::open(from).map_err(|e| CliError::Io(from.to_string(), e))?;
+        for contact in ContactReader::new(file) {
+            writer.push_contact(contact.map_err(|e| CliError::Usage(e.to_string()))?);
+        }
+        described = format!("from {from}");
+    } else {
+        let model = args.str_or("model", "dieselnet").to_string();
+        let nodes = args.parse_or("nodes", 40u32, "an integer")?;
+        let days = args.parse_or("days", 15u64, "an integer")?;
+        let seed = args.parse_or("seed", 42u64, "an integer")?;
+        match model.as_str() {
+            "dieselnet" => DieselNetConfig::new(nodes, days)
+                .seed(seed)
+                .generate_into(&mut writer),
+            "nus" => {
+                let attendance = args.parse_or("attendance", 1.0f64, "a number in [0,1]")?;
+                NusConfig::new(nodes, days)
+                    .seed(seed)
+                    .attendance_rate(attendance.clamp(0.0, 1.0))
+                    .weekends_off(!args.flag("weekends"))
+                    .generate_into(&mut writer)
+            }
+            // Random waypoint has no streaming generator; materialize, then
+            // spill. The other models never hold the full trace in memory.
+            "rwp" => {
+                let trace = RandomWaypointConfig::new(nodes, days * dtn_trace::SECONDS_PER_DAY)
+                    .seed(seed)
+                    .generate();
+                for c in trace.iter() {
+                    writer.push_contact(c.clone());
+                }
+            }
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown model `{other}` (expected dieselnet, nus, or rwp)"
+                )))
+            }
+        }
+        described = format!("model {model}, {nodes} nodes, {days} days");
+    }
+
+    let sharded = writer
+        .finish()
+        .map_err(|e| CliError::Usage(e.to_string()))?;
+    Ok(format!(
+        "sharded {} contacts ({described}) into {} shards of window {} s at {out}; \
+         largest shard holds {} contacts",
+        dtn_trace::TraceSource::len(&sharded),
+        sharded.shard_count(),
+        sharded.window().as_secs(),
+        sharded.largest_shard_contacts()
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_trace::{ShardedTrace, TraceSource};
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    fn out_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mbt-cli-test-shard/{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn shards_generated_dieselnet_trace() {
+        let dir = out_dir("gen");
+        let msg = run(&args(&format!(
+            "--model dieselnet --nodes 10 --days 3 --seed 1 --out {}",
+            dir.display()
+        )))
+        .unwrap();
+        assert!(msg.contains("sharded"), "{msg}");
+        let sharded = ShardedTrace::open(&dir).unwrap();
+        assert!(sharded.len() > 0);
+        assert!(sharded.shard_count() > 1, "3 days, 1-day windows");
+    }
+
+    #[test]
+    fn sharded_generation_matches_in_memory_generation() {
+        let dir = out_dir("match");
+        run(&args(&format!(
+            "--model nus --nodes 12 --days 2 --seed 7 --attendance 0.9 --out {}",
+            dir.display()
+        )))
+        .unwrap();
+        let expected = dtn_trace::generators::NusConfig::new(12, 2)
+            .seed(7)
+            .attendance_rate(0.9)
+            .generate();
+        let sharded = ShardedTrace::open(&dir).unwrap();
+        let replayed: Vec<_> = sharded.stream().collect();
+        assert_eq!(replayed, expected.contacts());
+    }
+
+    #[test]
+    fn reshards_existing_trace_file() {
+        let dir = out_dir("from");
+        let trace = dtn_trace::generators::DieselNetConfig::new(8, 2)
+            .seed(5)
+            .generate();
+        let file = std::env::temp_dir().join("mbt-cli-test-shard/from.trace");
+        std::fs::create_dir_all(file.parent().unwrap()).unwrap();
+        dtn_trace::write_trace(std::fs::File::create(&file).unwrap(), &trace).unwrap();
+        let msg = run(&args(&format!(
+            "--from {} --window-secs 43200 --out {}",
+            file.display(),
+            dir.display()
+        )))
+        .unwrap();
+        assert!(msg.contains(&format!("{} contacts", trace.len())), "{msg}");
+        let sharded = ShardedTrace::open(&dir).unwrap();
+        assert_eq!(sharded.window(), SimDuration::from_secs(43200));
+        let replayed: Vec<_> = sharded.stream().collect();
+        assert_eq!(replayed, trace.contacts());
+    }
+
+    #[test]
+    fn requires_out() {
+        let err = run(&args("--model nus")).unwrap_err();
+        assert!(err.to_string().contains("--out"));
+    }
+
+    #[test]
+    fn rejects_unknown_model() {
+        let dir = out_dir("bad");
+        let err = run(&args(&format!("--model teleport --out {}", dir.display()))).unwrap_err();
+        assert!(err.to_string().contains("teleport"));
+    }
+}

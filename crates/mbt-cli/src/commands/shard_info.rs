@@ -1,0 +1,82 @@
+//! `mbt shard-info` — inspect a sharded trace directory's manifest.
+
+use std::fmt::Write as _;
+
+use dtn_trace::{ShardedTrace, TraceSource};
+
+use crate::args::Args;
+use crate::CliError;
+
+/// Usage text for the subcommand.
+pub const USAGE: &str = "mbt shard-info <shard-dir>
+
+Prints the manifest facts of a sharded trace (see `mbt shard`): contact
+and node counts, id space, time span, shard window, and the per-shard
+contact distribution. Reads only the manifest, never the shards.";
+
+/// Runs the subcommand.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let path = args.positional(0, "shard-dir")?.to_string();
+    let sharded = ShardedTrace::open(&path).map_err(|e| CliError::Usage(e.to_string()))?;
+
+    let mut out = String::new();
+    let _ = writeln!(out, "sharded trace: {path}");
+    let _ = writeln!(out, "  contacts:      {}", sharded.len());
+    let _ = writeln!(out, "  nodes:         {}", sharded.nodes().len());
+    let _ = writeln!(out, "  id space:      {}", sharded.id_space());
+    let _ = writeln!(
+        out,
+        "  span:          {:.2} days (start {} s, end {} s)",
+        sharded.span().as_days_f64(),
+        sharded.start_time().map_or(0, |t| t.as_secs()),
+        sharded.end_time().map_or(0, |t| t.as_secs())
+    );
+    let _ = writeln!(out, "  window:        {} s", sharded.window().as_secs());
+    let _ = writeln!(out, "  shards:        {}", sharded.shard_count());
+    let _ = writeln!(
+        out,
+        "  largest shard: {} contacts (bounds resident memory during replay)",
+        sharded.largest_shard_contacts()
+    );
+    for meta in sharded.shards() {
+        let _ = writeln!(
+            out,
+            "    {}  window {:>4}  {:>8} contacts",
+            meta.file, meta.window_index, meta.contacts
+        );
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_trace::generators::DieselNetConfig;
+    use dtn_trace::{ShardWriter, SimDuration};
+
+    #[test]
+    fn reports_manifest_facts() {
+        let dir = std::env::temp_dir().join("mbt-cli-test-shard-info/basic");
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut writer = ShardWriter::create(&dir, SimDuration::from_days(1)).unwrap();
+        DieselNetConfig::new(10, 3)
+            .seed(1)
+            .generate_into(&mut writer);
+        let sharded = writer.finish().unwrap();
+        let args = Args::parse(vec![dir.display().to_string()]).unwrap();
+        let out = run(&args).unwrap();
+        assert!(
+            out.contains(&format!("contacts:      {}", sharded.len())),
+            "{out}"
+        );
+        assert!(out.contains(&format!("shards:        {}", sharded.shard_count())));
+        assert!(out.contains("largest shard:"));
+        assert!(out.contains("shard-00000.txt"));
+    }
+
+    #[test]
+    fn missing_directory_is_a_usage_error() {
+        let args = Args::parse(vec!["/nonexistent/shards".to_string()]).unwrap();
+        assert!(matches!(run(&args), Err(CliError::Usage(_))));
+    }
+}

@@ -3,8 +3,10 @@
 //!
 //! ```text
 //! mbt gen-trace    generate a synthetic contact trace (dieselnet | nus | rwp)
+//! mbt shard        write a trace as time-windowed on-disk shards
+//! mbt shard-info   inspect a sharded trace's manifest
 //! mbt trace-stats  inspect a trace: contacts, cliques, inter-contact times
-//! mbt simulate     run MBT / MBT-Q / MBT-QM over a trace, report delivery
+//! mbt simulate     run MBT / MBT-Q / MBT-QM over a trace or shard dir
 //! mbt routing      run a routing baseline (epidemic | prophet | spray | direct)
 //! mbt capacity     print the §V broadcast vs pair-wise capacity table
 //! mbt bench        run quick-scale sweeps under telemetry, emit a perf report
@@ -49,8 +51,10 @@ const TOP_USAGE: &str = "usage: mbt <command> [options]
 
 commands:
   gen-trace    generate a synthetic contact trace
+  shard        write a trace as time-windowed on-disk shards
+  shard-info   inspect a sharded trace's manifest
   trace-stats  inspect a contact trace
-  simulate     run the MBT file-sharing simulation
+  simulate     run the MBT file-sharing simulation (trace file or shard dir)
   routing      run a store-carry-forward routing baseline
   capacity     print the broadcast vs pair-wise capacity table
   bench        run benchmark sweeps and write a JSON perf report
@@ -64,6 +68,18 @@ fn dispatch(command: &str, args: &Args) -> Result<String, CliError> {
                 return Ok(commands::gen_trace::USAGE.to_string());
             }
             commands::gen_trace::run(args)
+        }
+        "shard" => {
+            if args.flag("help") {
+                return Ok(commands::shard::USAGE.to_string());
+            }
+            commands::shard::run(args)
+        }
+        "shard-info" => {
+            if args.flag("help") {
+                return Ok(commands::shard_info::USAGE.to_string());
+            }
+            commands::shard_info::run(args)
         }
         "trace-stats" => {
             if args.flag("help") {
@@ -151,6 +167,8 @@ mod tests {
         let args = Args::parse(vec!["--help".to_string()]).unwrap();
         for cmd in [
             "gen-trace",
+            "shard",
+            "shard-info",
             "trace-stats",
             "simulate",
             "routing",

@@ -43,7 +43,7 @@ fn run_rows(
     let runner = ParallelRunner::new(*exec);
     runner.run_all(&configs, |(label, params)| AblationRow {
         label: label.clone(),
-        result: run_simulation(trace, params),
+        result: run_simulation(trace, params, None),
     })
 }
 

@@ -14,7 +14,7 @@ use mbt_experiments::ablations::{
     short_contact_ablation_with,
 };
 use mbt_experiments::capacity::{capacity_table, crossover_holds};
-use mbt_experiments::figures::{all_fig2_with, all_fig3_with};
+use mbt_experiments::figures::{all_fig2, all_fig3, RunContext};
 use mbt_experiments::mobility::{mobility_comparison, mobility_table};
 use mbt_experiments::progress::{delivery_progress_with, progress_table};
 use mbt_experiments::report::{capacity_table_text, figure_csv, figure_table};
@@ -28,10 +28,8 @@ fn main() {
     let exec = exec_from_args();
     println!("=== MBT reproduction: all experiments (scale {scale:?}) ===\n");
 
-    for fig in all_fig2_with(scale, &exec)
-        .into_iter()
-        .chain(all_fig3_with(scale, &exec))
-    {
+    let mut ctx = RunContext::new(scale).exec(exec);
+    for fig in all_fig2(&mut ctx).into_iter().chain(all_fig3(&mut ctx)) {
         print!("{}", figure_table(&fig));
         if let Some(path) = write_csv(&fig.id, &figure_csv(&fig)) {
             println!("  -> {}", path.display());

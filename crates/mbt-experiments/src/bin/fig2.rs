@@ -7,7 +7,7 @@
 //! `--replicates R` runs R independently-seeded replicates per sweep cell,
 //! populating the stddev columns of the CSV output.
 
-use mbt_experiments::figures::all_fig2_with;
+use mbt_experiments::figures::{all_fig2, RunContext};
 use mbt_experiments::report::{figure_csv, figure_table};
 use mbt_experiments::{exec_from_args, scale_from_args, write_csv};
 
@@ -15,7 +15,8 @@ fn main() {
     let scale = scale_from_args();
     let exec = exec_from_args();
     println!("Reproducing Figure 2 (DieselNet-style trace), scale {scale:?}\n");
-    for fig in all_fig2_with(scale, &exec) {
+    let mut ctx = RunContext::new(scale).exec(exec);
+    for fig in all_fig2(&mut ctx) {
         print!("{}", figure_table(&fig));
         if let Some(path) = write_csv(&fig.id, &figure_csv(&fig)) {
             println!("  -> {}", path.display());

@@ -15,25 +15,30 @@
 //! - every cell derives its own seed as
 //!   `derive_seed(&[master, point_idx, protocol_idx, replicate_idx])`, so a
 //!   cell's seed depends only on its grid coordinates;
-//! - the immutable [`ContactTrace`] is shared via [`Arc`], never
-//!   regenerated per cell;
+//! - the immutable [`TraceSource`] (an in-memory trace or an on-disk
+//!   sharded trace) is shared via [`Arc`], never regenerated per cell;
 //! - cell results are collected and reduced in grid order, never in
 //!   completion order.
 //!
 //! `tests/parallel_determinism.rs` pins this contract: the same figure run
 //! with `--jobs 1` and `--jobs 8` must render byte-identical CSV.
+//!
+//! Every sweep entry point takes an optional [`Telemetry`] sink as its last
+//! argument: `None` runs the plain path (no telemetry work at all), `Some`
+//! merges per-cell counters and phase spans **in grid order** so the
+//! counters too are bit-identical for any worker count.
 
 use std::sync::Arc;
 use std::time::Instant;
 
 use dtn_sim::rng::derive_seed;
 use dtn_sim::telemetry::{Phase, Telemetry};
-use dtn_trace::ContactTrace;
+use dtn_trace::{ContactTrace, TraceSource};
 use mbt_core::ProtocolKind;
 use rayon::prelude::*;
 use rayon::{ThreadPool, ThreadPoolBuilder};
 
-use crate::runner::{run_simulation, run_simulation_observed, SimParams, SimResult};
+use crate::runner::{run_simulation, SimParams, SimResult};
 use crate::sweep::{Figure, ProtocolSeries, SeriesPoint};
 
 /// How a sweep executes: worker count, replicate count, and the master seed
@@ -92,7 +97,7 @@ impl ExecConfig {
 #[derive(Debug, Clone)]
 struct Cell {
     point_idx: usize,
-    trace: Arc<ContactTrace>,
+    source: Arc<dyn TraceSource>,
     params: SimParams,
 }
 
@@ -127,27 +132,88 @@ impl ParallelRunner {
     }
 
     /// Runs a sweep: `setup` produces the trace and base parameters per x
-    /// value (serially, in x order), then every
-    /// *(point × protocol × replicate)* cell is simulated on the pool. Each
-    /// trace is generated once and shared across its cells via [`Arc`].
-    pub fn sweep<F>(&self, id: &str, title: &str, x_label: &str, xs: &[f64], mut setup: F) -> Figure
+    /// value (serially, in x order, charged to the trace-load span when
+    /// observed), then every *(point × protocol × replicate)* cell is
+    /// simulated on the pool. Each trace is generated once and shared across
+    /// its cells via [`Arc`].
+    pub fn sweep<F>(
+        &self,
+        id: &str,
+        title: &str,
+        x_label: &str,
+        xs: &[f64],
+        mut setup: F,
+        mut telemetry: Option<&mut Telemetry>,
+    ) -> Figure
     where
         F: FnMut(f64) -> (ContactTrace, SimParams),
     {
-        let prepared: Vec<(Arc<ContactTrace>, SimParams)> = xs
+        let started = Instant::now();
+        let prepared: Vec<(Arc<dyn TraceSource>, SimParams)> = xs
             .iter()
             .map(|&x| {
                 let (trace, params) = setup(x);
-                (Arc::new(trace), params)
+                (Arc::new(trace) as Arc<dyn TraceSource>, params)
             })
             .collect();
-        self.run_prepared(id, title, x_label, xs, &prepared)
+        if let Some(tel) = telemetry.as_deref_mut() {
+            tel.phases.add(Phase::TraceLoad, started.elapsed());
+        }
+        self.run_prepared(id, title, x_label, xs, &prepared, telemetry)
     }
 
-    /// Like [`ParallelRunner::sweep`] but with one fixed trace shared by
-    /// every x value — the common case when the swept parameter does not
-    /// affect mobility. The trace is cloned once into an [`Arc`], never per
-    /// cell.
+    /// Like [`ParallelRunner::sweep`] but `setup` hands back an arbitrary
+    /// [`TraceSource`] per x value — the entry point for sweeps over
+    /// on-disk sharded traces (or a mix of backings).
+    pub fn sweep_sources<F>(
+        &self,
+        id: &str,
+        title: &str,
+        x_label: &str,
+        xs: &[f64],
+        mut setup: F,
+        mut telemetry: Option<&mut Telemetry>,
+    ) -> Figure
+    where
+        F: FnMut(f64) -> (Arc<dyn TraceSource>, SimParams),
+    {
+        let started = Instant::now();
+        let prepared: Vec<(Arc<dyn TraceSource>, SimParams)> =
+            xs.iter().map(|&x| setup(x)).collect();
+        if let Some(tel) = telemetry.as_deref_mut() {
+            tel.phases.add(Phase::TraceLoad, started.elapsed());
+        }
+        self.run_prepared(id, title, x_label, xs, &prepared, telemetry)
+    }
+
+    /// Like [`ParallelRunner::sweep`] but with one fixed [`TraceSource`]
+    /// shared by every x value — the common case when the swept parameter
+    /// does not affect mobility.
+    #[allow(clippy::too_many_arguments)] // mirrors sweep()'s figure-metadata prefix
+    pub fn sweep_shared_source<F>(
+        &self,
+        id: &str,
+        title: &str,
+        x_label: &str,
+        xs: &[f64],
+        source: Arc<dyn TraceSource>,
+        mut params_for: F,
+        telemetry: Option<&mut Telemetry>,
+    ) -> Figure
+    where
+        F: FnMut(f64) -> SimParams,
+    {
+        let prepared: Vec<(Arc<dyn TraceSource>, SimParams)> = xs
+            .iter()
+            .map(|&x| (Arc::clone(&source), params_for(x)))
+            .collect();
+        self.run_prepared(id, title, x_label, xs, &prepared, telemetry)
+    }
+
+    /// Convenience wrapper over [`ParallelRunner::sweep_shared_source`] for
+    /// an in-memory trace: the trace is cloned once into an [`Arc`], never
+    /// per cell.
+    #[allow(clippy::too_many_arguments)] // mirrors sweep()'s figure-metadata prefix
     pub fn sweep_shared_trace<F>(
         &self,
         id: &str,
@@ -155,73 +221,18 @@ impl ParallelRunner {
         x_label: &str,
         xs: &[f64],
         trace: &ContactTrace,
-        mut params_for: F,
+        params_for: F,
+        mut telemetry: Option<&mut Telemetry>,
     ) -> Figure
     where
         F: FnMut(f64) -> SimParams,
     {
-        let shared = Arc::new(trace.clone());
-        let prepared: Vec<(Arc<ContactTrace>, SimParams)> = xs
-            .iter()
-            .map(|&x| (Arc::clone(&shared), params_for(x)))
-            .collect();
-        self.run_prepared(id, title, x_label, xs, &prepared)
-    }
-
-    /// Like [`ParallelRunner::sweep`] but also collecting merged
-    /// [`Telemetry`] for the whole grid: trace generation is charged to the
-    /// trace-load span, each cell's counters and phase spans are merged **in
-    /// grid order**, and the summary reduction is charged to the reduction
-    /// span. The [`Figure`] is byte-identical to the unobserved variant.
-    pub fn sweep_observed<F>(
-        &self,
-        id: &str,
-        title: &str,
-        x_label: &str,
-        xs: &[f64],
-        mut setup: F,
-    ) -> (Figure, Telemetry)
-    where
-        F: FnMut(f64) -> (ContactTrace, SimParams),
-    {
-        let mut telemetry = Telemetry::default();
         let started = Instant::now();
-        let prepared: Vec<(Arc<ContactTrace>, SimParams)> = xs
-            .iter()
-            .map(|&x| {
-                let (trace, params) = setup(x);
-                (Arc::new(trace), params)
-            })
-            .collect();
-        telemetry.phases.add(Phase::TraceLoad, started.elapsed());
-        let fig = self.run_prepared_observed(id, title, x_label, xs, &prepared, &mut telemetry);
-        (fig, telemetry)
-    }
-
-    /// Observed counterpart of [`ParallelRunner::sweep_shared_trace`]. See
-    /// [`ParallelRunner::sweep_observed`] for the telemetry contract.
-    pub fn sweep_shared_trace_observed<F>(
-        &self,
-        id: &str,
-        title: &str,
-        x_label: &str,
-        xs: &[f64],
-        trace: &ContactTrace,
-        mut params_for: F,
-    ) -> (Figure, Telemetry)
-    where
-        F: FnMut(f64) -> SimParams,
-    {
-        let mut telemetry = Telemetry::default();
-        let started = Instant::now();
-        let shared = Arc::new(trace.clone());
-        let prepared: Vec<(Arc<ContactTrace>, SimParams)> = xs
-            .iter()
-            .map(|&x| (Arc::clone(&shared), params_for(x)))
-            .collect();
-        telemetry.phases.add(Phase::TraceLoad, started.elapsed());
-        let fig = self.run_prepared_observed(id, title, x_label, xs, &prepared, &mut telemetry);
-        (fig, telemetry)
+        let shared: Arc<dyn TraceSource> = Arc::new(trace.clone());
+        if let Some(tel) = telemetry.as_deref_mut() {
+            tel.phases.add(Phase::TraceLoad, started.elapsed());
+        }
+        self.sweep_shared_source(id, title, x_label, xs, shared, params_for, telemetry)
     }
 
     fn run_prepared(
@@ -230,43 +241,45 @@ impl ParallelRunner {
         title: &str,
         x_label: &str,
         xs: &[f64],
-        prepared: &[(Arc<ContactTrace>, SimParams)],
+        prepared: &[(Arc<dyn TraceSource>, SimParams)],
+        telemetry: Option<&mut Telemetry>,
     ) -> Figure {
         let cells = self.build_cells(prepared);
-        let results: Vec<SimResult> =
-            self.run_all(&cells, |cell| run_simulation(&cell.trace, &cell.params));
-        reduce(id, title, x_label, xs, self.replicates(), &cells, &results)
-    }
-
-    fn run_prepared_observed(
-        &self,
-        id: &str,
-        title: &str,
-        x_label: &str,
-        xs: &[f64],
-        prepared: &[(Arc<ContactTrace>, SimParams)],
-        telemetry: &mut Telemetry,
-    ) -> Figure {
-        let cells = self.build_cells(prepared);
-        let observed: Vec<(SimResult, Telemetry)> = self.run_all(&cells, |cell| {
-            run_simulation_observed(&cell.trace, &cell.params)
-        });
-        // run_all returns results in input (= grid) order, so merging here
-        // keeps the counters bit-identical for any worker count; only the
-        // wall-clock spans vary run to run.
-        let mut results: Vec<SimResult> = Vec::with_capacity(observed.len());
-        for (result, cell_telemetry) in observed {
-            telemetry.merge(&cell_telemetry);
-            results.push(result);
+        match telemetry {
+            None => {
+                let results: Vec<SimResult> = self.run_all(&cells, |cell| {
+                    run_simulation(cell.source.as_ref(), &cell.params, None)
+                });
+                reduce(id, title, x_label, xs, self.replicates(), &cells, &results)
+            }
+            Some(telemetry) => {
+                let observed: Vec<(SimResult, Telemetry)> = self.run_all(&cells, |cell| {
+                    let mut cell_telemetry = Telemetry::default();
+                    let result = run_simulation(
+                        cell.source.as_ref(),
+                        &cell.params,
+                        Some(&mut cell_telemetry),
+                    );
+                    (result, cell_telemetry)
+                });
+                // run_all returns results in input (= grid) order, so
+                // merging here keeps the counters bit-identical for any
+                // worker count; only the wall-clock spans vary run to run.
+                let mut results: Vec<SimResult> = Vec::with_capacity(observed.len());
+                for (result, cell_telemetry) in observed {
+                    telemetry.merge(&cell_telemetry);
+                    results.push(result);
+                }
+                let started = Instant::now();
+                let fig = reduce(id, title, x_label, xs, self.replicates(), &cells, &results);
+                telemetry.phases.add(Phase::Reduction, started.elapsed());
+                fig
+            }
         }
-        let started = Instant::now();
-        let fig = reduce(id, title, x_label, xs, self.replicates(), &cells, &results);
-        telemetry.phases.add(Phase::Reduction, started.elapsed());
-        fig
     }
 
     /// Expands the prepared per-point inputs into the flat cell grid.
-    fn build_cells(&self, prepared: &[(Arc<ContactTrace>, SimParams)]) -> Vec<Cell> {
+    fn build_cells(&self, prepared: &[(Arc<dyn TraceSource>, SimParams)]) -> Vec<Cell> {
         let replicates = self.replicates();
         let protocols = ProtocolKind::ALL;
 
@@ -275,7 +288,7 @@ impl ParallelRunner {
         // fully determined by its coordinates, including its derived seed.
         let mut cells: Vec<Cell> =
             Vec::with_capacity(prepared.len() * protocols.len() * replicates as usize);
-        for (point_idx, (trace, base)) in prepared.iter().enumerate() {
+        for (point_idx, (source, base)) in prepared.iter().enumerate() {
             for (proto_idx, &protocol) in protocols.iter().enumerate() {
                 for rep in 0..replicates {
                     let mut params = base.clone();
@@ -303,7 +316,7 @@ impl ParallelRunner {
                     }
                     cells.push(Cell {
                         point_idx,
-                        trace: Arc::clone(trace),
+                        source: Arc::clone(source),
                         params,
                     });
                 }
@@ -369,12 +382,18 @@ mod tests {
 
     fn run_with(cfg: ExecConfig) -> Figure {
         let trace = NusConfig::new(20, 5).seed(3).generate();
-        ParallelRunner::new(cfg).sweep_shared_trace("t", "t", "x", &[0.2, 0.6], &trace, |x| {
-            SimParams {
+        ParallelRunner::new(cfg).sweep_shared_trace(
+            "t",
+            "t",
+            "x",
+            &[0.2, 0.6],
+            &trace,
+            |x| SimParams {
                 internet_fraction: x,
                 ..quick_params(5)
-            }
-        })
+            },
+            None,
+        )
     }
 
     #[test]
@@ -393,6 +412,45 @@ mod tests {
         let serial = run_with(ExecConfig::serial());
         let parallel = run_with(ExecConfig::default().jobs(8));
         assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn telemetry_sink_does_not_change_the_figure() {
+        let plain = run_with(ExecConfig::serial());
+        let trace = NusConfig::new(20, 5).seed(3).generate();
+        let mut telemetry = Telemetry::default();
+        let observed = ParallelRunner::new(ExecConfig::serial()).sweep_shared_trace(
+            "t",
+            "t",
+            "x",
+            &[0.2, 0.6],
+            &trace,
+            |x| SimParams {
+                internet_fraction: x,
+                ..quick_params(5)
+            },
+            Some(&mut telemetry),
+        );
+        assert_eq!(plain, observed);
+        assert!(telemetry.counters.contacts > 0);
+        assert_eq!(telemetry.counters.shards_loaded, 0, "in-memory source");
+        assert!(telemetry.counters.peak_resident_contacts > 0);
+    }
+
+    #[test]
+    fn shared_source_matches_shared_trace() {
+        let trace = NusConfig::new(20, 5).seed(3).generate();
+        let runner = ParallelRunner::new(ExecConfig::serial());
+        let params_for = |x| SimParams {
+            internet_fraction: x,
+            ..quick_params(5)
+        };
+        let by_trace =
+            runner.sweep_shared_trace("t", "t", "x", &[0.2, 0.6], &trace, params_for, None);
+        let shared: Arc<dyn TraceSource> = Arc::new(trace);
+        let by_source =
+            runner.sweep_shared_source("t", "t", "x", &[0.2, 0.6], shared, params_for, None);
+        assert_eq!(by_trace, by_source);
     }
 
     #[test]
@@ -416,12 +474,18 @@ mod tests {
         use dtn_sim::FaultPlan;
         let trace = NusConfig::new(20, 5).seed(3).generate();
         let run = |cfg: ExecConfig| {
-            ParallelRunner::new(cfg).sweep_shared_trace("t", "t", "loss", &[0.25], &trace, |x| {
-                SimParams {
+            ParallelRunner::new(cfg).sweep_shared_trace(
+                "t",
+                "t",
+                "loss",
+                &[0.25],
+                &trace,
+                |x| SimParams {
                     faults: FaultPlan::none().loss(x),
                     ..quick_params(5)
-                }
-            })
+                },
+                None,
+            )
         };
         let serial = run(ExecConfig::serial());
         let parallel = run(ExecConfig::default().jobs(8));

@@ -3,13 +3,33 @@
 //!
 //! Figure 2 (a)–(e) sweep five parameters on the DieselNet-style pair-wise
 //! bus trace; Figure 3 (a)–(f) sweeps the same five plus attendance rate on
-//! the NUS-style classroom clique trace. Each function returns a
-//! [`Figure`] holding one series per protocol (MBT, MBT-Q, MBT-QM).
+//! the NUS-style classroom clique trace. Each function takes a mutable
+//! [`RunContext`] — the one knob bundle for scale, execution, trace backing
+//! and telemetry — and returns a [`Figure`] holding one series per protocol
+//! (MBT, MBT-Q, MBT-QM).
+//!
+//! ```no_run
+//! use mbt_experiments::figures::{fig2a, RunContext, Scale};
+//!
+//! let mut ctx = RunContext::new(Scale::Quick);
+//! let fig = fig2a(&mut ctx);
+//! assert_eq!(fig.id, "fig2a");
+//! ```
+//!
+//! The context decides *where the contacts live*: by default every figure
+//! generates its trace in memory; [`RunContext::sharded`] redirects
+//! generation into on-disk time-windowed shards which the sweep then
+//! replays with bounded memory. The resulting figures are byte-identical
+//! either way — the backing store is invisible to the simulation.
 
-use dtn_sim::telemetry::Telemetry;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Instant;
+
+use dtn_sim::telemetry::{Phase, Telemetry};
 use dtn_sim::FaultPlan;
 use dtn_trace::generators::{DieselNetConfig, NusConfig};
-use dtn_trace::{ContactTrace, SimDuration};
+use dtn_trace::{ContactSink, ShardWriter, SimDuration, TraceBuilder, TraceSource};
 use mbt_core::MbtConfig;
 
 use crate::exec::{ExecConfig, ParallelRunner};
@@ -58,21 +78,141 @@ impl Scale {
 
 const SEED: u64 = 42;
 
-fn dieselnet_trace(scale: Scale) -> ContactTrace {
-    DieselNetConfig::new(scale.buses(), scale.days())
-        .seed(SEED)
-        .generate()
+/// Everything a figure run needs beyond its identity: the [`Scale`], the
+/// execution config (jobs/replicates/master seed), where the generated
+/// trace lives (in memory, or spilled to on-disk shards), and whether to
+/// collect [`Telemetry`].
+///
+/// One context serves many figure calls; the accumulated telemetry is
+/// merged across them and retrieved with [`RunContext::take_telemetry`].
+///
+/// The figure output is a pure function of `(scale, exec, xs)` — the trace
+/// backing and the telemetry flag never change a single byte of it.
+#[derive(Debug)]
+pub struct RunContext {
+    scale: Scale,
+    exec: ExecConfig,
+    shard_dir: Option<PathBuf>,
+    shard_window: SimDuration,
+    collect_telemetry: bool,
+    telemetry: Telemetry,
+    xs_override: Option<Vec<f64>>,
 }
 
-fn nus_trace(scale: Scale) -> ContactTrace {
-    nus_trace_with_attendance(scale, 0.8)
+impl RunContext {
+    /// A context at `scale` with default execution, in-memory traces and no
+    /// telemetry.
+    pub fn new(scale: Scale) -> RunContext {
+        RunContext {
+            scale,
+            exec: ExecConfig::default(),
+            shard_dir: None,
+            shard_window: SimDuration::from_days(1),
+            collect_telemetry: false,
+            telemetry: Telemetry::default(),
+            xs_override: None,
+        }
+    }
+
+    /// Sets the execution config (jobs/replicates/master seed).
+    pub fn exec(mut self, exec: ExecConfig) -> RunContext {
+        self.exec = exec;
+        self
+    }
+
+    /// Spills every generated trace into time-windowed shards under
+    /// `dir/<figure-id>` and replays the sweep from disk with bounded
+    /// memory. Figures are byte-identical to the in-memory backing.
+    pub fn sharded(mut self, dir: impl Into<PathBuf>) -> RunContext {
+        self.shard_dir = Some(dir.into());
+        self
+    }
+
+    /// Sets the shard time-window (default one day). Only meaningful after
+    /// [`RunContext::sharded`].
+    pub fn shard_window(mut self, window: SimDuration) -> RunContext {
+        self.shard_window = window;
+        self
+    }
+
+    /// Turns on telemetry collection: counters and phase spans of every
+    /// subsequent figure call are merged into the context, to be claimed
+    /// with [`RunContext::take_telemetry`].
+    pub fn observed(mut self) -> RunContext {
+        self.collect_telemetry = true;
+        self
+    }
+
+    /// The context's scale.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// Overrides the x values of the *next* figure call (consumed by it).
+    /// The determinism tests use this to pin e.g. the loss=0 point of
+    /// [`fault_sweep`] against the fault-free path.
+    pub fn set_xs(&mut self, xs: Vec<f64>) {
+        self.xs_override = Some(xs);
+    }
+
+    /// Claims the telemetry merged so far, leaving an empty sink behind.
+    pub fn take_telemetry(&mut self) -> Telemetry {
+        std::mem::take(&mut self.telemetry)
+    }
+
+    fn xs_for(&mut self, default: Vec<f64>) -> Vec<f64> {
+        self.xs_override.take().unwrap_or(default)
+    }
+
+    fn telemetry_sink(&mut self) -> Option<&mut Telemetry> {
+        self.collect_telemetry.then_some(&mut self.telemetry)
+    }
+
+    /// Materializes one figure's trace through the configured backing:
+    /// straight into a [`TraceBuilder`] (in memory) or through a
+    /// [`ShardWriter`] under `shard_dir/<name>`. Generation is charged to
+    /// the trace-load span when observed.
+    ///
+    /// Panics on shard I/O errors — an experiment cannot meaningfully
+    /// continue on a half-written trace.
+    fn source<F>(&mut self, name: &str, fill: F) -> Arc<dyn TraceSource>
+    where
+        F: FnOnce(&mut dyn ContactSink),
+    {
+        let started = Instant::now();
+        let source: Arc<dyn TraceSource> = match &self.shard_dir {
+            None => {
+                let mut builder = TraceBuilder::new();
+                fill(&mut builder);
+                Arc::new(builder.build())
+            }
+            Some(dir) => {
+                let mut writer = ShardWriter::create(dir.join(name), self.shard_window)
+                    .unwrap_or_else(|e| panic!("creating shard directory for {name}: {e}"));
+                fill(&mut writer);
+                let sharded = writer
+                    .finish()
+                    .unwrap_or_else(|e| panic!("writing shards for {name}: {e}"));
+                Arc::new(sharded)
+            }
+        };
+        if self.collect_telemetry {
+            self.telemetry
+                .phases
+                .add(Phase::TraceLoad, started.elapsed());
+        }
+        source
+    }
 }
 
-fn nus_trace_with_attendance(scale: Scale, attendance: f64) -> ContactTrace {
+fn dieselnet_cfg(scale: Scale) -> DieselNetConfig {
+    DieselNetConfig::new(scale.buses(), scale.days()).seed(SEED)
+}
+
+fn nus_cfg(scale: Scale, attendance: f64) -> NusConfig {
     NusConfig::new(scale.students(), scale.days())
         .seed(SEED)
         .attendance_rate(attendance)
-        .generate()
 }
 
 fn base_params(scale: Scale, frequent_days: u64) -> SimParams {
@@ -92,93 +232,72 @@ fn nus_params(scale: Scale) -> SimParams {
     base_params(scale, 1)
 }
 
+fn dieselnet_source(ctx: &mut RunContext, name: &str) -> Arc<dyn TraceSource> {
+    let cfg = dieselnet_cfg(ctx.scale);
+    ctx.source(name, |sink| cfg.generate_into(sink))
+}
+
+fn nus_source(ctx: &mut RunContext, name: &str) -> Arc<dyn TraceSource> {
+    let cfg = nus_cfg(ctx.scale, 0.8);
+    ctx.source(name, |sink| cfg.generate_into(sink))
+}
+
 // ----- Figure 2: UMassDieselNet-style trace -----
 
 /// Fig 2(a): delivery ratios vs percentage of Internet-access nodes.
-pub fn fig2a(scale: Scale) -> Figure {
-    fig2a_with(scale, &ExecConfig::default())
-}
-
-/// [`fig2a`] with explicit execution (jobs/replicates/master seed).
-pub fn fig2a_with(scale: Scale, exec: &ExecConfig) -> Figure {
-    let runner = ParallelRunner::new(*exec);
-    let trace = dieselnet_trace(scale);
-    let xs = scale.xs(&[0.1, 0.3, 0.5, 0.7, 0.9], &[0.1, 0.5, 0.9]);
-    runner.sweep_shared_trace(
+pub fn fig2a(ctx: &mut RunContext) -> Figure {
+    let scale = ctx.scale;
+    let xs = ctx.xs_for(scale.xs(&[0.1, 0.3, 0.5, 0.7, 0.9], &[0.1, 0.5, 0.9]));
+    let source = dieselnet_source(ctx, "fig2a");
+    ParallelRunner::new(ctx.exec).sweep_shared_source(
         "fig2a",
         "DieselNet: delivery ratio vs % Internet-access nodes",
         "internet-access fraction",
         &xs,
-        &trace,
+        source,
         |x| SimParams {
             internet_fraction: x,
             ..dieselnet_params(scale)
         },
-    )
-}
-
-/// [`fig2a`] with telemetry: same figure byte-for-byte, plus the merged
-/// counters and phase spans of the whole sweep. The bench harness runs this.
-pub fn fig2a_observed(scale: Scale, exec: &ExecConfig) -> (Figure, Telemetry) {
-    let runner = ParallelRunner::new(*exec);
-    let trace = dieselnet_trace(scale);
-    let xs = scale.xs(&[0.1, 0.3, 0.5, 0.7, 0.9], &[0.1, 0.5, 0.9]);
-    runner.sweep_shared_trace_observed(
-        "fig2a",
-        "DieselNet: delivery ratio vs % Internet-access nodes",
-        "internet-access fraction",
-        &xs,
-        &trace,
-        |x| SimParams {
-            internet_fraction: x,
-            ..dieselnet_params(scale)
-        },
+        ctx.telemetry_sink(),
     )
 }
 
 /// Fig 2(b): delivery ratios vs number of new files per day.
-pub fn fig2b(scale: Scale) -> Figure {
-    fig2b_with(scale, &ExecConfig::default())
-}
-
-/// [`fig2b`] with explicit execution (jobs/replicates/master seed).
-pub fn fig2b_with(scale: Scale, exec: &ExecConfig) -> Figure {
-    let runner = ParallelRunner::new(*exec);
-    let trace = dieselnet_trace(scale);
-    let xs = scale.xs(&[10.0, 25.0, 50.0, 75.0, 100.0], &[10.0, 50.0]);
-    runner.sweep_shared_trace(
+pub fn fig2b(ctx: &mut RunContext) -> Figure {
+    let scale = ctx.scale;
+    let xs = ctx.xs_for(scale.xs(&[10.0, 25.0, 50.0, 75.0, 100.0], &[10.0, 50.0]));
+    let source = dieselnet_source(ctx, "fig2b");
+    ParallelRunner::new(ctx.exec).sweep_shared_source(
         "fig2b",
         "DieselNet: delivery ratio vs new files per day",
         "new files per day",
         &xs,
-        &trace,
+        source,
         |x| SimParams {
             files_per_day: x as u32,
             ..dieselnet_params(scale)
         },
+        ctx.telemetry_sink(),
     )
 }
 
 /// Fig 2(c): delivery ratios vs file time-to-live.
-pub fn fig2c(scale: Scale) -> Figure {
-    fig2c_with(scale, &ExecConfig::default())
-}
-
-/// [`fig2c`] with explicit execution (jobs/replicates/master seed).
-pub fn fig2c_with(scale: Scale, exec: &ExecConfig) -> Figure {
-    let runner = ParallelRunner::new(*exec);
-    let trace = dieselnet_trace(scale);
-    let xs = scale.xs(&[1.0, 2.0, 3.0, 4.0, 5.0], &[1.0, 3.0, 5.0]);
-    runner.sweep_shared_trace(
+pub fn fig2c(ctx: &mut RunContext) -> Figure {
+    let scale = ctx.scale;
+    let xs = ctx.xs_for(scale.xs(&[1.0, 2.0, 3.0, 4.0, 5.0], &[1.0, 3.0, 5.0]));
+    let source = dieselnet_source(ctx, "fig2c");
+    ParallelRunner::new(ctx.exec).sweep_shared_source(
         "fig2c",
         "DieselNet: delivery ratio vs TTL of file (days)",
         "TTL (days)",
         &xs,
-        &trace,
+        source,
         |x| SimParams {
             ttl_days: x as u64,
             ..dieselnet_params(scale)
         },
+        ctx.telemetry_sink(),
     )
 }
 
@@ -186,48 +305,40 @@ pub fn fig2c_with(scale: Scale, exec: &ExecConfig) -> Figure {
 /// paper's exception: at very small metadata budgets, MBT-QM's file ratio and
 /// MBT-Q's metadata ratio can win because the few circulating metadata are
 /// biased.
-pub fn fig2d(scale: Scale) -> Figure {
-    fig2d_with(scale, &ExecConfig::default())
-}
-
-/// [`fig2d`] with explicit execution (jobs/replicates/master seed).
-pub fn fig2d_with(scale: Scale, exec: &ExecConfig) -> Figure {
-    let runner = ParallelRunner::new(*exec);
-    let trace = dieselnet_trace(scale);
-    let xs = scale.xs(&[1.0, 5.0, 10.0, 20.0, 40.0], &[1.0, 20.0]);
-    runner.sweep_shared_trace(
+pub fn fig2d(ctx: &mut RunContext) -> Figure {
+    let scale = ctx.scale;
+    let xs = ctx.xs_for(scale.xs(&[1.0, 5.0, 10.0, 20.0, 40.0], &[1.0, 20.0]));
+    let source = dieselnet_source(ctx, "fig2d");
+    ParallelRunner::new(ctx.exec).sweep_shared_source(
         "fig2d",
         "DieselNet: delivery ratio vs metadata per contact",
         "metadata per contact",
         &xs,
-        &trace,
+        source,
         |x| SimParams {
             config: MbtConfig::new().metadata_per_contact(x as u32),
             ..dieselnet_params(scale)
         },
+        ctx.telemetry_sink(),
     )
 }
 
 /// Fig 2(e): delivery ratios vs files exchanged per contact.
-pub fn fig2e(scale: Scale) -> Figure {
-    fig2e_with(scale, &ExecConfig::default())
-}
-
-/// [`fig2e`] with explicit execution (jobs/replicates/master seed).
-pub fn fig2e_with(scale: Scale, exec: &ExecConfig) -> Figure {
-    let runner = ParallelRunner::new(*exec);
-    let trace = dieselnet_trace(scale);
-    let xs = scale.xs(&[1.0, 2.0, 4.0, 6.0, 10.0], &[1.0, 4.0]);
-    runner.sweep_shared_trace(
+pub fn fig2e(ctx: &mut RunContext) -> Figure {
+    let scale = ctx.scale;
+    let xs = ctx.xs_for(scale.xs(&[1.0, 2.0, 4.0, 6.0, 10.0], &[1.0, 4.0]));
+    let source = dieselnet_source(ctx, "fig2e");
+    ParallelRunner::new(ctx.exec).sweep_shared_source(
         "fig2e",
         "DieselNet: delivery ratio vs files per contact",
         "files per contact",
         &xs,
-        &trace,
+        source,
         |x| SimParams {
             config: MbtConfig::new().files_per_contact(x as u32),
             ..dieselnet_params(scale)
         },
+        ctx.telemetry_sink(),
     )
 }
 
@@ -236,156 +347,123 @@ pub fn fig2e_with(scale: Scale, exec: &ExecConfig) -> Figure {
 /// Fig 3(a): delivery ratios vs percentage of Internet-access nodes. The
 /// paper highlights that MBT/MBT-Q file ratios rise quickly while MBT-QM
 /// stays flat (it has no file discovery process).
-pub fn fig3a(scale: Scale) -> Figure {
-    fig3a_with(scale, &ExecConfig::default())
-}
-
-/// [`fig3a`] with explicit execution (jobs/replicates/master seed).
-pub fn fig3a_with(scale: Scale, exec: &ExecConfig) -> Figure {
-    let runner = ParallelRunner::new(*exec);
-    let trace = nus_trace(scale);
-    let xs = scale.xs(&[0.1, 0.3, 0.5, 0.7, 0.9], &[0.1, 0.5, 0.9]);
-    runner.sweep_shared_trace(
+pub fn fig3a(ctx: &mut RunContext) -> Figure {
+    let scale = ctx.scale;
+    let xs = ctx.xs_for(scale.xs(&[0.1, 0.3, 0.5, 0.7, 0.9], &[0.1, 0.5, 0.9]));
+    let source = nus_source(ctx, "fig3a");
+    ParallelRunner::new(ctx.exec).sweep_shared_source(
         "fig3a",
         "NUS: delivery ratio vs % Internet-access nodes",
         "internet-access fraction",
         &xs,
-        &trace,
+        source,
         |x| SimParams {
             internet_fraction: x,
             ..nus_params(scale)
         },
-    )
-}
-
-/// [`fig3a`] with telemetry: same figure byte-for-byte, plus the merged
-/// counters and phase spans of the whole sweep. The bench harness runs this.
-pub fn fig3a_observed(scale: Scale, exec: &ExecConfig) -> (Figure, Telemetry) {
-    let runner = ParallelRunner::new(*exec);
-    let trace = nus_trace(scale);
-    let xs = scale.xs(&[0.1, 0.3, 0.5, 0.7, 0.9], &[0.1, 0.5, 0.9]);
-    runner.sweep_shared_trace_observed(
-        "fig3a",
-        "NUS: delivery ratio vs % Internet-access nodes",
-        "internet-access fraction",
-        &xs,
-        &trace,
-        |x| SimParams {
-            internet_fraction: x,
-            ..nus_params(scale)
-        },
+        ctx.telemetry_sink(),
     )
 }
 
 /// Fig 3(b): delivery ratios vs number of new files per day.
-pub fn fig3b(scale: Scale) -> Figure {
-    fig3b_with(scale, &ExecConfig::default())
-}
-
-/// [`fig3b`] with explicit execution (jobs/replicates/master seed).
-pub fn fig3b_with(scale: Scale, exec: &ExecConfig) -> Figure {
-    let runner = ParallelRunner::new(*exec);
-    let trace = nus_trace(scale);
-    let xs = scale.xs(&[10.0, 25.0, 50.0, 75.0, 100.0], &[10.0, 50.0]);
-    runner.sweep_shared_trace(
+pub fn fig3b(ctx: &mut RunContext) -> Figure {
+    let scale = ctx.scale;
+    let xs = ctx.xs_for(scale.xs(&[10.0, 25.0, 50.0, 75.0, 100.0], &[10.0, 50.0]));
+    let source = nus_source(ctx, "fig3b");
+    ParallelRunner::new(ctx.exec).sweep_shared_source(
         "fig3b",
         "NUS: delivery ratio vs new files per day",
         "new files per day",
         &xs,
-        &trace,
+        source,
         |x| SimParams {
             files_per_day: x as u32,
             ..nus_params(scale)
         },
+        ctx.telemetry_sink(),
     )
 }
 
 /// Fig 3(c): delivery ratios vs file time-to-live.
-pub fn fig3c(scale: Scale) -> Figure {
-    fig3c_with(scale, &ExecConfig::default())
-}
-
-/// [`fig3c`] with explicit execution (jobs/replicates/master seed).
-pub fn fig3c_with(scale: Scale, exec: &ExecConfig) -> Figure {
-    let runner = ParallelRunner::new(*exec);
-    let trace = nus_trace(scale);
-    let xs = scale.xs(&[1.0, 2.0, 3.0, 4.0, 5.0], &[1.0, 3.0, 5.0]);
-    runner.sweep_shared_trace(
+pub fn fig3c(ctx: &mut RunContext) -> Figure {
+    let scale = ctx.scale;
+    let xs = ctx.xs_for(scale.xs(&[1.0, 2.0, 3.0, 4.0, 5.0], &[1.0, 3.0, 5.0]));
+    let source = nus_source(ctx, "fig3c");
+    ParallelRunner::new(ctx.exec).sweep_shared_source(
         "fig3c",
         "NUS: delivery ratio vs TTL of file (days)",
         "TTL (days)",
         &xs,
-        &trace,
+        source,
         |x| SimParams {
             ttl_days: x as u64,
             ..nus_params(scale)
         },
+        ctx.telemetry_sink(),
     )
 }
 
 /// Fig 3(d): delivery ratios vs metadata exchanged per contact.
-pub fn fig3d(scale: Scale) -> Figure {
-    fig3d_with(scale, &ExecConfig::default())
-}
-
-/// [`fig3d`] with explicit execution (jobs/replicates/master seed).
-pub fn fig3d_with(scale: Scale, exec: &ExecConfig) -> Figure {
-    let runner = ParallelRunner::new(*exec);
-    let trace = nus_trace(scale);
-    let xs = scale.xs(&[1.0, 5.0, 10.0, 20.0, 40.0], &[1.0, 20.0]);
-    runner.sweep_shared_trace(
+pub fn fig3d(ctx: &mut RunContext) -> Figure {
+    let scale = ctx.scale;
+    let xs = ctx.xs_for(scale.xs(&[1.0, 5.0, 10.0, 20.0, 40.0], &[1.0, 20.0]));
+    let source = nus_source(ctx, "fig3d");
+    ParallelRunner::new(ctx.exec).sweep_shared_source(
         "fig3d",
         "NUS: delivery ratio vs metadata per contact",
         "metadata per contact",
         &xs,
-        &trace,
+        source,
         |x| SimParams {
             config: MbtConfig::new().metadata_per_contact(x as u32),
             ..nus_params(scale)
         },
+        ctx.telemetry_sink(),
     )
 }
 
 /// Fig 3(e): delivery ratios vs files exchanged per contact.
-pub fn fig3e(scale: Scale) -> Figure {
-    fig3e_with(scale, &ExecConfig::default())
-}
-
-/// [`fig3e`] with explicit execution (jobs/replicates/master seed).
-pub fn fig3e_with(scale: Scale, exec: &ExecConfig) -> Figure {
-    let runner = ParallelRunner::new(*exec);
-    let trace = nus_trace(scale);
-    let xs = scale.xs(&[1.0, 2.0, 4.0, 6.0, 10.0], &[1.0, 4.0]);
-    runner.sweep_shared_trace(
+pub fn fig3e(ctx: &mut RunContext) -> Figure {
+    let scale = ctx.scale;
+    let xs = ctx.xs_for(scale.xs(&[1.0, 2.0, 4.0, 6.0, 10.0], &[1.0, 4.0]));
+    let source = nus_source(ctx, "fig3e");
+    ParallelRunner::new(ctx.exec).sweep_shared_source(
         "fig3e",
         "NUS: delivery ratio vs files per contact",
         "files per contact",
         &xs,
-        &trace,
+        source,
         |x| SimParams {
             config: MbtConfig::new().files_per_contact(x as u32),
             ..nus_params(scale)
         },
+        ctx.telemetry_sink(),
     )
 }
 
 /// Fig 3(f): delivery ratios vs attendance rate — the probability an
 /// enrolled student actually attends a class session. Mobility itself changes
-/// with x, so each x regenerates the trace.
-pub fn fig3f(scale: Scale) -> Figure {
-    fig3f_with(scale, &ExecConfig::default())
-}
-
-/// [`fig3f`] with explicit execution (jobs/replicates/master seed).
-pub fn fig3f_with(scale: Scale, exec: &ExecConfig) -> Figure {
-    let runner = ParallelRunner::new(*exec);
-    let xs = scale.xs(&[0.5, 0.6, 0.7, 0.8, 0.9, 1.0], &[0.5, 1.0]);
-    runner.sweep(
+/// with x, so each x generates its own trace (its own shard directory
+/// `fig3f/x<i>` under a sharded context).
+pub fn fig3f(ctx: &mut RunContext) -> Figure {
+    let scale = ctx.scale;
+    let xs = ctx.xs_for(scale.xs(&[0.5, 0.6, 0.7, 0.8, 0.9, 1.0], &[0.5, 1.0]));
+    let sources: Vec<Arc<dyn TraceSource>> = xs
+        .iter()
+        .enumerate()
+        .map(|(i, &x)| {
+            let cfg = nus_cfg(scale, x);
+            ctx.source(&format!("fig3f/x{i}"), |sink| cfg.generate_into(sink))
+        })
+        .collect();
+    let mut sources = sources.into_iter();
+    ParallelRunner::new(ctx.exec).sweep_sources(
         "fig3f",
         "NUS: delivery ratio vs attendance rate",
         "attendance rate",
         &xs,
-        |x| (nus_trace_with_attendance(scale, x), nus_params(scale)),
+        |_| (sources.next().expect("one source per x"), nus_params(scale)),
+        ctx.telemetry_sink(),
     )
 }
 
@@ -396,84 +474,39 @@ pub fn fig3f_with(scale: Scale, exec: &ExecConfig) -> Figure {
 /// Loss 0 is the clean baseline — a noop plan, byte-identical to the
 /// fault-free sweep; for lossy cells the executor derives the fault seed
 /// from the cell's grid coordinates, so `--jobs N` runs stay bit-identical.
-pub fn fault_sweep(scale: Scale) -> Figure {
-    fault_sweep_with(scale, &ExecConfig::default())
-}
-
-/// [`fault_sweep`] with explicit execution (jobs/replicates/master seed).
-pub fn fault_sweep_with(scale: Scale, exec: &ExecConfig) -> Figure {
-    let xs = scale.xs(&[0.0, 0.1, 0.2, 0.3, 0.4, 0.5], &[0.0, 0.25, 0.5]);
-    fault_sweep_xs(scale, exec, &xs)
-}
-
-/// [`fault_sweep`] over caller-chosen loss rates (the determinism tests use
-/// this to pin the loss=0 point against the fault-free path).
-pub fn fault_sweep_xs(scale: Scale, exec: &ExecConfig, xs: &[f64]) -> Figure {
-    let runner = ParallelRunner::new(*exec);
-    let trace = nus_trace(scale);
-    runner.sweep_shared_trace(
-        "fault_sweep",
-        "NUS: delivery ratio vs broadcast loss rate",
-        "loss rate",
-        xs,
-        &trace,
-        |x| SimParams {
-            faults: FaultPlan::none().loss(x),
-            ..nus_params(scale)
-        },
-    )
-}
-
-/// [`fault_sweep`] with telemetry: same figure byte-for-byte, plus the
-/// merged counters and phase spans. The bench harness runs this to exercise
-/// the fault-injection paths (frame loss shows up in the loss counters).
-pub fn fault_sweep_observed(scale: Scale, exec: &ExecConfig) -> (Figure, Telemetry) {
-    let xs = scale.xs(&[0.0, 0.1, 0.2, 0.3, 0.4, 0.5], &[0.0, 0.25, 0.5]);
-    let runner = ParallelRunner::new(*exec);
-    let trace = nus_trace(scale);
-    runner.sweep_shared_trace_observed(
+/// Override the loss rates with [`RunContext::set_xs`].
+pub fn fault_sweep(ctx: &mut RunContext) -> Figure {
+    let scale = ctx.scale;
+    let xs = ctx.xs_for(scale.xs(&[0.0, 0.1, 0.2, 0.3, 0.4, 0.5], &[0.0, 0.25, 0.5]));
+    let source = nus_source(ctx, "fault_sweep");
+    ParallelRunner::new(ctx.exec).sweep_shared_source(
         "fault_sweep",
         "NUS: delivery ratio vs broadcast loss rate",
         "loss rate",
         &xs,
-        &trace,
+        source,
         |x| SimParams {
             faults: FaultPlan::none().loss(x),
             ..nus_params(scale)
         },
+        ctx.telemetry_sink(),
     )
 }
 
 /// Every Figure-2 experiment in order.
-pub fn all_fig2(scale: Scale) -> Vec<Figure> {
-    all_fig2_with(scale, &ExecConfig::default())
-}
-
-/// [`all_fig2`] with explicit execution.
-pub fn all_fig2_with(scale: Scale, exec: &ExecConfig) -> Vec<Figure> {
-    vec![
-        fig2a_with(scale, exec),
-        fig2b_with(scale, exec),
-        fig2c_with(scale, exec),
-        fig2d_with(scale, exec),
-        fig2e_with(scale, exec),
-    ]
+pub fn all_fig2(ctx: &mut RunContext) -> Vec<Figure> {
+    vec![fig2a(ctx), fig2b(ctx), fig2c(ctx), fig2d(ctx), fig2e(ctx)]
 }
 
 /// Every Figure-3 experiment in order.
-pub fn all_fig3(scale: Scale) -> Vec<Figure> {
-    all_fig3_with(scale, &ExecConfig::default())
-}
-
-/// [`all_fig3`] with explicit execution.
-pub fn all_fig3_with(scale: Scale, exec: &ExecConfig) -> Vec<Figure> {
+pub fn all_fig3(ctx: &mut RunContext) -> Vec<Figure> {
     vec![
-        fig3a_with(scale, exec),
-        fig3b_with(scale, exec),
-        fig3c_with(scale, exec),
-        fig3d_with(scale, exec),
-        fig3e_with(scale, exec),
-        fig3f_with(scale, exec),
+        fig3a(ctx),
+        fig3b(ctx),
+        fig3c(ctx),
+        fig3d(ctx),
+        fig3e(ctx),
+        fig3f(ctx),
     ]
 }
 
@@ -484,7 +517,7 @@ mod tests {
 
     #[test]
     fn quick_fig2a_has_expected_shape() {
-        let fig = fig2a(Scale::Quick);
+        let fig = fig2a(&mut RunContext::new(Scale::Quick));
         assert_eq!(fig.series.len(), 3);
         let mbt = fig.series_for(ProtocolKind::Mbt).unwrap();
         assert_eq!(mbt.points.len(), 3);
@@ -497,7 +530,7 @@ mod tests {
 
     #[test]
     fn quick_fig3a_mbtqm_flat_without_discovery() {
-        let fig = fig3a(Scale::Quick);
+        let fig = fig3a(&mut RunContext::new(Scale::Quick));
         let mbt = fig.series_for(ProtocolKind::Mbt).unwrap();
         let qm = fig.series_for(ProtocolKind::MbtQm).unwrap();
         // At high internet fraction MBT should clearly beat MBT-QM on files.
@@ -512,7 +545,7 @@ mod tests {
 
     #[test]
     fn quick_fault_sweep_loses_delivery_at_high_loss() {
-        let fig = fault_sweep(Scale::Quick);
+        let fig = fault_sweep(&mut RunContext::new(Scale::Quick));
         assert_eq!(fig.series.len(), 3);
         let mbt = fig.series_for(ProtocolKind::Mbt).unwrap();
         assert_eq!(mbt.points[0].x, 0.0);
@@ -530,11 +563,33 @@ mod tests {
 
     #[test]
     fn quick_fig3f_attendance_helps() {
-        let fig = fig3f(Scale::Quick);
+        let fig = fig3f(&mut RunContext::new(Scale::Quick));
         let mbt = fig.series_for(ProtocolKind::Mbt).unwrap();
         assert!(
             mbt.points.last().unwrap().file_ratio >= mbt.points[0].file_ratio,
             "full attendance should deliver at least as much"
         );
+    }
+
+    #[test]
+    fn set_xs_overrides_next_figure_only() {
+        let mut ctx = RunContext::new(Scale::Quick);
+        ctx.set_xs(vec![0.0]);
+        let pinned = fault_sweep(&mut ctx);
+        assert_eq!(pinned.series[0].points.len(), 1);
+        assert_eq!(pinned.series[0].points[0].x, 0.0);
+        let default = fault_sweep(&mut ctx);
+        assert_eq!(default.series[0].points.len(), 3, "override was consumed");
+    }
+
+    #[test]
+    fn observed_context_accumulates_telemetry_without_changing_figures() {
+        let plain = fig2a(&mut RunContext::new(Scale::Quick));
+        let mut ctx = RunContext::new(Scale::Quick).observed();
+        let observed = fig2a(&mut ctx);
+        assert_eq!(plain, observed);
+        let telemetry = ctx.take_telemetry();
+        assert!(telemetry.counters.contacts > 0);
+        assert_eq!(telemetry.counters.shards_loaded, 0, "in-memory backing");
     }
 }

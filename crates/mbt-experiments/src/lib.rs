@@ -20,8 +20,24 @@
 //! use mbt_experiments::runner::{run_simulation, SimParams};
 //!
 //! let trace = NusConfig::new(20, 5).seed(1).generate();
-//! let result = run_simulation(&trace, &SimParams { days: 5, ..SimParams::default() });
+//! let result = run_simulation(&trace, &SimParams { days: 5, ..SimParams::default() }, None);
 //! assert!(result.queries > 0);
+//! ```
+//!
+//! The trace argument is any [`dtn_trace::TraceSource`] — an in-memory
+//! [`dtn_trace::ContactTrace`] as above, or an on-disk
+//! [`dtn_trace::ShardedTrace`] replayed with bounded memory. Figure sweeps
+//! take a [`figures::RunContext`] bundling scale, execution, trace backing
+//! and telemetry:
+//!
+//! ```no_run
+//! use mbt_experiments::figures::{fig2a, RunContext, Scale};
+//!
+//! let mut ctx = RunContext::new(Scale::Quick).sharded("shards").observed();
+//! let fig = fig2a(&mut ctx);
+//! let telemetry = ctx.take_telemetry();
+//! assert!(telemetry.counters.shards_loaded > 0);
+//! # let _ = fig;
 //! ```
 
 #![warn(missing_docs)]
@@ -41,9 +57,9 @@ pub mod sweep;
 pub mod workload;
 
 pub use exec::{ExecConfig, ParallelRunner};
-pub use figures::Scale;
+pub use figures::{RunContext, Scale};
 pub use perf::{BenchReport, Tolerance};
-pub use runner::{run_simulation, run_simulation_observed, SimParams, SimResult};
+pub use runner::{run_simulation, SimParams, SimResult};
 pub use sweep::{Figure, ProtocolSeries, RatioSummary, SeriesPoint};
 
 /// Parses the common `--quick` flag from argv.

@@ -92,7 +92,7 @@ pub fn mobility_comparison(scale: Scale) -> Vec<MobilityRow> {
                 contacts: trace.len(),
                 mean_clique,
                 density: graph.density(),
-                result: run_simulation(&trace, &params),
+                result: run_simulation(&trace, &params, None),
             });
         }
     }

@@ -332,34 +332,28 @@ pub fn figure_cells(fig: &Figure, replicates: u32) -> u64 {
     points as u64 * u64::from(replicates.max(1))
 }
 
-/// An observed sweep entry point: a figure function plus its telemetry.
-type ObservedSweep = fn(Scale, &ExecConfig) -> (Figure, Telemetry);
-
 /// Runs the bench sweeps (fig 2a, fig 3a, and the fault sweep — one per
-/// trace family plus the fault-injection path) under telemetry and
-/// assembles the report. The figures themselves are byte-identical to their
-/// unobserved counterparts and are discarded; only the observations are
-/// kept.
+/// trace family plus the fault-injection path) under an observed
+/// [`figures::RunContext`] and assembles the report. The figures themselves
+/// are byte-identical to their unobserved counterparts and are discarded;
+/// only the observations are kept.
 pub fn run_bench(scale: Scale, exec: &ExecConfig) -> BenchReport {
     let scale_label = match scale {
         Scale::Quick => "quick",
         Scale::Full => "full",
     };
     let started = Instant::now();
-    let mut telemetry = Telemetry::default();
+    let mut ctx = figures::RunContext::new(scale).exec(*exec).observed();
     let mut cells = 0u64;
     let mut sweeps = Vec::new();
-    let runs: [ObservedSweep; 3] = [
-        figures::fig2a_observed,
-        figures::fig3a_observed,
-        figures::fault_sweep_observed,
-    ];
+    let runs: [fn(&mut figures::RunContext) -> Figure; 3] =
+        [figures::fig2a, figures::fig3a, figures::fault_sweep];
     for run in runs {
-        let (fig, sweep_telemetry) = run(scale, exec);
-        telemetry.merge(&sweep_telemetry);
+        let fig = run(&mut ctx);
         cells += figure_cells(&fig, exec.replicates);
         sweeps.push(fig.id);
     }
+    let telemetry = ctx.take_telemetry();
     BenchReport::new(
         scale_label,
         exec,

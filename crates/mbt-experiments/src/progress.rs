@@ -48,6 +48,7 @@ pub fn delivery_progress_with(scale: Scale, exec: &ExecConfig) -> Vec<ProgressSe
                 seed: 42,
                 ..SimParams::default()
             },
+            None,
         );
         let cumulate = |v: &[u64]| {
             v.iter()

@@ -154,7 +154,7 @@ where
         for s in series.iter_mut() {
             let mut p = params.clone();
             p.protocol = s.protocol;
-            let result = run_simulation(&trace, &p);
+            let result = run_simulation(&trace, &p, None);
             s.points.push(SeriesPoint::single(x, result));
         }
     }

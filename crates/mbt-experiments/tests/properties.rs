@@ -21,7 +21,7 @@ proptest! {
                 files_per_day: 8,
                 seed,
                 ..SimParams::default()
-            });
+            }, None);
             // Each (node, uri) query is counted delivered at most once.
             prop_assert!(r.metadata_delivered <= r.queries);
             prop_assert!(r.files_delivered <= r.queries);
@@ -42,7 +42,7 @@ proptest! {
             files_per_day: 6,
             seed,
             ..SimParams::default()
-        });
+        }, None);
         prop_assert_eq!(r.metadata_broadcasts, 0);
         prop_assert_eq!(r.queries_distributed, 0);
     }

@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             frequent_window: SimDuration::from_days(3),
             ..SimParams::default()
         };
-        let r = run_simulation(&trace, &params);
+        let r = run_simulation(&trace, &params, None);
         println!(
             "  {:>7}: metadata ratio {:.3}, file ratio {:.3}  ({} contacts used)",
             protocol.label(),
@@ -71,7 +71,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             frequent_window: SimDuration::from_days(3),
             ..SimParams::default()
         };
-        let r = run_simulation(&trace, &params);
+        let r = run_simulation(&trace, &params, None);
         println!(
             "  discovery_first={first}: metadata ratio {:.3}, file ratio {:.3}",
             r.metadata_ratio, r.file_ratio

@@ -40,7 +40,7 @@ fn main() {
             frequent_window: SimDuration::from_days(1),
             ..SimParams::default()
         };
-        let r = run_simulation(&trace, &params);
+        let r = run_simulation(&trace, &params, None);
         println!(
             "  {:>7}: metadata ratio {:.3}, file ratio {:.3}  ({} queries, {} metadata bcasts, {} file bcasts)",
             protocol.label(),
@@ -66,7 +66,7 @@ fn main() {
             frequent_window: SimDuration::from_days(1),
             ..SimParams::default()
         };
-        let r = run_simulation(&trace, &params);
+        let r = run_simulation(&trace, &params, None);
         println!(
             "  attendance {attendance:.2}: metadata ratio {:.3}, file ratio {:.3}",
             r.metadata_ratio, r.file_ratio

@@ -86,7 +86,9 @@ fn zero_cell_report_stays_finite_and_comparable() {
 
 #[test]
 fn figure_cells_counts_the_grid() {
-    let (fig, _) = mbt_experiments::figures::fig2a_observed(Scale::Quick, &ExecConfig::serial());
+    let mut ctx =
+        mbt_experiments::figures::RunContext::new(Scale::Quick).exec(ExecConfig::serial());
+    let fig = mbt_experiments::figures::fig2a(&mut ctx);
     // Quick fig2a: 3 protocols × 3 points.
     assert_eq!(figure_cells(&fig, 1), 9);
     assert_eq!(figure_cells(&fig, 4), 36);

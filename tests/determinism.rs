@@ -32,8 +32,8 @@ fn full_simulation_is_deterministic_per_protocol() {
             files_per_day: 15,
             ..SimParams::default()
         };
-        let a = run_simulation(&trace, &params);
-        let b = run_simulation(&trace, &params);
+        let a = run_simulation(&trace, &params, None);
+        let b = run_simulation(&trace, &params, None);
         assert_eq!(a, b, "{protocol} run not reproducible");
     }
 }
@@ -52,8 +52,9 @@ fn different_seeds_change_the_outcome() {
             seed: 1,
             ..base.clone()
         },
+        None,
     );
-    let b = run_simulation(&trace, &SimParams { seed: 2, ..base });
+    let b = run_simulation(&trace, &SimParams { seed: 2, ..base }, None);
     assert_ne!(a, b, "different seeds should perturb the workload");
 }
 
@@ -68,7 +69,7 @@ fn dieselnet_simulation_deterministic_too() {
         ..SimParams::default()
     };
     assert_eq!(
-        run_simulation(&trace, &params),
-        run_simulation(&trace, &params)
+        run_simulation(&trace, &params, None),
+        run_simulation(&trace, &params, None)
     );
 }

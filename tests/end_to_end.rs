@@ -19,7 +19,7 @@ fn nus_simulation_delivers_metadata_and_files() {
         seed: 7,
         ..SimParams::default()
     };
-    let r = run_simulation(&trace, &params);
+    let r = run_simulation(&trace, &params, None);
     assert!(
         r.queries > 50,
         "expected a busy workload, got {} queries",
@@ -45,7 +45,7 @@ fn dieselnet_simulation_delivers_over_pairwise_contacts() {
         frequent_window: SimDuration::from_days(3),
         ..SimParams::default()
     };
-    let r = run_simulation(&trace, &params);
+    let r = run_simulation(&trace, &params, None);
     assert!(r.queries > 0);
     assert!(
         r.metadata_delivered > 0,
@@ -128,8 +128,8 @@ fn simulation_scales_with_contact_budget() {
         seed: 9,
         ..SimParams::default()
     };
-    let r_tight = run_simulation(&trace, &tight);
-    let r_roomy = run_simulation(&trace, &roomy);
+    let r_tight = run_simulation(&trace, &tight, None);
+    let r_roomy = run_simulation(&trace, &roomy, None);
     assert!(
         r_roomy.file_ratio >= r_tight.file_ratio,
         "more budget cannot hurt: {} vs {}",

@@ -16,7 +16,7 @@
 //! and commit the resulting `tests/fixtures/*.csv` alongside the change.
 
 use mbt_core::ProtocolKind;
-use mbt_experiments::figures::{fault_sweep_with, fig2a_with, fig3a_with};
+use mbt_experiments::figures::{fault_sweep, fig2a, fig3a, RunContext};
 use mbt_experiments::report::figure_csv;
 use mbt_experiments::sweep::Figure;
 use mbt_experiments::{ExecConfig, Scale};
@@ -148,21 +148,21 @@ fn assert_protocol_ordering_up_to(fig: &Figure, max_x: f64) {
 
 #[test]
 fn fault_sweep_quick_matches_golden() {
-    let fig = fault_sweep_with(Scale::Quick, &golden_exec());
+    let fig = fault_sweep(&mut RunContext::new(Scale::Quick).exec(golden_exec()));
     assert_protocol_ordering_up_to(&fig, 0.25);
     assert_matches_golden(&fig, "fault_sweep_quick.csv");
 }
 
 #[test]
 fn fig2a_quick_matches_golden() {
-    let fig = fig2a_with(Scale::Quick, &golden_exec());
+    let fig = fig2a(&mut RunContext::new(Scale::Quick).exec(golden_exec()));
     assert_protocol_ordering(&fig);
     assert_matches_golden(&fig, "fig2a_quick.csv");
 }
 
 #[test]
 fn fig3a_quick_matches_golden() {
-    let fig = fig3a_with(Scale::Quick, &golden_exec());
+    let fig = fig3a(&mut RunContext::new(Scale::Quick).exec(golden_exec()));
     assert_protocol_ordering(&fig);
     assert_matches_golden(&fig, "fig3a_quick.csv");
 }

@@ -8,9 +8,7 @@
 
 use dtn_sim::FaultPlan;
 use dtn_trace::generators::NusConfig;
-use mbt_experiments::figures::{
-    fault_sweep_observed, fault_sweep_with, fig2a_observed, fig2a_with,
-};
+use mbt_experiments::figures::{fault_sweep, fig2a, RunContext};
 use mbt_experiments::report::figure_csv;
 use mbt_experiments::{ExecConfig, ParallelRunner, Scale, SimParams};
 
@@ -20,8 +18,8 @@ fn exec(jobs: usize) -> ExecConfig {
 
 #[test]
 fn jobs_1_and_jobs_8_are_byte_identical() {
-    let serial = fig2a_with(Scale::Quick, &exec(1));
-    let parallel = fig2a_with(Scale::Quick, &exec(8));
+    let serial = fig2a(&mut RunContext::new(Scale::Quick).exec(exec(1)));
+    let parallel = fig2a(&mut RunContext::new(Scale::Quick).exec(exec(8)));
     assert_eq!(serial, parallel, "thread count changed sweep results");
     assert_eq!(
         figure_csv(&serial),
@@ -32,8 +30,8 @@ fn jobs_1_and_jobs_8_are_byte_identical() {
 
 #[test]
 fn repeated_invocations_are_byte_identical() {
-    let first = fig2a_with(Scale::Quick, &exec(8));
-    let second = fig2a_with(Scale::Quick, &exec(8));
+    let first = fig2a(&mut RunContext::new(Scale::Quick).exec(exec(8)));
+    let second = fig2a(&mut RunContext::new(Scale::Quick).exec(exec(8)));
     assert_eq!(first, second, "same config, different results across runs");
     assert_eq!(figure_csv(&first), figure_csv(&second));
 }
@@ -41,8 +39,8 @@ fn repeated_invocations_are_byte_identical() {
 #[test]
 fn auto_jobs_matches_serial() {
     // jobs = 0 (one worker per core) must agree with explicit serial runs.
-    let auto = fig2a_with(Scale::Quick, &ExecConfig::default());
-    let serial = fig2a_with(Scale::Quick, &ExecConfig::serial());
+    let auto = fig2a(&mut RunContext::new(Scale::Quick).exec(ExecConfig::default()));
+    let serial = fig2a(&mut RunContext::new(Scale::Quick).exec(ExecConfig::serial()));
     assert_eq!(auto, serial);
 }
 
@@ -50,8 +48,8 @@ fn auto_jobs_matches_serial() {
 fn fault_sweep_jobs_1_and_jobs_8_are_byte_identical() {
     // Fault streams reseed per cell from grid coordinates (with the extra
     // FAULT_STREAM tag), so the determinism contract extends to faulty runs.
-    let serial = fault_sweep_with(Scale::Quick, &exec(1));
-    let parallel = fault_sweep_with(Scale::Quick, &exec(8));
+    let serial = fault_sweep(&mut RunContext::new(Scale::Quick).exec(exec(1)));
+    let parallel = fault_sweep(&mut RunContext::new(Scale::Quick).exec(exec(8)));
     assert_eq!(serial, parallel, "thread count changed fault-sweep results");
     assert_eq!(
         figure_csv(&serial),
@@ -86,6 +84,7 @@ fn loss_zero_fault_sweep_is_byte_identical_to_no_fault_sweep() {
             faults: FaultPlan::none().loss(x),
             ..base()
         },
+        None,
     );
     let clean = runner.sweep_shared_trace(
         "clean_sweep",
@@ -94,6 +93,7 @@ fn loss_zero_fault_sweep_is_byte_identical_to_no_fault_sweep() {
         &[0.0],
         &trace,
         |_| base(),
+        None,
     );
     assert_eq!(
         figure_csv(&faulty),
@@ -108,8 +108,12 @@ fn telemetry_counters_are_identical_jobs_1_vs_8() {
     // merged in grid order, so they inherit the executor's determinism
     // contract: any worker count produces the same totals. (Phase timings
     // are wall clock and deliberately excluded from this comparison.)
-    let (fig_serial, tel_serial) = fig2a_observed(Scale::Quick, &exec(1));
-    let (fig_parallel, tel_parallel) = fig2a_observed(Scale::Quick, &exec(8));
+    let mut ctx_serial = RunContext::new(Scale::Quick).exec(exec(1)).observed();
+    let fig_serial = fig2a(&mut ctx_serial);
+    let tel_serial = ctx_serial.take_telemetry();
+    let mut ctx_parallel = RunContext::new(Scale::Quick).exec(exec(8)).observed();
+    let fig_parallel = fig2a(&mut ctx_parallel);
+    let tel_parallel = ctx_parallel.take_telemetry();
     assert_eq!(fig_serial, fig_parallel);
     assert_eq!(
         tel_serial.counters, tel_parallel.counters,
@@ -118,8 +122,12 @@ fn telemetry_counters_are_identical_jobs_1_vs_8() {
     assert!(tel_serial.counters.contacts > 0, "counters never fired");
     assert!(tel_serial.counters.bytes_moved > 0, "no bytes accounted");
 
-    let (_, tel_faulty_1) = fault_sweep_observed(Scale::Quick, &exec(1));
-    let (_, tel_faulty_8) = fault_sweep_observed(Scale::Quick, &exec(8));
+    let mut ctx_faulty_1 = RunContext::new(Scale::Quick).exec(exec(1)).observed();
+    let _ = fault_sweep(&mut ctx_faulty_1);
+    let tel_faulty_1 = ctx_faulty_1.take_telemetry();
+    let mut ctx_faulty_8 = RunContext::new(Scale::Quick).exec(exec(8)).observed();
+    let _ = fault_sweep(&mut ctx_faulty_8);
+    let tel_faulty_8 = ctx_faulty_8.take_telemetry();
     assert_eq!(
         tel_faulty_1.counters, tel_faulty_8.counters,
         "thread count changed fault-sweep telemetry counters"
@@ -134,8 +142,10 @@ fn telemetry_counters_are_identical_jobs_1_vs_8() {
 fn telemetry_on_and_off_render_identical_csv() {
     // Enabling observation must not perturb simulation output: the observed
     // sweep's figure is byte-identical to the unobserved sweep's.
-    let plain = fig2a_with(Scale::Quick, &exec(2));
-    let (observed, telemetry) = fig2a_observed(Scale::Quick, &exec(2));
+    let plain = fig2a(&mut RunContext::new(Scale::Quick).exec(exec(2)));
+    let mut ctx = RunContext::new(Scale::Quick).exec(exec(2)).observed();
+    let observed = fig2a(&mut ctx);
+    let telemetry = ctx.take_telemetry();
     assert_eq!(plain, observed, "telemetry perturbed sweep results");
     assert_eq!(
         figure_csv(&plain),
@@ -150,7 +160,7 @@ fn telemetry_on_and_off_render_identical_csv() {
 
 #[test]
 fn replicated_points_pool_counts_and_report_spread() {
-    let fig = fig2a_with(Scale::Quick, &exec(4));
+    let fig = fig2a(&mut RunContext::new(Scale::Quick).exec(exec(4)));
     for series in &fig.series {
         for point in &series.points {
             assert_eq!(point.metadata.n, 2, "expected two replicates");

@@ -16,7 +16,7 @@ fn pollution_attack_and_defense_shapes() {
         files_per_day: 15,
         ..SimParams::default()
     };
-    let clean = run_simulation(&trace, &base);
+    let clean = run_simulation(&trace, &base, None);
     let polluted = run_simulation(
         &trace,
         &SimParams {
@@ -24,6 +24,7 @@ fn pollution_attack_and_defense_shapes() {
             fakes_per_day: 4,
             ..base.clone()
         },
+        None,
     );
     let defended = run_simulation(
         &trace,
@@ -33,6 +34,7 @@ fn pollution_attack_and_defense_shapes() {
             verify_metadata: true,
             ..base.clone()
         },
+        None,
     );
     // The attack hurts; the defense recovers a strict majority of the loss.
     assert!(
@@ -64,13 +66,14 @@ fn verification_is_free_without_an_adversary() {
         files_per_day: 10,
         ..SimParams::default()
     };
-    let clean = run_simulation(&trace, &base);
+    let clean = run_simulation(&trace, &base, None);
     let verified = run_simulation(
         &trace,
         &SimParams {
             verify_metadata: true,
             ..base
         },
+        None,
     );
     assert_eq!(
         clean.metadata_delivered, verified.metadata_delivered,

@@ -22,6 +22,7 @@ fn run(protocol: ProtocolKind, internet_fraction: f64) -> SimResult {
             seed: 21,
             ..SimParams::default()
         },
+        None,
     )
 }
 
