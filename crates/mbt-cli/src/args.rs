@@ -51,7 +51,15 @@ impl fmt::Display for ArgError {
 impl Error for ArgError {}
 
 /// Option names that are flags (take no value).
-const FLAGS: &[&str] = &["tft", "rarest-first", "quick", "help", "weekends", "verify"];
+const FLAGS: &[&str] = &[
+    "tft",
+    "rarest-first",
+    "quick",
+    "help",
+    "weekends",
+    "verify",
+    "server",
+];
 
 impl Args {
     /// Parses raw arguments (without the program/subcommand names).

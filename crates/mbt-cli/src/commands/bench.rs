@@ -8,7 +8,7 @@
 use std::fmt::Write as _;
 
 use dtn_sim::telemetry::{rate_per_sec, Phase};
-use mbt_experiments::perf::{run_bench, BenchReport};
+use mbt_experiments::perf::{run_bench, run_server_bench_report, BenchReport, ServerBenchConfig};
 use mbt_experiments::{ExecConfig, Scale};
 
 use crate::args::Args;
@@ -17,28 +17,48 @@ use crate::CliError;
 /// Usage text for the subcommand.
 pub const USAGE: &str = "mbt bench [--scale quick|full] [--jobs N] \
 [--replicates N] [--seed N] [--out PATH]
+mbt bench --server [--server-records N] [--server-ops N] \
+[--server-shards N] [--seed N] [--out PATH]
 
 runs fig2a + fig3a + the fault sweep under telemetry and writes a
-schema-versioned JSON perf report (default BENCH_sweep.json)";
+schema-versioned JSON perf report (default BENCH_sweep.json); with
+--server, instead benches the sharded metadata server (synthetic corpus
++ mixed query storm, default 1e6 records / 1e5 ops / 8 shards)";
 
 /// Runs the subcommand.
 pub fn run(args: &Args) -> Result<String, CliError> {
-    let scale = match args.str_or("scale", "quick") {
-        "quick" => Scale::Quick,
-        "full" => Scale::Full,
-        other => {
-            return Err(CliError::Usage(format!(
-                "unknown scale `{other}` (expected quick or full)"
-            )))
-        }
-    };
     let exec = ExecConfig::default()
         .jobs(args.parse_or("jobs", 1usize, "an integer")?)
         .replicates(args.parse_or("replicates", 1u32, "an integer")?)
         .master_seed(args.parse_or("seed", 42u64, "an integer")?);
     let out_path = args.str_or("out", "BENCH_sweep.json").to_string();
 
-    let report = run_bench(scale, &exec);
+    let report = if args.flag("server") {
+        let defaults = ServerBenchConfig::default();
+        let cfg = ServerBenchConfig {
+            records: args.parse_or("server-records", defaults.records, "an integer")?,
+            ops: args.parse_or("server-ops", defaults.ops, "an integer")?,
+            shards: args.parse_or("server-shards", defaults.shards, "an integer")?,
+            seed: args.parse_or("seed", 42u64, "an integer")?,
+        };
+        if cfg.records == 0 || cfg.ops == 0 {
+            return Err(CliError::Usage(
+                "--server-records and --server-ops must be positive".into(),
+            ));
+        }
+        run_server_bench_report(&cfg, &exec)
+    } else {
+        let scale = match args.str_or("scale", "quick") {
+            "quick" => Scale::Quick,
+            "full" => Scale::Full,
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown scale `{other}` (expected quick or full)"
+                )))
+            }
+        };
+        run_bench(scale, &exec)
+    };
     std::fs::write(&out_path, report.to_json()).map_err(|e| CliError::Io(out_path.clone(), e))?;
     Ok(render(&report, &out_path))
 }
@@ -80,6 +100,20 @@ fn render(report: &BenchReport, out_path: &str) -> String {
             std::time::Duration::from_secs_f64(report.wall_secs.max(0.0)),
         )
     );
+    if let Some(sb) = &report.server {
+        let _ = writeln!(
+            out,
+            "  server bench: {} records / {} shards, {} ops in {:.2}s \
+             ({:.0} ops/s, build {:.2}s)",
+            sb.records, sb.shards, sb.ops, sb.run_secs, sb.ops_per_sec, sb.build_secs
+        );
+        let _ = writeln!(
+            out,
+            "    publishes {} searches {} requests {} expired {} hits {}",
+            sb.publishes, sb.searches, sb.requests, sb.expired, sb.hits
+        );
+        let _ = writeln!(out, "    result digest {:#018x}", sb.result_digest);
+    }
     let _ = writeln!(out, "  report written to {out_path}");
     out
 }
@@ -120,5 +154,33 @@ mod tests {
     fn rejects_unknown_scale() {
         let err = run(&args("--scale planetary")).unwrap_err();
         assert!(err.to_string().contains("planetary"));
+    }
+
+    #[test]
+    fn server_bench_writes_a_server_section() {
+        let path = out_path("server");
+        let out = run(&args(&format!(
+            "--server --server-records 400 --server-ops 300 --server-shards 4 \
+             --jobs 1 --out {}",
+            path.display()
+        )))
+        .unwrap();
+        assert!(
+            out.contains("server bench: 400 records / 4 shards"),
+            "{out}"
+        );
+        assert!(out.contains("result digest 0x"), "{out}");
+        let report = BenchReport::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(report.scale, "server");
+        assert!(report.sweeps.is_empty());
+        let sb = report.server.expect("server section");
+        assert_eq!((sb.records, sb.shards, sb.ops), (400, 4, 300));
+        assert!(sb.searches > 0 && sb.hits > 0);
+    }
+
+    #[test]
+    fn server_bench_rejects_degenerate_shapes() {
+        let err = run(&args("--server --server-records 0")).unwrap_err();
+        assert!(err.to_string().contains("positive"));
     }
 }

@@ -267,6 +267,116 @@ mod tests {
     }
 
     #[test]
+    fn request_exactly_at_the_24h_boundary_still_counts() {
+        // The window is inclusive at both edges: a request made exactly 24
+        // hours ago sits at `cutoff = now - window` and `t >= cutoff` keeps
+        // it; one second older falls out.
+        let mut est = PopularityEstimator::new(10);
+        let uri = Uri::new("mbt://f").unwrap();
+        let t0 = SimTime::from_secs(1_000);
+        est.record_request(&uri, NodeId::new(1), t0);
+
+        let exactly_24h = t0.saturating_add(SimDuration::from_hours(24));
+        assert!(
+            (est.popularity(&uri, exactly_24h).value() - 0.1).abs() < 1e-12,
+            "request exactly one window old must still count"
+        );
+        let one_past = SimTime::from_secs(exactly_24h.as_secs() + 1);
+        assert_eq!(est.popularity(&uri, one_past), Popularity::MIN);
+
+        // The same boundary governs prune: at exactly 24 h the record
+        // survives, one second later it is dropped.
+        est.prune(exactly_24h);
+        assert_eq!(est.requests[&uri].len(), 1);
+        est.prune(one_past);
+        assert!(est.requests.is_empty());
+    }
+
+    #[test]
+    fn requests_from_the_future_do_not_count() {
+        // `t <= now` bounds the window on the right: a request stamped
+        // *after* the query instant (e.g. out-of-order session replay) must
+        // not inflate the estimate.
+        let mut est = PopularityEstimator::new(10);
+        let uri = Uri::new("mbt://f").unwrap();
+        est.record_request(&uri, NodeId::new(1), SimTime::from_secs(5_000));
+        assert_eq!(
+            est.popularity(&uri, SimTime::from_secs(4_000)),
+            Popularity::MIN
+        );
+        assert!((est.popularity(&uri, SimTime::from_secs(5_000)).value() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_node_uri_requests_in_one_window_count_once() {
+        // One node hammering the same URI at several instants inside a
+        // single window is still one distinct requester.
+        let mut est = PopularityEstimator::new(10);
+        let uri = Uri::new("mbt://f").unwrap();
+        for hour in [0u64, 3, 7, 23] {
+            est.record_request(&uri, NodeId::new(4), SimTime::from_secs(hour * 3_600));
+        }
+        let now = SimTime::from_secs(23 * 3_600);
+        assert!((est.popularity(&uri, now).value() - 0.1).abs() < 1e-12);
+        // A second node doubles the estimate; repeating it again does not.
+        est.record_request(&uri, NodeId::new(5), now);
+        est.record_request(&uri, NodeId::new(5), now);
+        assert!((est.popularity(&uri, now).value() - 0.2).abs() < 1e-12);
+        // The duplicates are retained as raw events (all four instants)…
+        assert_eq!(est.requests[&uri].len(), 6);
+        // …so when the window slides past the early ones, the same node
+        // still counts through its later requests.
+        let next_day = SimTime::from_secs(30 * 3_600);
+        assert!((est.popularity(&uri, next_day).value() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn prune_is_idempotent_and_preserves_answers() {
+        let mut est = PopularityEstimator::new(10);
+        let uris: Vec<Uri> = (0..3)
+            .map(|i| Uri::new(format!("mbt://f/{i}")).unwrap())
+            .collect();
+        for (i, uri) in uris.iter().enumerate() {
+            for node in 0..=i as u32 {
+                // Requests spread over 40 hours: some inside, some outside
+                // the window at `now`.
+                est.record_request(
+                    uri,
+                    NodeId::new(node),
+                    SimTime::from_secs(node as u64 * 13 * 3_600),
+                );
+            }
+        }
+        let now = SimTime::from_secs(40 * 3_600);
+        let before: Vec<f64> = uris
+            .iter()
+            .map(|u| est.popularity(u, now).value())
+            .collect();
+
+        est.prune(now);
+        let first: std::collections::BTreeMap<Uri, Vec<(SimTime, NodeId)>> = est
+            .requests
+            .iter()
+            .map(|(u, q)| (u.clone(), q.iter().copied().collect()))
+            .collect();
+        // Pruning never changes what the estimator answers at `now`…
+        let after: Vec<f64> = uris
+            .iter()
+            .map(|u| est.popularity(u, now).value())
+            .collect();
+        assert_eq!(before, after, "prune changed live estimates");
+
+        // …and pruning again at the same instant is a no-op, bit for bit.
+        est.prune(now);
+        let second: std::collections::BTreeMap<Uri, Vec<(SimTime, NodeId)>> = est
+            .requests
+            .iter()
+            .map(|(u, q)| (u.clone(), q.iter().copied().collect()))
+            .collect();
+        assert_eq!(first, second, "prune is not idempotent");
+    }
+
+    #[test]
     fn cmp_popularity_total_order() {
         use std::cmp::Ordering;
         assert_eq!(

@@ -1,0 +1,270 @@
+//! Partitioning primitives for the sharded metadata server.
+//!
+//! Two independent hash partitions cover the server's state, following the
+//! token-sharded keyword indexes and ID-space partitioning of Grunthal's
+//! *Efficient Indexing of the BitTorrent DHT*:
+//!
+//! - the **keyword index** is split by token hash: a token's full posting
+//!   list lives in exactly one `TokenShard`, so a query fans out to at most
+//!   one shard per query token;
+//! - the **URI space** (metadata records and their popularities) is
+//!   ring-partitioned by URI hash: each `UriShard` owns a contiguous arc of
+//!   the `u64` hash ring, so record lookups, expiry passes, and popularity
+//!   refreshes are independent per-shard walks.
+//!
+//! Both use the same stable FNV-1a hash — deterministic across processes and
+//! toolchains, unlike `std`'s seeded `RandomState` — so a shard layout is a
+//! pure function of `(key, shard count)` and committed bench digests never
+//! drift.
+//!
+//! The query core (`ranked_matches`, `top_popular`) operates on slices of
+//! `Arc`-held shards so the mutable [`ShardedMetadataServer`] and its
+//! immutable [`ServerSnapshot`] share one implementation — and one proof of
+//! equivalence with the linear reference scan.
+//!
+//! [`ShardedMetadataServer`]: super::ShardedMetadataServer
+//! [`ServerSnapshot`]: super::ServerSnapshot
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
+
+use dtn_trace::SimTime;
+
+use crate::metadata::Metadata;
+use crate::popularity::{cmp_popularity, Popularity};
+use crate::query::Query;
+use crate::uri::Uri;
+
+/// Stable 64-bit hash of `bytes`: FNV-1a with a splitmix64 finalizer.
+///
+/// Used for every shard-placement decision; must never change, or committed
+/// bench baselines and the golden equivalence of re-opened servers would
+/// silently re-partition. The finalizer matters: `ring_index` partitions
+/// on the *high* bits, which raw FNV-1a barely stirs for short or
+/// near-constant keys.
+pub fn stable_hash(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94d0_49bb_1331_11eb);
+    h ^ (h >> 31)
+}
+
+/// Maps a hash onto one of `shards` equal arcs of the `u64` ring.
+///
+/// The multiply-shift form `(hash * shards) >> 64` assigns shard `i` the
+/// interval `[i·2⁶⁴/n, (i+1)·2⁶⁴/n)` — the contiguous ring ranges of a
+/// consistent-hashing layout, rather than the scattered residue classes of
+/// `hash % n`.
+fn ring_index(hash: u64, shards: usize) -> usize {
+    debug_assert!(shards > 0);
+    ((u128::from(hash) * shards as u128) >> 64) as usize
+}
+
+/// The token shard owning `token`'s posting list.
+pub fn shard_of_token(token: &str, shards: usize) -> usize {
+    ring_index(stable_hash(token.as_bytes()), shards)
+}
+
+/// The URI shard owning `uri`'s metadata record and popularity.
+pub fn shard_of_uri(uri: &Uri, shards: usize) -> usize {
+    ring_index(stable_hash(uri.as_str().as_bytes()), shards)
+}
+
+/// One record of the URI space: the published metadata and its assigned
+/// popularity, stored together so a popularity refresh is an in-place value
+/// walk that never touches (or re-interns) the key set.
+#[derive(Debug, Clone)]
+pub(crate) struct UriRecord {
+    pub metadata: Metadata,
+    pub popularity: Popularity,
+}
+
+/// One arc of the URI ring: every record whose URI hashes into this shard.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct UriShard {
+    pub records: BTreeMap<Uri, UriRecord>,
+}
+
+/// One slice of the keyword index: the full posting lists of every token
+/// that hashes into this shard.
+///
+/// Unlike [`InvertedIndex`](crate::keyword::InvertedIndex) there is no
+/// reverse `tokens_of` map — the publisher removes a record's postings from
+/// the record's own cached [`TokenSet`](crate::keyword::TokenSet), so each
+/// token string is stored exactly once per shard.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct TokenShard {
+    pub postings: BTreeMap<Box<str>, BTreeSet<Uri>>,
+}
+
+impl TokenShard {
+    /// Adds `uri` to `token`'s posting list.
+    pub fn insert_posting(&mut self, token: &str, uri: &Uri) {
+        match self.postings.get_mut(token) {
+            Some(set) => {
+                set.insert(uri.clone());
+            }
+            None => {
+                self.postings
+                    .insert(Box::from(token), BTreeSet::from([uri.clone()]));
+            }
+        }
+    }
+
+    /// Removes `uri` from `token`'s posting list, dropping the list when it
+    /// empties.
+    pub fn remove_posting(&mut self, token: &str, uri: &Uri) {
+        if let Some(set) = self.postings.get_mut(token) {
+            set.remove(uri);
+            if set.is_empty() {
+                self.postings.remove(token);
+            }
+        }
+    }
+}
+
+/// Best-matched metadata for `query` across all shards, at most `limit`.
+///
+/// Accumulates per-URI match counts from each query token's (single) owning
+/// token shard, filters to records containing **every** query token, and
+/// rank-merges with the exact deterministic ordering of the reference linear
+/// scan: match count descending, then popularity descending, then URI
+/// ascending. Accumulation order cannot leak into the result — the final
+/// comparator is total (URIs are unique) — so a `HashMap` scratch is safe.
+pub(crate) fn ranked_matches<'a>(
+    uri_shards: &'a [Arc<UriShard>],
+    token_shards: &'a [Arc<TokenShard>],
+    query: &Query,
+    limit: usize,
+) -> Vec<&'a Metadata> {
+    let mut counts: HashMap<&'a Uri, usize> = HashMap::new();
+    for token in query.tokens() {
+        let shard = &token_shards[shard_of_token(token, token_shards.len())];
+        if let Some(postings) = shard.postings.get(token.as_str()) {
+            for uri in postings {
+                *counts.entry(uri).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut ranked: Vec<(&'a Uri, &'a UriRecord, usize)> = counts
+        .into_iter()
+        .filter_map(|(uri, hits)| {
+            let shard = &uri_shards[shard_of_uri(uri, uri_shards.len())];
+            let record = shard.records.get(uri)?;
+            record
+                .metadata
+                .matches_query(query)
+                .then_some((uri, record, hits))
+        })
+        .collect();
+    ranked.sort_by(|a, b| {
+        b.2.cmp(&a.2)
+            .then_with(|| cmp_popularity(b.1.popularity, a.1.popularity))
+            .then_with(|| a.0.cmp(b.0))
+    });
+    ranked
+        .into_iter()
+        .take(limit)
+        .map(|(_, record, _)| &record.metadata)
+        .collect()
+}
+
+/// The `limit` most popular unexpired records at `now`.
+///
+/// Each URI shard contributes its own top `limit` (popularity descending,
+/// URI ascending); the per-shard winners are rank-merged under the same
+/// total order, which provably equals the reference full sort truncated to
+/// `limit`.
+pub(crate) fn top_popular<'a>(
+    uri_shards: &'a [Arc<UriShard>],
+    limit: usize,
+    now: SimTime,
+) -> Vec<&'a Metadata> {
+    let by_rank = |a: &(&'a Uri, &'a UriRecord), b: &(&'a Uri, &'a UriRecord)| {
+        cmp_popularity(b.1.popularity, a.1.popularity).then_with(|| a.0.cmp(b.0))
+    };
+    let mut merged: Vec<(&'a Uri, &'a UriRecord)> = Vec::new();
+    for shard in uri_shards {
+        let mut local: Vec<(&'a Uri, &'a UriRecord)> = shard
+            .records
+            .iter()
+            .filter(|(_, r)| !r.metadata.is_expired(now))
+            .collect();
+        local.sort_by(by_rank);
+        local.truncate(limit);
+        merged.extend(local);
+    }
+    merged.sort_by(by_rank);
+    merged
+        .into_iter()
+        .take(limit)
+        .map(|(_, record)| &record.metadata)
+        .collect()
+}
+
+/// All records across shards in global URI order (the public iteration
+/// contract inherited from the reference registry).
+pub(crate) fn iter_uri_order<'a>(
+    uri_shards: &'a [Arc<UriShard>],
+) -> impl Iterator<Item = &'a Metadata> {
+    let mut all: Vec<(&'a Uri, &'a Metadata)> = uri_shards
+        .iter()
+        .flat_map(|s| s.records.iter().map(|(u, r)| (u, &r.metadata)))
+        .collect();
+    all.sort_by(|a, b| a.0.cmp(b.0));
+    all.into_iter().map(|(_, m)| m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_hash_is_fixed() {
+        // Pinned values: a silent hash change would re-partition every
+        // committed digest.
+        assert_eq!(stable_hash(b""), 0xf52a_15e9_a9b5_e89b);
+        assert_eq!(stable_hash(b"fox"), stable_hash(b"fox"));
+        assert_ne!(stable_hash(b"fox"), stable_hash(b"fax"));
+    }
+
+    #[test]
+    fn ring_index_covers_all_shards_and_stays_in_range() {
+        for shards in [1usize, 2, 7, 16] {
+            let mut seen = vec![false; shards];
+            for i in 0..10_000u64 {
+                let idx = ring_index(stable_hash(&i.to_be_bytes()), shards);
+                assert!(idx < shards);
+                seen[idx] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "{shards} shards not all hit");
+        }
+    }
+
+    #[test]
+    fn single_shard_owns_everything() {
+        assert_eq!(shard_of_token("anything", 1), 0);
+        assert_eq!(shard_of_uri(&Uri::new("mbt://x").unwrap(), 1), 0);
+    }
+
+    #[test]
+    fn posting_lists_insert_and_remove() {
+        let mut shard = TokenShard::default();
+        let a = Uri::new("mbt://a").unwrap();
+        let b = Uri::new("mbt://b").unwrap();
+        shard.insert_posting("fox", &a);
+        shard.insert_posting("fox", &b);
+        assert_eq!(shard.postings["fox"].len(), 2);
+        shard.remove_posting("fox", &a);
+        assert_eq!(shard.postings["fox"].len(), 1);
+        shard.remove_posting("fox", &b);
+        assert!(!shard.postings.contains_key("fox"), "empty list dropped");
+        shard.remove_posting("gone", &a); // no-op on absent token
+    }
+}

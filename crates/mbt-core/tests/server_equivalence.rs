@@ -1,0 +1,294 @@
+//! The tentpole contract of the sharded metadata server: for **any**
+//! sequence of publish / search / set_popularity / record_request /
+//! refresh / expire operations, a [`ShardedMetadataServer`] with any shard
+//! count answers **byte-identically** to the [`ReferenceServer`] — the
+//! original single-registry implementation kept verbatim as the oracle.
+//!
+//! The server-side analogue of `tests/sharded_equivalence.rs` (which proves
+//! the same property for the sharded trace backing).
+
+use proptest::prelude::*;
+
+use dtn_trace::{NodeId, SimDuration, SimTime};
+use mbt_core::server::{ReferenceServer, ShardedMetadataServer};
+use mbt_core::{Metadata, Popularity, Query, Uri};
+
+/// Shard counts under test; 1 is the "byte-identical to today" case, the
+/// rest exercise real partitioning (including a prime).
+const SHARD_COUNTS: [usize; 4] = [1, 2, 7, 16];
+
+/// A small vocabulary so queries actually hit records (and overlap).
+const TOKENS: [&str; 10] = [
+    "fox", "news", "evening", "comedy", "sports", "weather", "tonight", "daily", "talk", "show",
+];
+
+/// One operation against both servers.
+#[derive(Debug, Clone)]
+enum Op {
+    Publish {
+        uri: usize,
+        name_a: usize,
+        name_b: usize,
+        pop: f64,
+        ttl_days: u64,
+    },
+    Search {
+        tok_a: usize,
+        tok_b: Option<usize>,
+        limit: usize,
+    },
+    SetPopularity {
+        uri: usize,
+        pop: f64,
+    },
+    RecordRequest {
+        uri: usize,
+        node: u32,
+        at_hours: u64,
+    },
+    Refresh {
+        at_hours: u64,
+    },
+    Expire {
+        at_hours: u64,
+    },
+    MostPopular {
+        limit: usize,
+        at_hours: u64,
+    },
+}
+
+/// Decodes a flat sample into one operation (the shim has no `prop_oneof!`,
+/// so the op kind is just another sampled dimension).
+fn arb_op() -> impl Strategy<Value = Op> {
+    (
+        0u8..7,
+        (0usize..14, 0usize..10, 0.0f64..1.0),
+        0u64..200,
+        1usize..8,
+        0u32..6,
+    )
+        .prop_map(|(kind, (a, b, pop), at_hours, limit, node)| match kind {
+            0 => Op::Publish {
+                uri: a % 12,
+                name_a: b,
+                name_b: (a + b) % 10,
+                pop,
+                ttl_days: at_hours % 6,
+            },
+            1 => Op::Search {
+                tok_a: b,
+                tok_b: (a % 3 != 0).then_some(a % 10),
+                limit,
+            },
+            2 => Op::SetPopularity { uri: a, pop },
+            3 => Op::RecordRequest {
+                uri: a % 12,
+                node,
+                at_hours: at_hours % 120,
+            },
+            4 => Op::Refresh {
+                at_hours: at_hours % 120,
+            },
+            5 => Op::Expire { at_hours },
+            _ => Op::MostPopular {
+                limit: limit.min(5),
+                at_hours,
+            },
+        })
+}
+
+fn uri(idx: usize) -> Uri {
+    Uri::new(format!("mbt://prop/file-{idx}")).unwrap()
+}
+
+fn at(hours: u64) -> SimTime {
+    SimTime::from_secs(hours * 3_600)
+}
+
+fn build_meta(op_uri: usize, name_a: usize, name_b: usize, ttl_days: u64) -> Metadata {
+    let name = format!("{} {}", TOKENS[name_a], TOKENS[name_b]);
+    let mut b = Metadata::builder(name, "FOX", uri(op_uri));
+    if ttl_days > 0 {
+        b = b.ttl(SimDuration::from_days(ttl_days));
+    }
+    b.build()
+}
+
+/// Everything observable about a search result, stringified: any divergence
+/// in membership, order, or record contents shows up here.
+fn render(results: &[&Metadata]) -> Vec<String> {
+    results
+        .iter()
+        .map(|m| format!("{}|{}|{}", m.uri().as_str(), m.name(), m.publisher()))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sharded_server_is_byte_identical_to_reference(
+        ops in proptest::collection::vec(arb_op(), 1..60)
+    ) {
+        let mut reference = ReferenceServer::new(10);
+        let mut sharded: Vec<ShardedMetadataServer> = SHARD_COUNTS
+            .iter()
+            .map(|&n| ShardedMetadataServer::with_shards(10, n))
+            .collect();
+
+        for op in &ops {
+            match *op {
+                Op::Publish { uri: u, name_a, name_b, pop, ttl_days } => {
+                    let meta = build_meta(u, name_a, name_b, ttl_days);
+                    let p = Popularity::new(pop);
+                    reference.publish(meta.clone(), p);
+                    for s in &mut sharded {
+                        s.publish(meta.clone(), p);
+                    }
+                }
+                Op::Search { tok_a, tok_b, limit } => {
+                    let text = match tok_b {
+                        Some(b) => format!("{} {}", TOKENS[tok_a], TOKENS[b]),
+                        None => TOKENS[tok_a].to_owned(),
+                    };
+                    let q = Query::new(text).unwrap();
+                    let expected = render(&reference.search(&q, limit));
+                    let expected_best = reference.best_match(&q).map(|m| m.uri().clone());
+                    for s in &sharded {
+                        prop_assert_eq!(
+                            &render(&s.search(&q, limit)), &expected,
+                            "search diverged at {} shards", s.shard_count()
+                        );
+                        prop_assert_eq!(
+                            &s.best_match(&q).map(|m| m.uri().clone()), &expected_best,
+                            "best_match diverged at {} shards", s.shard_count()
+                        );
+                    }
+                }
+                Op::SetPopularity { uri: u, pop } => {
+                    let target = uri(u);
+                    let p = Popularity::new(pop);
+                    reference.set_popularity(&target, p);
+                    for s in &mut sharded {
+                        s.set_popularity(&target, p);
+                    }
+                }
+                Op::RecordRequest { uri: u, node, at_hours } => {
+                    let target = uri(u);
+                    let now = at(at_hours);
+                    reference.record_request(&target, NodeId::new(node), now);
+                    for s in &mut sharded {
+                        s.record_request(&target, NodeId::new(node), now);
+                    }
+                }
+                Op::Refresh { at_hours } => {
+                    let now = at(at_hours);
+                    reference.refresh_popularities(now);
+                    for s in &mut sharded {
+                        s.refresh_popularities(now);
+                    }
+                }
+                Op::Expire { at_hours } => {
+                    let now = at(at_hours);
+                    let expected = reference.expire(now);
+                    for s in &mut sharded {
+                        prop_assert_eq!(
+                            s.expire(now), expected,
+                            "expire count diverged at {} shards", s.shard_count()
+                        );
+                    }
+                }
+                Op::MostPopular { limit, at_hours } => {
+                    let now = at(at_hours);
+                    let expected = render(&reference.most_popular(limit, now));
+                    for s in &sharded {
+                        prop_assert_eq!(
+                            &render(&s.most_popular(limit, now)), &expected,
+                            "most_popular diverged at {} shards", s.shard_count()
+                        );
+                    }
+                }
+            }
+
+            // Cheap invariants after every op.
+            for s in &sharded {
+                prop_assert_eq!(s.len(), reference.len());
+                prop_assert_eq!(s.is_empty(), reference.is_empty());
+            }
+        }
+
+        // Full-state sweep at the end: every URI slot, the global iteration
+        // order, and the estimator view.
+        let t_end = at(200);
+        for u in 0..14 {
+            let target = uri(u);
+            let expected_meta = reference.metadata_of(&target).map(|m| m.uri().clone());
+            let expected_pop = reference.popularity_of(&target);
+            let expected_est = reference.estimated_popularity(&target, t_end);
+            for s in &sharded {
+                prop_assert_eq!(&s.metadata_of(&target).map(|m| m.uri().clone()), &expected_meta);
+                prop_assert_eq!(s.popularity_of(&target), expected_pop);
+                prop_assert_eq!(s.estimated_popularity(&target, t_end), expected_est);
+            }
+        }
+        let expected_iter: Vec<String> = render(&reference.iter().collect::<Vec<_>>());
+        for s in &sharded {
+            let got: Vec<String> = render(&s.iter().collect::<Vec<_>>());
+            prop_assert_eq!(&got, &expected_iter, "iter diverged at {} shards", s.shard_count());
+        }
+    }
+
+    #[test]
+    fn snapshot_answers_match_the_live_server(
+        ops in proptest::collection::vec(arb_op(), 1..40),
+        shards_idx in 0usize..4
+    ) {
+        // A snapshot taken after a mutation burst answers the read API
+        // exactly like the live server it was taken from.
+        let mut server = ShardedMetadataServer::with_shards(10, SHARD_COUNTS[shards_idx]);
+        for op in &ops {
+            match *op {
+                Op::Publish { uri: u, name_a, name_b, pop, ttl_days } => {
+                    server.publish(build_meta(u, name_a, name_b, ttl_days), Popularity::new(pop));
+                }
+                Op::SetPopularity { uri: u, pop } => {
+                    server.set_popularity(&uri(u), Popularity::new(pop));
+                }
+                Op::Expire { at_hours } => {
+                    server.expire(at(at_hours));
+                }
+                _ => {}
+            }
+        }
+        let snap = server.snapshot();
+        prop_assert_eq!(snap.len(), server.len());
+        prop_assert_eq!(snap.is_empty(), server.is_empty());
+        let now = at(100);
+        for tok in TOKENS {
+            let q = Query::new(tok).unwrap();
+            let live: Vec<String> = render(&server.search(&q, 5));
+            let frozen: Vec<String> = snap
+                .search(&q, 5)
+                .iter()
+                .map(|m| format!("{}|{}|{}", m.uri().as_str(), m.name(), m.publisher()))
+                .collect();
+            prop_assert_eq!(&frozen, &live);
+        }
+        let live_top: Vec<String> = render(&server.most_popular(5, now));
+        let frozen_top: Vec<String> = snap
+            .most_popular(5, now)
+            .iter()
+            .map(|m| format!("{}|{}|{}", m.uri().as_str(), m.name(), m.publisher()))
+            .collect();
+        prop_assert_eq!(&frozen_top, &live_top);
+        for u in 0..14 {
+            let target = uri(u);
+            prop_assert_eq!(snap.popularity_of(&target), server.popularity_of(&target));
+            prop_assert_eq!(
+                snap.metadata_of(&target).map(|m| m.uri().clone()),
+                server.metadata_of(&target).map(|m| m.uri().clone())
+            );
+        }
+    }
+}

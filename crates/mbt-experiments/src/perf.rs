@@ -22,7 +22,11 @@
 use std::process::Command;
 use std::time::{Duration, Instant};
 
+use dtn_sim::rng::{derive_seed, stream};
 use dtn_sim::telemetry::{rate_per_sec, Counters, Phase, PhaseTimes, Telemetry};
+use dtn_trace::{NodeId, SimDuration, SimTime};
+use mbt_core::{Metadata, MetadataServer, Popularity, Query, Uri};
+use rand::Rng;
 
 use crate::exec::ExecConfig;
 use crate::figures::{self, Scale};
@@ -61,6 +65,9 @@ pub struct BenchReport {
     pub counters: Counters,
     /// Ids of the sweeps that contributed, in execution order.
     pub sweeps: Vec<String>,
+    /// The metadata-server bench section, when the run included one
+    /// (`mbt bench --server`). Absent from sweep-only reports.
+    pub server: Option<ServerBench>,
 }
 
 impl BenchReport {
@@ -87,6 +94,7 @@ impl BenchReport {
             phases: telemetry.phases,
             counters: telemetry.counters,
             sweeps,
+            server: None,
         }
     }
 
@@ -122,6 +130,25 @@ impl BenchReport {
             out.push_str(&format!("    \"{name}\": {value}{sep}\n"));
         }
         out.push_str("  },\n");
+        if let Some(sb) = &self.server {
+            out.push_str("  \"server_bench\": {\n");
+            out.push_str(&format!("    \"records\": {},\n", sb.records));
+            out.push_str(&format!("    \"shards\": {},\n", sb.shards));
+            out.push_str(&format!("    \"ops\": {},\n", sb.ops));
+            out.push_str(&format!("    \"publishes\": {},\n", sb.publishes));
+            out.push_str(&format!("    \"searches\": {},\n", sb.searches));
+            out.push_str(&format!("    \"requests\": {},\n", sb.requests));
+            out.push_str(&format!("    \"expired\": {},\n", sb.expired));
+            out.push_str(&format!("    \"hits\": {},\n", sb.hits));
+            out.push_str(&format!(
+                "    \"result_digest\": \"{:#018x}\",\n",
+                sb.result_digest
+            ));
+            out.push_str(&format!("    \"build_secs\": {:.6},\n", sb.build_secs));
+            out.push_str(&format!("    \"run_secs\": {:.6},\n", sb.run_secs));
+            out.push_str(&format!("    \"ops_per_sec\": {:.6}\n", sb.ops_per_sec));
+            out.push_str("  },\n");
+        }
         out.push_str("  \"sweeps\": [");
         for (i, id) in self.sweeps.iter().enumerate() {
             if i > 0 {
@@ -155,6 +182,7 @@ impl BenchReport {
             phases: PhaseTimes::default(),
             counters: Counters::default(),
             sweeps: Vec::new(),
+            server: None,
         };
         for (key, val) in obj {
             match key.as_str() {
@@ -186,6 +214,36 @@ impl BenchReport {
                     for item in val.as_arr().ok_or("sweeps is not an array")? {
                         report.sweeps.push(item.expect_str("sweeps[]")?);
                     }
+                }
+                "server_bench" => {
+                    let fields = val.as_obj().ok_or("server_bench is not an object")?;
+                    let mut sb = ServerBench::default();
+                    for (name, field) in fields {
+                        match name.as_str() {
+                            "records" => sb.records = field.expect_num(name)? as u64,
+                            "shards" => sb.shards = field.expect_num(name)? as u64,
+                            "ops" => sb.ops = field.expect_num(name)? as u64,
+                            "publishes" => sb.publishes = field.expect_num(name)? as u64,
+                            "searches" => sb.searches = field.expect_num(name)? as u64,
+                            "requests" => sb.requests = field.expect_num(name)? as u64,
+                            "expired" => sb.expired = field.expect_num(name)? as u64,
+                            "hits" => sb.hits = field.expect_num(name)? as u64,
+                            "result_digest" => {
+                                // Hex string: u64 digests exceed f64's exact
+                                // integer range, so they never ride as JSON
+                                // numbers.
+                                let text = field.expect_str(name)?;
+                                let raw = text.trim_start_matches("0x");
+                                sb.result_digest = u64::from_str_radix(raw, 16)
+                                    .map_err(|e| format!("bad result_digest `{text}`: {e}"))?;
+                            }
+                            "build_secs" => sb.build_secs = field.expect_num(name)?,
+                            "run_secs" => sb.run_secs = field.expect_num(name)?,
+                            "ops_per_sec" => sb.ops_per_sec = field.expect_num(name)?,
+                            _ => {}
+                        }
+                    }
+                    report.server = Some(sb);
                 }
                 _ => {}
             }
@@ -322,6 +380,65 @@ pub fn compare(current: &BenchReport, baseline: &BenchReport, tol: &Tolerance) -
             }
         }
     }
+    match (&current.server, &baseline.server) {
+        (Some(cur), Some(base)) => {
+            // The deterministic server fields get the counter treatment:
+            // exact equality, because drift means the server answered
+            // differently, not that the machine was slow.
+            let exact: [(&str, u64, u64); 8] = [
+                ("records", cur.records, base.records),
+                ("shards", cur.shards, base.shards),
+                ("ops", cur.ops, base.ops),
+                ("publishes", cur.publishes, base.publishes),
+                ("searches", cur.searches, base.searches),
+                ("requests", cur.requests, base.requests),
+                ("expired", cur.expired, base.expired),
+                ("hits", cur.hits, base.hits),
+            ];
+            for (name, c, b) in exact {
+                if c != b {
+                    errors.push(format!(
+                        "server_bench `{name}` drifted: current {c} vs baseline {b} \
+                         (the server bench is deterministic — this is a behaviour change)"
+                    ));
+                }
+            }
+            if cur.result_digest != base.result_digest {
+                errors.push(format!(
+                    "server_bench result digest drifted: current {:#018x} vs baseline {:#018x} \
+                     (search answers or their ranking changed)",
+                    cur.result_digest, base.result_digest
+                ));
+            }
+            if current.jobs == baseline.jobs {
+                let allowed = |base: f64| base * (1.0 + tol.rel) + tol.abs_secs;
+                for (name, c, b) in [
+                    ("build_secs", cur.build_secs, base.build_secs),
+                    ("run_secs", cur.run_secs, base.run_secs),
+                ] {
+                    if b >= tol.min_phase_secs && c > allowed(b) {
+                        errors.push(format!(
+                            "server_bench `{name}` regressed: current {c:.3}s vs \
+                             baseline {b:.3}s (limit {:.3}s)",
+                            allowed(b)
+                        ));
+                    }
+                }
+            }
+        }
+        (None, None) => {}
+        (cur, _) => {
+            let (have, want) = if cur.is_some() {
+                ("has", "lacks")
+            } else {
+                ("lacks", "has")
+            };
+            errors.push(format!(
+                "server_bench presence mismatch: current {have} a server section but the \
+                 baseline {want} one (regenerate the baseline or drop --server)"
+            ));
+        }
+    }
     errors
 }
 
@@ -362,6 +479,255 @@ pub fn run_bench(scale: Scale, exec: &ExecConfig) -> BenchReport {
         &telemetry,
         sweeps,
     )
+}
+
+/// Results of the metadata-server bench: a synthetic corpus at production
+/// scale driven through a mixed operation storm.
+///
+/// Shape fields and operation counters (everything up to `result_digest`)
+/// are deterministic — a pure function of the config and seed — and
+/// [`compare`] diffs them exactly. The timings are thresholded like every
+/// other wall-clock figure.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ServerBench {
+    /// Corpus size the server was seeded with.
+    pub records: u64,
+    /// Shard count of the server under test.
+    pub shards: u64,
+    /// Driver operations executed.
+    pub ops: u64,
+    /// Publishes (corpus seeding + driver publishes/republishes).
+    pub publishes: u64,
+    /// Searches the driver issued.
+    pub searches: u64,
+    /// Download requests recorded into the popularity estimator.
+    pub requests: u64,
+    /// Records dropped by the driver's periodic expiry passes.
+    pub expired: u64,
+    /// Total results returned across all searches.
+    pub hits: u64,
+    /// FNV-1a digest over every search answer in order — the strongest
+    /// deterministic signal: any ranking or membership change flips it.
+    pub result_digest: u64,
+    /// Wall clock of corpus seeding.
+    pub build_secs: f64,
+    /// Wall clock of the driver.
+    pub run_secs: f64,
+    /// `ops / run_secs` (0 when degenerate).
+    pub ops_per_sec: f64,
+}
+
+/// Configuration for [`run_server_bench`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServerBenchConfig {
+    /// Metadata records to seed the server with.
+    pub records: u64,
+    /// Mixed operations the driver executes.
+    pub ops: u64,
+    /// Shard count of the server under test.
+    pub shards: usize,
+    /// Master seed; every random stream is derived from it.
+    pub seed: u64,
+}
+
+impl Default for ServerBenchConfig {
+    /// The committed-baseline shape: a 10⁶-record corpus and a 10⁵-op storm
+    /// over 8 shards.
+    fn default() -> Self {
+        ServerBenchConfig {
+            records: 1_000_000,
+            ops: 100_000,
+            shards: 8,
+            seed: 42,
+        }
+    }
+}
+
+/// Keyword vocabulary ceiling for synthetic names (3 tokens per record, so
+/// the expected posting list at the default scale is `3·10⁶ / 16384 ≈ 180`
+/// — every search still ranks a triple-digit candidate set, but the 10⁵-op
+/// driver finishes in CI-friendly time).
+const SERVER_BENCH_VOCAB: u64 = 16_384;
+
+/// Vocabulary for a corpus of `records`: the ceiling at production scale,
+/// shrunk for small test corpora so posting lists keep ~24 entries and
+/// searches still hit (a 16 k vocabulary over a few hundred records would
+/// leave almost every query empty). Any corpus ≥ 2¹⁷ records hits the
+/// ceiling, so the default shape — and its committed digest — is unaffected.
+fn server_bench_vocab(records: u64) -> u64 {
+    SERVER_BENCH_VOCAB.min((records / 8).max(32))
+}
+
+/// Zipf exponent for record popularity and query skew.
+const SERVER_BENCH_ZIPF_S: f64 = 0.8;
+
+fn fnv_fold(h: u64, bytes: &[u8]) -> u64 {
+    let mut h = h;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The synthetic corpus record `idx`: three vocabulary tokens for a name,
+/// Zipf popularity by rank, and a TTL on every 20th record so the driver's
+/// expiry passes have real work.
+fn server_bench_record(idx: u64, vocab: u64, rng: &mut impl Rng) -> (Metadata, Popularity) {
+    let t1 = rng.gen_range(0..vocab);
+    let t2 = rng.gen_range(0..vocab);
+    let t3 = rng.gen_range(0..vocab);
+    let uri = Uri::new(format!("mbt://bench/file-{idx}")).expect("static scheme");
+    let mut builder = Metadata::builder(format!("kw{t1} kw{t2} kw{t3}"), "FOX", uri);
+    if idx.is_multiple_of(20) {
+        builder = builder.ttl(SimDuration::from_hours(1 + idx % 24));
+    }
+    let rank_pop = 1.0 / ((idx + 1) as f64).powf(SERVER_BENCH_ZIPF_S);
+    (builder.build(), Popularity::new(rank_pop))
+}
+
+/// Cumulative Zipf weights over `n` ranks for weighted sampling by binary
+/// search (`O(log n)` per draw).
+fn zipf_cumulative(n: u64) -> Vec<f64> {
+    let mut cum = Vec::with_capacity(n as usize);
+    let mut total = 0.0;
+    for rank in 1..=n {
+        total += 1.0 / (rank as f64).powf(SERVER_BENCH_ZIPF_S);
+        cum.push(total);
+    }
+    cum
+}
+
+fn sample_zipf(cum: &[f64], rng: &mut impl Rng) -> u64 {
+    let total = *cum.last().expect("non-empty corpus");
+    let x = rng.gen_range(0.0..total);
+    cum.partition_point(|&c| c <= x) as u64
+}
+
+/// Seeds a [`MetadataServer`] with `cfg.records` synthetic records and
+/// drives `cfg.ops` mixed operations through it: 70% Zipf-skewed searches,
+/// 10% publishes (half fresh, half republish), 15% download-request
+/// recordings, 5% point popularity updates — with a daily-style
+/// `refresh_popularities` + `expire` pass every tenth of the run.
+///
+/// Fully deterministic for a given config: every stream is derived from
+/// `cfg.seed` via [`derive_seed`], and the returned
+/// [`result_digest`](ServerBench::result_digest) folds every search answer.
+pub fn run_server_bench(cfg: &ServerBenchConfig) -> ServerBench {
+    assert!(cfg.records > 0 && cfg.ops > 0, "degenerate bench config");
+    let mut bench = ServerBench {
+        records: cfg.records,
+        shards: cfg.shards.max(1) as u64,
+        ops: cfg.ops,
+        ..ServerBench::default()
+    };
+
+    // Corpus seeding (timed separately: publish throughput).
+    let vocab = server_bench_vocab(cfg.records);
+    let build_started = Instant::now();
+    let mut corpus_rng = stream(derive_seed(&[cfg.seed, 1]), "server-bench-corpus");
+    let mut server = MetadataServer::with_shards(100, cfg.shards);
+    for idx in 0..cfg.records {
+        let (meta, popularity) = server_bench_record(idx, vocab, &mut corpus_rng);
+        server.publish(meta, popularity);
+        bench.publishes += 1;
+    }
+    bench.build_secs = build_started.elapsed().as_secs_f64();
+
+    // The driver: Zipf-skewed reads against the full corpus.
+    let cum = zipf_cumulative(cfg.records);
+    let mut driver_rng = stream(derive_seed(&[cfg.seed, 2]), "server-bench-driver");
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut fresh = cfg.records;
+    let maintenance_every = (cfg.ops / 10).max(1);
+    // Simulated clock: the run always spans ~10⁵ simulated seconds (~28 h)
+    // regardless of `ops`, so TTLs lapse and the 24 h estimator window
+    // slides mid-run even in shrunken test configs.
+    let sim_step = (100_000 / cfg.ops).max(1);
+    let run_started = Instant::now();
+    for op in 0..cfg.ops {
+        let now = SimTime::from_secs(op * sim_step);
+        match op % 20 {
+            0 => {
+                // Fresh publish.
+                let (meta, popularity) = server_bench_record(fresh, vocab, &mut driver_rng);
+                fresh += 1;
+                server.publish(meta, popularity);
+                bench.publishes += 1;
+            }
+            1 => {
+                // Republish of an existing (Zipf-hot) record.
+                let idx = sample_zipf(&cum, &mut driver_rng);
+                let (meta, popularity) = server_bench_record(idx, vocab, &mut driver_rng);
+                server.publish(meta, popularity);
+                bench.publishes += 1;
+            }
+            2..=4 => {
+                let idx = sample_zipf(&cum, &mut driver_rng);
+                let node = NodeId::new(driver_rng.gen_range(0..100u32));
+                server.record_request(
+                    &Uri::new(format!("mbt://bench/file-{idx}")).unwrap(),
+                    node,
+                    now,
+                );
+                bench.requests += 1;
+            }
+            5 => {
+                let idx = sample_zipf(&cum, &mut driver_rng);
+                let p = Popularity::new(driver_rng.gen_range(0.0..1.0));
+                server.set_popularity(&Uri::new(format!("mbt://bench/file-{idx}")).unwrap(), p);
+            }
+            _ => {
+                // Search: one- or two-token queries over the shared
+                // vocabulary; with ~180 records per posting list the limit
+                // of 10 exercises real ranking work on every hit.
+                let t1 = driver_rng.gen_range(0..vocab);
+                let two_tokens = driver_rng.gen_range(0..4u32) != 0;
+                let text = if two_tokens {
+                    let t2 = driver_rng.gen_range(0..vocab);
+                    format!("kw{t1} kw{t2}")
+                } else {
+                    format!("kw{t1}")
+                };
+                let query = Query::new(text).expect("vocabulary tokens are valid");
+                let results = server.search(&query, 10);
+                bench.searches += 1;
+                bench.hits += results.len() as u64;
+                for meta in results {
+                    digest = fnv_fold(digest, meta.uri().as_str().as_bytes());
+                }
+            }
+        }
+        if (op + 1) % maintenance_every == 0 {
+            server.refresh_popularities(now);
+            bench.expired += server.expire(now) as u64;
+        }
+    }
+    bench.run_secs = run_started.elapsed().as_secs_f64();
+    bench.ops_per_sec = rate_per_sec(cfg.ops, run_started.elapsed());
+    digest = fnv_fold(digest, &bench.hits.to_be_bytes());
+    digest = fnv_fold(digest, &(server.len() as u64).to_be_bytes());
+    bench.result_digest = digest;
+    bench
+}
+
+/// Runs the server bench and wraps it in a schema-versioned [`BenchReport`]
+/// (scale label `"server"`, no sweep content) so the standard baseline
+/// tooling — `to_json`, `from_json`, [`compare`], perf-check — applies
+/// unchanged.
+pub fn run_server_bench_report(cfg: &ServerBenchConfig, exec: &ExecConfig) -> BenchReport {
+    let started = Instant::now();
+    let bench = run_server_bench(cfg);
+    let mut report = BenchReport::new(
+        "server",
+        exec,
+        0,
+        started.elapsed(),
+        &Telemetry::default(),
+        Vec::new(),
+    );
+    report.server = Some(bench);
+    report
 }
 
 /// Minimal recursive-descent JSON parser — just enough for
@@ -713,5 +1079,134 @@ mod tests {
     fn git_describe_never_panics() {
         let desc = git_describe();
         assert!(!desc.is_empty());
+    }
+
+    /// A shrunken server bench — big enough that searches hit, expires
+    /// fire, and every op branch runs; small enough for a debug test.
+    fn tiny_server_config() -> ServerBenchConfig {
+        ServerBenchConfig {
+            records: 500,
+            ops: 400,
+            shards: 3,
+            seed: 7,
+        }
+    }
+
+    fn sample_server_report() -> BenchReport {
+        let mut report = sample_report();
+        report.server = Some(ServerBench {
+            records: 500,
+            shards: 3,
+            ops: 400,
+            publishes: 540,
+            searches: 280,
+            requests: 60,
+            expired: 12,
+            hits: 1_900,
+            // Deliberately above 2^53: the hex-string encoding must carry
+            // it exactly where a JSON double could not.
+            result_digest: 0xdead_beef_cafe_f00d,
+            build_secs: 0.8,
+            run_secs: 1.6,
+            ops_per_sec: 250.0,
+        });
+        report
+    }
+
+    #[test]
+    fn server_report_round_trips_through_json() {
+        let report = sample_server_report();
+        let parsed = BenchReport::from_json(&report.to_json()).unwrap();
+        let (got, want) = (
+            parsed.server.as_ref().unwrap(),
+            report.server.as_ref().unwrap(),
+        );
+        assert_eq!(
+            got.result_digest, want.result_digest,
+            "u64 digest must survive JSON"
+        );
+        assert_eq!(got.records, want.records);
+        assert_eq!(got.hits, want.hits);
+        assert!((got.run_secs - want.run_secs).abs() < 1e-9);
+        assert!(compare(&parsed, &report, &Tolerance::default()).is_empty());
+    }
+
+    #[test]
+    fn server_digest_drift_fails_exactly() {
+        let baseline = sample_server_report();
+        let mut current = baseline.clone();
+        current.server.as_mut().unwrap().result_digest ^= 1;
+        let errors = compare(&current, &baseline, &Tolerance::default());
+        assert_eq!(errors.len(), 1, "{errors:?}");
+        assert!(errors[0].contains("digest"), "{errors:?}");
+    }
+
+    #[test]
+    fn server_section_presence_must_match_the_baseline() {
+        let baseline = sample_server_report();
+        let mut current = baseline.clone();
+        current.server = None;
+        let errors = compare(&current, &baseline, &Tolerance::default());
+        assert!(errors.iter().any(|e| e.contains("presence")), "{errors:?}");
+        // And the other direction.
+        let errors = compare(&baseline, &current, &Tolerance::default());
+        assert!(errors.iter().any(|e| e.contains("presence")), "{errors:?}");
+    }
+
+    #[test]
+    fn server_timings_thresholded_only_at_equal_jobs() {
+        let baseline = sample_server_report();
+        let mut current = baseline.clone();
+        current.server.as_mut().unwrap().run_secs *= 10.0;
+        let errors = compare(&current, &baseline, &Tolerance::default());
+        assert!(errors.iter().any(|e| e.contains("run_secs")), "{errors:?}");
+        current.jobs += 1;
+        assert!(compare(&current, &baseline, &Tolerance::default()).is_empty());
+    }
+
+    #[test]
+    fn tiny_server_bench_repeats_bit_identically() {
+        let cfg = tiny_server_config();
+        let a = run_server_bench(&cfg);
+        let b = run_server_bench(&cfg);
+        // Every deterministic field matches; only wall clock may differ.
+        assert_eq!(a.result_digest, b.result_digest);
+        assert_eq!(
+            (a.publishes, a.searches, a.requests, a.expired, a.hits),
+            (b.publishes, b.searches, b.requests, b.expired, b.hits)
+        );
+        // The mix actually exercised every branch at this scale.
+        assert!(a.searches > 0 && a.hits > 0, "searches never hit: {a:?}");
+        assert!(a.requests > 0 && a.expired > 0, "no requests/expiry: {a:?}");
+        assert!(a.publishes > cfg.records, "driver never published: {a:?}");
+    }
+
+    #[test]
+    fn tiny_server_bench_digest_is_shard_count_invariant() {
+        let base = run_server_bench(&tiny_server_config());
+        for shards in [1, 8] {
+            let cfg = ServerBenchConfig {
+                shards,
+                ..tiny_server_config()
+            };
+            let got = run_server_bench(&cfg);
+            assert_eq!(
+                got.result_digest, base.result_digest,
+                "digest changed with {shards} shards"
+            );
+            assert_eq!(got.hits, base.hits);
+            assert_eq!(got.expired, base.expired);
+        }
+    }
+
+    #[test]
+    fn server_bench_report_wrapper_is_a_valid_sweepless_report() {
+        let report = run_server_bench_report(&tiny_server_config(), &ExecConfig::default().jobs(2));
+        assert_eq!(report.scale, "server");
+        assert_eq!(report.cells, 0);
+        assert!(report.sweeps.is_empty());
+        assert!(report.server.is_some());
+        let parsed = BenchReport::from_json(&report.to_json()).unwrap();
+        assert!(compare(&parsed, &report, &Tolerance::default()).is_empty());
     }
 }

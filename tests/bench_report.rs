@@ -2,20 +2,26 @@
 //! round-trip, the baseline comparison, and the committed
 //! `tests/fixtures/bench_baseline.json` fixture itself.
 //!
-//! To refresh the baseline after an *intentional* behaviour change:
+//! To refresh the baselines after an *intentional* behaviour change:
 //!
 //! ```text
 //! cargo build --release -p mbt-cli
 //! ./target/release/mbt bench --scale quick --jobs 2 --out /tmp/BENCH_sweep.json
 //! UPDATE_BASELINE=1 ./target/release/perf-check /tmp/BENCH_sweep.json
+//! ./target/release/mbt bench --server --jobs 2 --out /tmp/BENCH_server.json
+//! UPDATE_BASELINE=1 ./target/release/perf-check /tmp/BENCH_server.json \
+//!     --baseline tests/fixtures/server_bench_baseline.json
 //! ```
 //!
-//! and commit the rewritten fixture alongside the change.
+//! and commit the rewritten fixture(s) alongside the change.
 
 use std::time::Duration;
 
 use dtn_sim::telemetry::Telemetry;
-use mbt_experiments::perf::{compare, figure_cells, run_bench, BenchReport, BENCH_SCHEMA};
+use mbt_experiments::perf::{
+    compare, figure_cells, run_bench, run_server_bench_report, BenchReport, ServerBenchConfig,
+    BENCH_SCHEMA,
+};
 use mbt_experiments::{ExecConfig, Scale, Tolerance};
 
 fn baseline_path() -> std::path::PathBuf {
@@ -82,6 +88,55 @@ fn zero_cell_report_stays_finite_and_comparable() {
     assert!(empty.counters.is_zero());
     let parsed = BenchReport::from_json(&empty.to_json()).unwrap();
     assert!(compare(&parsed, &empty, &Tolerance::default()).is_empty());
+}
+
+#[test]
+fn server_bench_report_round_trips_and_compares_clean() {
+    // Shrunken shape: the full 10⁶-record corpus is a release-bench matter
+    // (the CI perf job gates it against the committed fixture); this checks
+    // the report plumbing end to end at test speed.
+    let cfg = ServerBenchConfig {
+        records: 800,
+        ops: 600,
+        shards: 4,
+        seed: 42,
+    };
+    let report = run_server_bench_report(&cfg, &ExecConfig::default().jobs(2));
+    assert_eq!(report.scale, "server");
+    assert_eq!(report.cells, 0);
+    assert!(report.sweeps.is_empty());
+    let sb = report.server.as_ref().expect("server section");
+    assert_eq!((sb.records, sb.shards, sb.ops), (800, 4, 600));
+    assert!(sb.searches > 0 && sb.hits > 0 && sb.result_digest != 0);
+    let parsed = BenchReport::from_json(&report.to_json()).unwrap();
+    assert_eq!(
+        parsed.server.as_ref().unwrap().result_digest,
+        sb.result_digest,
+        "the u64 digest must survive the JSON round-trip exactly"
+    );
+    assert!(compare(&parsed, &report, &Tolerance::default()).is_empty());
+}
+
+#[test]
+fn committed_server_baseline_has_the_default_shape() {
+    // The full-scale digest is verified by the CI perf job in release mode;
+    // here we pin the fixture's *shape* so a stale or hand-edited baseline
+    // fails fast in the ordinary test suite.
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/fixtures/server_bench_baseline.json");
+    let text = std::fs::read_to_string(&path).expect(
+        "missing tests/fixtures/server_bench_baseline.json (see module docs to regenerate)",
+    );
+    let baseline = BenchReport::from_json(&text).unwrap();
+    assert_eq!(baseline.schema, BENCH_SCHEMA);
+    assert_eq!(baseline.scale, "server");
+    let sb = baseline.server.as_ref().expect("server section");
+    let defaults = ServerBenchConfig::default();
+    assert_eq!(sb.records, defaults.records);
+    assert_eq!(sb.ops, defaults.ops);
+    assert_eq!(sb.shards, defaults.shards as u64);
+    assert!(sb.result_digest != 0);
+    assert!(sb.searches > 0 && sb.hits > 0 && sb.expired > 0);
 }
 
 #[test]
