@@ -2,7 +2,9 @@
 
 pub mod bench;
 pub mod capacity;
+pub mod gateway;
 pub mod gen_trace;
+pub mod node;
 pub mod routing;
 pub mod shard;
 pub mod shard_info;

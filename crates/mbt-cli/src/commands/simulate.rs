@@ -7,7 +7,7 @@ use std::time::Instant;
 
 use dtn_sim::{FaultPlan, Telemetry};
 use dtn_trace::{read_trace, ShardedTrace, SimDuration, TraceSource};
-use mbt_core::{BroadcastOrdering, CooperationMode, MbtConfig, ProtocolKind};
+use mbt_core::{BroadcastOrdering, CooperationMode, MbtConfig, ProtocolKind, TransportKind};
 use mbt_experiments::perf::BenchReport;
 use mbt_experiments::runner::{run_simulation, SimParams};
 use mbt_experiments::ExecConfig;
@@ -21,7 +21,7 @@ pub const USAGE: &str = "mbt simulate <trace-file|shard-dir> [--protocol mbt|mbt
 [--metadata-per-contact N] [--files-per-contact N] [--frequent-days N] \
 [--loss 0..1] [--churn 0..1] [--truncate 0..1] [--corrupt 0..1] \
 [--polluters 0..1] [--fakes-per-day N] [--tft] [--rarest-first] [--verify] \
-[--perf-report PATH]
+[--transport sim|bus] [--perf-report PATH]
 
 A directory argument is opened as a sharded trace (see `mbt shard`) and
 replayed shard by shard with bounded memory; a file argument is read fully
@@ -98,6 +98,10 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             .clamp(0.0, 1.0),
         fakes_per_day: args.parse_or("fakes-per-day", 4u32, "an integer")?,
         verify_metadata: args.flag("verify"),
+        transport: args
+            .str_or("transport", "sim")
+            .parse::<TransportKind>()
+            .map_err(CliError::Usage)?,
     };
     // With --perf-report the run goes through the observed path (identical
     // results — telemetry never feeds back) and the telemetry is written as
@@ -275,6 +279,29 @@ mod tests {
         // byte-identical across the two backings.
         let tail = |s: &str| s.split_once('\n').unwrap().1.to_string();
         assert_eq!(tail(&from_file), tail(&from_shards));
+    }
+
+    #[test]
+    fn bus_transport_matches_sim_transport() {
+        let path = trace_file("transport");
+        let sim = run(&args(&format!(
+            "{} --files-per-day 8 --transport sim",
+            path.display()
+        )))
+        .unwrap();
+        let bus = run(&args(&format!(
+            "{} --files-per-day 8 --transport bus",
+            path.display()
+        )))
+        .unwrap();
+        assert_eq!(sim, bus);
+    }
+
+    #[test]
+    fn rejects_unknown_transport() {
+        let path = trace_file("bad-transport");
+        let err = run(&args(&format!("{} --transport tcp", path.display()))).unwrap_err();
+        assert!(err.to_string().contains("unknown transport"));
     }
 
     #[test]

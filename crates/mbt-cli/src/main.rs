@@ -10,6 +10,8 @@
 //! mbt routing      run a routing baseline (epidemic | prophet | spray | direct)
 //! mbt capacity     print the §V broadcast vs pair-wise capacity table
 //! mbt bench        run quick-scale sweeps under telemetry, emit a perf report
+//! mbt node         run live nodes + a gateway on the threaded frame bus
+//! mbt gateway      stand up a live gateway and probe it with a search
 //! ```
 
 use std::error::Error;
@@ -58,6 +60,8 @@ commands:
   routing      run a store-carry-forward routing baseline
   capacity     print the broadcast vs pair-wise capacity table
   bench        run benchmark sweeps and write a JSON perf report
+  node         run live nodes + a gateway on the threaded frame bus
+  gateway      stand up a live gateway and probe it with a search
 
 run `mbt <command> --help` for command options.";
 
@@ -110,6 +114,18 @@ fn dispatch(command: &str, args: &Args) -> Result<String, CliError> {
                 return Ok(commands::bench::USAGE.to_string());
             }
             commands::bench::run(args)
+        }
+        "node" => {
+            if args.flag("help") {
+                return Ok(commands::node::USAGE.to_string());
+            }
+            commands::node::run(args)
+        }
+        "gateway" => {
+            if args.flag("help") {
+                return Ok(commands::gateway::USAGE.to_string());
+            }
+            commands::gateway::run(args)
         }
         other => Err(CliError::Usage(format!(
             "unknown command `{other}`\n\n{TOP_USAGE}"
@@ -174,6 +190,8 @@ mod tests {
             "routing",
             "capacity",
             "bench",
+            "node",
+            "gateway",
         ] {
             let out = dispatch(cmd, &args).unwrap();
             assert!(out.contains("mbt"), "{cmd} help: {out}");

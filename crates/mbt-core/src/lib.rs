@@ -78,6 +78,7 @@ pub mod query;
 pub mod selection;
 pub mod server;
 pub mod store;
+pub mod transport;
 pub mod uri;
 
 pub use config::{BroadcastOrdering, CooperationMode, MbtConfig};
@@ -91,4 +92,5 @@ pub use protocol::ProtocolKind;
 pub use query::Query;
 pub use server::MetadataServer;
 pub use store::{FileStore, MetadataStore, QueryStore};
+pub use transport::{BusTransport, Carried, SimTransport, Transport, TransportKind, WireMessage};
 pub use uri::Uri;

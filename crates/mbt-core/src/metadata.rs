@@ -122,6 +122,15 @@ impl MetadataBuilder {
         self
     }
 
+    /// Sets the absolute expiry instant directly (`None` clears it).
+    ///
+    /// Wire decoding uses this: frames carry the expiry as an instant, not a
+    /// TTL, so reconstruction must not re-derive it from `created`.
+    pub fn expires_at(mut self, at: Option<SimTime>) -> Self {
+        self.expires = at;
+        self
+    }
+
     /// Finishes the metadata (unsigned; see [`crate::auth::sign`]).
     pub fn build(self) -> Metadata {
         let tokens = TokenSet::from_text(&format!(

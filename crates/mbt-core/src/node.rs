@@ -26,6 +26,7 @@ use crate::protocol::ProtocolKind;
 use crate::query::Query;
 use crate::server::MetadataServer;
 use crate::store::{FileStore, MetadataStore, QueryStore};
+use crate::transport::{Carried, HelloFrame, SimTransport, Transport, WireMessage};
 use crate::uri::Uri;
 
 /// Where a stored item came from.
@@ -537,6 +538,42 @@ pub fn run_contact_timed(
     duration: SimDuration,
     phases: &mut PhaseTimes,
 ) -> ContactReport {
+    let mut transport = SimTransport::new();
+    run_contact_via(&mut transport, nodes, members, now, duration, phases)
+}
+
+/// [`run_contact_timed`] over an explicit [`Transport`] backend.
+///
+/// The contact's message flow — hello exchange to the clique coordinator
+/// (§V elects one; the lowest id here), query shares, metadata broadcasts,
+/// file broadcasts — goes through `transport` as [`WireMessage`]s. With
+/// [`SimTransport`] every carry is an in-process move and this function is
+/// byte-identical to the pre-seam contact loop; with
+/// [`BusTransport`](crate::transport::BusTransport) every message
+/// round-trips its serialized frame. A [`Carried::Dropped`] outcome counts
+/// as a lost frame (a dropped hello removes that member from the contact),
+/// and frames left in flight at contact close are added to the same counter
+/// by [`leave`](Transport::leave).
+///
+/// Frame emission order is deterministic: every collection iterated on this
+/// path — member snapshots, the metadata/file catalogs, broadcast schedules
+/// — is a `Vec`, `BTreeMap`, or `BTreeSet`, never a hash map, so the carry
+/// sequence is a pure function of member state. (Audited 2026-08: the only
+/// `HashMap` near the contact path is documented scratch space in
+/// `server/shard.rs` that never reaches iteration order into results.)
+/// `tests/transport_equivalence.rs` pins the exact sequence.
+///
+/// # Panics
+///
+/// Same conditions as [`run_contact`].
+pub fn run_contact_via(
+    transport: &mut dyn Transport,
+    nodes: &mut [MbtNode],
+    members: &[usize],
+    now: SimTime,
+    duration: SimDuration,
+    phases: &mut PhaseTimes,
+) -> ContactReport {
     let mut report = ContactReport::default();
     if members.len() < 2 {
         return report;
@@ -563,38 +600,41 @@ pub fn run_contact_timed(
         nodes[idx].prune(now);
     }
 
-    // --- Hello: snapshot every member's advertised state. ---
-    let snapshots: Vec<MemberSnapshot> = members
-        .iter()
-        .map(|&idx| {
-            let n = &nodes[idx];
-            let own_queries: Vec<(Query, Option<SimTime>)> = n
-                .queries
-                .own()
-                .map(|e| (e.query().clone(), e.expires()))
-                .collect();
-            let mut relevant: Vec<Query> = own_queries.iter().map(|(q, _)| q.clone()).collect();
-            if protocol.distributes_queries() {
-                relevant.extend(n.queries.foreign().map(|(_, e)| e.query().clone()));
+    // --- Hello: every member advertises its state to the clique
+    // coordinator (§V: the lowest id). The coordinator's own hello is
+    // local; every other member's is carried as a frame, and a dropped
+    // hello removes that member from the contact. ---
+    let all_ids: Vec<NodeId> = members.iter().map(|&idx| nodes[idx].id).collect();
+    transport.join(now, &all_ids);
+    let coordinator = *all_ids.iter().min().expect("members is non-empty");
+
+    let mut alive: Vec<usize> = Vec::with_capacity(members.len());
+    let mut snapshots: Vec<MemberSnapshot> = Vec::with_capacity(members.len());
+    for &idx in members {
+        let hello = build_hello(&nodes[idx], protocol, &mut report);
+        let sender = nodes[idx].id;
+        let delivered = if sender == coordinator {
+            Some(hello)
+        } else {
+            match transport.carry(now, sender, coordinator, WireMessage::Hello(hello)) {
+                Carried::Delivered(WireMessage::Hello(h)) => Some(h),
+                Carried::Delivered(_) | Carried::Dropped => None,
             }
-            let (wanted, cache_hit) = n.wanted_uris_cached();
-            if cache_hit {
-                report.wanted_cache_hits += 1;
-            } else {
-                report.index_lookups += own_queries.len();
+        };
+        match delivered {
+            Some(h) => {
+                alive.push(idx);
+                snapshots.push(snapshot_from_hello(h));
             }
-            MemberSnapshot {
-                id: n.id,
-                own_queries,
-                relevant_queries: relevant,
-                wanted: wanted.into_iter().collect(),
-                rejected: n.rejected.keys().cloned().collect(),
-                frequent: n.frequent_contacts.clone(),
-                ledger: n.credits.clone(),
-            }
-        })
-        .collect();
+            None => report.frames_lost += 1,
+        }
+    }
+    let members = &alive[..];
     report.hello_exchanges = snapshots.len();
+    if members.len() < 2 {
+        report.frames_lost += transport.leave(now, &all_ids);
+        return report;
+    }
 
     // Clique-wide catalogs (metadata and complete files), with holders.
     let mut metadata_catalog: BTreeMap<Uri, (Metadata, Popularity, Vec<NodeId>)> = BTreeMap::new();
@@ -633,11 +673,23 @@ pub fn run_contact_timed(
                     continue;
                 }
                 for (query, expires) in &snap.own_queries {
-                    if nodes[idx]
-                        .queries
-                        .add_foreign(snap.id, query.clone(), *expires)
-                    {
-                        report.queries_distributed += 1;
+                    let share = WireMessage::QueryShare {
+                        owner: snap.id,
+                        query: query.clone(),
+                        expires: *expires,
+                    };
+                    match transport.carry(now, snap.id, snapshots[i].id, share) {
+                        Carried::Delivered(WireMessage::QueryShare {
+                            owner,
+                            query,
+                            expires,
+                        }) => {
+                            if nodes[idx].queries.add_foreign(owner, query, expires) {
+                                report.queries_distributed += 1;
+                            }
+                        }
+                        Carried::Delivered(_) => {}
+                        Carried::Dropped => report.frames_lost += 1,
                     }
                 }
             }
@@ -661,97 +713,121 @@ pub fn run_contact_timed(
     };
 
     // --- Phase closures. ---
-    let metadata_phase = |nodes: &mut [MbtNode], report: &mut ContactReport| {
-        if !protocol.distributes_metadata() {
-            return;
-        }
-        // Index-backed requester matching (the §IV-A hot loop): probe each
-        // member store's inverted index once per relevant query instead of
-        // re-matching every catalog record against every query string. The
-        // catalog is a union of the member stores, and stores only grow
-        // between the hello snapshot and this phase, so membership of a
-        // catalog URI in the union of lookups is exactly "some member holds
-        // a record whose tokens satisfy the query".
-        let matched: Vec<BTreeSet<Uri>> = snapshots
-            .iter()
-            .map(|s| {
-                let mut set = BTreeSet::new();
-                for q in &s.relevant_queries {
-                    for &idx in members {
-                        report.index_lookups += 1;
-                        for uri in nodes[idx].metadata.matching_uris(q) {
-                            set.insert(uri.clone());
+    let metadata_phase =
+        |transport: &mut dyn Transport, nodes: &mut [MbtNode], report: &mut ContactReport| {
+            if !protocol.distributes_metadata() {
+                return;
+            }
+            // Index-backed requester matching (the §IV-A hot loop): probe each
+            // member store's inverted index once per relevant query instead of
+            // re-matching every catalog record against every query string. The
+            // catalog is a union of the member stores, and stores only grow
+            // between the hello snapshot and this phase, so membership of a
+            // catalog URI in the union of lookups is exactly "some member holds
+            // a record whose tokens satisfy the query".
+            let matched: Vec<BTreeSet<Uri>> = snapshots
+                .iter()
+                .map(|s| {
+                    let mut set = BTreeSet::new();
+                    for q in &s.relevant_queries {
+                        for &idx in members {
+                            report.index_lookups += 1;
+                            for uri in nodes[idx].metadata.matching_uris(q) {
+                                set.insert(uri.clone());
+                            }
                         }
                     }
-                }
-                set
-            })
-            .collect();
-        let offers: Vec<Offer<Uri>> = metadata_catalog
-            .iter()
-            .filter(|(uri, (_, _, holders))| {
-                // Skip metadata every member already holds or has rejected.
-                // A member holds a catalog record iff it is listed as a
-                // holder, so the probe is a scan of at most `members` ids.
-                snapshots
-                    .iter()
-                    .any(|s| !holders.contains(&s.id) && !s.rejected.contains(uri))
-            })
-            .map(|(uri, (_, pop, holders))| {
-                let requesters: Vec<NodeId> = snapshots
-                    .iter()
-                    .zip(&matched)
-                    .filter(|(s, m)| {
-                        m.contains(uri) && !holders.contains(&s.id) && !s.rejected.contains(uri)
-                    })
-                    .map(|(s, _)| s.id)
-                    .collect();
-                Offer::new(uri.clone(), *pop, requesters, holders.clone())
-            })
-            .collect();
-        let schedule =
-            schedule_broadcasts(&config, &member_ids, &snapshots, offers, metadata_slots);
-        for b in &schedule {
-            let (meta, pop, _) = &metadata_catalog[&b.item];
-            report.metadata_broadcasts += 1;
-            for &idx in members {
-                let receiver = &mut nodes[idx];
-                if receiver.id == b.sender {
-                    continue;
-                }
-                if frame_lost(b.sender, receiver.id, &b.item) {
-                    report.frames_lost += 1;
-                    continue;
-                }
-                if !receiver.accepts_metadata(meta) {
-                    // Fake-publisher rejection (§III-B item f): blacklist the
-                    // URI so it is never requested again.
-                    receiver.reject(meta);
-                    continue;
-                }
-                receiver.note_popularity(meta.uri(), *pop);
-                report.bytes_moved += frame_bytes(meta.wire_size() as u64);
-                let own = receiver.own_queries();
-                let outcome = receive_metadata(
-                    &mut receiver.metadata,
-                    &own,
-                    meta,
-                    *pop,
-                    b.sender,
-                    Some(&mut receiver.credits),
-                );
-                if outcome != crate::discovery::ReceiveOutcome::Duplicate {
-                    report.metadata_received += 1;
-                    receiver.events.push(NodeEvent::MetadataStored {
-                        uri: meta.uri().clone(),
-                        from: Source::Peer(b.sender),
-                    });
+                    set
+                })
+                .collect();
+            let offers: Vec<Offer<Uri>> = metadata_catalog
+                .iter()
+                .filter(|(uri, (_, _, holders))| {
+                    // Skip metadata every member already holds or has rejected.
+                    // A member holds a catalog record iff it is listed as a
+                    // holder, so the probe is a scan of at most `members` ids.
+                    snapshots
+                        .iter()
+                        .any(|s| !holders.contains(&s.id) && !s.rejected.contains(uri))
+                })
+                .map(|(uri, (_, pop, holders))| {
+                    let requesters: Vec<NodeId> = snapshots
+                        .iter()
+                        .zip(&matched)
+                        .filter(|(s, m)| {
+                            m.contains(uri) && !holders.contains(&s.id) && !s.rejected.contains(uri)
+                        })
+                        .map(|(s, _)| s.id)
+                        .collect();
+                    Offer::new(uri.clone(), *pop, requesters, holders.clone())
+                })
+                .collect();
+            let schedule =
+                schedule_broadcasts(&config, &member_ids, &snapshots, offers, metadata_slots);
+            for b in &schedule {
+                let (meta, pop, _) = &metadata_catalog[&b.item];
+                report.metadata_broadcasts += 1;
+                for &idx in members {
+                    let receiver_id = nodes[idx].id;
+                    if receiver_id == b.sender {
+                        continue;
+                    }
+                    if frame_lost(b.sender, receiver_id, &b.item) {
+                        report.frames_lost += 1;
+                        continue;
+                    }
+                    let carried = transport.carry(
+                        now,
+                        b.sender,
+                        receiver_id,
+                        WireMessage::Metadata {
+                            metadata: meta.clone(),
+                            popularity: *pop,
+                        },
+                    );
+                    let (metadata, popularity) = match carried {
+                        Carried::Delivered(WireMessage::Metadata {
+                            metadata,
+                            popularity,
+                        }) => (metadata, popularity),
+                        Carried::Delivered(_) => continue,
+                        Carried::Dropped => {
+                            report.frames_lost += 1;
+                            continue;
+                        }
+                    };
+                    let receiver = &mut nodes[idx];
+                    if !receiver.accepts_metadata(&metadata) {
+                        // Fake-publisher rejection (§III-B item f): blacklist the
+                        // URI so it is never requested again.
+                        receiver.reject(&metadata);
+                        continue;
+                    }
+                    receiver.note_popularity(metadata.uri(), popularity);
+                    report.bytes_moved += frame_bytes(metadata.wire_size() as u64);
+                    let own = receiver.own_queries();
+                    let outcome = receive_metadata(
+                        &mut receiver.metadata,
+                        &own,
+                        &metadata,
+                        popularity,
+                        b.sender,
+                        Some(&mut receiver.credits),
+                    );
+                    if outcome != crate::discovery::ReceiveOutcome::Duplicate {
+                        report.metadata_received += 1;
+                        receiver.events.push(NodeEvent::MetadataStored {
+                            uri: metadata.uri().clone(),
+                            from: Source::Peer(b.sender),
+                        });
+                    }
                 }
             }
-        }
-    };
+        };
 
-    let file_phase = |nodes: &mut [MbtNode], report: &mut ContactReport| {
+    let file_phase = |transport: &mut dyn Transport,
+                      nodes: &mut [MbtNode],
+                      report: &mut ContactReport| {
         if effective_duration.as_secs() < config.min_download_contact_secs_value() {
             return;
         }
@@ -798,15 +874,15 @@ pub fn run_contact_timed(
                     .map(|m| (m.clone(), holder.known_popularity(&b.item), Vec::new()))
             });
             for &idx in members {
-                let receiver = &mut nodes[idx];
-                if receiver.id == b.sender || receiver.files.contains(&b.item) {
+                let receiver_id = nodes[idx].id;
+                if receiver_id == b.sender || nodes[idx].files.contains(&b.item) {
                     continue;
                 }
-                if frame_lost(b.sender, receiver.id, &b.item) {
+                if frame_lost(b.sender, receiver_id, &b.item) {
                     report.frames_lost += 1;
                     continue;
                 }
-                if faults.corrupts(now, b.sender, receiver.id, b.item.as_str()) {
+                if faults.corrupts(now, b.sender, receiver_id, b.item.as_str()) {
                     // The pieces arrived mangled: checksum verification (see
                     // `Metadata::verify_piece`) catches them, nothing is
                     // stored, and no credit is awarded — the file stays
@@ -814,8 +890,28 @@ pub fn run_contact_timed(
                     report.corrupt_receptions += 1;
                     continue;
                 }
+                let carried = transport.carry(
+                    now,
+                    b.sender,
+                    receiver_id,
+                    WireMessage::FileBroadcast {
+                        uri: b.item.clone(),
+                        metadata: meta_entry.as_ref().map(|(m, p, _)| (m.clone(), *p)),
+                    },
+                );
+                let (uri, riding) = match carried {
+                    Carried::Delivered(WireMessage::FileBroadcast { uri, metadata }) => {
+                        (uri, metadata)
+                    }
+                    Carried::Delivered(_) => continue,
+                    Carried::Dropped => {
+                        report.frames_lost += 1;
+                        continue;
+                    }
+                };
+                let receiver = &mut nodes[idx];
                 let mut expires = None;
-                if let Some((meta, pop, _)) = &meta_entry {
+                if let Some((meta, pop)) = &riding {
                     if !receiver.accepts_metadata(meta) {
                         // A file whose riding metadata fails authentication
                         // is an unverifiable fake: refuse it and blacklist.
@@ -823,14 +919,14 @@ pub fn run_contact_timed(
                         continue;
                     }
                     expires = meta.expires();
-                    receiver.note_popularity(&b.item, *pop);
+                    receiver.note_popularity(&uri, *pop);
                     if receiver.metadata.insert(meta.clone()) {
                         // Metadata riding a file frame: no extra frame
                         // header, just its wire bytes.
                         report.metadata_received += 1;
                         report.bytes_moved += meta.wire_size() as u64;
                         receiver.events.push(NodeEvent::MetadataStored {
-                            uri: b.item.clone(),
+                            uri: uri.clone(),
                             from: Source::Peer(b.sender),
                         });
                     }
@@ -839,26 +935,26 @@ pub fn run_contact_timed(
                     let own = receiver.own_queries();
                     receiver
                         .metadata
-                        .get(&b.item)
+                        .get(&uri)
                         .map(|m| own.iter().any(|q| q.matches_token_set(m.token_set())))
                         .unwrap_or(false)
                 };
-                if receiver.files.insert(b.item.clone(), expires) {
-                    let (pieces, content_bytes) = meta_entry
+                if receiver.files.insert(uri.clone(), expires) {
+                    let (pieces, content_bytes) = riding
                         .as_ref()
-                        .map(|(m, _, _)| (m.piece_count() as usize, m.size()))
+                        .map(|(m, _)| (m.piece_count() as usize, m.size()))
                         .unwrap_or((1, 0));
                     report.pieces_received += pieces;
                     report.bytes_moved += frame_bytes(content_bytes);
                     receiver.events.push(NodeEvent::FileCompleted {
-                        uri: b.item.clone(),
+                        uri: uri.clone(),
                         from: Source::Peer(b.sender),
                     });
                     // §V-B: file download reuses the metadata credit rule.
                     if wanted {
                         receiver.credits.reward_matched(b.sender);
                     } else {
-                        let pop = receiver.known_popularity(&b.item);
+                        let pop = receiver.known_popularity(&uri);
                         receiver.credits.reward_unmatched(b.sender, pop);
                     }
                 }
@@ -869,13 +965,80 @@ pub fn run_contact_timed(
     // Wall-clock spans are observational: they are charged to the caller's
     // `phases` and never read back, so timing cannot perturb the contact.
     if config.discovery_first_value() {
-        phases.time(Phase::Discovery, || metadata_phase(nodes, &mut report));
-        phases.time(Phase::Download, || file_phase(nodes, &mut report));
+        phases.time(Phase::Discovery, || {
+            metadata_phase(&mut *transport, nodes, &mut report)
+        });
+        phases.time(Phase::Download, || {
+            file_phase(&mut *transport, nodes, &mut report)
+        });
     } else {
-        phases.time(Phase::Download, || file_phase(nodes, &mut report));
-        phases.time(Phase::Discovery, || metadata_phase(nodes, &mut report));
+        phases.time(Phase::Download, || {
+            file_phase(&mut *transport, nodes, &mut report)
+        });
+        phases.time(Phase::Discovery, || {
+            metadata_phase(&mut *transport, nodes, &mut report)
+        });
     }
+    report.frames_lost += transport.leave(now, &all_ids);
     report
+}
+
+/// Builds one member's hello frame, charging the wanted-set lookup to the
+/// report exactly as the pre-seam snapshot did.
+fn build_hello(n: &MbtNode, protocol: ProtocolKind, report: &mut ContactReport) -> HelloFrame {
+    let own_queries: Vec<(Query, Option<SimTime>)> = n
+        .queries
+        .own()
+        .map(|e| (e.query().clone(), e.expires()))
+        .collect();
+    let foreign_queries: Vec<Query> = if protocol.distributes_queries() {
+        n.queries
+            .foreign()
+            .map(|(_, e)| e.query().clone())
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let (wanted, cache_hit) = n.wanted_uris_cached();
+    if cache_hit {
+        report.wanted_cache_hits += 1;
+    } else {
+        report.index_lookups += own_queries.len();
+    }
+    HelloFrame {
+        sender: n.id,
+        own_queries,
+        foreign_queries,
+        wanted: wanted.into_iter().collect(),
+        rejected: n.rejected.keys().cloned().collect(),
+        frequent: n.frequent_contacts.clone(),
+        credits: n.credits.entries().collect(),
+    }
+}
+
+/// Rebuilds the contact-time view of a member from its (possibly decoded)
+/// hello frame.
+fn snapshot_from_hello(hello: HelloFrame) -> MemberSnapshot {
+    let HelloFrame {
+        sender,
+        own_queries,
+        foreign_queries,
+        wanted,
+        rejected,
+        frequent,
+        credits,
+    } = hello;
+    let mut relevant: Vec<Query> = own_queries.iter().map(|(q, _)| q.clone()).collect();
+    relevant.extend(foreign_queries);
+    MemberSnapshot {
+        id: sender,
+        own_queries,
+        relevant_queries: relevant,
+        wanted,
+        rejected,
+        frequent,
+        ledger: CreditLedger::from_entries(credits),
+    }
 }
 
 /// Dispatches to the cooperative or tit-for-tat scheduler.

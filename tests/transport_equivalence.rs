@@ -1,0 +1,291 @@
+//! Differential suite: `BusTransport` is byte-identical to `SimTransport`.
+//!
+//! The transport seam's contract is that serializing every contact-phase
+//! message into its wire frame and decoding it on the far side changes
+//! *nothing* the simulator can see: same `SimResult`s, same rendered figure
+//! CSVs, same telemetry counters, same per-contact reports — across thread
+//! counts and under an active fault plan. These tests replay quick-scale
+//! traces through both backends and compare bytes, and pin the exact frame
+//! emission order of a contact so reordering regressions surface here.
+
+use std::sync::Arc;
+
+use dtn_sim::telemetry::PhaseTimes;
+use dtn_sim::{FaultPlan, Telemetry};
+use dtn_trace::generators::DieselNetConfig;
+use dtn_trace::{NodeId, SimDuration, SimTime, TraceSource};
+use mbt_core::node::{run_contact, run_contact_via, ContactReport};
+use mbt_core::transport::{
+    BusTransport, Carried, SimTransport, Transport, TransportKind, WireMessage,
+};
+use mbt_core::{
+    MbtConfig, MbtNode, Metadata, MetadataServer, Popularity, ProtocolKind, Query, Uri,
+};
+use mbt_experiments::report::figure_csv;
+use mbt_experiments::{run_simulation, ExecConfig, ParallelRunner, SimParams, SimResult};
+
+fn uri(s: &str) -> Uri {
+    Uri::new(s).unwrap()
+}
+
+/// A fig2a-style quick sweep (internet fraction on the x axis) over a shared
+/// DieselNet trace, rendered to CSV bytes.
+fn sweep_csv(kind: TransportKind, jobs: usize) -> String {
+    let runner = ParallelRunner::new(ExecConfig::default().jobs(jobs).replicates(2));
+    let source: Arc<dyn TraceSource> = Arc::new(DieselNetConfig::new(16, 6).seed(42).generate());
+    let fig = runner.sweep_shared_source(
+        "transport_equivalence",
+        "fig2a-style sweep (transport differential)",
+        "fraction of nodes with Internet access",
+        &[0.1, 0.5, 0.9],
+        source,
+        |x| SimParams {
+            internet_fraction: x,
+            days: 6,
+            seed: 42,
+            frequent_window: SimDuration::from_days(3),
+            transport: kind,
+            ..SimParams::default()
+        },
+        None,
+    );
+    figure_csv(&fig)
+}
+
+#[test]
+fn quick_sweep_is_byte_identical_across_backends_and_job_counts() {
+    let baseline = sweep_csv(TransportKind::Sim, 1);
+    for (kind, jobs) in [
+        (TransportKind::Sim, 8),
+        (TransportKind::Bus, 1),
+        (TransportKind::Bus, 8),
+    ] {
+        assert_eq!(
+            baseline,
+            sweep_csv(kind, jobs),
+            "{kind} transport with --jobs {jobs} diverged from sim --jobs 1"
+        );
+    }
+}
+
+/// One observed run under an active fault plan (loss + truncation + churn +
+/// corruption all rolling).
+fn faulty_run(kind: TransportKind) -> (SimResult, Telemetry) {
+    let trace = DieselNetConfig::new(14, 5).seed(9).generate();
+    let params = SimParams {
+        days: 5,
+        seed: 9,
+        faults: FaultPlan::none()
+            .loss(0.2)
+            .truncate(0.2)
+            .churn(0.1)
+            .corruption(0.3)
+            .seed(7),
+        transport: kind,
+        ..SimParams::default()
+    };
+    let mut telemetry = Telemetry::default();
+    let result = run_simulation(&trace, &params, Some(&mut telemetry));
+    (result, telemetry)
+}
+
+#[test]
+fn active_fault_plan_is_byte_identical_across_backends() {
+    let (sim_result, sim_tel) = faulty_run(TransportKind::Sim);
+    let (bus_result, bus_tel) = faulty_run(TransportKind::Bus);
+    assert_eq!(sim_result, bus_result, "fault-plan results diverged");
+    assert_eq!(
+        sim_tel.counters, bus_tel.counters,
+        "fault-plan telemetry counters diverged"
+    );
+    assert!(
+        sim_tel.counters.frames_lost > 0,
+        "the plan never dropped a frame — the comparison proved nothing"
+    );
+    assert!(sim_tel.counters.corrupt_receptions > 0);
+}
+
+/// A 4-node clique where node 0 pre-fetched a queried file from the server:
+/// the contact exercises hellos, query shares, a metadata broadcast, and a
+/// file broadcast.
+fn seeded_clique() -> Vec<MbtNode> {
+    let mut server = MetadataServer::new(4);
+    server.publish(
+        Metadata::builder("fox evening news", "FOX", uri("mbt://news")).build(),
+        Popularity::new(0.6),
+    );
+    server.publish(
+        Metadata::builder("abc morning show", "ABC", uri("mbt://show")).build(),
+        Popularity::new(0.4),
+    );
+    let mut nodes: Vec<MbtNode> = (0..4)
+        .map(|i| MbtNode::new(NodeId::new(i), ProtocolKind::Mbt, MbtConfig::new()))
+        .collect();
+    nodes[0].set_internet_access(true);
+    nodes[0].add_query(Query::new("evening news").unwrap(), None);
+    nodes[1].add_query(Query::new("evening news").unwrap(), None);
+    nodes[2].add_query(Query::new("morning show").unwrap(), None);
+    nodes[2].set_frequent_contacts([NodeId::new(1), NodeId::new(3)]);
+    nodes[3].set_frequent_contacts([NodeId::new(2)]);
+    nodes[0].internet_session(&mut server, SimTime::ZERO);
+    for n in &mut nodes {
+        n.drain_events();
+    }
+    nodes
+}
+
+fn run_clique_via(transport: &mut dyn Transport, nodes: &mut [MbtNode]) -> ContactReport {
+    let mut phases = PhaseTimes::default();
+    run_contact_via(
+        transport,
+        nodes,
+        &[0, 1, 2, 3],
+        SimTime::from_secs(3_600),
+        SimDuration::from_secs(900),
+        &mut phases,
+    )
+}
+
+#[test]
+fn direct_contact_matches_across_backends_and_bus_carries_frames() {
+    let mut via_sim = seeded_clique();
+    let mut via_bus = seeded_clique();
+    let mut plain = seeded_clique();
+
+    let sim_report = run_clique_via(&mut SimTransport::new(), &mut via_sim);
+    let mut bus = BusTransport::new();
+    let bus_report = run_clique_via(&mut bus, &mut via_bus);
+    let plain_report = run_contact(
+        &mut plain,
+        &[0, 1, 2, 3],
+        SimTime::from_secs(3_600),
+        SimDuration::from_secs(900),
+    );
+
+    assert_eq!(sim_report, plain_report, "seam changed run_contact");
+    assert_eq!(sim_report, bus_report, "bus backend changed the report");
+    assert!(
+        bus.frames_carried() > 0,
+        "the bus contact never serialized a frame"
+    );
+    assert_eq!(bus.frames_dropped(), 0);
+    assert!(bus.bytes_on_wire() > 0);
+
+    // Node state (not just counters) must agree: same events in the same
+    // order, same stores.
+    for ((s, b), p) in via_sim.iter_mut().zip(&mut via_bus).zip(&mut plain) {
+        let se = s.drain_events();
+        assert_eq!(se, b.drain_events(), "bus produced different node events");
+        assert_eq!(se, p.drain_events(), "seam produced different node events");
+        assert_eq!(s.metadata_count(), b.metadata_count());
+        assert_eq!(s.file_count(), b.file_count());
+        assert_eq!(s.query_count(), b.query_count());
+    }
+    assert!(
+        sim_report.metadata_broadcasts > 0 && sim_report.file_broadcasts > 0,
+        "the scenario exercised neither broadcast phase"
+    );
+    assert!(sim_report.queries_distributed > 0);
+}
+
+/// Records every carried frame as `sender->receiver kind(item)` while
+/// behaving exactly like [`SimTransport`].
+#[derive(Default)]
+struct RecordingTransport {
+    inner: SimTransport,
+    log: Vec<String>,
+}
+
+impl Transport for RecordingTransport {
+    fn join(&mut self, now: SimTime, members: &[NodeId]) {
+        self.inner.join(now, members);
+    }
+
+    fn carry(
+        &mut self,
+        now: SimTime,
+        sender: NodeId,
+        receiver: NodeId,
+        message: WireMessage,
+    ) -> Carried {
+        let item = match &message {
+            WireMessage::Hello(h) => format!("hello({})", h.sender.index()),
+            WireMessage::QueryShare { query, .. } => format!("query-share({})", query.text()),
+            WireMessage::Metadata { metadata, .. } => {
+                format!("metadata({})", metadata.uri().as_str())
+            }
+            WireMessage::FileBroadcast { uri, .. } => {
+                format!("file-broadcast({})", uri.as_str())
+            }
+            other => other.kind().name().to_string(),
+        };
+        self.log
+            .push(format!("{}->{} {item}", sender.index(), receiver.index()));
+        self.inner.carry(now, sender, receiver, message)
+    }
+
+    fn leave(&mut self, now: SimTime, members: &[NodeId]) -> usize {
+        self.inner.leave(now, members)
+    }
+}
+
+#[test]
+fn pairwise_frame_emission_order_is_pinned() {
+    // Node 0 holds the queried file; node 1 wants it. The contact must emit
+    // exactly: node 1's hello to the coordinator (node 0, lowest id), the
+    // metadata broadcast, then the file broadcast — in that order, because
+    // discovery runs before download (§V).
+    let mut server = MetadataServer::new(4);
+    server.publish(
+        Metadata::builder("fox evening news", "FOX", uri("mbt://news")).build(),
+        Popularity::new(0.6),
+    );
+    let mut nodes: Vec<MbtNode> = (0..2)
+        .map(|i| MbtNode::new(NodeId::new(i), ProtocolKind::Mbt, MbtConfig::new()))
+        .collect();
+    nodes[0].set_internet_access(true);
+    nodes[0].add_query(Query::new("evening news").unwrap(), None);
+    nodes[1].add_query(Query::new("evening news").unwrap(), None);
+    nodes[0].internet_session(&mut server, SimTime::ZERO);
+
+    let mut recorder = RecordingTransport::default();
+    let mut phases = PhaseTimes::default();
+    run_contact_via(
+        &mut recorder,
+        &mut nodes,
+        &[0, 1],
+        SimTime::from_secs(60),
+        SimDuration::from_secs(600),
+        &mut phases,
+    );
+    assert_eq!(
+        recorder.log,
+        vec![
+            "1->0 hello(1)",
+            "0->1 metadata(mbt://news)",
+            "0->1 file-broadcast(mbt://news)",
+        ],
+        "frame emission order changed"
+    );
+}
+
+#[test]
+fn clique_frame_emission_order_is_repeatable() {
+    // The richer 4-node clique: the exact sequence is a pure function of
+    // member state (the contact path iterates only ordered collections), so
+    // two identical runs must log identical sequences.
+    let mut first_nodes = seeded_clique();
+    let mut second_nodes = seeded_clique();
+    let mut first = RecordingTransport::default();
+    let mut second = RecordingTransport::default();
+    run_clique_via(&mut first, &mut first_nodes);
+    run_clique_via(&mut second, &mut second_nodes);
+    assert!(!first.log.is_empty());
+    assert_eq!(first.log, second.log, "frame order is not deterministic");
+    // Hellos from every non-coordinator member come first, addressed to the
+    // coordinator (lowest id).
+    assert_eq!(
+        &first.log[..3],
+        &["1->0 hello(1)", "2->0 hello(2)", "3->0 hello(3)"]
+    );
+}
