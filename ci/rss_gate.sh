@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Run a command under /usr/bin/time -v and fail if its peak resident set
+# size exceeds a bound. Used by the CI `shard` and `city-scale` jobs to pin
+# the streaming simulator's bounded-memory contract.
+#
+# Usage: ci/rss_gate.sh "<command>" <max_kb> [log-file]
+#
+# The time(1) report (and the command's own stderr) lands in the log file,
+# which callers may upload as an artifact.
+set -euo pipefail
+
+if [ "$#" -lt 2 ]; then
+    echo "usage: $0 \"<command>\" <max_kb> [log-file]" >&2
+    exit 2
+fi
+cmd=$1
+max_kb=$2
+log=${3:-time.log}
+
+/usr/bin/time -v sh -c "$cmd" 2> "$log"
+grep "Maximum resident set size" "$log"
+rss_kb=$(grep "Maximum resident set size" "$log" | grep -o "[0-9]*")
+if [ "$rss_kb" -ge "$max_kb" ]; then
+    echo "peak RSS ${rss_kb} KB breaches the ${max_kb} KB gate" >&2
+    exit 1
+fi
+echo "peak RSS ${rss_kb} KB within the ${max_kb} KB gate"

@@ -16,7 +16,7 @@
 //! stream: two runs with the same trace, parameters, and seed produce
 //! **byte-identical counter totals**, regardless of thread count, because
 //! per-cell counters merge in grid order (and the merge operations — `u64`
-//! addition for totals, maximum for `peak_resident_contacts` — are
+//! addition for totals, maximum for the `peak_resident_*` counters — are
 //! commutative and associative besides). Wall-clock spans are observational only — they
 //! are never fed back into simulation state, so enabling telemetry cannot
 //! perturb simulation output. `tests/parallel_determinism.rs` pins both
@@ -86,6 +86,14 @@ pub struct Counters {
     /// is concurrent state, so the sweep-wide figure is the worst single
     /// run, which keeps the value independent of `--jobs` and cell count.
     pub peak_resident_contacts: u64,
+    /// Node states materialized by the lazy node arena: one per node that
+    /// actually appeared in a contact, an Internet session, or seeded
+    /// content. Additive on merge.
+    pub nodes_instantiated: u64,
+    /// Peak number of node states resident in the arena at once (lazy
+    /// instantiation minus cold-node eviction). Merges by **maximum**, like
+    /// [`Counters::peak_resident_contacts`].
+    pub peak_resident_nodes: u64,
 }
 
 impl Counters {
@@ -107,6 +115,8 @@ impl Counters {
         self.peak_resident_contacts = self
             .peak_resident_contacts
             .max(other.peak_resident_contacts);
+        self.nodes_instantiated += other.nodes_instantiated;
+        self.peak_resident_nodes = self.peak_resident_nodes.max(other.peak_resident_nodes);
     }
 
     /// True if every counter is zero (the state of a fresh accumulator).
@@ -116,7 +126,7 @@ impl Counters {
 
     /// Every counter as a `(name, value)` pair, in a fixed rendering order.
     /// The names double as the keys of the perf-report JSON schema.
-    pub fn entries(&self) -> [(&'static str, u64); 13] {
+    pub fn entries(&self) -> [(&'static str, u64); 15] {
         [
             ("contacts", self.contacts),
             ("hello_exchanges", self.hello_exchanges),
@@ -131,6 +141,8 @@ impl Counters {
             ("index_lookups", self.index_lookups),
             ("shards_loaded", self.shards_loaded),
             ("peak_resident_contacts", self.peak_resident_contacts),
+            ("nodes_instantiated", self.nodes_instantiated),
+            ("peak_resident_nodes", self.peak_resident_nodes),
         ]
     }
 
@@ -152,6 +164,8 @@ impl Counters {
             "index_lookups" => self.index_lookups = value,
             "shards_loaded" => self.shards_loaded = value,
             "peak_resident_contacts" => self.peak_resident_contacts = value,
+            "nodes_instantiated" => self.nodes_instantiated = value,
+            "peak_resident_nodes" => self.peak_resident_nodes = value,
             _ => return false,
         }
         true
@@ -318,6 +332,8 @@ mod tests {
             index_lookups: 11,
             shards_loaded: 12,
             peak_resident_contacts: 13,
+            nodes_instantiated: 14,
+            peak_resident_nodes: 15,
         }
     }
 
@@ -327,8 +343,8 @@ mod tests {
         let b = a;
         a.merge(&b);
         for ((name, merged), (_, original)) in a.entries().iter().zip(b.entries().iter()) {
-            if *name == "peak_resident_contacts" {
-                assert_eq!(*merged, *original, "peak merges by max, not addition");
+            if *name == "peak_resident_contacts" || *name == "peak_resident_nodes" {
+                assert_eq!(*merged, *original, "{name} merges by max, not addition");
             } else {
                 assert_eq!(*merged, original * 2, "{name} should add on merge");
             }

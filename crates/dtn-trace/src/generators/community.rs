@@ -14,7 +14,7 @@ use rand::{Rng, SeedableRng};
 use crate::contact::Contact;
 use crate::node::NodeId;
 use crate::time::{SimDuration, SimTime, SECONDS_PER_DAY};
-use crate::trace::ContactTrace;
+use crate::trace::{ContactSink, ContactTrace};
 
 /// Configuration for the community generator.
 ///
@@ -124,18 +124,36 @@ impl CommunityConfig {
 
     /// Generates the clique contact trace.
     pub fn generate(&self) -> ContactTrace {
+        let mut builder = ContactTrace::builder();
+        self.generate_into(&mut builder);
+        builder.build()
+    }
+
+    /// Generates the trace directly into `sink` — e.g. a
+    /// [`ShardWriter`](crate::shard::ShardWriter) — without holding the full
+    /// contact list in memory. The contact sequence (and RNG draw order) is
+    /// identical to [`CommunityConfig::generate`], emitted in generation
+    /// order rather than sorted order.
+    ///
+    /// Attendance is bucketed per community (never node × node) and the
+    /// per-slot venue buckets are reused across slots, so steady-state cost
+    /// is O(attendance draws + clique members). Output is byte-identical to
+    /// [`CommunityConfig::generate_into_all_pairs`].
+    pub fn generate_into<S: ContactSink + ?Sized>(&self, sink: &mut S) {
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0xC033_7411);
         // Travelers are the lowest-indexed members of each community slot.
         let traveler_count = ((self.nodes as f64) * self.traveler_fraction).round() as u32;
         let is_traveler = |n: u32| n < traveler_count;
 
-        let mut builder = ContactTrace::builder();
         let slot_gap = (12 * 3_600) / u64::from(self.gatherings_per_day).max(1);
+        let mut attendees: Vec<Vec<NodeId>> = vec![Vec::new(); self.communities as usize];
         for day in 0..self.days {
             for slot in 0..self.gatherings_per_day {
                 let start_secs = day * SECONDS_PER_DAY + 8 * 3_600 + u64::from(slot) * slot_gap;
                 // Where does each node gather this slot?
-                let mut attendees: Vec<Vec<NodeId>> = vec![Vec::new(); self.communities as usize];
+                for bucket in &mut attendees {
+                    bucket.clear();
+                }
                 for n in 0..self.nodes {
                     if self.attendance < 1.0 && rng.gen::<f64>() >= self.attendance {
                         continue;
@@ -156,6 +174,55 @@ impl CommunityConfig {
                     };
                     attendees[venue as usize].push(NodeId::new(n));
                 }
+                for members in &attendees {
+                    if members.len() < 2 {
+                        continue;
+                    }
+                    let contact = Contact::clique(
+                        members.clone(),
+                        SimTime::from_secs(start_secs),
+                        SimTime::from_secs(start_secs + self.gathering_secs),
+                    )
+                    .expect("generator produces valid cliques");
+                    sink.push_contact(contact);
+                }
+            }
+        }
+    }
+
+    /// The original per-slot fresh-allocation loop, retained as the
+    /// equivalence oracle for the bucket-reusing path in
+    /// [`CommunityConfig::generate_into`]. Test use only.
+    #[doc(hidden)]
+    pub fn generate_into_all_pairs<S: ContactSink + ?Sized>(&self, sink: &mut S) {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xC033_7411);
+        let traveler_count = ((self.nodes as f64) * self.traveler_fraction).round() as u32;
+        let is_traveler = |n: u32| n < traveler_count;
+
+        let slot_gap = (12 * 3_600) / u64::from(self.gatherings_per_day).max(1);
+        for day in 0..self.days {
+            for slot in 0..self.gatherings_per_day {
+                let start_secs = day * SECONDS_PER_DAY + 8 * 3_600 + u64::from(slot) * slot_gap;
+                let mut attendees: Vec<Vec<NodeId>> = vec![Vec::new(); self.communities as usize];
+                for n in 0..self.nodes {
+                    if self.attendance < 1.0 && rng.gen::<f64>() >= self.attendance {
+                        continue;
+                    }
+                    let home = n % self.communities;
+                    let venue = if is_traveler(n)
+                        && self.communities > 1
+                        && rng.gen::<f64>() < self.travel_probability
+                    {
+                        let mut v = rng.gen_range(0..self.communities - 1);
+                        if v >= home {
+                            v += 1;
+                        }
+                        v
+                    } else {
+                        home
+                    };
+                    attendees[venue as usize].push(NodeId::new(n));
+                }
                 for members in attendees {
                     if members.len() < 2 {
                         continue;
@@ -166,11 +233,10 @@ impl CommunityConfig {
                         SimTime::from_secs(start_secs + self.gathering_secs),
                     )
                     .expect("generator produces valid cliques");
-                    builder.push(contact);
+                    sink.push_contact(contact);
                 }
             }
         }
-        builder.build()
     }
 
     /// A reasonable frequent-contact window for this model: one day.
@@ -189,6 +255,26 @@ mod tests {
         let a = CommunityConfig::new(30, 5).seed(3).generate();
         let b = CommunityConfig::new(30, 5).seed(3).generate();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn generate_into_matches_all_pairs_oracle() {
+        for (attendance, travelers) in [(0.9, 0.2), (1.0, 0.0), (0.5, 0.5)] {
+            let cfg = CommunityConfig::new(37, 6)
+                .seed(31)
+                .communities(5)
+                .attendance(attendance)
+                .traveler_fraction(travelers);
+            let mut streamed = ContactTrace::builder();
+            cfg.generate_into(&mut streamed);
+            let mut oracle = ContactTrace::builder();
+            cfg.generate_into_all_pairs(&mut oracle);
+            assert_eq!(
+                streamed.build(),
+                oracle.build(),
+                "attendance={attendance} travelers={travelers}"
+            );
+        }
     }
 
     #[test]

@@ -142,7 +142,99 @@ impl DieselNetConfig {
     /// full contact list in memory. The contact sequence (and RNG draw
     /// order) is identical to [`DieselNetConfig::generate`], emitted in
     /// generation order rather than sorted order.
+    ///
+    /// Candidate pairs come from a route-indexed sweep: for each bus only
+    /// the buses on its own route and on the handful of crossing routes
+    /// (ring neighbours plus the hub pair) are enumerated, so the cost is
+    /// O(positive-rate pairs), not O(buses²). With many routes (city-scale
+    /// configurations keep routes proportional to buses) that is
+    /// O(contacts). RNG draws happen only for positive-rate pairs, in
+    /// ascending `(a, b)` order — exactly the draws the all-pairs loop
+    /// makes — so the output is byte-identical to
+    /// [`DieselNetConfig::generate_into_all_pairs`].
     pub fn generate_into<S: ContactSink + ?Sized>(&self, sink: &mut S) {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xD1E5_E1DE);
+        let window_secs = (self.service_end_hour - self.service_start_hour) * 3_600;
+        let routes = self.routes;
+        let hub = routes / 2;
+
+        for a in 0..self.buses {
+            let ra = a % routes;
+            // Partner routes with a positive meeting rate, deduped. At most
+            // four: the bus's own route, the two ring neighbours, and the
+            // hub partner when `ra` is an endpoint of the hub pair.
+            let mut partner_routes = [0u32; 4];
+            let mut partner_count = 0;
+            let mut push_route = |r: u32| {
+                if !partner_routes[..partner_count].contains(&r) {
+                    partner_routes[partner_count] = r;
+                    partner_count += 1;
+                }
+            };
+            if self.same_route_rate_per_day > 0.0 {
+                push_route(ra);
+            }
+            if self.crossing_route_rate_per_day > 0.0 && routes > 1 {
+                let up = (ra + 1) % routes;
+                let down = (ra + routes - 1) % routes;
+                if up != ra {
+                    push_route(up);
+                }
+                if down != ra {
+                    push_route(down);
+                }
+                if ra == 0 && hub != 0 {
+                    push_route(hub);
+                } else if ra == hub && hub != 0 {
+                    push_route(0);
+                }
+            }
+            let partner_routes = &partner_routes[..partner_count];
+
+            // Ascending merge over the partner buckets (each bucket is the
+            // arithmetic sequence rb, rb+routes, …): heads[i] is the next
+            // not-yet-visited bus > a on partner_routes[i]. Visiting
+            // partners in ascending b order reproduces the all-pairs RNG
+            // draw order exactly.
+            let mut heads = [u32::MAX; 4];
+            for (i, &rb) in partner_routes.iter().enumerate() {
+                let k = if a < rb { 0 } else { (a - rb) / routes + 1 };
+                let first = rb as u64 + k as u64 * routes as u64;
+                if first < self.buses as u64 {
+                    heads[i] = first as u32;
+                }
+            }
+            loop {
+                let mut min_i = usize::MAX;
+                let mut b = u32::MAX;
+                for (i, &head) in heads[..partner_count].iter().enumerate() {
+                    if head < b {
+                        b = head;
+                        min_i = i;
+                    }
+                }
+                if min_i == usize::MAX {
+                    break;
+                }
+                heads[min_i] = match b.checked_add(routes) {
+                    Some(next) if next < self.buses => next,
+                    _ => u32::MAX,
+                };
+                let rate = if b % routes == ra {
+                    self.same_route_rate_per_day
+                } else {
+                    self.crossing_route_rate_per_day
+                };
+                self.emit_pair(&mut rng, a, b, rate, window_secs, sink);
+            }
+        }
+    }
+
+    /// The original all-pairs enumeration, retained as the equivalence
+    /// oracle for the indexed sweep in [`DieselNetConfig::generate_into`].
+    /// O(buses²) — test use only.
+    #[doc(hidden)]
+    pub fn generate_into_all_pairs<S: ContactSink + ?Sized>(&self, sink: &mut S) {
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0xD1E5_E1DE);
         let route_of: Vec<u32> = (0..self.buses).map(|b| b % self.routes).collect();
 
@@ -171,30 +263,46 @@ impl DieselNetConfig {
                 if rate <= 0.0 {
                     continue;
                 }
-                for day in 0..self.days {
-                    let meetings = sample_poisson(&mut rng, rate);
-                    for _ in 0..meetings {
-                        let offset = rng.gen_range(0..window_secs.max(1));
-                        let start =
-                            day * SECONDS_PER_DAY + self.service_start_hour * 3_600 + offset;
-                        let dur = sample_exponential(&mut rng, self.mean_contact_secs)
-                            .round()
-                            .max(5.0) as u64;
-                        let end = (start + dur)
-                            .min(day * SECONDS_PER_DAY + self.service_end_hour * 3_600);
-                        if end <= start {
-                            continue;
-                        }
-                        let contact = Contact::pairwise(
-                            NodeId::new(a),
-                            NodeId::new(b),
-                            SimTime::from_secs(start),
-                            SimTime::from_secs(end),
-                        )
-                        .expect("generator produces valid contacts");
-                        sink.push_contact(contact);
-                    }
+                self.emit_pair(&mut rng, a, b, rate, window_secs, sink);
+            }
+        }
+    }
+
+    /// Draws and emits all meetings of one positive-rate pair over the
+    /// configured days. Shared by the indexed sweep and the all-pairs
+    /// oracle so both make the identical RNG draws per pair.
+    fn emit_pair<S: ContactSink + ?Sized>(
+        &self,
+        rng: &mut StdRng,
+        a: u32,
+        b: u32,
+        rate: f64,
+        window_secs: u64,
+        sink: &mut S,
+    ) {
+        if rate <= 0.0 {
+            return;
+        }
+        for day in 0..self.days {
+            let meetings = sample_poisson(rng, rate);
+            for _ in 0..meetings {
+                let offset = rng.gen_range(0..window_secs.max(1));
+                let start = day * SECONDS_PER_DAY + self.service_start_hour * 3_600 + offset;
+                let dur = sample_exponential(rng, self.mean_contact_secs)
+                    .round()
+                    .max(5.0) as u64;
+                let end = (start + dur).min(day * SECONDS_PER_DAY + self.service_end_hour * 3_600);
+                if end <= start {
+                    continue;
                 }
+                let contact = Contact::pairwise(
+                    NodeId::new(a),
+                    NodeId::new(b),
+                    SimTime::from_secs(start),
+                    SimTime::from_secs(end),
+                )
+                .expect("generator produces valid contacts");
+                sink.push_contact(contact);
             }
         }
     }
@@ -252,6 +360,31 @@ mod tests {
         let mut builder = ContactTrace::builder();
         cfg.generate_into(&mut builder);
         assert_eq!(builder.build(), cfg.generate());
+    }
+
+    #[test]
+    fn indexed_sweep_matches_all_pairs_oracle() {
+        // Route counts that stress the candidate-set edges: a single route,
+        // the routes=2 hub/adjacency overlap, odd counts, more routes than
+        // buses, and the default 8.
+        for routes in [1u32, 2, 3, 5, 8, 40] {
+            for (same, crossing) in [(2.0, 0.35), (0.0, 0.35), (2.0, 0.0), (0.0, 0.0)] {
+                let cfg = DieselNetConfig::new(33, 3)
+                    .seed(21)
+                    .routes(routes)
+                    .same_route_rate_per_day(same)
+                    .crossing_route_rate_per_day(crossing);
+                let mut indexed = ContactTrace::builder();
+                cfg.generate_into(&mut indexed);
+                let mut all_pairs = ContactTrace::builder();
+                cfg.generate_into_all_pairs(&mut all_pairs);
+                assert_eq!(
+                    indexed.build(),
+                    all_pairs.build(),
+                    "routes={routes} same={same} crossing={crossing}"
+                );
+            }
+        }
     }
 
     #[test]

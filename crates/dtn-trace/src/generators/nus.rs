@@ -153,55 +153,71 @@ impl NusConfig {
     /// contact list in memory. The contact sequence (and RNG draw order) is
     /// identical to [`NusConfig::generate`], emitted in generation order
     /// rather than sorted order.
+    ///
+    /// Enumeration is roster-indexed (per-course buckets, never student ×
+    /// student) and the per-day occupancy table is one flat day-stamped
+    /// array allocated once, so the per-day cost is O(sessions + roster
+    /// sizes) — no O(students) allocation churn per simulated day. Output
+    /// is byte-identical to [`NusConfig::generate_into_all_pairs`].
     pub fn generate_into<S: ContactSink + ?Sized>(&self, sink: &mut S) {
         let mut rng = StdRng::seed_from_u64(self.seed ^ 0x0005_CAFE);
-        let courses_per_student = self.courses_per_student.min(self.courses);
+        let (roster, timetable, slots_per_day) = self.build_schedule(&mut rng);
 
-        // Enrollment: each student picks distinct courses, weighted toward
-        // low-numbered ("large intro") courses by sampling from a shuffled
-        // deck with two copies of the first half.
-        let mut enrollment: Vec<Vec<u32>> = Vec::with_capacity(self.students as usize);
-        let mut deck: Vec<u32> = (0..self.courses).chain(0..self.courses / 2).collect();
-        for _ in 0..self.students {
-            deck.shuffle(&mut rng);
-            let mut picked: Vec<u32> = Vec::with_capacity(courses_per_student as usize);
-            for &c in deck.iter() {
-                if !picked.contains(&c) {
-                    picked.push(c);
-                    if picked.len() == courses_per_student as usize {
-                        break;
+        // Flat (student, slot) occupancy, stamped with `day + 1`: a cell is
+        // busy today iff its stamp equals today's marker, so the table never
+        // needs clearing between days.
+        let mut busy: Vec<u64> = vec![0; self.students as usize * slots_per_day as usize];
+        for day in 0..self.days {
+            let weekday = (day % 7) as u32;
+            if self.weekends_off && weekday >= 5 {
+                continue;
+            }
+            let marker = day + 1;
+            for (course, cells) in timetable.iter().enumerate() {
+                for &cell in cells {
+                    let cell_day = cell / slots_per_day;
+                    let slot = cell % slots_per_day;
+                    if cell_day != weekday {
+                        continue;
                     }
+                    let start_secs =
+                        day * SECONDS_PER_DAY + 9 * 3_600 + slot as u64 * self.session_secs;
+                    let end_secs = start_secs + self.session_secs;
+                    let mut attendees: Vec<NodeId> = Vec::new();
+                    for &student in &roster[course] {
+                        if busy[student.index() * slots_per_day as usize + slot as usize] == marker
+                        {
+                            continue;
+                        }
+                        if self.attendance_rate >= 1.0 || rng.gen::<f64>() < self.attendance_rate {
+                            attendees.push(student);
+                        }
+                    }
+                    if attendees.len() < 2 {
+                        continue;
+                    }
+                    for &student in &attendees {
+                        busy[student.index() * slots_per_day as usize + slot as usize] = marker;
+                    }
+                    let contact = Contact::clique(
+                        attendees,
+                        SimTime::from_secs(start_secs),
+                        SimTime::from_secs(end_secs),
+                    )
+                    .expect("generator produces valid cliques");
+                    sink.push_contact(contact);
                 }
             }
-            picked.sort_unstable();
-            enrollment.push(picked);
         }
+    }
 
-        // Timetable: assign each course session to a (weekday, hour-slot)
-        // cell. 5 weekdays x 4 two-hour slots (9-11, 11-13, 13-15, 15-17).
-        let slots_per_day = (8 * 3_600 / self.session_secs).max(1) as u32;
-        let weekdays: u32 = if self.weekends_off { 5 } else { 7 };
-        let total_cells = weekdays * slots_per_day;
-        let mut timetable: Vec<Vec<u32>> = Vec::with_capacity(self.courses as usize);
-        let mut next_cell = 0u32;
-        for _ in 0..self.courses {
-            let mut cells = Vec::with_capacity(self.sessions_per_course_per_week as usize);
-            for _ in 0..self.sessions_per_course_per_week {
-                cells.push(next_cell % total_cells);
-                // A large odd stride spreads a course's sessions across the week
-                // and staggers different courses.
-                next_cell = next_cell.wrapping_add(7);
-            }
-            timetable.push(cells);
-        }
-
-        // Roster per course.
-        let mut roster: Vec<Vec<NodeId>> = vec![Vec::new(); self.courses as usize];
-        for (student, courses) in enrollment.iter().enumerate() {
-            for &c in courses {
-                roster[c as usize].push(NodeId::new(student as u32));
-            }
-        }
+    /// The original emission loop with a fresh per-day `Vec<Vec<bool>>`
+    /// occupancy table, retained as the equivalence oracle for the stamped
+    /// flat table in [`NusConfig::generate_into`]. Test use only.
+    #[doc(hidden)]
+    pub fn generate_into_all_pairs<S: ContactSink + ?Sized>(&self, sink: &mut S) {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x0005_CAFE);
+        let (roster, timetable, slots_per_day) = self.build_schedule(&mut rng);
 
         for day in 0..self.days {
             let weekday = (day % 7) as u32;
@@ -249,6 +265,61 @@ impl NusConfig {
         }
     }
 
+    /// Draws the enrollment and builds the course rosters and weekly
+    /// timetable. Shared by the streaming path and the oracle so both
+    /// consume the identical RNG prefix.
+    #[allow(clippy::type_complexity)]
+    fn build_schedule(&self, rng: &mut StdRng) -> (Vec<Vec<NodeId>>, Vec<Vec<u32>>, u32) {
+        let courses_per_student = self.courses_per_student.min(self.courses);
+
+        // Enrollment: each student picks distinct courses, weighted toward
+        // low-numbered ("large intro") courses by sampling from a shuffled
+        // deck with two copies of the first half.
+        let mut enrollment: Vec<Vec<u32>> = Vec::with_capacity(self.students as usize);
+        let mut deck: Vec<u32> = (0..self.courses).chain(0..self.courses / 2).collect();
+        for _ in 0..self.students {
+            deck.shuffle(rng);
+            let mut picked: Vec<u32> = Vec::with_capacity(courses_per_student as usize);
+            for &c in deck.iter() {
+                if !picked.contains(&c) {
+                    picked.push(c);
+                    if picked.len() == courses_per_student as usize {
+                        break;
+                    }
+                }
+            }
+            picked.sort_unstable();
+            enrollment.push(picked);
+        }
+
+        // Timetable: assign each course session to a (weekday, hour-slot)
+        // cell. 5 weekdays x 4 two-hour slots (9-11, 11-13, 13-15, 15-17).
+        let slots_per_day = (8 * 3_600 / self.session_secs).max(1) as u32;
+        let weekdays: u32 = if self.weekends_off { 5 } else { 7 };
+        let total_cells = weekdays * slots_per_day;
+        let mut timetable: Vec<Vec<u32>> = Vec::with_capacity(self.courses as usize);
+        let mut next_cell = 0u32;
+        for _ in 0..self.courses {
+            let mut cells = Vec::with_capacity(self.sessions_per_course_per_week as usize);
+            for _ in 0..self.sessions_per_course_per_week {
+                cells.push(next_cell % total_cells);
+                // A large odd stride spreads a course's sessions across the week
+                // and staggers different courses.
+                next_cell = next_cell.wrapping_add(7);
+            }
+            timetable.push(cells);
+        }
+
+        // Roster per course.
+        let mut roster: Vec<Vec<NodeId>> = vec![Vec::new(); self.courses as usize];
+        for (student, courses) in enrollment.iter().enumerate() {
+            for &c in courses {
+                roster[c as usize].push(NodeId::new(student as u32));
+            }
+        }
+        (roster, timetable, slots_per_day)
+    }
+
     /// The paper's frequent-contact window for this trace: one day.
     pub fn frequent_contact_window(&self) -> SimDuration {
         crate::stats::NUS_FREQUENT_EVERY
@@ -273,6 +344,27 @@ mod tests {
         let mut builder = ContactTrace::builder();
         cfg.generate_into(&mut builder);
         assert_eq!(builder.build(), cfg.generate());
+    }
+
+    #[test]
+    fn stamped_occupancy_matches_all_pairs_oracle() {
+        for attendance in [1.0, 0.8, 0.3] {
+            for weekends in [true, false] {
+                let cfg = NusConfig::new(45, 10)
+                    .seed(23)
+                    .attendance_rate(attendance)
+                    .weekends_off(weekends);
+                let mut streamed = ContactTrace::builder();
+                cfg.generate_into(&mut streamed);
+                let mut oracle = ContactTrace::builder();
+                cfg.generate_into_all_pairs(&mut oracle);
+                assert_eq!(
+                    streamed.build(),
+                    oracle.build(),
+                    "attendance={attendance} weekends_off={weekends}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -61,6 +61,6 @@ pub use perturb::Perturbation;
 pub use shard::{ShardError, ShardWriter, ShardedTrace};
 pub use source::{ContactStream, StreamStats, TraceSource};
 pub use space_time::SpaceTimeGraph;
-pub use stats::TraceStats;
+pub use stats::{FrequentScan, TraceStats};
 pub use time::{SimDuration, SimTime, SECONDS_PER_DAY};
 pub use trace::{ContactSink, ContactTrace, TraceBuilder};

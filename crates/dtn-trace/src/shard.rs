@@ -147,6 +147,7 @@ pub struct ShardWriter {
     min_start: Option<SimTime>,
     max_end: Option<SimTime>,
     error: Option<ShardError>,
+    jobs: usize,
 }
 
 /// File name of the shard for `window_index`.
@@ -191,7 +192,18 @@ impl ShardWriter {
             min_start: None,
             max_end: None,
             error: None,
+            jobs: 0,
         })
+    }
+
+    /// Sets how many worker threads [`ShardWriter::finish`] uses to sort
+    /// and rewrite shard files; `0` (the default) means one per available
+    /// core. Shards are independent and the manifest collects them in
+    /// window order, so the finished trace is byte-identical for any job
+    /// count.
+    pub fn jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
     }
 
     /// Number of contacts accepted so far.
@@ -244,7 +256,7 @@ impl ShardWriter {
         if let Some(error) = self.error.take() {
             return Err(error);
         }
-        let mut metas = Vec::with_capacity(self.shards.len());
+        let mut windows = Vec::with_capacity(self.shards.len());
         for (window_index, (writer, count)) in std::mem::take(&mut self.shards) {
             writer
                 .into_inner()
@@ -254,29 +266,29 @@ impl ShardWriter {
                 })?
                 .sync_data()
                 .ok();
-            let file = shard_file_name(window_index);
-            let path = self.dir.join(&file);
-            // Re-read the one shard, sort it, rewrite it. Memory is bounded
-            // by the largest shard — the invariant the reader relies on.
-            let handle =
-                File::open(&path).map_err(io_err(format!("reopening `{}`", path.display())))?;
-            let mut contacts: Vec<Contact> =
-                ContactReader::new(handle).collect::<Result<_, _>>()?;
-            sort_contacts(&mut contacts);
-            let out =
-                File::create(&path).map_err(io_err(format!("rewriting `{}`", path.display())))?;
-            let mut out = BufWriter::new(out);
-            writeln!(out, "# dtn-trace v1").map_err(io_err("writing shard header"))?;
-            for contact in &contacts {
-                write_contact_line(&mut out, contact).map_err(io_err("writing shard"))?;
-            }
-            out.flush().map_err(io_err("flushing shard"))?;
-            metas.push(ShardMeta {
-                file,
-                window_index,
-                contacts: count,
-            });
+            windows.push((window_index, count));
         }
+        // Sort and rewrite every shard, fanned out over the configured
+        // jobs. Each worker touches only its own shard file and results
+        // collect in window order, so the finished trace is byte-identical
+        // for any job count; memory stays bounded by `jobs` concurrent
+        // shards (one shard per worker — the invariant the reader relies
+        // on, scaled by the explicit thread count).
+        let dir = self.dir.clone();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(self.jobs)
+            .build()
+            .expect("thread pool construction is infallible");
+        let metas: Vec<ShardMeta> = pool
+            .install(|| {
+                use rayon::prelude::*;
+                windows
+                    .par_iter()
+                    .map(|&(window_index, count)| sort_one_shard(&dir, window_index, count))
+                    .collect::<Vec<Result<ShardMeta, ShardError>>>()
+            })
+            .into_iter()
+            .collect::<Result<_, _>>()?;
         let manifest = Manifest {
             window_secs: self.window_secs,
             contacts: self.contacts,
@@ -298,6 +310,28 @@ impl ShardWriter {
             manifest,
         })
     }
+}
+
+/// Re-reads one appended shard, sorts it into canonical event order, and
+/// rewrites it in place, returning its manifest entry.
+fn sort_one_shard(dir: &Path, window_index: u64, count: u64) -> Result<ShardMeta, ShardError> {
+    let file = shard_file_name(window_index);
+    let path = dir.join(&file);
+    let handle = File::open(&path).map_err(io_err(format!("reopening `{}`", path.display())))?;
+    let mut contacts: Vec<Contact> = ContactReader::new(handle).collect::<Result<_, _>>()?;
+    sort_contacts(&mut contacts);
+    let out = File::create(&path).map_err(io_err(format!("rewriting `{}`", path.display())))?;
+    let mut out = BufWriter::new(out);
+    writeln!(out, "# dtn-trace v1").map_err(io_err("writing shard header"))?;
+    for contact in &contacts {
+        write_contact_line(&mut out, contact).map_err(io_err("writing shard"))?;
+    }
+    out.flush().map_err(io_err("flushing shard"))?;
+    Ok(ShardMeta {
+        file,
+        window_index,
+        contacts: count,
+    })
 }
 
 impl ContactSink for ShardWriter {
@@ -694,6 +728,56 @@ mod tests {
         );
         // 5 contacts over 3 windows: the bound is strictly below the total.
         assert!(stats.peak_resident_contacts < TraceSource::len(&sharded) as u64);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn finish_is_byte_identical_for_any_job_count() {
+        let mut outputs: Vec<Vec<(String, String)>> = Vec::new();
+        for jobs in [1usize, 2, 7] {
+            let dir = temp_dir(&format!("jobs-{jobs}"));
+            let mut writer = ShardWriter::create(&dir, SimDuration::from_secs(100))
+                .unwrap()
+                .jobs(jobs);
+            for contact in sample_contacts() {
+                writer.push_contact(contact);
+            }
+            writer.finish().unwrap();
+            let mut files: Vec<(String, String)> = fs::read_dir(&dir)
+                .unwrap()
+                .map(|e| {
+                    let path = e.unwrap().path();
+                    let name = path.file_name().unwrap().to_string_lossy().into_owned();
+                    (name, fs::read_to_string(&path).unwrap())
+                })
+                .collect();
+            files.sort();
+            outputs.push(files);
+            fs::remove_dir_all(&dir).ok();
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[0], outputs[2]);
+    }
+
+    #[test]
+    fn partially_consumed_stream_reports_only_loaded_shards() {
+        // A stream abandoned mid-replay (a simulation horizon cutting the
+        // run short) must report the shards it actually faulted in, not the
+        // whole index: the load counter increments per load, never ahead.
+        let dir = temp_dir("partial");
+        let sharded = write_sample(&dir); // 5 contacts over 3 shards
+        let mut stream = TraceSource::stream(&sharded);
+        assert!(stream.next().is_some(), "first contact comes from shard 0");
+        let stats = stream.stream_stats();
+        assert_eq!(stats.shards_loaded, 1, "only one shard was faulted in");
+        assert!(stats.peak_resident_contacts >= 1);
+        assert!((stats.shards_loaded as usize) < sharded.shard_count());
+        // Draining the rest brings the count up to the full index.
+        while stream.next().is_some() {}
+        assert_eq!(
+            stream.stream_stats().shards_loaded,
+            sharded.shard_count() as u64
+        );
         fs::remove_dir_all(&dir).ok();
     }
 

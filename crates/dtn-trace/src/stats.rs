@@ -6,8 +6,9 @@
 //! that have contacts at least once per day. [`TraceStats::frequent_contacts`]
 //! implements exactly that rule.
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
+use crate::contact::Contact;
 use crate::node::NodeId;
 use crate::time::{SimDuration, SimTime};
 use crate::trace::ContactTrace;
@@ -250,6 +251,204 @@ fn is_regular(
     true
 }
 
+/// Streaming computation of the frequent-contact map.
+///
+/// Produces exactly [`TraceStats::frequent_contact_map`] — same windows,
+/// same idle-window exemption, same vacuous edge cases — from a single pass
+/// over the contacts, without retaining per-pair start lists. `TraceStats`
+/// keeps every contact start of every pair (O(pair-events) memory) and then
+/// re-scans the whole pair table once per node; at city scale both blow up.
+/// The scan instead keeps one pair set per *window* of the rule, folds each
+/// window into a running intersection as soon as the stream has moved past
+/// it, and expands the surviving pairs into per-node lists at the end, so
+/// memory is bounded by the pairs active in a handful of windows.
+///
+/// Contacts must be observed in nondecreasing start order — the order every
+/// [`ContactStream`](crate::ContactStream) and [`ContactTrace`] iteration
+/// yields. Observing a contact whose window has already been folded panics
+/// rather than returning a silently wrong map.
+///
+/// # Example
+///
+/// ```
+/// use dtn_trace::{Contact, ContactTrace, FrequentScan, NodeId, SimDuration, SimTime, TraceStats};
+///
+/// let trace: ContactTrace = (0..3)
+///     .map(|day| {
+///         Contact::pairwise(
+///             NodeId::new(0),
+///             NodeId::new(1),
+///             SimTime::from_days(day),
+///             SimTime::from_days(day) + SimDuration::from_secs(60),
+///         )
+///         .unwrap()
+///     })
+///     .collect();
+/// let every = SimDuration::from_days(1);
+/// let mut scan = FrequentScan::new(every);
+/// for contact in trace.iter() {
+///     scan.observe(contact);
+/// }
+/// assert_eq!(
+///     scan.finish(),
+///     TraceStats::compute(&trace).frequent_contact_map(every)
+/// );
+/// ```
+#[derive(Debug, Clone)]
+pub struct FrequentScan {
+    every_secs: u64,
+    min_start: Option<SimTime>,
+    max_end: Option<SimTime>,
+    max_start_secs: u64,
+    /// Windows the stream may still touch or whose validity (window start
+    /// inside the final trace span) is still unknown: `(window index, pairs
+    /// with a contact start in the window)`, ascending by index. Windows
+    /// with no contacts never appear — they are the idle windows the rule
+    /// exempts.
+    pending: VecDeque<(u64, BTreeSet<(NodeId, NodeId)>)>,
+    /// Index below which windows are folded; a contact landing there would
+    /// change an already-consumed window.
+    min_open_window: u64,
+    /// Intersection of every folded window's pair set; `None` until the
+    /// first fold.
+    frequent: Option<BTreeSet<(NodeId, NodeId)>>,
+    /// Every pair seen, kept only until the first fold: when no enumerated
+    /// window turns out to be active, the rule holds vacuously and every
+    /// pair with at least one contact is frequent.
+    union: BTreeSet<(NodeId, NodeId)>,
+    nodes: BTreeSet<NodeId>,
+}
+
+impl FrequentScan {
+    /// Starts a scan with the rule's window length (see
+    /// [`TraceStats::frequent_contacts`] for the paper's instantiations).
+    pub fn new(every: SimDuration) -> Self {
+        FrequentScan {
+            every_secs: every.as_secs(),
+            min_start: None,
+            max_end: None,
+            max_start_secs: 0,
+            pending: VecDeque::new(),
+            min_open_window: 0,
+            frequent: None,
+            union: BTreeSet::new(),
+            nodes: BTreeSet::new(),
+        }
+    }
+
+    /// Feeds one contact.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `contact` starts before a window the scan has already
+    /// folded — i.e. when contacts arrive out of start order.
+    pub fn observe(&mut self, contact: &Contact) {
+        self.nodes.extend(contact.participants().iter().copied());
+        let start = contact.start();
+        self.min_start = Some(self.min_start.map_or(start, |t| t.min(start)));
+        self.max_end = Some(self.max_end.map_or(contact.end(), |t| t.max(contact.end())));
+        self.max_start_secs = self.max_start_secs.max(start.as_secs());
+        if self.every_secs == 0 {
+            return; // A zero-length window yields an all-empty map anyway.
+        }
+        let window = start.as_secs() / self.every_secs;
+        assert!(
+            window >= self.min_open_window,
+            "FrequentScan requires nondecreasing contact starts \
+             (window {window} is already folded)"
+        );
+        let pairs = contact.pairs();
+        if self.frequent.is_none() {
+            self.union.extend(pairs.iter().copied());
+        }
+        let slot = match self.pending.binary_search_by_key(&window, |&(w, _)| w) {
+            Ok(i) => i,
+            Err(i) => {
+                self.pending.insert(i, (window, BTreeSet::new()));
+                i
+            }
+        };
+        self.pending[slot].1.extend(pairs);
+        self.fold_ready();
+    }
+
+    /// Folds leading pending windows that are *complete* (the stream has
+    /// moved past them) and *valid* (their start lies inside the trace span
+    /// observed so far — a lower bound on the final span, so a window valid
+    /// now is valid at the end). Completeness and validity are both
+    /// monotone in the window index, so stopping at the first failure is
+    /// exact.
+    fn fold_ready(&mut self) {
+        let (Some(min_start), Some(max_end)) = (self.min_start, self.max_end) else {
+            return;
+        };
+        let trace_end = max_end.as_secs() - min_start.as_secs();
+        while let Some((window, _)) = self.pending.front() {
+            let complete = (window + 1)
+                .checked_mul(self.every_secs)
+                .is_some_and(|end| end <= self.max_start_secs);
+            let valid = window
+                .checked_mul(self.every_secs)
+                .is_some_and(|start| start < trace_end);
+            if !(complete && valid) {
+                break;
+            }
+            let (window, pairs) = self.pending.pop_front().expect("front exists");
+            self.min_open_window = window + 1;
+            self.fold(pairs);
+        }
+    }
+
+    fn fold(&mut self, window: BTreeSet<(NodeId, NodeId)>) {
+        match &mut self.frequent {
+            None => {
+                self.frequent = Some(window);
+                // An active window exists: the vacuous fallback is dead.
+                self.union = BTreeSet::new();
+            }
+            Some(frequent) => frequent.retain(|pair| window.contains(pair)),
+        }
+    }
+
+    /// Finishes the scan: folds the remaining valid windows against the
+    /// final trace span and expands the surviving pairs into the same map
+    /// [`TraceStats::frequent_contact_map`] produces — every node in the
+    /// trace, mapped to its sorted frequent peers.
+    pub fn finish(mut self) -> BTreeMap<NodeId, Vec<NodeId>> {
+        let mut map: BTreeMap<NodeId, Vec<NodeId>> =
+            self.nodes.iter().map(|&n| (n, Vec::new())).collect();
+        let span = match (self.min_start, self.max_end) {
+            (Some(s), Some(e)) => e.as_secs() - s.as_secs(),
+            _ => 0,
+        };
+        if self.every_secs == 0 || span == 0 {
+            return map;
+        }
+        for (window, pairs) in std::mem::take(&mut self.pending) {
+            let valid = window
+                .checked_mul(self.every_secs)
+                .is_some_and(|start| start < span);
+            // Windows at or past the trace end are never enumerated by the
+            // rule; contacts there count for nothing.
+            if valid {
+                self.fold(pairs);
+            }
+        }
+        let frequent = self.frequent.unwrap_or(self.union);
+        for (a, b) in frequent {
+            // Pairs iterate in sorted order and a < b throughout, so each
+            // node's peer list comes out sorted without a final sort.
+            map.get_mut(&a)
+                .expect("pair nodes are in the node set")
+                .push(b);
+            map.get_mut(&b)
+                .expect("pair nodes are in the node set")
+                .push(a);
+        }
+        map
+    }
+}
+
 fn ordered(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
     if a <= b {
         (a, b)
@@ -448,6 +647,95 @@ mod tests {
             from_stream.pooled_inter_contact_times(),
             from_trace.pooled_inter_contact_times()
         );
+    }
+
+    fn scan_of(trace: &ContactTrace, every: SimDuration) -> BTreeMap<NodeId, Vec<NodeId>> {
+        let mut scan = FrequentScan::new(every);
+        for contact in trace.iter() {
+            scan.observe(contact);
+        }
+        scan.finish()
+    }
+
+    #[test]
+    fn frequent_scan_matches_map_on_daily_and_gapped_traces() {
+        let traces: Vec<ContactTrace> = vec![
+            // Daily pair plus a one-off.
+            vec![
+                pc(0, 1, day(0) + 100, day(0) + 200),
+                pc(0, 1, day(1) + 100, day(1) + 200),
+                pc(0, 1, day(2) + 100, day(2) + 200),
+                pc(0, 2, day(1) + 500, day(1) + 600),
+            ]
+            .into_iter()
+            .collect(),
+            // Two-day hole with the network otherwise active.
+            vec![
+                pc(0, 1, day(0) + 100, day(0) + 200),
+                pc(2, 3, day(1) + 100, day(1) + 200),
+                pc(2, 3, day(2) + 100, day(2) + 200),
+                pc(0, 1, day(3) + 100, day(3) + 200),
+            ]
+            .into_iter()
+            .collect(),
+            // Globally idle days 1-2 (the exemption).
+            vec![
+                pc(0, 1, day(0) + 100, day(0) + 200),
+                pc(2, 3, day(0) + 300, day(0) + 400),
+                pc(0, 1, day(3) + 100, day(3) + 200),
+                pc(2, 3, day(3) + 300, day(3) + 400),
+            ]
+            .into_iter()
+            .collect(),
+            // Clique contacts.
+            vec![Contact::clique(
+                vec![NodeId::new(0), NodeId::new(1), NodeId::new(2)],
+                SimTime::from_secs(100),
+                SimTime::from_secs(200),
+            )
+            .unwrap()]
+            .into_iter()
+            .collect(),
+            ContactTrace::new(),
+        ];
+        for trace in &traces {
+            let stats = TraceStats::compute(trace);
+            for every in [SimDuration::from_days(1), DIESELNET_FREQUENT_EVERY] {
+                assert_eq!(scan_of(trace, every), stats.frequent_contact_map(every));
+            }
+        }
+    }
+
+    #[test]
+    fn frequent_scan_zero_window_is_all_empty() {
+        let t: ContactTrace = vec![pc(0, 1, 100, 200)].into_iter().collect();
+        let map = scan_of(&t, SimDuration::ZERO);
+        assert_eq!(map.len(), 2);
+        assert!(map.values().all(Vec::is_empty));
+    }
+
+    #[test]
+    fn frequent_scan_vacuous_trace_marks_contacted_pairs_frequent() {
+        // Both starts land past the trace end (end-start span 10, window 5):
+        // no enumerated window is ever active, so the rule holds vacuously
+        // for every pair with a contact — in TraceStats and the scan alike.
+        let t: ContactTrace = vec![pc(0, 1, 10, 20), pc(2, 3, 19, 20)]
+            .into_iter()
+            .collect();
+        let every = SimDuration::from_secs(5);
+        let expected = TraceStats::compute(&t).frequent_contact_map(every);
+        assert_eq!(expected[&NodeId::new(0)], vec![NodeId::new(1)]);
+        assert_eq!(scan_of(&t, every), expected);
+    }
+
+    #[test]
+    #[should_panic(expected = "nondecreasing contact starts")]
+    fn frequent_scan_rejects_out_of_order_folded_window() {
+        let mut scan = FrequentScan::new(SimDuration::from_secs(1));
+        scan.observe(&pc(0, 1, 0, 1));
+        scan.observe(&pc(0, 1, 5, 6));
+        scan.observe(&pc(0, 1, 10, 11)); // folds windows 0 and 5
+        scan.observe(&pc(2, 3, 0, 1)); // lands in the folded window 0
     }
 
     #[test]

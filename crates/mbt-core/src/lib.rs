@@ -85,7 +85,7 @@ pub use config::{BroadcastOrdering, CooperationMode, MbtConfig};
 pub use credit::CreditLedger;
 pub use file::FileAssembler;
 pub use metadata::Metadata;
-pub use node::{MbtNode, NodeEvent, Source};
+pub use node::{ColdNodeState, MbtNode, NodeEvent, Source};
 pub use piece::{Piece, PieceId};
 pub use popularity::Popularity;
 pub use protocol::ProtocolKind;

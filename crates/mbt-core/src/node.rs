@@ -89,7 +89,9 @@ pub struct MbtNode {
     metadata: MetadataStore,
     files: FileStore,
     credits: CreditLedger,
-    popularity: BTreeMap<Uri, Popularity>,
+    /// Best popularity observed per URI, with the URI's global expiry when
+    /// the observation rode metadata (so dead URIs can be pruned).
+    popularity: BTreeMap<Uri, (Popularity, Option<SimTime>)>,
     key_registry: Option<KeyRegistry>,
     /// URIs whose metadata failed authentication, with their claimed expiry:
     /// never re-requested, so fakes cannot burn a broadcast slot at every
@@ -109,6 +111,18 @@ struct WantedCache {
     valid: bool,
     versions: (u64, u64, u64),
     uris: Vec<Uri>,
+}
+
+/// The compact residue of a node whose stores have fully decayed — see
+/// [`MbtNode::extract_cold_state`]. A few dozen bytes instead of a resident
+/// [`MbtNode`], which is what lets city-scale simulations keep only active
+/// nodes in memory.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ColdNodeState {
+    /// The node's own queries, in insertion order, with their expiries.
+    pub queries: Vec<(Query, Option<SimTime>)>,
+    /// The credit ledger's `(peer, credit)` entries in ascending peer id.
+    pub credits: Vec<(NodeId, f64)>,
 }
 
 impl MbtNode {
@@ -208,7 +222,7 @@ impl MbtNode {
     pub fn seed_content(&mut self, metadata: Metadata, popularity: Popularity, with_file: bool) {
         let uri = metadata.uri().clone();
         let expires = metadata.expires();
-        self.note_popularity(&uri, popularity);
+        self.note_popularity_until(&uri, popularity, expires);
         if self.metadata.insert(metadata) {
             self.events.push(NodeEvent::MetadataStored {
                 uri: uri.clone(),
@@ -265,18 +279,40 @@ impl MbtNode {
 
     /// The popularity the node believes `uri` has (0 if unknown).
     pub fn known_popularity(&self, uri: &Uri) -> Popularity {
-        self.popularity.get(uri).copied().unwrap_or(Popularity::MIN)
+        self.popularity
+            .get(uri)
+            .map(|&(p, _)| p)
+            .unwrap_or(Popularity::MIN)
     }
 
-    /// Records a popularity observation, keeping the maximum seen.
+    /// Records a popularity observation with no known expiry, keeping the
+    /// maximum seen. The entry is never pruned; prefer
+    /// [`note_popularity_until`](Self::note_popularity_until) when the
+    /// observation rides metadata carrying the URI's lifetime.
     pub fn note_popularity(&mut self, uri: &Uri, p: Popularity) {
+        self.note_popularity_until(uri, p, None);
+    }
+
+    /// Records a popularity observation for a URI that expires at
+    /// `expires`, keeping the maximum popularity (and the latest expiry)
+    /// seen. Once every observation's expiry has passed, [`prune`]
+    /// (Self::prune) drops the entry: an expired URI is never advertised,
+    /// requested, or ranked again, so forgetting its popularity is
+    /// unobservable — and it is what lets long simulations evict nodes
+    /// whose state has fully decayed.
+    pub fn note_popularity_until(&mut self, uri: &Uri, p: Popularity, expires: Option<SimTime>) {
         let entry = self
             .popularity
             .entry(uri.clone())
-            .or_insert(Popularity::MIN);
-        if p > *entry {
-            *entry = p;
+            .or_insert((Popularity::MIN, expires));
+        if p > entry.0 {
+            entry.0 = p;
         }
+        entry.1 = match (entry.1, expires) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            // `None` means "no known lifetime": never prune.
+            _ => None,
+        };
     }
 
     /// URIs the node wants to download: it has metadata matching one of its
@@ -316,11 +352,14 @@ impl MbtNode {
         (cache.uris.clone(), false)
     }
 
-    /// Drops expired metadata, files, queries, and rejection records.
+    /// Drops expired metadata, files, queries, popularity observations, and
+    /// rejection records.
     pub fn prune(&mut self, now: SimTime) {
         self.metadata.prune_expired(now);
         self.files.prune_expired(now);
         self.queries.prune_expired(now);
+        self.popularity
+            .retain(|_, &mut (_, expires)| expires.is_none_or(|e| now < e));
         self.rejected
             .retain(|_, expires| !expires.is_some_and(|e| now >= e));
     }
@@ -330,13 +369,52 @@ impl MbtNode {
         std::mem::take(&mut self.events)
     }
 
+    /// If the node's state has decayed to nothing beyond its own queries
+    /// and credit history — no stored metadata or files, no popularity
+    /// observations, no rejection records, no collected foreign queries, no
+    /// undrained events — returns that compact residue; otherwise `None`.
+    ///
+    /// A cold node is behaviourally identical to a fresh [`MbtNode`] (with
+    /// the same access flag, frequent contacts, and key registry) that
+    /// re-adds the returned queries in order and restores the ledger via
+    /// [`restore_credits`](Self::restore_credits): construction draws no
+    /// randomness, [`add_query`](Self::add_query) dedups by text keeping
+    /// the first entry, [`CreditLedger::from_entries`] round-trips
+    /// [`CreditLedger::entries`] exactly, and both contacts and Internet
+    /// sessions prune before acting, so even an expired entry is dropped at
+    /// the same observable instant either way. Large simulations rely on
+    /// this to evict cold nodes (keeping only this residue) and rebuild
+    /// them on demand.
+    pub fn extract_cold_state(&self) -> Option<ColdNodeState> {
+        let cold = self.metadata.is_empty()
+            && self.files.is_empty()
+            && self.popularity.is_empty()
+            && self.rejected.is_empty()
+            && self.events.is_empty()
+            && self.queries.foreign().next().is_none();
+        cold.then(|| ColdNodeState {
+            queries: self
+                .queries
+                .own()
+                .map(|e| (e.query().clone(), e.expires()))
+                .collect(),
+            credits: self.credits.entries().collect(),
+        })
+    }
+
+    /// Overwrites the credit ledger — the restore half of the
+    /// [`extract_cold_state`](Self::extract_cold_state) contract.
+    pub fn restore_credits(&mut self, entries: Vec<(NodeId, f64)>) {
+        self.credits = CreditLedger::from_entries(entries);
+    }
+
     /// Stores metadata received from the Internet; returns `true` if new.
     fn store_metadata_from_internet(
         &mut self,
         metadata: &Metadata,
         popularity: Popularity,
     ) -> bool {
-        self.note_popularity(metadata.uri(), popularity);
+        self.note_popularity_until(metadata.uri(), popularity, metadata.expires());
         if self.metadata.insert(metadata.clone()) {
             self.events.push(NodeEvent::MetadataStored {
                 uri: metadata.uri().clone(),
@@ -423,10 +501,14 @@ impl MbtNode {
         }
 
         // Refresh popularity knowledge for everything we hold.
-        let held: Vec<Uri> = self.metadata.iter().map(|m| m.uri().clone()).collect();
-        for uri in held {
+        let held: Vec<(Uri, Option<SimTime>)> = self
+            .metadata
+            .iter()
+            .map(|m| (m.uri().clone(), m.expires()))
+            .collect();
+        for (uri, expires) in held {
             let p = server.popularity_of(&uri);
-            self.note_popularity(&uri, p);
+            self.note_popularity_until(&uri, p, expires);
         }
     }
 }
@@ -803,7 +885,7 @@ pub fn run_contact_via(
                         receiver.reject(&metadata);
                         continue;
                     }
-                    receiver.note_popularity(metadata.uri(), popularity);
+                    receiver.note_popularity_until(metadata.uri(), popularity, metadata.expires());
                     report.bytes_moved += frame_bytes(metadata.wire_size() as u64);
                     let own = receiver.own_queries();
                     let outcome = receive_metadata(
@@ -919,7 +1001,7 @@ pub fn run_contact_via(
                         continue;
                     }
                     expires = meta.expires();
-                    receiver.note_popularity(&uri, *pop);
+                    receiver.note_popularity_until(&uri, *pop, expires);
                     if receiver.metadata.insert(meta.clone()) {
                         // Metadata riding a file frame: no extra frame
                         // header, just its wire bytes.
@@ -1097,6 +1179,90 @@ mod tests {
 
     fn node(i: u32, protocol: ProtocolKind) -> MbtNode {
         MbtNode::new(NodeId::new(i), protocol, MbtConfig::new())
+    }
+
+    #[test]
+    fn extract_cold_state_returns_own_queries_only_when_cold() {
+        let mut n = node(0, ProtocolKind::Mbt);
+        let expires = Some(SimTime::from_secs(500));
+        n.add_query(Query::new("fox news").unwrap(), expires);
+        n.add_query(Query::new("abc show").unwrap(), None);
+        n.credits.reward_matched(NodeId::new(7));
+        let cold = n
+            .extract_cold_state()
+            .expect("fresh node + queries is cold");
+        assert_eq!(cold.queries.len(), 2);
+        assert_eq!(cold.queries[0].0.text(), "fox news");
+        assert_eq!(cold.queries[0].1, expires);
+        assert_eq!(cold.credits.len(), 1, "credit history rides along");
+
+        // Replaying into a fresh node reproduces the query + credit state.
+        let mut rebuilt = node(0, ProtocolKind::Mbt);
+        for (q, e) in cold.queries {
+            rebuilt.add_query(q, e);
+        }
+        rebuilt.restore_credits(cold.credits);
+        assert_eq!(rebuilt.own_queries(), n.own_queries());
+        assert_eq!(rebuilt.query_count(), n.query_count());
+        assert_eq!(
+            rebuilt.credits().entries().collect::<Vec<_>>(),
+            n.credits().entries().collect::<Vec<_>>()
+        );
+
+        // Any store content, foreign query, or undrained event is warmth.
+        let mut warm = node(1, ProtocolKind::Mbt);
+        warm.seed_content(meta("fox news", "mbt://a"), Popularity::new(0.5), false);
+        assert!(warm.extract_cold_state().is_none(), "metadata + event");
+        let _ = warm.drain_events();
+        assert!(warm.extract_cold_state().is_none(), "metadata remains");
+        warm.prune(SimTime::from_secs(1));
+        assert!(
+            warm.extract_cold_state().is_none(),
+            "unexpired metadata and popularity observations survive pruning"
+        );
+
+        let mut foreign = node(2, ProtocolKind::Mbt);
+        foreign
+            .queries
+            .add_foreign(NodeId::new(9), Query::new("abc show").unwrap(), None);
+        assert!(foreign.extract_cold_state().is_none(), "foreign queries");
+    }
+
+    #[test]
+    fn pruning_expired_popularity_lets_a_node_go_cold() {
+        let mut n = node(0, ProtocolKind::Mbt);
+        let expiring = Metadata::builder("fox news", "FOX", uri("mbt://a"))
+            .expires_at(Some(SimTime::from_secs(100)))
+            .build();
+        n.seed_content(expiring, Popularity::new(0.5), false);
+        let _ = n.drain_events();
+        assert_eq!(n.known_popularity(&uri("mbt://a")).value(), 0.5);
+
+        // Past the URI's lifetime, metadata AND its popularity observation
+        // decay, so the node is cold again.
+        n.prune(SimTime::from_secs(100));
+        assert_eq!(
+            n.known_popularity(&uri("mbt://a")),
+            Popularity::MIN,
+            "expired URIs are never ranked again, so the observation goes"
+        );
+        assert!(
+            n.extract_cold_state().is_some(),
+            "fully-decayed node must be evictable"
+        );
+
+        // An expiry-free observation (no metadata lifetime known) pins the
+        // entry forever, even when a bounded observation merges into it.
+        let mut pinned = node(1, ProtocolKind::Mbt);
+        pinned.note_popularity(&uri("mbt://b"), Popularity::new(0.3));
+        pinned.note_popularity_until(
+            &uri("mbt://b"),
+            Popularity::new(0.7),
+            Some(SimTime::from_secs(10)),
+        );
+        pinned.prune(SimTime::from_secs(1_000_000));
+        assert_eq!(pinned.known_popularity(&uri("mbt://b")).value(), 0.7);
+        assert!(pinned.extract_cold_state().is_none());
     }
 
     #[test]

@@ -139,6 +139,50 @@ fn simulation_counters_match_and_shard_counters_are_deterministic() {
 }
 
 #[test]
+fn node_residency_counters_are_invariant_across_shard_jobs() {
+    // `ShardWriter::finish` may sort shards on any number of worker threads;
+    // the written bytes — and therefore every simulation counter, including
+    // the node-arena residency telemetry — must not depend on the job count.
+    let write = |name: &str, jobs: usize| {
+        let dir = shard_dir(name);
+        let mut writer = ShardWriter::create(&dir, SimDuration::from_days(1))
+            .unwrap()
+            .jobs(jobs);
+        DieselNetConfig::new(16, 6)
+            .seed(42)
+            .generate_into(&mut writer);
+        writer.finish().unwrap()
+    };
+    let serial = write("node-res-jobs1", 1);
+    let threaded = write("node-res-jobs4", 4);
+    assert_eq!(serial.shards(), threaded.shards(), "manifests diverged");
+
+    let params = SimParams {
+        days: 6,
+        files_per_day: 10,
+        seed: 7,
+        ..SimParams::default()
+    };
+    let observe = |source: &dyn TraceSource| {
+        let mut tel = Telemetry::default();
+        run_simulation(source, &params, Some(&mut tel));
+        tel.counters
+    };
+    let a = observe(&serial);
+    let b = observe(&threaded);
+    assert_eq!(a, b, "shard-sort job count leaked into simulation counters");
+    assert!(a.nodes_instantiated > 0, "no nodes were ever materialized");
+    assert!(
+        a.peak_resident_nodes <= a.nodes_instantiated,
+        "peak resident nodes cannot exceed total instantiations"
+    );
+    assert!(
+        a.peak_resident_nodes <= 16,
+        "peak resident nodes exceeds the trace's node population"
+    );
+}
+
+#[test]
 fn streaming_a_10x_trace_is_bounded_by_the_largest_shard() {
     // A DieselNet-style trace 10x the Quick span (60 days vs 6), written
     // straight to shards by the generator — the full contact sequence never
