@@ -1,0 +1,165 @@
+//! Cold-node residue: `BTreeMap<NodeId, ColdNodeState>` (the representation
+//! the node arena used before the compact store) vs `ResidueStore`.
+//!
+//! City traces buffer the same few thousand query strings from up to a
+//! million dormant nodes, so the map's un-interned per-node `Vec`s were the
+//! dominant allocation at scale. The bench drives both representations
+//! through the arena's four residue operations — insert (query buffering),
+//! evict (absorb a cooled node's state), restore (take it back on
+//! materialization), and the day-boundary prune — at 10⁴ to 10⁶ cold nodes
+//! with a shared 1 k-query vocabulary.
+
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dtn_trace::{NodeId, SimTime};
+use mbt_core::{ColdNodeState, Query};
+use mbt_experiments::ResidueStore;
+
+/// Distinct query strings shared across all nodes — the interning payoff.
+const VOCAB: usize = 1_024;
+
+fn vocabulary() -> Vec<Query> {
+    (0..VOCAB)
+        .map(|i| Query::new(format!("shared city query number {i}")).unwrap())
+        .collect()
+}
+
+/// Expiry far in the future: prune compacts but drops nothing, so the
+/// prune benches measure rebuild cost at constant occupancy.
+fn expiry(i: usize) -> Option<SimTime> {
+    Some(SimTime::from_secs(1_000_000 + i as u64))
+}
+
+/// The pre-ResidueStore representation, with the arena's exact semantics:
+/// queries dedup by content keeping the first, credits replace wholesale.
+#[derive(Default)]
+struct MapStore {
+    pending: BTreeMap<NodeId, ColdNodeState>,
+}
+
+impl MapStore {
+    fn add_query(&mut self, id: NodeId, query: Query, expires: Option<SimTime>) {
+        let state = self.pending.entry(id).or_default();
+        if !state.queries.iter().any(|(q, _)| q == &query) {
+            state.queries.push((query, expires));
+        }
+    }
+
+    fn absorb(&mut self, id: NodeId, residue: ColdNodeState) {
+        let state = self.pending.entry(id).or_default();
+        state.queries.extend(residue.queries.into_iter().filter({
+            let existing: Vec<Query> = state.queries.iter().map(|(q, _)| q.clone()).collect();
+            move |(q, _)| !existing.contains(q)
+        }));
+        state.credits = residue.credits;
+    }
+
+    fn take(&mut self, id: NodeId) -> Option<ColdNodeState> {
+        self.pending.remove(&id)
+    }
+
+    fn prune(&mut self, now: SimTime) {
+        self.pending.retain(|_, state| {
+            state
+                .queries
+                .retain(|(_, expires)| expires.is_none_or(|e| e > now));
+            !state.queries.is_empty() || !state.credits.is_empty()
+        });
+    }
+}
+
+/// Buffers two vocabulary queries and one credit line per node.
+fn fill_map(n: usize, vocab: &[Query]) -> MapStore {
+    let mut store = MapStore::default();
+    for i in 0..n {
+        let id = NodeId::new(i as u32);
+        store.add_query(id, vocab[i % VOCAB].clone(), expiry(i));
+        store.add_query(id, vocab[(i * 7) % VOCAB].clone(), expiry(i + 1));
+        store.absorb(
+            id,
+            ColdNodeState {
+                queries: Vec::new(),
+                credits: vec![(NodeId::new(((i + 1) % n) as u32), 1.5)],
+            },
+        );
+    }
+    store
+}
+
+fn fill_residue(n: usize, vocab: &[Query]) -> ResidueStore {
+    let mut store = ResidueStore::new(n);
+    for i in 0..n {
+        let id = NodeId::new(i as u32);
+        store.add_query(id, vocab[i % VOCAB].clone(), expiry(i));
+        store.add_query(id, vocab[(i * 7) % VOCAB].clone(), expiry(i + 1));
+        store.absorb(
+            id,
+            ColdNodeState {
+                queries: Vec::new(),
+                credits: vec![(NodeId::new(((i + 1) % n) as u32), 1.5)],
+            },
+        );
+    }
+    store
+}
+
+fn bench_residue_store(c: &mut Criterion) {
+    let vocab = vocabulary();
+    let mut group = c.benchmark_group("residue_store");
+    group.sample_size(10);
+
+    for n in [10_000usize, 100_000, 1_000_000] {
+        group.bench_with_input(BenchmarkId::new("insert_btreemap", n), &n, |b, &n| {
+            b.iter(|| black_box(fill_map(n, &vocab).pending.len()))
+        });
+        group.bench_with_input(BenchmarkId::new("insert_residue", n), &n, |b, &n| {
+            b.iter(|| black_box(fill_residue(n, &vocab).len()))
+        });
+
+        // Evict/restore churn: take 1 k nodes' residue and absorb it back,
+        // the materialize/cool cycle the arena runs per contact window.
+        let cycle = 1_000.min(n);
+        let mut map = fill_map(n, &vocab);
+        group.bench_with_input(
+            BenchmarkId::new("evict_restore_btreemap", n),
+            &n,
+            |b, &n| {
+                b.iter(|| {
+                    for i in 0..cycle {
+                        let id = NodeId::new(((i * 97) % n) as u32);
+                        if let Some(state) = map.take(id) {
+                            map.absorb(id, state);
+                        }
+                    }
+                })
+            },
+        );
+        let mut residue = fill_residue(n, &vocab);
+        group.bench_with_input(BenchmarkId::new("evict_restore_residue", n), &n, |b, &n| {
+            b.iter(|| {
+                for i in 0..cycle {
+                    let id = NodeId::new(((i * 97) % n) as u32);
+                    if let Some(state) = residue.take(id) {
+                        residue.absorb(id, state);
+                    }
+                }
+            })
+        });
+
+        // Day-boundary prune at constant occupancy (nothing expires): the
+        // map pays retain-in-place, the store a full compacting rebuild.
+        let now = SimTime::from_secs(0);
+        group.bench_with_input(BenchmarkId::new("prune_btreemap", n), &n, |b, _| {
+            b.iter(|| map.prune(black_box(now)))
+        });
+        group.bench_with_input(BenchmarkId::new("prune_residue", n), &n, |b, _| {
+            b.iter(|| residue.prune(black_box(now)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_residue_store);
+criterion_main!(benches);

@@ -50,6 +50,16 @@ fn bench_sharded_replay(c: &mut Criterion) {
     group.bench_function("simulate_sharded", |b| {
         b.iter(|| black_box(run_simulation(&sharded, &params, None)))
     });
+    // Same sharded run with one shard of pipelined prefetch: the background
+    // decode worker overlaps shard parsing with contact processing, so on a
+    // multi-core box this should close most of the gap to in-memory.
+    let prefetch_params = SimParams {
+        prefetch: 1,
+        ..sim_params(6)
+    };
+    group.bench_function("simulate_sharded_prefetch1", |b| {
+        b.iter(|| black_box(run_simulation(&sharded, &prefetch_params, None)))
+    });
 
     // Pure replay at 10x the simulated span: stream every contact without
     // simulating, comparing resident-vector iteration against shard-by-shard
@@ -61,6 +71,9 @@ fn bench_sharded_replay(c: &mut Criterion) {
     });
     group.bench_function("drain_sharded_60d", |b| {
         b.iter(|| black_box(big_sharded.stream().count()))
+    });
+    group.bench_function("drain_sharded_prefetch1_60d", |b| {
+        b.iter(|| black_box(big_sharded.stream_prefetch(1).count()))
     });
     group.finish();
 }

@@ -81,6 +81,10 @@ pub struct Counters {
     /// in-memory runs. Additive on merge: total shard loads across all
     /// streaming passes.
     pub shards_loaded: u64,
+    /// Shards whose decode was started ahead of consumption by pipelined
+    /// streaming replay. Zero for in-memory runs and serial streams.
+    /// Additive on merge, like [`Counters::shards_loaded`].
+    pub shards_prefetched: u64,
     /// Peak number of trace contacts resident in memory at once across the
     /// runs merged so far. Merges by **maximum**, not addition — residency
     /// is concurrent state, so the sweep-wide figure is the worst single
@@ -94,6 +98,15 @@ pub struct Counters {
     /// instantiation minus cold-node eviction). Merges by **maximum**, like
     /// [`Counters::peak_resident_contacts`].
     pub peak_resident_nodes: u64,
+    /// Peak number of evicted (cold) nodes holding residue in the arena's
+    /// residue store at once. Merges by **maximum** — residency, not a
+    /// total.
+    pub peak_residue_nodes: u64,
+    /// Estimated peak bytes held by the residue store (packed entries plus
+    /// the interned query-text pool). An estimate from data-structure
+    /// sizes, but a deterministic one: it is a pure function of the event
+    /// stream. Merges by **maximum**.
+    pub residue_bytes_est: u64,
 }
 
 impl Counters {
@@ -112,11 +125,14 @@ impl Counters {
         self.wanted_cache_hits += other.wanted_cache_hits;
         self.index_lookups += other.index_lookups;
         self.shards_loaded += other.shards_loaded;
+        self.shards_prefetched += other.shards_prefetched;
         self.peak_resident_contacts = self
             .peak_resident_contacts
             .max(other.peak_resident_contacts);
         self.nodes_instantiated += other.nodes_instantiated;
         self.peak_resident_nodes = self.peak_resident_nodes.max(other.peak_resident_nodes);
+        self.peak_residue_nodes = self.peak_residue_nodes.max(other.peak_residue_nodes);
+        self.residue_bytes_est = self.residue_bytes_est.max(other.residue_bytes_est);
     }
 
     /// True if every counter is zero (the state of a fresh accumulator).
@@ -126,7 +142,7 @@ impl Counters {
 
     /// Every counter as a `(name, value)` pair, in a fixed rendering order.
     /// The names double as the keys of the perf-report JSON schema.
-    pub fn entries(&self) -> [(&'static str, u64); 15] {
+    pub fn entries(&self) -> [(&'static str, u64); 18] {
         [
             ("contacts", self.contacts),
             ("hello_exchanges", self.hello_exchanges),
@@ -140,9 +156,12 @@ impl Counters {
             ("wanted_cache_hits", self.wanted_cache_hits),
             ("index_lookups", self.index_lookups),
             ("shards_loaded", self.shards_loaded),
+            ("shards_prefetched", self.shards_prefetched),
             ("peak_resident_contacts", self.peak_resident_contacts),
             ("nodes_instantiated", self.nodes_instantiated),
             ("peak_resident_nodes", self.peak_resident_nodes),
+            ("peak_residue_nodes", self.peak_residue_nodes),
+            ("residue_bytes_est", self.residue_bytes_est),
         ]
     }
 
@@ -163,9 +182,12 @@ impl Counters {
             "wanted_cache_hits" => self.wanted_cache_hits = value,
             "index_lookups" => self.index_lookups = value,
             "shards_loaded" => self.shards_loaded = value,
+            "shards_prefetched" => self.shards_prefetched = value,
             "peak_resident_contacts" => self.peak_resident_contacts = value,
             "nodes_instantiated" => self.nodes_instantiated = value,
             "peak_resident_nodes" => self.peak_resident_nodes = value,
+            "peak_residue_nodes" => self.peak_residue_nodes = value,
+            "residue_bytes_est" => self.residue_bytes_est = value,
             _ => return false,
         }
         true
@@ -331,9 +353,12 @@ mod tests {
             wanted_cache_hits: 10,
             index_lookups: 11,
             shards_loaded: 12,
-            peak_resident_contacts: 13,
-            nodes_instantiated: 14,
-            peak_resident_nodes: 15,
+            shards_prefetched: 13,
+            peak_resident_contacts: 14,
+            nodes_instantiated: 15,
+            peak_resident_nodes: 16,
+            peak_residue_nodes: 17,
+            residue_bytes_est: 18,
         }
     }
 
@@ -342,8 +367,14 @@ mod tests {
         let mut a = distinct_counters();
         let b = a;
         a.merge(&b);
+        let maxing = [
+            "peak_resident_contacts",
+            "peak_resident_nodes",
+            "peak_residue_nodes",
+            "residue_bytes_est",
+        ];
         for ((name, merged), (_, original)) in a.entries().iter().zip(b.entries().iter()) {
-            if *name == "peak_resident_contacts" || *name == "peak_resident_nodes" {
+            if maxing.contains(name) {
                 assert_eq!(*merged, *original, "{name} merges by max, not addition");
             } else {
                 assert_eq!(*merged, original * 2, "{name} should add on merge");

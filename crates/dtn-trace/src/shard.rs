@@ -20,7 +20,18 @@
 //! The manifest carries everything a run needs without touching shard
 //! files: contact count, id space, node set, span, and per-shard contact
 //! counts. [`ShardedTrace::stream`] then faults shards in one at a time, so
-//! peak memory is bounded by the largest single shard.
+//! peak memory is bounded by the largest single shard;
+//! [`TraceSource::stream_prefetch`] decodes the next shard on a background
+//! worker while the previous one is being consumed.
+//!
+//! Alongside each shard the writer emits a `pairs-NNNNN.txt` sidecar listing
+//! the shard's distinct participant pairs, and the manifest `shard` lines
+//! carry the pair count as an optional fourth token. Those aggregates let
+//! [`TraceSource::frequent_map`] derive the frequent-contact map straight
+//! from the manifest — no second streaming pass over the shards. Manifests
+//! without the fourth token (written before the sidecars existed) still
+//! open; the derivation just reports "unavailable" and callers fall back to
+//! a streaming statistics pass.
 //!
 //! ```text
 //! # dtn-shard v1
@@ -30,8 +41,8 @@
 //! span-start 0
 //! span-end 518400
 //! nodes 0 1 2 3 4 5 6 7 8 9 10 11 12 13 14 15
-//! shard shard-00000.txt 0 210
-//! shard shard-00001.txt 1 195
+//! shard shard-00000.txt 0 210 64
+//! shard shard-00001.txt 1 195 58
 //! ```
 
 use std::collections::{BTreeMap, BTreeSet};
@@ -40,6 +51,8 @@ use std::fmt;
 use std::fs::{self, File};
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
+use std::sync::mpsc;
+use std::thread;
 
 use crate::contact::Contact;
 use crate::node::NodeId;
@@ -53,6 +66,9 @@ pub const MANIFEST_FILE: &str = "manifest.txt";
 
 /// Format tag on the manifest's first line.
 const MANIFEST_HEADER: &str = "# dtn-shard v1";
+
+/// Format tag on the first line of a pair-aggregate sidecar file.
+const PAIRS_HEADER: &str = "# dtn-pairs v1";
 
 /// Node ids per `nodes` manifest line (keeps lines diff-friendly).
 const NODES_PER_LINE: usize = 16;
@@ -78,6 +94,14 @@ pub enum ShardError {
     },
     /// The writer was configured with a zero-width window.
     ZeroWindow,
+    /// A shard file's contents disagree with the manifest index
+    /// (found by [`ShardedTrace::verify`]).
+    Corrupt {
+        /// Shard file name relative to the trace directory.
+        file: String,
+        /// Description of the disagreement.
+        message: String,
+    },
 }
 
 impl fmt::Display for ShardError {
@@ -89,6 +113,9 @@ impl fmt::Display for ShardError {
                 write!(f, "manifest error on line {line}: {message}")
             }
             ShardError::ZeroWindow => write!(f, "shard window must be non-zero"),
+            ShardError::Corrupt { file, message } => {
+                write!(f, "shard `{file}` disagrees with manifest: {message}")
+            }
         }
     }
 }
@@ -123,6 +150,10 @@ pub struct ShardMeta {
     pub window_index: u64,
     /// Number of contacts in the shard.
     pub contacts: u64,
+    /// Number of distinct participant pairs in the shard, listed in the
+    /// `pairs-NNNNN.txt` sidecar. `None` for manifests written before the
+    /// sidecars existed.
+    pub pairs: Option<u64>,
 }
 
 /// Streams contacts into time-windowed shard files, never holding the whole
@@ -153,6 +184,11 @@ pub struct ShardWriter {
 /// File name of the shard for `window_index`.
 fn shard_file_name(window_index: u64) -> String {
     format!("shard-{window_index:05}.txt")
+}
+
+/// File name of the pair-aggregate sidecar for `window_index`.
+fn pairs_file_name(window_index: u64) -> String {
+    format!("pairs-{window_index:05}.txt")
 }
 
 fn write_contact_line<W: Write>(writer: &mut W, contact: &Contact) -> io::Result<()> {
@@ -313,7 +349,8 @@ impl ShardWriter {
 }
 
 /// Re-reads one appended shard, sorts it into canonical event order, and
-/// rewrites it in place, returning its manifest entry.
+/// rewrites it in place alongside its pair-aggregate sidecar, returning the
+/// shard's manifest entry.
 fn sort_one_shard(dir: &Path, window_index: u64, count: u64) -> Result<ShardMeta, ShardError> {
     let file = shard_file_name(window_index);
     let path = dir.join(&file);
@@ -327,10 +364,27 @@ fn sort_one_shard(dir: &Path, window_index: u64, count: u64) -> Result<ShardMeta
         write_contact_line(&mut out, contact).map_err(io_err("writing shard"))?;
     }
     out.flush().map_err(io_err("flushing shard"))?;
+    // The shard is already resident, so collecting its distinct pairs here
+    // is free of extra I/O; the sidecar is what lets `frequent_map` skip
+    // the pre-simulation statistics pass entirely.
+    let mut pairs: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+    for contact in &contacts {
+        pairs.extend(contact.pairs());
+    }
+    let pairs_path = dir.join(pairs_file_name(window_index));
+    let sidecar = File::create(&pairs_path)
+        .map_err(io_err(format!("creating `{}`", pairs_path.display())))?;
+    let mut sidecar = BufWriter::new(sidecar);
+    writeln!(sidecar, "{PAIRS_HEADER}").map_err(io_err("writing pairs header"))?;
+    for (a, b) in &pairs {
+        writeln!(sidecar, "{} {}", a.raw(), b.raw()).map_err(io_err("writing pairs"))?;
+    }
+    sidecar.flush().map_err(io_err("flushing pairs"))?;
     Ok(ShardMeta {
         file,
         window_index,
         contacts: count,
+        pairs: Some(pairs.len() as u64),
     })
 }
 
@@ -375,11 +429,18 @@ impl Manifest {
             writeln!(writer)?;
         }
         for shard in &self.shards {
-            writeln!(
-                writer,
-                "shard {} {} {}",
-                shard.file, shard.window_index, shard.contacts
-            )?;
+            match shard.pairs {
+                Some(pairs) => writeln!(
+                    writer,
+                    "shard {} {} {} {}",
+                    shard.file, shard.window_index, shard.contacts, pairs
+                )?,
+                None => writeln!(
+                    writer,
+                    "shard {} {} {}",
+                    shard.file, shard.window_index, shard.contacts
+                )?,
+            }
         }
         Ok(())
     }
@@ -465,10 +526,20 @@ impl Manifest {
                         .to_string();
                     let window_index = next_num(&mut fields, line_no, "window index")?;
                     let contacts = next_num(&mut fields, line_no, "shard contact count")?;
+                    // Fourth token (distinct pair count) is optional:
+                    // manifests written before the pair sidecars existed
+                    // omit it and still open.
+                    let pairs = match fields.next() {
+                        Some(tok) => Some(tok.parse::<u64>().map_err(|_| {
+                            bad(line_no, format!("invalid shard pair count `{tok}`"))
+                        })?),
+                        None => None,
+                    };
                     manifest.shards.push(ShardMeta {
                         file,
                         window_index,
                         contacts,
+                        pairs,
                     });
                 }
                 other => return Err(bad(line_no, format!("unknown keyword `{other}`"))),
@@ -548,6 +619,100 @@ impl ShardedTrace {
             .max()
             .unwrap_or(0)
     }
+
+    /// Re-reads every shard file and checks its contents against the
+    /// manifest index: contact counts always, and distinct-pair counts
+    /// (recomputed from the contacts and cross-checked against the sidecar
+    /// file) whenever the manifest carries them.
+    ///
+    /// The streaming replay path deliberately trusts shards once the
+    /// manifest opened cleanly and panics on a mid-stream failure; this is
+    /// the up-front alternative for tooling (`mbt shard-info --verify`)
+    /// that wants a structured error instead.
+    ///
+    /// # Errors
+    ///
+    /// [`ShardError::Io`]/[`ShardError::Trace`] if a shard or sidecar cannot
+    /// be read, [`ShardError::Corrupt`] if contents disagree with the
+    /// manifest.
+    pub fn verify(&self) -> Result<(), ShardError> {
+        for meta in &self.manifest.shards {
+            let path = self.dir.join(&meta.file);
+            let file =
+                File::open(&path).map_err(io_err(format!("opening `{}`", path.display())))?;
+            let contacts: Vec<Contact> = ContactReader::new(file).collect::<Result<_, _>>()?;
+            if contacts.len() as u64 != meta.contacts {
+                return Err(ShardError::Corrupt {
+                    file: meta.file.clone(),
+                    message: format!(
+                        "holds {} contacts but manifest declares {}",
+                        contacts.len(),
+                        meta.contacts
+                    ),
+                });
+            }
+            let Some(declared_pairs) = meta.pairs else {
+                continue;
+            };
+            let mut pairs: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+            for contact in &contacts {
+                pairs.extend(contact.pairs());
+            }
+            if pairs.len() as u64 != declared_pairs {
+                return Err(ShardError::Corrupt {
+                    file: meta.file.clone(),
+                    message: format!(
+                        "holds {} distinct pairs but manifest declares {declared_pairs}",
+                        pairs.len()
+                    ),
+                });
+            }
+            let sidecar = pairs_file_name(meta.window_index);
+            match self.read_pairs_sidecar(meta) {
+                Some(listed) if listed == pairs => {}
+                Some(_) => {
+                    return Err(ShardError::Corrupt {
+                        file: sidecar,
+                        message: "sidecar pair set disagrees with shard contacts".to_string(),
+                    })
+                }
+                None => {
+                    return Err(ShardError::Corrupt {
+                        file: sidecar,
+                        message: "pair sidecar missing or unreadable".to_string(),
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads one shard's pair sidecar, returning `None` when the manifest
+    /// carries no pair count for it or the sidecar is missing, malformed,
+    /// or disagrees with the declared count. `frequent_map` treats `None`
+    /// as "derivation unavailable" and callers fall back to a streaming
+    /// statistics pass, which is always correct.
+    fn read_pairs_sidecar(&self, meta: &ShardMeta) -> Option<BTreeSet<(NodeId, NodeId)>> {
+        let declared = meta.pairs?;
+        let path = self.dir.join(pairs_file_name(meta.window_index));
+        let text = fs::read_to_string(&path).ok()?;
+        let mut lines = text.lines();
+        if lines.next()?.trim() != PAIRS_HEADER {
+            return None;
+        }
+        let mut pairs = BTreeSet::new();
+        for line in lines {
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let mut fields = trimmed.split_ascii_whitespace();
+            let a: u32 = fields.next()?.parse().ok()?;
+            let b: u32 = fields.next()?.parse().ok()?;
+            pairs.insert((NodeId::new(a), NodeId::new(b)));
+        }
+        (pairs.len() as u64 == declared).then_some(pairs)
+    }
 }
 
 impl TraceSource for ShardedTrace {
@@ -578,6 +743,82 @@ impl TraceSource for ShardedTrace {
             current: Vec::new().into_iter(),
             stats: StreamStats::default(),
         })
+    }
+
+    fn stream_prefetch(&self, depth: usize) -> Box<dyn ContactStream + '_> {
+        if depth == 0 || self.manifest.shards.is_empty() {
+            return self.stream();
+        }
+        Box::new(PrefetchStream::spawn(self, depth))
+    }
+
+    fn frequent_map(&self, every: SimDuration) -> Option<BTreeMap<NodeId, Vec<NodeId>>> {
+        let every_secs = every.as_secs();
+        let span_secs = TraceSource::span(self).as_secs();
+        let empty_map = || {
+            Some(
+                self.manifest
+                    .nodes
+                    .iter()
+                    .map(|&n| (n, Vec::new()))
+                    .collect(),
+            )
+        };
+        // A zero-length rule window or a zero-length trace yields the
+        // all-empty map, exactly as `FrequentScan::finish` does.
+        if every_secs == 0 || span_secs == 0 {
+            return empty_map();
+        }
+        // The derivation needs shard windows to nest inside rule windows:
+        // floor(floor(t/w)/r) == floor(t/every) exactly when every = r*w.
+        if !every_secs.is_multiple_of(self.manifest.window_secs) {
+            return None;
+        }
+        let ratio = every_secs / self.manifest.window_secs;
+        let mut per_window: BTreeMap<u64, BTreeSet<(NodeId, NodeId)>> = BTreeMap::new();
+        let mut union: BTreeSet<(NodeId, NodeId)> = BTreeSet::new();
+        for meta in &self.manifest.shards {
+            let pairs = self.read_pairs_sidecar(meta)?;
+            union.extend(pairs.iter().copied());
+            per_window
+                .entry(meta.window_index / ratio)
+                .or_default()
+                .extend(pairs);
+        }
+        // The rule enumerates windows whose start lies inside the span and
+        // exempts idle ones (no shard => no contacts => never enumerated);
+        // the frequent set is the intersection over the enumerated windows,
+        // or — when none qualifies — vacuously every pair seen.
+        let mut frequent: Option<BTreeSet<(NodeId, NodeId)>> = None;
+        for (window, pairs) in per_window {
+            let valid = window
+                .checked_mul(every_secs)
+                .is_some_and(|start| start < span_secs);
+            if !valid {
+                continue;
+            }
+            frequent = Some(match frequent {
+                None => pairs,
+                Some(mut prev) => {
+                    prev.retain(|pair| pairs.contains(pair));
+                    prev
+                }
+            });
+        }
+        let frequent = frequent.unwrap_or(union);
+        let mut map: BTreeMap<NodeId, Vec<NodeId>> = self
+            .manifest
+            .nodes
+            .iter()
+            .map(|&n| (n, Vec::new()))
+            .collect();
+        for (a, b) in frequent {
+            // Pairs iterate sorted with a < b, so peer lists come out
+            // sorted, matching `FrequentScan::finish`.
+            map.get_mut(&a)?.push(b);
+            map.get_mut(&b)?.push(a);
+        }
+        Some(map)
     }
 }
 
@@ -632,6 +873,146 @@ impl Iterator for ShardStream<'_> {
 impl ContactStream for ShardStream<'_> {
     fn stream_stats(&self) -> StreamStats {
         self.stats
+    }
+}
+
+/// Pipelined streaming iterator over a [`ShardedTrace`]: a background
+/// worker decodes up to `depth` shards ahead of the one being consumed.
+///
+/// The worker walks the manifest index in window order and ships each
+/// decoded shard over a bounded channel, so the contact sequence is exactly
+/// the serial [`ShardStream`] sequence — prefetching changes *when* shards
+/// decode, never what is yielded. Decode failures travel over the channel
+/// and panic at the consumption point, preserving the replay path's
+/// fail-loud contract (a silently short trace would corrupt results).
+///
+/// Stats are modeled deterministically from the manifest rather than
+/// measured from thread timing, so they are reproducible bit-for-bit:
+/// after the k-th shard is taken, `shards_prefetched` is the number of
+/// shards whose decode the worker is allowed to have started
+/// (`min(k + depth, total)`), and `peak_resident_contacts` charges the
+/// consumed shard plus every decode-ahead slot
+/// (`contacts[k] + contacts[k+1..=k+depth]`) — the worst-case concurrent
+/// residency the pipeline permits.
+struct PrefetchStream {
+    /// Per-shard contact counts from the manifest, for the residency model.
+    counts: Vec<u64>,
+    depth: usize,
+    next_shard: usize,
+    current: std::vec::IntoIter<Contact>,
+    stats: StreamStats,
+    rx: Option<mpsc::Receiver<Result<Vec<Contact>, String>>>,
+    worker: Option<thread::JoinHandle<()>>,
+}
+
+impl fmt::Debug for PrefetchStream {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PrefetchStream")
+            .field("depth", &self.depth)
+            .field("next_shard", &self.next_shard)
+            .field("stats", &self.stats)
+            .finish_non_exhaustive()
+    }
+}
+
+impl PrefetchStream {
+    fn spawn(trace: &ShardedTrace, depth: usize) -> PrefetchStream {
+        debug_assert!(depth > 0, "depth 0 is the serial stream");
+        // Channel capacity depth-1 plus the send the worker blocks in keeps
+        // at most `depth` decoded-but-unconsumed shards alive.
+        let (tx, rx) = mpsc::sync_channel(depth.saturating_sub(1));
+        let dir = trace.dir.clone();
+        let metas = trace.manifest.shards.clone();
+        let worker = thread::spawn(move || {
+            for meta in &metas {
+                let path = dir.join(&meta.file);
+                let result = File::open(&path)
+                    .map_err(|e| format!("cannot open shard `{}`: {e}", path.display()))
+                    .and_then(|file| {
+                        ContactReader::new(file)
+                            .collect::<Result<Vec<Contact>, _>>()
+                            .map_err(|e| format!("cannot parse shard `{}`: {e}", path.display()))
+                    });
+                let failed = result.is_err();
+                if tx.send(result).is_err() {
+                    return; // Receiver dropped: stream abandoned mid-replay.
+                }
+                if failed {
+                    return;
+                }
+            }
+        });
+        PrefetchStream {
+            counts: trace.manifest.shards.iter().map(|s| s.contacts).collect(),
+            depth,
+            next_shard: 0,
+            current: Vec::new().into_iter(),
+            stats: StreamStats::default(),
+            rx: Some(rx),
+            worker: Some(worker),
+        }
+    }
+
+    fn load_next_shard(&mut self) -> bool {
+        let total = self.counts.len();
+        if self.next_shard >= total {
+            return false;
+        }
+        let rx = self
+            .rx
+            .as_ref()
+            .expect("receiver lives until the index is drained");
+        let contacts = match rx.recv() {
+            Ok(Ok(contacts)) => contacts,
+            Ok(Err(message)) => panic!("{message}"),
+            Err(_) => panic!("prefetch worker exited before draining the shard index"),
+        };
+        let k = self.next_shard;
+        self.next_shard += 1;
+        self.stats.shards_loaded += 1;
+        self.stats.shards_prefetched = (k + 1 + self.depth).min(total) as u64;
+        let decoded_ahead: u64 = self.counts[k + 1..(k + 1 + self.depth).min(total)]
+            .iter()
+            .sum();
+        self.stats.peak_resident_contacts = self
+            .stats
+            .peak_resident_contacts
+            .max(self.counts[k] + decoded_ahead);
+        self.current = contacts.into_iter();
+        true
+    }
+}
+
+impl Iterator for PrefetchStream {
+    type Item = Contact;
+
+    fn next(&mut self) -> Option<Contact> {
+        loop {
+            if let Some(contact) = self.current.next() {
+                return Some(contact);
+            }
+            if !self.load_next_shard() {
+                return None;
+            }
+        }
+    }
+}
+
+impl ContactStream for PrefetchStream {
+    fn stream_stats(&self) -> StreamStats {
+        self.stats
+    }
+}
+
+impl Drop for PrefetchStream {
+    fn drop(&mut self) {
+        // Closing the channel makes the worker's next send fail, which is
+        // its exit signal; joining then bounds the worker's lifetime by the
+        // stream's.
+        drop(self.rx.take());
+        if let Some(worker) = self.worker.take() {
+            worker.join().ok();
+        }
     }
 }
 
@@ -770,6 +1151,10 @@ mod tests {
         assert!(stream.next().is_some(), "first contact comes from shard 0");
         let stats = stream.stream_stats();
         assert_eq!(stats.shards_loaded, 1, "only one shard was faulted in");
+        assert_eq!(
+            stats.shards_prefetched, 0,
+            "the serial stream never decodes ahead"
+        );
         assert!(stats.peak_resident_contacts >= 1);
         assert!((stats.shards_loaded as usize) < sharded.shard_count());
         // Draining the rest brings the count up to the full index.
@@ -778,6 +1163,152 @@ mod tests {
             stream.stream_stats().shards_loaded,
             sharded.shard_count() as u64
         );
+
+        // Prefetch mode: same one-load partial accounting, plus the
+        // decode-ahead model — depth 1 means shard 1 is charged as resident
+        // alongside shard 0 and counted as prefetched.
+        let mut stream = sharded.stream_prefetch(1);
+        assert!(stream.next().is_some());
+        let stats = stream.stream_stats();
+        assert_eq!(stats.shards_loaded, 1);
+        assert_eq!(
+            stats.shards_prefetched, 2,
+            "shard 0 taken + shard 1 decoding ahead"
+        );
+        let counts: Vec<u64> = sharded.shards().iter().map(|s| s.contacts).collect();
+        assert_eq!(
+            stats.peak_resident_contacts,
+            counts[0] + counts[1],
+            "both resident shards are charged"
+        );
+        while stream.next().is_some() {}
+        let stats = stream.stream_stats();
+        assert_eq!(stats.shards_loaded, sharded.shard_count() as u64);
+        assert_eq!(
+            stats.shards_prefetched,
+            sharded.shard_count() as u64,
+            "a drained pipeline prefetched exactly the whole index"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn prefetch_yields_the_exact_serial_sequence_at_any_depth() {
+        let dir = temp_dir("prefetch-eq");
+        let sharded = write_sample(&dir);
+        let serial: Vec<Contact> = TraceSource::stream(&sharded).collect();
+        for depth in [0usize, 1, 2, 10] {
+            let prefetched: Vec<Contact> = sharded.stream_prefetch(depth).collect();
+            assert_eq!(prefetched, serial, "depth {depth} changed the sequence");
+        }
+        // Depth beyond the index caps the model at the index size.
+        let mut stream = sharded.stream_prefetch(10);
+        assert!(stream.next().is_some());
+        assert_eq!(
+            stream.stream_stats().shards_prefetched,
+            sharded.shard_count() as u64
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn dropping_a_partially_consumed_prefetch_stream_joins_the_worker() {
+        let dir = temp_dir("prefetch-drop");
+        let sharded = write_sample(&dir);
+        let mut stream = sharded.stream_prefetch(2);
+        assert!(stream.next().is_some());
+        drop(stream); // Must not hang or leak the worker thread.
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn writer_emits_pair_sidecars_and_counts() {
+        let dir = temp_dir("pairs");
+        let sharded = write_sample(&dir);
+        for meta in sharded.shards() {
+            let pairs = meta.pairs.expect("writer records pair counts");
+            let text = fs::read_to_string(dir.join(pairs_file_name(meta.window_index))).unwrap();
+            let mut lines = text.lines();
+            assert_eq!(lines.next().unwrap(), PAIRS_HEADER);
+            assert_eq!(lines.count() as u64, pairs);
+        }
+        assert!(sharded.verify().is_ok());
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn verify_reports_corrupt_shards_structurally() {
+        let dir = temp_dir("verify");
+        let sharded = write_sample(&dir);
+        // Truncate shard 0 behind the manifest's back.
+        let victim = dir.join(&sharded.shards()[0].file);
+        fs::write(&victim, "# dtn-trace v1\n").unwrap();
+        let err = sharded.verify().unwrap_err();
+        assert!(
+            matches!(err, ShardError::Corrupt { .. }),
+            "expected Corrupt, got {err}"
+        );
+        assert!(err.to_string().contains("manifest declares"));
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_frequent_map_matches_streaming_scan() {
+        let dir = temp_dir("freq-map");
+        let sharded = write_sample(&dir); // 100 s windows, span 390 s
+        for every_secs in [0u64, 100, 200, 300, 500, 86_400] {
+            let every = SimDuration::from_secs(every_secs);
+            let mut scan = crate::stats::FrequentScan::new(every);
+            for contact in TraceSource::stream(&sharded) {
+                scan.observe(&contact);
+            }
+            assert_eq!(
+                TraceSource::frequent_map(&sharded, every),
+                Some(scan.finish()),
+                "derived map diverged at every={every_secs}s"
+            );
+        }
+        // Rule windows that do not align with the shard window cannot be
+        // derived; callers fall back to the streaming pass.
+        assert_eq!(
+            TraceSource::frequent_map(&sharded, SimDuration::from_secs(150)),
+            None
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifests_without_pair_counts_still_open_but_skip_derivation() {
+        let dir = temp_dir("legacy-manifest");
+        let sharded = write_sample(&dir);
+        // Rewrite the manifest the way the pre-sidecar writer did: drop the
+        // fourth shard-line token.
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let stripped: String = fs::read_to_string(&manifest_path)
+            .unwrap()
+            .lines()
+            .map(|line| {
+                if line.starts_with("shard ") {
+                    let fields: Vec<&str> = line.split_ascii_whitespace().collect();
+                    format!("{} {} {} {}\n", fields[0], fields[1], fields[2], fields[3])
+                } else {
+                    format!("{line}\n")
+                }
+            })
+            .collect();
+        fs::write(&manifest_path, stripped).unwrap();
+        let legacy = ShardedTrace::open(&dir).unwrap();
+        assert!(legacy.shards().iter().all(|s| s.pairs.is_none()));
+        assert_eq!(
+            TraceSource::frequent_map(&legacy, SimDuration::from_secs(100)),
+            None
+        );
+        // Verification still checks what the manifest does declare.
+        assert!(legacy.verify().is_ok());
+        // And the degenerate rule needs no aggregates at all.
+        let empty = TraceSource::frequent_map(&legacy, SimDuration::ZERO).unwrap();
+        assert!(empty.values().all(|peers| peers.is_empty()));
+        assert_eq!(empty.len(), TraceSource::nodes(&sharded).len());
         fs::remove_dir_all(&dir).ok();
     }
 

@@ -12,6 +12,7 @@
 //! in and the peak number of contacts resident at once — which the
 //! experiment layer surfaces as telemetry counters.
 
+use std::collections::BTreeMap;
 use std::fmt;
 
 use crate::contact::Contact;
@@ -24,17 +25,23 @@ use crate::trace::ContactTrace;
 pub struct StreamStats {
     /// Number of on-disk shards loaded. Zero for in-memory sources.
     pub shards_loaded: u64,
+    /// Number of shards whose decode was started ahead of consumption by a
+    /// pipelined stream. Zero for in-memory and serial sharded streams.
+    pub shards_prefetched: u64,
     /// Peak number of contacts resident in the stream's buffer at once.
-    /// For in-memory sources this is the full trace length; for sharded
-    /// sources it is bounded by the largest single shard.
+    /// For in-memory sources this is the full trace length; for serial
+    /// sharded sources it is bounded by the largest single shard; a
+    /// pipelined stream counts every decoded-ahead shard as resident too.
     pub peak_resident_contacts: u64,
 }
 
 impl StreamStats {
-    /// Combines observations from several streams: shard loads add, peaks
-    /// take the maximum (they describe concurrent residency, not totals).
+    /// Combines observations from several streams: shard loads and prefetches
+    /// add, peaks take the maximum (they describe concurrent residency, not
+    /// totals).
     pub fn absorb(&mut self, other: StreamStats) {
         self.shards_loaded += other.shards_loaded;
+        self.shards_prefetched += other.shards_prefetched;
         self.peak_resident_contacts = self
             .peak_resident_contacts
             .max(other.peak_resident_contacts);
@@ -89,9 +96,35 @@ pub trait TraceSource: Send + Sync + fmt::Debug {
 
     /// Opens a fresh stream over the contacts in event order.
     ///
-    /// Each call starts from the beginning; a run that needs two passes
-    /// (statistics, then simulation) opens two streams.
+    /// Each call starts from the beginning. A run that still needs a
+    /// separate statistics pass (because [`TraceSource::frequent_map`]
+    /// returned `None`) opens one extra stream for it.
     fn stream(&self) -> Box<dyn ContactStream + '_>;
+
+    /// Opens a stream that may decode ahead of consumption by up to `depth`
+    /// units (shards, for on-disk sources). `depth == 0` means strictly
+    /// serial. Sources without a pipelined implementation fall back to
+    /// [`TraceSource::stream`]; the contact sequence is identical either
+    /// way — prefetching only changes *when* decoding happens, never what
+    /// is yielded.
+    fn stream_prefetch(&self, depth: usize) -> Box<dyn ContactStream + '_> {
+        let _ = depth;
+        self.stream()
+    }
+
+    /// The frequent-contact peer map at granularity `every`, derived from
+    /// precomputed aggregates when the source carries them.
+    ///
+    /// Returns `None` when the source cannot derive the map without a full
+    /// contact pass (the in-memory backing, old shard manifests without
+    /// pair aggregates, or an `every` that does not align with the shard
+    /// window); callers then fall back to streaming a
+    /// [`FrequentScan`](crate::stats::FrequentScan) pass. When `Some`, the
+    /// result is byte-identical to what that fallback pass would produce.
+    fn frequent_map(&self, every: SimDuration) -> Option<BTreeMap<NodeId, Vec<NodeId>>> {
+        let _ = every;
+        None
+    }
 }
 
 /// Stream over an in-memory trace: clones contacts out of the resident
@@ -119,6 +152,7 @@ impl ContactStream for MemoryStream<'_> {
     fn stream_stats(&self) -> StreamStats {
         StreamStats {
             shards_loaded: 0,
+            shards_prefetched: 0,
             peak_resident_contacts: self.len,
         }
     }
@@ -202,13 +236,36 @@ mod tests {
     fn absorb_adds_loads_and_maxes_peaks() {
         let mut a = StreamStats {
             shards_loaded: 2,
+            shards_prefetched: 1,
             peak_resident_contacts: 100,
         };
         a.absorb(StreamStats {
             shards_loaded: 3,
+            shards_prefetched: 4,
             peak_resident_contacts: 40,
         });
         assert_eq!(a.shards_loaded, 5);
+        assert_eq!(a.shards_prefetched, 5, "prefetch counts add like loads");
         assert_eq!(a.peak_resident_contacts, 100);
+    }
+
+    #[test]
+    fn default_stream_prefetch_falls_back_to_serial() {
+        let trace: ContactTrace = vec![pc(0, 1, 50, 60), pc(1, 2, 10, 20)]
+            .into_iter()
+            .collect();
+        let source: &dyn TraceSource = &trace;
+        let serial: Vec<Contact> = source.stream().collect();
+        let prefetched: Vec<Contact> = source.stream_prefetch(4).collect();
+        assert_eq!(serial, prefetched);
+        assert_eq!(
+            source.stream_prefetch(4).stream_stats().shards_prefetched,
+            0
+        );
+        assert_eq!(
+            source.frequent_map(SimDuration::from_secs(60)),
+            None,
+            "in-memory sources have no precomputed aggregates"
+        );
     }
 }

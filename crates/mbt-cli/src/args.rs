@@ -59,6 +59,7 @@ const FLAGS: &[&str] = &[
     "weekends",
     "verify",
     "server",
+    "city",
 ];
 
 impl Args {

@@ -8,7 +8,10 @@
 use std::fmt::Write as _;
 
 use dtn_sim::telemetry::{rate_per_sec, Phase};
-use mbt_experiments::perf::{run_bench, run_server_bench_report, BenchReport, ServerBenchConfig};
+use mbt_experiments::perf::{
+    run_bench, run_city_bench_report, run_server_bench_report, BenchReport, CityBenchConfig,
+    ServerBenchConfig,
+};
 use mbt_experiments::{ExecConfig, Scale};
 
 use crate::args::Args;
@@ -19,11 +22,17 @@ pub const USAGE: &str = "mbt bench [--scale quick|full] [--jobs N] \
 [--replicates N] [--seed N] [--out PATH]
 mbt bench --server [--server-records N] [--server-ops N] \
 [--server-shards N] [--seed N] [--out PATH]
+mbt bench --city [--city-nodes N] [--city-days N] [--city-routes N] \
+[--city-prefetch N] [--city-dir DIR] [--seed N] [--out PATH]
 
 runs fig2a + fig3a + the fault sweep under telemetry and writes a
 schema-versioned JSON perf report (default BENCH_sweep.json); with
 --server, instead benches the sharded metadata server (synthetic corpus
-+ mixed query storm, default 1e6 records / 1e5 ops / 8 shards)";
++ mixed query storm, default 1e6 records / 1e5 ops / 8 shards); with
+--city, generates a city-sized DieselNet trace into shards and
+stream-simulates it with prefetch (default 1e6 nodes / 30 days /
+5e5 routes / prefetch 1 — a long run; shards land in --city-dir,
+default a temp directory)";
 
 /// Runs the subcommand.
 pub fn run(args: &Args) -> Result<String, CliError> {
@@ -47,6 +56,25 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             ));
         }
         run_server_bench_report(&cfg, &exec)
+    } else if args.flag("city") {
+        let defaults = CityBenchConfig::default();
+        let cfg = CityBenchConfig {
+            nodes: args.parse_or("city-nodes", defaults.nodes, "an integer")?,
+            days: args.parse_or("city-days", defaults.days, "an integer")?,
+            routes: args.parse_or("city-routes", defaults.routes, "an integer")?,
+            prefetch: args.parse_or("city-prefetch", defaults.prefetch, "an integer")?,
+            seed: args.parse_or("seed", 42u64, "an integer")?,
+        };
+        if cfg.nodes == 0 || cfg.days == 0 {
+            return Err(CliError::Usage(
+                "--city-nodes and --city-days must be positive".into(),
+            ));
+        }
+        let dir = args
+            .opt_str("city-dir")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| std::env::temp_dir().join("mbt-city-bench-shards"));
+        run_city_bench_report(&cfg, &exec, &dir).map_err(CliError::Usage)?
     } else {
         let scale = match args.str_or("scale", "quick") {
             "quick" => Scale::Quick,
@@ -113,6 +141,29 @@ fn render(report: &BenchReport, out_path: &str) -> String {
             sb.publishes, sb.searches, sb.requests, sb.expired, sb.hits
         );
         let _ = writeln!(out, "    result digest {:#018x}", sb.result_digest);
+    }
+    if let Some(cb) = &report.city {
+        let _ = writeln!(
+            out,
+            "  city bench: {} nodes / {} routes, {} days -> {} contacts in {} shards",
+            cb.nodes, cb.routes, cb.days, cb.contacts, cb.shards
+        );
+        let _ = writeln!(
+            out,
+            "    gen {:.2}s, sim {:.2}s ({:.0} contacts/s, prefetch {})",
+            cb.gen_secs, cb.sim_secs, cb.contacts_per_sec, cb.prefetch
+        );
+        let _ = writeln!(
+            out,
+            "    shards loaded {} prefetched {} peak resident contacts {}",
+            cb.shards_loaded, cb.shards_prefetched, cb.peak_resident_contacts
+        );
+        let _ = writeln!(
+            out,
+            "    residue peak {} nodes (~{} bytes); {} queries, {} files delivered",
+            cb.peak_residue_nodes, cb.residue_bytes_est, cb.queries, cb.files_delivered
+        );
+        let _ = writeln!(out, "    result digest {:#018x}", cb.result_digest);
     }
     let _ = writeln!(out, "  report written to {out_path}");
     out
@@ -181,6 +232,38 @@ mod tests {
     #[test]
     fn server_bench_rejects_degenerate_shapes() {
         let err = run(&args("--server --server-records 0")).unwrap_err();
+        assert!(err.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn city_bench_writes_a_city_section() {
+        let path = out_path("city");
+        let dir = std::env::temp_dir().join("mbt-cli-test-bench/city-shards");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = run(&args(&format!(
+            "--city --city-nodes 24 --city-days 4 --city-routes 8 --city-prefetch 1 \
+             --seed 5 --jobs 1 --city-dir {} --out {}",
+            dir.display(),
+            path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("city bench: 24 nodes / 8 routes"), "{out}");
+        assert!(out.contains("result digest 0x"), "{out}");
+        let report = BenchReport::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert_eq!(report.scale, "city");
+        let cb = report.city.expect("city section");
+        assert_eq!((cb.nodes, cb.days, cb.routes), (24, 4, 8));
+        assert!(cb.contacts > 0 && cb.shards > 1);
+        assert_eq!(cb.shards_loaded, cb.shards, "single-decode replay");
+        assert!(
+            dir.join("manifest.txt").exists(),
+            "shards kept in --city-dir"
+        );
+    }
+
+    #[test]
+    fn city_bench_rejects_degenerate_shapes() {
+        let err = run(&args("--city --city-nodes 0")).unwrap_err();
         assert!(err.to_string().contains("positive"));
     }
 }

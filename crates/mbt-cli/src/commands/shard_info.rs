@@ -8,16 +8,26 @@ use crate::args::Args;
 use crate::CliError;
 
 /// Usage text for the subcommand.
-pub const USAGE: &str = "mbt shard-info <shard-dir>
+pub const USAGE: &str = "mbt shard-info <shard-dir> [--verify]
 
 Prints the manifest facts of a sharded trace (see `mbt shard`): contact
 and node counts, id space, time span, shard window, and the per-shard
-contact distribution. Reads only the manifest, never the shards.";
+contact distribution. Reads only the manifest, never the shards — unless
+--verify is given, which re-reads every shard and checks its contact and
+pair counts (and pair sidecars) against the manifest.";
 
 /// Runs the subcommand.
 pub fn run(args: &Args) -> Result<String, CliError> {
     let path = args.positional(0, "shard-dir")?.to_string();
     let sharded = ShardedTrace::open(&path).map_err(|e| CliError::Usage(e.to_string()))?;
+    let verified = if args.flag("verify") {
+        sharded
+            .verify()
+            .map_err(|e| CliError::Usage(e.to_string()))?;
+        true
+    } else {
+        false
+    };
 
     let mut out = String::new();
     let _ = writeln!(out, "sharded trace: {path}");
@@ -43,6 +53,13 @@ pub fn run(args: &Args) -> Result<String, CliError> {
             out,
             "    {}  window {:>4}  {:>8} contacts",
             meta.file, meta.window_index, meta.contacts
+        );
+    }
+    if verified {
+        let _ = writeln!(
+            out,
+            "  verified: all {} shards match the manifest",
+            sharded.shard_count()
         );
     }
     Ok(out)
@@ -78,5 +95,52 @@ mod tests {
     fn missing_directory_is_a_usage_error() {
         let args = Args::parse(vec!["/nonexistent/shards".to_string()]).unwrap();
         assert!(matches!(run(&args), Err(CliError::Usage(_))));
+    }
+
+    fn verify_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mbt-cli-test-shard-info/{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut writer = ShardWriter::create(&dir, SimDuration::from_days(1)).unwrap();
+        DieselNetConfig::new(10, 3)
+            .seed(1)
+            .generate_into(&mut writer);
+        writer.finish().unwrap();
+        dir
+    }
+
+    #[test]
+    fn verify_flag_checks_every_shard() {
+        let dir = verify_dir("verify-ok");
+        let args = Args::parse(vec![dir.display().to_string(), "--verify".to_string()]).unwrap();
+        let out = run(&args).unwrap();
+        assert!(out.contains("verified: all"), "{out}");
+    }
+
+    #[test]
+    fn verify_flag_surfaces_corruption_as_a_structured_error() {
+        let dir = verify_dir("verify-bad");
+        // Drop the last line of shard 0: the manifest count no longer holds.
+        let shard = dir.join("shard-00000.txt");
+        let text = std::fs::read_to_string(&shard).unwrap();
+        let truncated: Vec<&str> = text.lines().collect();
+        std::fs::write(&shard, truncated[..truncated.len() - 1].join("\n")).unwrap();
+        let args = Args::parse(vec![dir.display().to_string(), "--verify".to_string()]).unwrap();
+        let err = run(&args).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        assert!(err.to_string().contains("disagrees with manifest"), "{err}");
+    }
+
+    #[test]
+    fn without_verify_corruption_goes_unnoticed() {
+        let dir = verify_dir("no-verify");
+        let shard = dir.join("shard-00000.txt");
+        let text = std::fs::read_to_string(&shard).unwrap();
+        let truncated: Vec<&str> = text.lines().collect();
+        std::fs::write(&shard, truncated[..truncated.len() - 1].join("\n")).unwrap();
+        let args = Args::parse(vec![dir.display().to_string()]).unwrap();
+        assert!(
+            run(&args).is_ok(),
+            "manifest-only path must not read shards"
+        );
     }
 }

@@ -94,6 +94,7 @@ pub struct RunContext {
     exec: ExecConfig,
     shard_dir: Option<PathBuf>,
     shard_window: SimDuration,
+    prefetch: usize,
     collect_telemetry: bool,
     telemetry: Telemetry,
     xs_override: Option<Vec<f64>>,
@@ -108,6 +109,7 @@ impl RunContext {
             exec: ExecConfig::default(),
             shard_dir: None,
             shard_window: SimDuration::from_days(1),
+            prefetch: 0,
             collect_telemetry: false,
             telemetry: Telemetry::default(),
             xs_override: None,
@@ -132,6 +134,16 @@ impl RunContext {
     /// [`RunContext::sharded`].
     pub fn shard_window(mut self, window: SimDuration) -> RunContext {
         self.shard_window = window;
+        self
+    }
+
+    /// Sets the shard prefetch depth threaded into every figure's
+    /// [`SimParams`]: the replay decodes up to `depth` shards ahead of the
+    /// simulation on a background worker. Only meaningful after
+    /// [`RunContext::sharded`] (in-memory traces ignore it). Figures are
+    /// byte-identical at any depth.
+    pub fn prefetch(mut self, depth: usize) -> RunContext {
+        self.prefetch = depth;
         self
     }
 
@@ -215,21 +227,22 @@ fn nus_cfg(scale: Scale, attendance: f64) -> NusConfig {
         .attendance_rate(attendance)
 }
 
-fn base_params(scale: Scale, frequent_days: u64) -> SimParams {
+fn base_params(scale: Scale, frequent_days: u64, prefetch: usize) -> SimParams {
     SimParams {
         days: scale.days(),
         seed: SEED,
         frequent_window: SimDuration::from_days(frequent_days),
+        prefetch,
         ..SimParams::default()
     }
 }
 
-fn dieselnet_params(scale: Scale) -> SimParams {
-    base_params(scale, 3)
+fn dieselnet_params(scale: Scale, prefetch: usize) -> SimParams {
+    base_params(scale, 3, prefetch)
 }
 
-fn nus_params(scale: Scale) -> SimParams {
-    base_params(scale, 1)
+fn nus_params(scale: Scale, prefetch: usize) -> SimParams {
+    base_params(scale, 1, prefetch)
 }
 
 fn dieselnet_source(ctx: &mut RunContext, name: &str) -> Arc<dyn TraceSource> {
@@ -247,6 +260,7 @@ fn nus_source(ctx: &mut RunContext, name: &str) -> Arc<dyn TraceSource> {
 /// Fig 2(a): delivery ratios vs percentage of Internet-access nodes.
 pub fn fig2a(ctx: &mut RunContext) -> Figure {
     let scale = ctx.scale;
+    let prefetch = ctx.prefetch;
     let xs = ctx.xs_for(scale.xs(&[0.1, 0.3, 0.5, 0.7, 0.9], &[0.1, 0.5, 0.9]));
     let source = dieselnet_source(ctx, "fig2a");
     ParallelRunner::new(ctx.exec).sweep_shared_source(
@@ -257,7 +271,7 @@ pub fn fig2a(ctx: &mut RunContext) -> Figure {
         source,
         |x| SimParams {
             internet_fraction: x,
-            ..dieselnet_params(scale)
+            ..dieselnet_params(scale, prefetch)
         },
         ctx.telemetry_sink(),
     )
@@ -266,6 +280,7 @@ pub fn fig2a(ctx: &mut RunContext) -> Figure {
 /// Fig 2(b): delivery ratios vs number of new files per day.
 pub fn fig2b(ctx: &mut RunContext) -> Figure {
     let scale = ctx.scale;
+    let prefetch = ctx.prefetch;
     let xs = ctx.xs_for(scale.xs(&[10.0, 25.0, 50.0, 75.0, 100.0], &[10.0, 50.0]));
     let source = dieselnet_source(ctx, "fig2b");
     ParallelRunner::new(ctx.exec).sweep_shared_source(
@@ -276,7 +291,7 @@ pub fn fig2b(ctx: &mut RunContext) -> Figure {
         source,
         |x| SimParams {
             files_per_day: x as u32,
-            ..dieselnet_params(scale)
+            ..dieselnet_params(scale, prefetch)
         },
         ctx.telemetry_sink(),
     )
@@ -285,6 +300,7 @@ pub fn fig2b(ctx: &mut RunContext) -> Figure {
 /// Fig 2(c): delivery ratios vs file time-to-live.
 pub fn fig2c(ctx: &mut RunContext) -> Figure {
     let scale = ctx.scale;
+    let prefetch = ctx.prefetch;
     let xs = ctx.xs_for(scale.xs(&[1.0, 2.0, 3.0, 4.0, 5.0], &[1.0, 3.0, 5.0]));
     let source = dieselnet_source(ctx, "fig2c");
     ParallelRunner::new(ctx.exec).sweep_shared_source(
@@ -295,7 +311,7 @@ pub fn fig2c(ctx: &mut RunContext) -> Figure {
         source,
         |x| SimParams {
             ttl_days: x as u64,
-            ..dieselnet_params(scale)
+            ..dieselnet_params(scale, prefetch)
         },
         ctx.telemetry_sink(),
     )
@@ -307,6 +323,7 @@ pub fn fig2c(ctx: &mut RunContext) -> Figure {
 /// biased.
 pub fn fig2d(ctx: &mut RunContext) -> Figure {
     let scale = ctx.scale;
+    let prefetch = ctx.prefetch;
     let xs = ctx.xs_for(scale.xs(&[1.0, 5.0, 10.0, 20.0, 40.0], &[1.0, 20.0]));
     let source = dieselnet_source(ctx, "fig2d");
     ParallelRunner::new(ctx.exec).sweep_shared_source(
@@ -317,7 +334,7 @@ pub fn fig2d(ctx: &mut RunContext) -> Figure {
         source,
         |x| SimParams {
             config: MbtConfig::new().metadata_per_contact(x as u32),
-            ..dieselnet_params(scale)
+            ..dieselnet_params(scale, prefetch)
         },
         ctx.telemetry_sink(),
     )
@@ -326,6 +343,7 @@ pub fn fig2d(ctx: &mut RunContext) -> Figure {
 /// Fig 2(e): delivery ratios vs files exchanged per contact.
 pub fn fig2e(ctx: &mut RunContext) -> Figure {
     let scale = ctx.scale;
+    let prefetch = ctx.prefetch;
     let xs = ctx.xs_for(scale.xs(&[1.0, 2.0, 4.0, 6.0, 10.0], &[1.0, 4.0]));
     let source = dieselnet_source(ctx, "fig2e");
     ParallelRunner::new(ctx.exec).sweep_shared_source(
@@ -336,7 +354,7 @@ pub fn fig2e(ctx: &mut RunContext) -> Figure {
         source,
         |x| SimParams {
             config: MbtConfig::new().files_per_contact(x as u32),
-            ..dieselnet_params(scale)
+            ..dieselnet_params(scale, prefetch)
         },
         ctx.telemetry_sink(),
     )
@@ -349,6 +367,7 @@ pub fn fig2e(ctx: &mut RunContext) -> Figure {
 /// stays flat (it has no file discovery process).
 pub fn fig3a(ctx: &mut RunContext) -> Figure {
     let scale = ctx.scale;
+    let prefetch = ctx.prefetch;
     let xs = ctx.xs_for(scale.xs(&[0.1, 0.3, 0.5, 0.7, 0.9], &[0.1, 0.5, 0.9]));
     let source = nus_source(ctx, "fig3a");
     ParallelRunner::new(ctx.exec).sweep_shared_source(
@@ -359,7 +378,7 @@ pub fn fig3a(ctx: &mut RunContext) -> Figure {
         source,
         |x| SimParams {
             internet_fraction: x,
-            ..nus_params(scale)
+            ..nus_params(scale, prefetch)
         },
         ctx.telemetry_sink(),
     )
@@ -368,6 +387,7 @@ pub fn fig3a(ctx: &mut RunContext) -> Figure {
 /// Fig 3(b): delivery ratios vs number of new files per day.
 pub fn fig3b(ctx: &mut RunContext) -> Figure {
     let scale = ctx.scale;
+    let prefetch = ctx.prefetch;
     let xs = ctx.xs_for(scale.xs(&[10.0, 25.0, 50.0, 75.0, 100.0], &[10.0, 50.0]));
     let source = nus_source(ctx, "fig3b");
     ParallelRunner::new(ctx.exec).sweep_shared_source(
@@ -378,7 +398,7 @@ pub fn fig3b(ctx: &mut RunContext) -> Figure {
         source,
         |x| SimParams {
             files_per_day: x as u32,
-            ..nus_params(scale)
+            ..nus_params(scale, prefetch)
         },
         ctx.telemetry_sink(),
     )
@@ -387,6 +407,7 @@ pub fn fig3b(ctx: &mut RunContext) -> Figure {
 /// Fig 3(c): delivery ratios vs file time-to-live.
 pub fn fig3c(ctx: &mut RunContext) -> Figure {
     let scale = ctx.scale;
+    let prefetch = ctx.prefetch;
     let xs = ctx.xs_for(scale.xs(&[1.0, 2.0, 3.0, 4.0, 5.0], &[1.0, 3.0, 5.0]));
     let source = nus_source(ctx, "fig3c");
     ParallelRunner::new(ctx.exec).sweep_shared_source(
@@ -397,7 +418,7 @@ pub fn fig3c(ctx: &mut RunContext) -> Figure {
         source,
         |x| SimParams {
             ttl_days: x as u64,
-            ..nus_params(scale)
+            ..nus_params(scale, prefetch)
         },
         ctx.telemetry_sink(),
     )
@@ -406,6 +427,7 @@ pub fn fig3c(ctx: &mut RunContext) -> Figure {
 /// Fig 3(d): delivery ratios vs metadata exchanged per contact.
 pub fn fig3d(ctx: &mut RunContext) -> Figure {
     let scale = ctx.scale;
+    let prefetch = ctx.prefetch;
     let xs = ctx.xs_for(scale.xs(&[1.0, 5.0, 10.0, 20.0, 40.0], &[1.0, 20.0]));
     let source = nus_source(ctx, "fig3d");
     ParallelRunner::new(ctx.exec).sweep_shared_source(
@@ -416,7 +438,7 @@ pub fn fig3d(ctx: &mut RunContext) -> Figure {
         source,
         |x| SimParams {
             config: MbtConfig::new().metadata_per_contact(x as u32),
-            ..nus_params(scale)
+            ..nus_params(scale, prefetch)
         },
         ctx.telemetry_sink(),
     )
@@ -425,6 +447,7 @@ pub fn fig3d(ctx: &mut RunContext) -> Figure {
 /// Fig 3(e): delivery ratios vs files exchanged per contact.
 pub fn fig3e(ctx: &mut RunContext) -> Figure {
     let scale = ctx.scale;
+    let prefetch = ctx.prefetch;
     let xs = ctx.xs_for(scale.xs(&[1.0, 2.0, 4.0, 6.0, 10.0], &[1.0, 4.0]));
     let source = nus_source(ctx, "fig3e");
     ParallelRunner::new(ctx.exec).sweep_shared_source(
@@ -435,7 +458,7 @@ pub fn fig3e(ctx: &mut RunContext) -> Figure {
         source,
         |x| SimParams {
             config: MbtConfig::new().files_per_contact(x as u32),
-            ..nus_params(scale)
+            ..nus_params(scale, prefetch)
         },
         ctx.telemetry_sink(),
     )
@@ -447,6 +470,7 @@ pub fn fig3e(ctx: &mut RunContext) -> Figure {
 /// `fig3f/x<i>` under a sharded context).
 pub fn fig3f(ctx: &mut RunContext) -> Figure {
     let scale = ctx.scale;
+    let prefetch = ctx.prefetch;
     let xs = ctx.xs_for(scale.xs(&[0.5, 0.6, 0.7, 0.8, 0.9, 1.0], &[0.5, 1.0]));
     let sources: Vec<Arc<dyn TraceSource>> = xs
         .iter()
@@ -462,7 +486,12 @@ pub fn fig3f(ctx: &mut RunContext) -> Figure {
         "NUS: delivery ratio vs attendance rate",
         "attendance rate",
         &xs,
-        |_| (sources.next().expect("one source per x"), nus_params(scale)),
+        |_| {
+            (
+                sources.next().expect("one source per x"),
+                nus_params(scale, prefetch),
+            )
+        },
         ctx.telemetry_sink(),
     )
 }
@@ -477,6 +506,7 @@ pub fn fig3f(ctx: &mut RunContext) -> Figure {
 /// Override the loss rates with [`RunContext::set_xs`].
 pub fn fault_sweep(ctx: &mut RunContext) -> Figure {
     let scale = ctx.scale;
+    let prefetch = ctx.prefetch;
     let xs = ctx.xs_for(scale.xs(&[0.0, 0.1, 0.2, 0.3, 0.4, 0.5], &[0.0, 0.25, 0.5]));
     let source = nus_source(ctx, "fault_sweep");
     ParallelRunner::new(ctx.exec).sweep_shared_source(
@@ -487,7 +517,7 @@ pub fn fault_sweep(ctx: &mut RunContext) -> Figure {
         source,
         |x| SimParams {
             faults: FaultPlan::none().loss(x),
-            ..nus_params(scale)
+            ..nus_params(scale, prefetch)
         },
         ctx.telemetry_sink(),
     )

@@ -51,6 +51,7 @@ pub mod mobility;
 pub mod perf;
 pub mod progress;
 pub mod report;
+pub mod residue;
 pub mod routing;
 pub mod runner;
 pub mod sweep;
@@ -59,6 +60,7 @@ pub mod workload;
 pub use exec::{ExecConfig, ParallelRunner};
 pub use figures::{RunContext, Scale};
 pub use perf::{BenchReport, Tolerance};
+pub use residue::ResidueStore;
 pub use runner::{run_simulation, SimParams, SimResult};
 pub use sweep::{Figure, ProtocolSeries, RatioSummary, SeriesPoint};
 

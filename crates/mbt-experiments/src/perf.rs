@@ -19,17 +19,20 @@
 //! round-trip through f64, which is exact below 2^53 — far above anything a
 //! bench run produces.
 
+use std::path::Path;
 use std::process::Command;
 use std::time::{Duration, Instant};
 
 use dtn_sim::rng::{derive_seed, stream};
 use dtn_sim::telemetry::{rate_per_sec, Counters, Phase, PhaseTimes, Telemetry};
-use dtn_trace::{NodeId, SimDuration, SimTime};
+use dtn_trace::generators::DieselNetConfig;
+use dtn_trace::{NodeId, ShardWriter, SimDuration, SimTime};
 use mbt_core::{Metadata, MetadataServer, Popularity, Query, Uri};
 use rand::Rng;
 
 use crate::exec::ExecConfig;
 use crate::figures::{self, Scale};
+use crate::runner::{run_simulation, SimParams};
 use crate::sweep::Figure;
 
 /// Schema tag every report carries; bumped on any incompatible layout
@@ -68,6 +71,9 @@ pub struct BenchReport {
     /// The metadata-server bench section, when the run included one
     /// (`mbt bench --server`). Absent from sweep-only reports.
     pub server: Option<ServerBench>,
+    /// The city-scale streaming bench section, when the run included one
+    /// (`mbt bench --city`). Absent from sweep-only reports.
+    pub city: Option<CityBench>,
 }
 
 impl BenchReport {
@@ -95,6 +101,7 @@ impl BenchReport {
             counters: telemetry.counters,
             sweeps,
             server: None,
+            city: None,
         }
     }
 
@@ -149,6 +156,49 @@ impl BenchReport {
             out.push_str(&format!("    \"ops_per_sec\": {:.6}\n", sb.ops_per_sec));
             out.push_str("  },\n");
         }
+        if let Some(cb) = &self.city {
+            out.push_str("  \"city_bench\": {\n");
+            out.push_str(&format!("    \"nodes\": {},\n", cb.nodes));
+            out.push_str(&format!("    \"days\": {},\n", cb.days));
+            out.push_str(&format!("    \"routes\": {},\n", cb.routes));
+            out.push_str(&format!("    \"seed\": {},\n", cb.seed));
+            out.push_str(&format!("    \"prefetch\": {},\n", cb.prefetch));
+            out.push_str(&format!("    \"contacts\": {},\n", cb.contacts));
+            out.push_str(&format!("    \"shards\": {},\n", cb.shards));
+            out.push_str(&format!("    \"shards_loaded\": {},\n", cb.shards_loaded));
+            out.push_str(&format!(
+                "    \"shards_prefetched\": {},\n",
+                cb.shards_prefetched
+            ));
+            out.push_str(&format!(
+                "    \"peak_resident_contacts\": {},\n",
+                cb.peak_resident_contacts
+            ));
+            out.push_str(&format!(
+                "    \"peak_residue_nodes\": {},\n",
+                cb.peak_residue_nodes
+            ));
+            out.push_str(&format!(
+                "    \"residue_bytes_est\": {},\n",
+                cb.residue_bytes_est
+            ));
+            out.push_str(&format!("    \"queries\": {},\n", cb.queries));
+            out.push_str(&format!(
+                "    \"files_delivered\": {},\n",
+                cb.files_delivered
+            ));
+            out.push_str(&format!(
+                "    \"result_digest\": \"{:#018x}\",\n",
+                cb.result_digest
+            ));
+            out.push_str(&format!("    \"gen_secs\": {:.6},\n", cb.gen_secs));
+            out.push_str(&format!("    \"sim_secs\": {:.6},\n", cb.sim_secs));
+            out.push_str(&format!(
+                "    \"contacts_per_sec\": {:.6}\n",
+                cb.contacts_per_sec
+            ));
+            out.push_str("  },\n");
+        }
         out.push_str("  \"sweeps\": [");
         for (i, id) in self.sweeps.iter().enumerate() {
             if i > 0 {
@@ -183,6 +233,7 @@ impl BenchReport {
             counters: Counters::default(),
             sweeps: Vec::new(),
             server: None,
+            city: None,
         };
         for (key, val) in obj {
             match key.as_str() {
@@ -244,6 +295,51 @@ impl BenchReport {
                         }
                     }
                     report.server = Some(sb);
+                }
+                "city_bench" => {
+                    let fields = val.as_obj().ok_or("city_bench is not an object")?;
+                    let mut cb = CityBench::default();
+                    for (name, field) in fields {
+                        match name.as_str() {
+                            "nodes" => cb.nodes = field.expect_num(name)? as u64,
+                            "days" => cb.days = field.expect_num(name)? as u64,
+                            "routes" => cb.routes = field.expect_num(name)? as u64,
+                            "seed" => cb.seed = field.expect_num(name)? as u64,
+                            "prefetch" => cb.prefetch = field.expect_num(name)? as u64,
+                            "contacts" => cb.contacts = field.expect_num(name)? as u64,
+                            "shards" => cb.shards = field.expect_num(name)? as u64,
+                            "shards_loaded" => cb.shards_loaded = field.expect_num(name)? as u64,
+                            "shards_prefetched" => {
+                                cb.shards_prefetched = field.expect_num(name)? as u64
+                            }
+                            "peak_resident_contacts" => {
+                                cb.peak_resident_contacts = field.expect_num(name)? as u64
+                            }
+                            "peak_residue_nodes" => {
+                                cb.peak_residue_nodes = field.expect_num(name)? as u64
+                            }
+                            "residue_bytes_est" => {
+                                cb.residue_bytes_est = field.expect_num(name)? as u64
+                            }
+                            "queries" => cb.queries = field.expect_num(name)? as u64,
+                            "files_delivered" => {
+                                cb.files_delivered = field.expect_num(name)? as u64
+                            }
+                            "result_digest" => {
+                                // Hex string for the same reason as the
+                                // server digest: u64 > 2^53.
+                                let text = field.expect_str(name)?;
+                                let raw = text.trim_start_matches("0x");
+                                cb.result_digest = u64::from_str_radix(raw, 16)
+                                    .map_err(|e| format!("bad result_digest `{text}`: {e}"))?;
+                            }
+                            "gen_secs" => cb.gen_secs = field.expect_num(name)?,
+                            "sim_secs" => cb.sim_secs = field.expect_num(name)?,
+                            "contacts_per_sec" => cb.contacts_per_sec = field.expect_num(name)?,
+                            _ => {}
+                        }
+                    }
+                    report.city = Some(cb);
                 }
                 _ => {}
             }
@@ -436,6 +532,86 @@ pub fn compare(current: &BenchReport, baseline: &BenchReport, tol: &Tolerance) -
             errors.push(format!(
                 "server_bench presence mismatch: current {have} a server section but the \
                  baseline {want} one (regenerate the baseline or drop --server)"
+            ));
+        }
+    }
+    match (&current.city, &baseline.city) {
+        (Some(cur), Some(base)) => {
+            // Same treatment as the server bench: the replay is
+            // deterministic, so every non-timing field must match exactly.
+            let exact: [(&str, u64, u64); 14] = [
+                ("nodes", cur.nodes, base.nodes),
+                ("days", cur.days, base.days),
+                ("routes", cur.routes, base.routes),
+                ("seed", cur.seed, base.seed),
+                ("prefetch", cur.prefetch, base.prefetch),
+                ("contacts", cur.contacts, base.contacts),
+                ("shards", cur.shards, base.shards),
+                ("shards_loaded", cur.shards_loaded, base.shards_loaded),
+                (
+                    "shards_prefetched",
+                    cur.shards_prefetched,
+                    base.shards_prefetched,
+                ),
+                (
+                    "peak_resident_contacts",
+                    cur.peak_resident_contacts,
+                    base.peak_resident_contacts,
+                ),
+                (
+                    "peak_residue_nodes",
+                    cur.peak_residue_nodes,
+                    base.peak_residue_nodes,
+                ),
+                (
+                    "residue_bytes_est",
+                    cur.residue_bytes_est,
+                    base.residue_bytes_est,
+                ),
+                ("queries", cur.queries, base.queries),
+                ("files_delivered", cur.files_delivered, base.files_delivered),
+            ];
+            for (name, c, b) in exact {
+                if c != b {
+                    errors.push(format!(
+                        "city_bench `{name}` drifted: current {c} vs baseline {b} \
+                         (the city bench is deterministic — this is a behaviour change)"
+                    ));
+                }
+            }
+            if cur.result_digest != base.result_digest {
+                errors.push(format!(
+                    "city_bench result digest drifted: current {:#018x} vs baseline {:#018x} \
+                     (the streamed simulation produced different deliveries)",
+                    cur.result_digest, base.result_digest
+                ));
+            }
+            if current.jobs == baseline.jobs {
+                let allowed = |base: f64| base * (1.0 + tol.rel) + tol.abs_secs;
+                for (name, c, b) in [
+                    ("gen_secs", cur.gen_secs, base.gen_secs),
+                    ("sim_secs", cur.sim_secs, base.sim_secs),
+                ] {
+                    if b >= tol.min_phase_secs && c > allowed(b) {
+                        errors.push(format!(
+                            "city_bench `{name}` regressed: current {c:.3}s vs \
+                             baseline {b:.3}s (limit {:.3}s)",
+                            allowed(b)
+                        ));
+                    }
+                }
+            }
+        }
+        (None, None) => {}
+        (cur, _) => {
+            let (have, want) = if cur.is_some() {
+                ("has", "lacks")
+            } else {
+                ("lacks", "has")
+            };
+            errors.push(format!(
+                "city_bench presence mismatch: current {have} a city section but the \
+                 baseline {want} one (regenerate the baseline or drop --city)"
             ));
         }
     }
@@ -728,6 +904,192 @@ pub fn run_server_bench_report(cfg: &ServerBenchConfig, exec: &ExecConfig) -> Be
     );
     report.server = Some(bench);
     report
+}
+
+/// Results of the city-scale streaming bench: a seeded city-sized DieselNet
+/// trace generated straight into on-disk shards, then stream-simulated with
+/// bounded memory and pipelined shard prefetch.
+///
+/// Everything up to `result_digest` is deterministic — a pure function of
+/// the config — and [`compare`] diffs those fields exactly. The timings are
+/// thresholded like every other wall-clock figure.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CityBench {
+    /// Buses/nodes in the generated city trace.
+    pub nodes: u64,
+    /// Simulated days generated and replayed.
+    pub days: u64,
+    /// Route count of the generator (contact-graph spread).
+    pub routes: u64,
+    /// Master seed for generation and simulation.
+    pub seed: u64,
+    /// Shard prefetch depth the replay ran with.
+    pub prefetch: u64,
+    /// Contacts in the generated trace.
+    pub contacts: u64,
+    /// Shards the trace was written into.
+    pub shards: u64,
+    /// Shards decoded by the simulation (single-decode replay: one pass).
+    pub shards_loaded: u64,
+    /// Shards handed to the prefetch worker (≥ `shards_loaded` with
+    /// prefetch on, equal after a full drain).
+    pub shards_prefetched: u64,
+    /// Peak contacts resident at once, counting prefetched shards.
+    pub peak_resident_contacts: u64,
+    /// Peak cold-node residue entries held by the [`crate::ResidueStore`].
+    pub peak_residue_nodes: u64,
+    /// Peak estimated residue bytes (model-based, deterministic).
+    pub residue_bytes_est: u64,
+    /// Queries generated by measured nodes.
+    pub queries: u64,
+    /// Complete-file deliveries to measured nodes.
+    pub files_delivered: u64,
+    /// FNV-1a digest over the deterministic simulation outputs, including
+    /// the daily delivery series — any behavioural drift flips it.
+    pub result_digest: u64,
+    /// Wall clock of trace generation + shard writing.
+    pub gen_secs: f64,
+    /// Wall clock of the streamed simulation.
+    pub sim_secs: f64,
+    /// `contacts / sim_secs` (0 when degenerate).
+    pub contacts_per_sec: f64,
+}
+
+/// Configuration for [`run_city_bench`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CityBenchConfig {
+    /// Buses in the generated DieselNet-style city trace.
+    pub nodes: u32,
+    /// Days to generate and simulate.
+    pub days: u64,
+    /// Routes to spread the buses over.
+    pub routes: u32,
+    /// Master seed.
+    pub seed: u64,
+    /// Shard prefetch depth for the replay (0 = serial).
+    pub prefetch: usize,
+}
+
+impl Default for CityBenchConfig {
+    /// The headline shape: a million-node, 30-day city trace spread over
+    /// half a million routes, replayed with one shard of prefetch.
+    fn default() -> Self {
+        CityBenchConfig {
+            nodes: 1_000_000,
+            days: 30,
+            routes: 500_000,
+            seed: 42,
+            prefetch: 1,
+        }
+    }
+}
+
+/// Generates the configured city trace into one-day shards under `dir`
+/// (which must not already hold a trace) and stream-simulates it with the
+/// CI city-scale parameters (10 files/day, 2-day TTL, 0.1% Internet
+/// access, 3-day frequent window).
+///
+/// Deterministic for a given config: the digest folds every deterministic
+/// [`crate::SimResult`] field including the daily delivery series, and the
+/// shard/residue counters come straight from the telemetry layer.
+///
+/// # Errors
+///
+/// Returns a description of the first shard I/O failure.
+pub fn run_city_bench(cfg: &CityBenchConfig, dir: &Path) -> Result<CityBench, String> {
+    let mut bench = CityBench {
+        nodes: u64::from(cfg.nodes),
+        days: cfg.days,
+        routes: u64::from(cfg.routes),
+        seed: cfg.seed,
+        prefetch: cfg.prefetch as u64,
+        ..CityBench::default()
+    };
+
+    let gen_started = Instant::now();
+    let mut writer =
+        ShardWriter::create(dir, SimDuration::from_days(1)).map_err(|e| e.to_string())?;
+    DieselNetConfig::new(cfg.nodes, cfg.days)
+        .seed(cfg.seed)
+        .routes(cfg.routes)
+        .generate_into(&mut writer);
+    let sharded = writer.finish().map_err(|e| e.to_string())?;
+    bench.gen_secs = gen_started.elapsed().as_secs_f64();
+    bench.contacts = dtn_trace::TraceSource::len(&sharded) as u64;
+    bench.shards = sharded.shard_count() as u64;
+
+    let params = SimParams {
+        days: cfg.days,
+        seed: cfg.seed,
+        files_per_day: 10,
+        ttl_days: 2,
+        internet_fraction: 0.001,
+        frequent_window: SimDuration::from_days(3),
+        prefetch: cfg.prefetch,
+        ..SimParams::default()
+    };
+    let mut telemetry = Telemetry::default();
+    let sim_started = Instant::now();
+    let result = run_simulation(&sharded, &params, Some(&mut telemetry));
+    let sim_elapsed = sim_started.elapsed();
+    bench.sim_secs = sim_elapsed.as_secs_f64();
+    bench.contacts_per_sec = rate_per_sec(bench.contacts, sim_elapsed);
+
+    bench.shards_loaded = telemetry.counters.shards_loaded;
+    bench.shards_prefetched = telemetry.counters.shards_prefetched;
+    bench.peak_resident_contacts = telemetry.counters.peak_resident_contacts;
+    bench.peak_residue_nodes = telemetry.counters.peak_residue_nodes;
+    bench.residue_bytes_est = telemetry.counters.residue_bytes_est;
+    bench.queries = result.queries;
+    bench.files_delivered = result.files_delivered;
+
+    let mut digest: u64 = 0xcbf2_9ce4_8422_2325;
+    for value in [
+        result.queries,
+        result.metadata_delivered,
+        result.files_delivered,
+        result.contacts,
+        result.metadata_broadcasts,
+        result.file_broadcasts,
+        result.queries_distributed,
+    ] {
+        digest = fnv_fold(digest, &value.to_be_bytes());
+    }
+    for day in result
+        .daily_metadata_delivered
+        .iter()
+        .chain(result.daily_files_delivered.iter())
+    {
+        digest = fnv_fold(digest, &day.to_be_bytes());
+    }
+    bench.result_digest = digest;
+    Ok(bench)
+}
+
+/// Runs the city bench and wraps it in a schema-versioned [`BenchReport`]
+/// (scale label `"city"`, no sweep content) carrying the run's telemetry
+/// counters, so the standard baseline tooling applies unchanged.
+///
+/// # Errors
+///
+/// Propagates [`run_city_bench`] failures.
+pub fn run_city_bench_report(
+    cfg: &CityBenchConfig,
+    exec: &ExecConfig,
+    dir: &Path,
+) -> Result<BenchReport, String> {
+    let started = Instant::now();
+    let bench = run_city_bench(cfg, dir)?;
+    let mut telemetry = Telemetry::default();
+    telemetry.counters.contacts = bench.contacts;
+    telemetry.counters.shards_loaded = bench.shards_loaded;
+    telemetry.counters.shards_prefetched = bench.shards_prefetched;
+    telemetry.counters.peak_resident_contacts = bench.peak_resident_contacts;
+    telemetry.counters.peak_residue_nodes = bench.peak_residue_nodes;
+    telemetry.counters.residue_bytes_est = bench.residue_bytes_est;
+    let mut report = BenchReport::new("city", exec, 1, started.elapsed(), &telemetry, Vec::new());
+    report.city = Some(bench);
+    Ok(report)
 }
 
 /// Minimal recursive-descent JSON parser — just enough for
@@ -1208,5 +1570,156 @@ mod tests {
         assert!(report.server.is_some());
         let parsed = BenchReport::from_json(&report.to_json()).unwrap();
         assert!(compare(&parsed, &report, &Tolerance::default()).is_empty());
+    }
+
+    /// A shrunken city bench — enough shards that prefetch has real work,
+    /// small enough for a debug test.
+    fn tiny_city_config() -> CityBenchConfig {
+        CityBenchConfig {
+            nodes: 24,
+            days: 4,
+            routes: 8,
+            seed: 5,
+            prefetch: 1,
+        }
+    }
+
+    fn city_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mbt-perf-test-city/{name}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_city_report() -> BenchReport {
+        let mut report = sample_report();
+        report.city = Some(CityBench {
+            nodes: 24,
+            days: 4,
+            routes: 8,
+            seed: 5,
+            prefetch: 1,
+            contacts: 900,
+            shards: 4,
+            shards_loaded: 4,
+            shards_prefetched: 4,
+            peak_resident_contacts: 480,
+            peak_residue_nodes: 17,
+            residue_bytes_est: 4_096,
+            queries: 60,
+            files_delivered: 12,
+            // Above 2^53, like the server digest: must ride as a hex string.
+            result_digest: 0xfeed_face_dead_0001,
+            gen_secs: 0.4,
+            sim_secs: 1.1,
+            contacts_per_sec: 818.0,
+        });
+        report
+    }
+
+    #[test]
+    fn city_report_round_trips_through_json() {
+        let report = sample_city_report();
+        let parsed = BenchReport::from_json(&report.to_json()).unwrap();
+        let (got, want) = (parsed.city.as_ref().unwrap(), report.city.as_ref().unwrap());
+        assert_eq!(
+            got.result_digest, want.result_digest,
+            "u64 digest must survive JSON"
+        );
+        assert_eq!(got.nodes, want.nodes);
+        assert_eq!(got.shards_prefetched, want.shards_prefetched);
+        assert_eq!(got.residue_bytes_est, want.residue_bytes_est);
+        assert!((got.sim_secs - want.sim_secs).abs() < 1e-9);
+        assert!(compare(&parsed, &report, &Tolerance::default()).is_empty());
+    }
+
+    #[test]
+    fn city_counter_and_digest_drift_fail_exactly() {
+        let baseline = sample_city_report();
+        let mut current = baseline.clone();
+        current.city.as_mut().unwrap().peak_residue_nodes += 1;
+        current.city.as_mut().unwrap().result_digest ^= 1;
+        let errors = compare(&current, &baseline, &Tolerance::default());
+        assert_eq!(errors.len(), 2, "{errors:?}");
+        assert!(
+            errors.iter().any(|e| e.contains("peak_residue_nodes")),
+            "{errors:?}"
+        );
+        assert!(errors.iter().any(|e| e.contains("digest")), "{errors:?}");
+    }
+
+    #[test]
+    fn city_section_presence_must_match_the_baseline() {
+        let baseline = sample_city_report();
+        let mut current = baseline.clone();
+        current.city = None;
+        let errors = compare(&current, &baseline, &Tolerance::default());
+        assert!(errors.iter().any(|e| e.contains("presence")), "{errors:?}");
+        let errors = compare(&baseline, &current, &Tolerance::default());
+        assert!(errors.iter().any(|e| e.contains("presence")), "{errors:?}");
+    }
+
+    #[test]
+    fn city_timings_thresholded_only_at_equal_jobs() {
+        let baseline = sample_city_report();
+        let mut current = baseline.clone();
+        current.city.as_mut().unwrap().sim_secs *= 10.0;
+        let errors = compare(&current, &baseline, &Tolerance::default());
+        assert!(errors.iter().any(|e| e.contains("sim_secs")), "{errors:?}");
+        current.jobs += 1;
+        assert!(compare(&current, &baseline, &Tolerance::default()).is_empty());
+    }
+
+    #[test]
+    fn tiny_city_bench_repeats_bit_identically_at_any_prefetch_depth() {
+        let cfg = tiny_city_config();
+        let a = run_city_bench(&cfg, &city_dir("a")).unwrap();
+        let b = run_city_bench(&cfg, &city_dir("b")).unwrap();
+        assert_eq!(a.result_digest, b.result_digest);
+        assert_eq!(
+            (a.contacts, a.shards, a.queries, a.files_delivered),
+            (b.contacts, b.shards, b.queries, b.files_delivered)
+        );
+        assert_eq!(a.peak_residue_nodes, b.peak_residue_nodes);
+        assert_eq!(a.residue_bytes_est, b.residue_bytes_est);
+        // Prefetch depth never changes the simulation, only the shard
+        // counters that describe the replay itself.
+        let serial =
+            run_city_bench(&CityBenchConfig { prefetch: 0, ..cfg }, &city_dir("serial")).unwrap();
+        assert_eq!(serial.result_digest, a.result_digest);
+        assert_eq!(serial.queries, a.queries);
+        assert_eq!(
+            serial.shards_prefetched, 0,
+            "serial replay prefetches nothing"
+        );
+        assert!(a.shards_prefetched >= a.shards_loaded);
+        // Single-decode replay: the manifest supplies the pre-sim stats, so
+        // the one simulation pass is the only decode.
+        assert_eq!(a.shards_loaded, a.shards, "one decode per shard");
+        assert!(a.contacts > 0 && a.shards > 1, "{a:?}");
+    }
+
+    #[test]
+    fn city_bench_report_wrapper_is_a_valid_sweepless_report() {
+        let report = run_city_bench_report(
+            &tiny_city_config(),
+            &ExecConfig::default().jobs(2),
+            &city_dir("wrapper"),
+        )
+        .unwrap();
+        assert_eq!(report.scale, "city");
+        assert!(report.sweeps.is_empty());
+        assert!(report.city.is_some());
+        assert!(report.counters.contacts > 0);
+        let parsed = BenchReport::from_json(&report.to_json()).unwrap();
+        assert!(compare(&parsed, &report, &Tolerance::default()).is_empty());
+    }
+
+    #[test]
+    fn city_bench_overwrites_a_reused_directory_deterministically() {
+        let dir = city_dir("reused");
+        let first = run_city_bench(&tiny_city_config(), &dir).unwrap();
+        let second = run_city_bench(&tiny_city_config(), &dir).unwrap();
+        assert_eq!(first.result_digest, second.result_digest);
+        assert_eq!(first.contacts, second.contacts);
     }
 }

@@ -1,0 +1,145 @@
+//! The prefetch contract: replaying a sharded trace with pipelined shard
+//! prefetch (`SimParams::prefetch` / `mbt simulate --prefetch`) is
+//! **byte-identical** to the serial replay at every depth and `--jobs`
+//! count — the background decode worker only changes *when* shards are
+//! parsed, never what the simulation sees.
+//!
+//! The only observable difference is the `shards_prefetched` telemetry
+//! counter (and, with depth > 0, a higher `peak_resident_contacts`, since
+//! decoded-ahead shards are resident too).
+
+use std::sync::OnceLock;
+
+use dtn_sim::telemetry::Counters;
+use dtn_sim::{FaultPlan, Telemetry};
+use dtn_trace::generators::DieselNetConfig;
+use dtn_trace::{ShardWriter, ShardedTrace, SimDuration, TraceSource};
+use mbt_experiments::figures::{fig2a, RunContext};
+use mbt_experiments::report::figure_csv;
+use mbt_experiments::runner::{run_simulation, SimParams};
+use mbt_experiments::{ExecConfig, Scale};
+use proptest::prelude::*;
+
+/// Fresh per-test shard directory (tests run concurrently).
+fn shard_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir()
+        .join("mbt-prefetch-equivalence")
+        .join(format!("{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The simulation-visible counters: everything except the replay-mechanics
+/// counters a prefetching run is allowed to report differently.
+fn sim_counters(c: &Counters) -> Counters {
+    Counters {
+        shards_prefetched: 0,
+        peak_resident_contacts: 0,
+        ..*c
+    }
+}
+
+#[test]
+fn fig2a_csv_is_byte_identical_across_prefetch_depths_and_jobs() {
+    let mut renders = Vec::new();
+    for jobs in [1, 8] {
+        for depth in [0, 1, 2] {
+            let mut ctx = RunContext::new(Scale::Quick)
+                .exec(ExecConfig::default().jobs(jobs))
+                .sharded(shard_dir(&format!("fig2a-j{jobs}-p{depth}")))
+                .prefetch(depth);
+            renders.push(figure_csv(&fig2a(&mut ctx)));
+        }
+    }
+    for render in &renders[1..] {
+        assert_eq!(
+            &renders[0], render,
+            "prefetch depth or worker count changed figure CSV bytes"
+        );
+    }
+}
+
+#[test]
+fn sixty_day_replay_with_active_faults_is_identical_at_every_depth() {
+    // A 60-day trace (≈60 daily shards) keeps the prefetch worker busy for
+    // the whole run, and the non-noop fault plan pins that injected faults
+    // fire identically when contacts arrive from a decoded-ahead shard.
+    let dir = shard_dir("60d-faults");
+    let mut writer = ShardWriter::create(&dir, SimDuration::from_days(1)).unwrap();
+    DieselNetConfig::new(16, 60)
+        .seed(42)
+        .generate_into(&mut writer);
+    let sharded = writer.finish().unwrap();
+    assert!(sharded.shard_count() >= 50, "expected ~60 daily shards");
+
+    let base = SimParams {
+        days: 60,
+        files_per_day: 10,
+        seed: 7,
+        faults: FaultPlan::none().loss(0.2).churn(0.1).seed(7),
+        ..SimParams::default()
+    };
+    let mut serial_tel = Telemetry::default();
+    let serial = run_simulation(&sharded, &base, Some(&mut serial_tel));
+    assert_eq!(serial_tel.counters.shards_prefetched, 0, "serial replay");
+    for depth in [1usize, 2] {
+        let mut tel = Telemetry::default();
+        let params = SimParams {
+            prefetch: depth,
+            ..base.clone()
+        };
+        let r = run_simulation(&sharded, &params, Some(&mut tel));
+        assert_eq!(serial, r, "prefetch depth {depth} changed the SimResult");
+        assert_eq!(
+            sim_counters(&serial_tel.counters),
+            sim_counters(&tel.counters),
+            "depth {depth} changed a simulation-visible counter"
+        );
+        // Single-decode replay: the manifest supplies the frequent-contact
+        // map, so the one simulation pass is the only shard decode.
+        assert_eq!(tel.counters.shards_loaded, sharded.shard_count() as u64);
+        assert_eq!(
+            tel.counters.shards_prefetched, tel.counters.shards_loaded,
+            "a fully drained stream has prefetched exactly what it loaded"
+        );
+        assert!(
+            tel.counters.peak_resident_contacts >= serial_tel.counters.peak_resident_contacts,
+            "prefetched shards count toward residency"
+        );
+    }
+}
+
+/// One sharded fixture shared by every proptest case — building it per case
+/// would dominate the run.
+fn proptest_fixture() -> &'static ShardedTrace {
+    static FIXTURE: OnceLock<ShardedTrace> = OnceLock::new();
+    FIXTURE.get_or_init(|| {
+        let dir = shard_dir("proptest-fixture");
+        let mut writer = ShardWriter::create(&dir, SimDuration::from_days(1)).unwrap();
+        DieselNetConfig::new(12, 8)
+            .seed(9)
+            .generate_into(&mut writer);
+        writer.finish().unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Consuming any prefix of a prefetching stream — including dropping it
+    /// mid-shard, which exercises the worker-abandonment path the engine
+    /// takes when a contact starts beyond the horizon — yields exactly the
+    /// serial contact sequence.
+    #[test]
+    fn random_partial_consumption_matches_the_serial_stream(
+        take_raw in any::<u64>(),
+        depth in 0usize..5,
+    ) {
+        let sharded = proptest_fixture();
+        let len = TraceSource::len(sharded);
+        let take = (take_raw % (len as u64 + 1)) as usize;
+        let serial: Vec<_> = sharded.stream().take(take).collect();
+        let prefetched: Vec<_> = sharded.stream_prefetch(depth).take(take).collect();
+        prop_assert_eq!(serial, prefetched, "take {} depth {}", take, depth);
+    }
+}
