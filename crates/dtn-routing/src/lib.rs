@@ -47,7 +47,7 @@ pub mod message;
 pub mod protocols;
 pub mod sim;
 
-pub use buffer::{Buffer, DropPolicy};
+pub use buffer::{Buffer, DropPolicy, EvictLowestScore, EvictionPolicy};
 pub use message::{Message, MessageId};
-pub use protocols::RoutingProtocol;
+pub use protocols::{AvailabilityDiffusion, RoutingProtocol};
 pub use sim::{RoutingReport, RoutingSim};

@@ -395,6 +395,69 @@ impl RoutingProtocol for SprayAndWait {
     }
 }
 
+/// An exponentially-smoothed estimator of per-item availability, the model
+/// behind diffusion-driven proactive replication (after Napoli, Anceaume,
+/// et al., *Improving files availability for BitTorrent using a diffusion
+/// model*).
+///
+/// Each observation is the fraction of currently-connected peers holding an
+/// item; the estimate diffuses toward it with weight `alpha`. Items whose
+/// estimate sits below `threshold` are scarce and worth replicating
+/// proactively. The helper is deliberately protocol-agnostic — `mbt-core`'s
+/// `DiffuseRep` variant drives it with clique file catalogs.
+///
+/// # Example
+///
+/// ```
+/// use dtn_routing::AvailabilityDiffusion;
+///
+/// let d = AvailabilityDiffusion::new(0.5, 0.35);
+/// let estimate = d.update(0.0, 1.0); // first sighting: everyone has it
+/// assert!((estimate - 0.5).abs() < 1e-12);
+/// assert!(!d.is_scarce(estimate));
+/// assert!(d.is_scarce(d.update(estimate, 0.0)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AvailabilityDiffusion {
+    alpha: f64,
+    threshold: f64,
+}
+
+impl AvailabilityDiffusion {
+    /// Creates the estimator with smoothing weight `alpha` and scarcity
+    /// `threshold`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `alpha` ∈ (0, 1] and `threshold` ∈ [0, 1].
+    pub fn new(alpha: f64, threshold: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "bad alpha");
+        assert!((0.0..=1.0).contains(&threshold), "bad threshold");
+        AvailabilityDiffusion { alpha, threshold }
+    }
+
+    /// The smoothing weight of the newest observation.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// The scarcity threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Diffuses `estimate` toward the newly `observed` availability.
+    pub fn update(&self, estimate: f64, observed: f64) -> f64 {
+        estimate + self.alpha * (observed - estimate)
+    }
+
+    /// True if an item with this availability estimate should be replicated
+    /// proactively.
+    pub fn is_scarce(&self, estimate: f64) -> bool {
+        estimate < self.threshold
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -631,5 +694,23 @@ mod tests {
     #[should_panic(expected = "bad gamma")]
     fn prophet_rejects_bad_gamma() {
         let _ = Prophet::with_params(0.75, 0.25, 1.5, 30.0);
+    }
+
+    #[test]
+    fn diffusion_converges_to_observation() {
+        let d = AvailabilityDiffusion::new(0.5, 0.35);
+        let mut estimate = 0.0;
+        for _ in 0..20 {
+            estimate = d.update(estimate, 0.8);
+        }
+        assert!((estimate - 0.8).abs() < 1e-3, "{estimate}");
+        assert!(!d.is_scarce(estimate));
+        assert!(d.is_scarce(0.3));
+    }
+
+    #[test]
+    #[should_panic(expected = "bad alpha")]
+    fn diffusion_rejects_zero_alpha() {
+        let _ = AvailabilityDiffusion::new(0.0, 0.5);
     }
 }

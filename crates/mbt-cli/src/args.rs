@@ -60,6 +60,8 @@ const FLAGS: &[&str] = &[
     "verify",
     "server",
     "city",
+    "csv",
+    "delay-csv",
 ];
 
 impl Args {

@@ -9,4 +9,5 @@ pub mod routing;
 pub mod shard;
 pub mod shard_info;
 pub mod simulate;
+pub mod sweep;
 pub mod trace_stats;

@@ -7,7 +7,7 @@ use std::time::Instant;
 
 use dtn_sim::{FaultPlan, Telemetry};
 use dtn_trace::{read_trace, ShardedTrace, SimDuration, TraceSource};
-use mbt_core::{BroadcastOrdering, CooperationMode, MbtConfig, ProtocolKind, TransportKind};
+use mbt_core::{BroadcastOrdering, CooperationMode, MbtConfig, ProtocolSpec, TransportKind};
 use mbt_experiments::perf::BenchReport;
 use mbt_experiments::runner::{run_simulation, SimParams};
 use mbt_experiments::ExecConfig;
@@ -16,7 +16,8 @@ use crate::args::Args;
 use crate::CliError;
 
 /// Usage text for the subcommand.
-pub const USAGE: &str = "mbt simulate <trace-file|shard-dir> [--protocol mbt|mbt-q|mbt-qm] \
+pub const USAGE: &str = "mbt simulate <trace-file|shard-dir> \
+[--protocol mbt|mbt-q|mbt-qm|popcache|diffuserep] \
 [--internet 0..1] [--files-per-day N] [--ttl N] [--days N] [--seed N] \
 [--metadata-per-contact N] [--files-per-contact N] [--frequent-days N] \
 [--loss 0..1] [--churn 0..1] [--truncate 0..1] [--corrupt 0..1] \
@@ -41,16 +42,8 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         Box::new(read_trace(file).map_err(|e| CliError::Usage(e.to_string()))?)
     };
 
-    let protocol = match args.str_or("protocol", "mbt") {
-        "mbt" => ProtocolKind::Mbt,
-        "mbt-q" => ProtocolKind::MbtQ,
-        "mbt-qm" => ProtocolKind::MbtQm,
-        other => {
-            return Err(CliError::Usage(format!(
-                "unknown protocol `{other}` (expected mbt, mbt-q, or mbt-qm)"
-            )))
-        }
-    };
+    let protocol = ProtocolSpec::by_name(args.str_or("protocol", "mbt"))
+        .map_err(|e| CliError::Usage(e.to_string()))?;
 
     let default_days = source.span().as_days_f64().ceil().max(1.0) as u64;
     let mut config = MbtConfig::new()
@@ -76,36 +69,38 @@ pub fn run(args: &Args) -> Result<String, CliError> {
         .corruption(rate("corrupt")?)
         .seed(seed);
 
-    let params = SimParams {
-        protocol,
-        config,
-        internet_fraction: args
-            .parse_or("internet", 0.3f64, "a number in [0,1]")?
-            .clamp(0.0, 1.0),
-        files_per_day: args.parse_or("files-per-day", 40u32, "an integer")?,
-        ttl_days: args.parse_or("ttl", 3u64, "an integer")?,
-        days: args.parse_or("days", default_days, "an integer")?,
-        seed,
-        frequent_window: SimDuration::from_days(args.parse_or(
+    // Structured fault injection subsumes the legacy permanent-death churn:
+    // `--churn` drives the plan's down intervals, not SimParams::churn.
+    let params = SimParams::builder()
+        .protocol(protocol)
+        .config(config)
+        .internet_fraction(
+            args.parse_or("internet", 0.3f64, "a number in [0,1]")?
+                .clamp(0.0, 1.0),
+        )
+        .files_per_day(args.parse_or("files-per-day", 40u32, "an integer")?)
+        .ttl_days(args.parse_or("ttl", 3u64, "an integer")?)
+        .days(args.parse_or("days", default_days, "an integer")?)
+        .seed(seed)
+        .frequent_window(SimDuration::from_days(args.parse_or(
             "frequent-days",
             1u64,
             "an integer",
-        )?),
-        // Structured fault injection subsumes the legacy permanent-death
-        // churn: `--churn` now drives the plan's down intervals.
-        churn: 0.0,
-        faults,
-        polluter_fraction: args
-            .parse_or("polluters", 0.0f64, "a number in [0,1]")?
-            .clamp(0.0, 1.0),
-        fakes_per_day: args.parse_or("fakes-per-day", 4u32, "an integer")?,
-        verify_metadata: args.flag("verify"),
-        prefetch: args.parse_or("prefetch", 0usize, "an integer")?,
-        transport: args
-            .str_or("transport", "sim")
-            .parse::<TransportKind>()
-            .map_err(CliError::Usage)?,
-    };
+        )?))
+        .faults(faults)
+        .polluter_fraction(
+            args.parse_or("polluters", 0.0f64, "a number in [0,1]")?
+                .clamp(0.0, 1.0),
+        )
+        .fakes_per_day(args.parse_or("fakes-per-day", 4u32, "an integer")?)
+        .verify_metadata(args.flag("verify"))
+        .prefetch(args.parse_or("prefetch", 0usize, "an integer")?)
+        .transport(
+            args.str_or("transport", "sim")
+                .parse::<TransportKind>()
+                .map_err(CliError::Usage)?,
+        )
+        .build();
     // With --perf-report the run goes through the observed path (identical
     // results — telemetry never feeds back) and the telemetry is written as
     // a schema-versioned JSON perf report.
@@ -314,6 +309,24 @@ mod tests {
         let path = trace_file("bad-transport");
         let err = run(&args(&format!("{} --transport tcp", path.display()))).unwrap_err();
         assert!(err.to_string().contains("unknown transport"));
+    }
+
+    #[test]
+    fn accepts_new_variants_by_name() {
+        let path = trace_file("popcache");
+        let out = run(&args(&format!(
+            "{} --protocol popcache --files-per-day 8",
+            path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("PopCache"), "{out}");
+    }
+
+    #[test]
+    fn unknown_protocol_suggests_closest() {
+        let path = trace_file("suggest");
+        let err = run(&args(&format!("{} --protocol popcash", path.display()))).unwrap_err();
+        assert!(err.to_string().contains("did you mean `PopCache`"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,201 @@
+//! `mbt sweep` — run a parameter sweep over a trace with a named protocol
+//! list, rendering a paper-style table or CSV.
+//!
+//! Where `mbt simulate` runs one cell, this expands the full
+//! *(x value × protocol × replicate)* grid on a thread pool. Protocols are
+//! selected by registry name ([`ProtocolSpec::by_name`]), so the new
+//! variants (PopCache, DiffuseRep) line up next to the paper's triad with
+//! one flag.
+
+use std::fs::File;
+use std::sync::Arc;
+
+use dtn_trace::{read_trace, ShardedTrace, SimDuration, TraceSource};
+use mbt_core::ProtocolSpec;
+use mbt_experiments::report::{figure_csv, figure_delay_csv, figure_table};
+use mbt_experiments::runner::SimParams;
+use mbt_experiments::{ExecConfig, ParallelRunner};
+
+use crate::args::Args;
+use crate::CliError;
+
+/// Usage text for the subcommand.
+pub const USAGE: &str = "mbt sweep <trace-file|shard-dir> \
+[--protocols name,name,...] [--param internet|files-per-day|ttl] \
+[--xs v,v,...] [--jobs N] [--replicates N] [--seed N] [--days N] \
+[--files-per-day N] [--frequent-days N] [--csv | --delay-csv]
+
+Expands the (x value x protocol x replicate) grid over the trace and prints
+one series per selected protocol. --protocols picks registry names
+(default: mbt,mbt-q,mbt-qm; also popcache, diffuserep — see
+`mbt simulate`). --param chooses the swept axis (default: internet, the
+Internet-access fraction). Output is an aligned table, `--csv` the legacy
+ratio CSV, `--delay-csv` the ratio+delay CSV. Results are bit-identical for
+any --jobs value.";
+
+/// Runs the subcommand.
+pub fn run(args: &Args) -> Result<String, CliError> {
+    let path = args.positional(0, "trace-file")?.to_string();
+    let source: Arc<dyn TraceSource> = if std::path::Path::new(&path).is_dir() {
+        Arc::new(ShardedTrace::open(&path).map_err(|e| CliError::Usage(e.to_string()))?)
+    } else {
+        let file = File::open(&path).map_err(|e| CliError::Io(path.clone(), e))?;
+        Arc::new(read_trace(file).map_err(|e| CliError::Usage(e.to_string()))?)
+    };
+
+    let protocols: Vec<ProtocolSpec> = args
+        .str_or("protocols", "mbt,mbt-q,mbt-qm")
+        .split(',')
+        .map(|name| ProtocolSpec::by_name(name.trim()).map_err(|e| CliError::Usage(e.to_string())))
+        .collect::<Result<_, _>>()?;
+
+    let xs: Vec<f64> = args
+        .str_or("xs", "0.1,0.3,0.5,0.7,0.9")
+        .split(',')
+        .map(|v| {
+            v.trim()
+                .parse::<f64>()
+                .map_err(|_| CliError::Usage(format!("bad x value `{v}` (expected a number)")))
+        })
+        .collect::<Result<_, _>>()?;
+    if xs.is_empty() {
+        return Err(CliError::Usage("need at least one x value".to_string()));
+    }
+
+    let default_days = source.span().as_days_f64().ceil().max(1.0) as u64;
+    let base = SimParams::builder()
+        .days(args.parse_or("days", default_days, "an integer")?)
+        .files_per_day(args.parse_or("files-per-day", 40u32, "an integer")?)
+        .frequent_window(SimDuration::from_days(args.parse_or(
+            "frequent-days",
+            1u64,
+            "an integer",
+        )?))
+        .build();
+
+    let param = args.str_or("param", "internet").to_string();
+    let params_for = |x: f64| -> SimParams {
+        let mut p = base.clone();
+        match param.as_str() {
+            "files-per-day" => p.files_per_day = x as u32,
+            "ttl" => p.ttl_days = x as u64,
+            _ => p.internet_fraction = x.clamp(0.0, 1.0),
+        }
+        p
+    };
+    match param.as_str() {
+        "internet" | "files-per-day" | "ttl" => {}
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown sweep parameter `{other}` (expected internet, files-per-day, or ttl)"
+            )))
+        }
+    }
+
+    let exec = ExecConfig::default()
+        .jobs(args.parse_or("jobs", 0usize, "an integer")?)
+        .replicates(args.parse_or("replicates", 1u32, "an integer")?)
+        .master_seed(args.parse_or("seed", 42u64, "an integer")?);
+    let fig = ParallelRunner::new(exec)
+        .with_protocols(protocols)
+        .sweep_shared_source(
+            "sweep",
+            &format!("sweep of {param} over {path}"),
+            &param,
+            &xs,
+            source,
+            params_for,
+            None,
+        );
+
+    if args.flag("delay-csv") {
+        Ok(figure_delay_csv(&fig))
+    } else if args.flag("csv") {
+        Ok(figure_csv(&fig))
+    } else {
+        Ok(figure_table(&fig))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dtn_trace::generators::NusConfig;
+    use dtn_trace::write_trace;
+
+    fn trace_file(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("mbt-cli-test-sweep");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("{name}.trace"));
+        let trace = NusConfig::new(20, 5).seed(3).generate();
+        write_trace(std::fs::File::create(&path).unwrap(), &trace).unwrap();
+        path
+    }
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn default_sweep_prints_triad_table() {
+        let path = trace_file("default");
+        let out = run(&args(&format!(
+            "{} --xs 0.3,0.7 --files-per-day 5",
+            path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("MBT-QM"), "{out}");
+        assert!(out.contains("0.300"), "{out}");
+    }
+
+    #[test]
+    fn named_protocols_drive_csv_columns() {
+        let path = trace_file("named");
+        let out = run(&args(&format!(
+            "{} --protocols popcache,diffuserep --xs 0.5 --files-per-day 5 --csv",
+            path.display()
+        )))
+        .unwrap();
+        assert!(out.starts_with("x,protocol"), "{out}");
+        assert!(out.contains("0.5,PopCache,"), "{out}");
+        assert!(out.contains("0.5,DiffuseRep,"), "{out}");
+        assert!(!out.contains("MBT-Q,"), "unselected protocol leaked: {out}");
+    }
+
+    #[test]
+    fn delay_csv_has_delay_columns() {
+        let path = trace_file("delay");
+        let out = run(&args(&format!(
+            "{} --protocols mbt --xs 0.5 --files-per-day 5 --delay-csv",
+            path.display()
+        )))
+        .unwrap();
+        assert!(
+            out.contains("metadata_delay_hours,file_delay_hours"),
+            "{out}"
+        );
+    }
+
+    #[test]
+    fn unknown_protocol_name_gets_did_you_mean() {
+        let path = trace_file("badname");
+        let err = run(&args(&format!("{} --protocols mbtt", path.display()))).unwrap_err();
+        assert!(err.to_string().contains("did you mean"), "{err}");
+    }
+
+    #[test]
+    fn jobs_do_not_change_output() {
+        let path = trace_file("jobs");
+        let base = format!("{} --xs 0.3,0.7 --files-per-day 5 --csv", path.display());
+        let serial = run(&args(&format!("{base} --jobs 1"))).unwrap();
+        let parallel = run(&args(&format!("{base} --jobs 8"))).unwrap();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn rejects_unknown_param() {
+        let path = trace_file("badparam");
+        let err = run(&args(&format!("{} --param beard-length", path.display()))).unwrap_err();
+        assert!(err.to_string().contains("unknown sweep parameter"), "{err}");
+    }
+}

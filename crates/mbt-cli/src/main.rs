@@ -6,7 +6,8 @@
 //! mbt shard        write a trace as time-windowed on-disk shards
 //! mbt shard-info   inspect a sharded trace's manifest
 //! mbt trace-stats  inspect a trace: contacts, cliques, inter-contact times
-//! mbt simulate     run MBT / MBT-Q / MBT-QM over a trace or shard dir
+//! mbt simulate     run a protocol variant over a trace or shard dir
+//! mbt sweep        sweep a parameter over named protocol variants
 //! mbt routing      run a routing baseline (epidemic | prophet | spray | direct)
 //! mbt capacity     print the §V broadcast vs pair-wise capacity table
 //! mbt bench        run quick-scale sweeps under telemetry, emit a perf report
@@ -57,6 +58,7 @@ commands:
   shard-info   inspect a sharded trace's manifest
   trace-stats  inspect a contact trace
   simulate     run the MBT file-sharing simulation (trace file or shard dir)
+  sweep        sweep a parameter over named protocol variants (table/CSV)
   routing      run a store-carry-forward routing baseline
   capacity     print the broadcast vs pair-wise capacity table
   bench        run benchmark sweeps and write a JSON perf report
@@ -96,6 +98,12 @@ fn dispatch(command: &str, args: &Args) -> Result<String, CliError> {
                 return Ok(commands::simulate::USAGE.to_string());
             }
             commands::simulate::run(args)
+        }
+        "sweep" => {
+            if args.flag("help") {
+                return Ok(commands::sweep::USAGE.to_string());
+            }
+            commands::sweep::run(args)
         }
         "routing" => {
             if args.flag("help") {
@@ -187,6 +195,7 @@ mod tests {
             "shard-info",
             "trace-stats",
             "simulate",
+            "sweep",
             "routing",
             "capacity",
             "bench",

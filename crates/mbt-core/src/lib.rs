@@ -88,7 +88,9 @@ pub use metadata::Metadata;
 pub use node::{ColdNodeState, MbtNode, NodeEvent, Source};
 pub use piece::{Piece, PieceId};
 pub use popularity::Popularity;
-pub use protocol::ProtocolKind;
+pub use protocol::{
+    CachePolicy, PopularityScope, ProtocolKind, ProtocolSpec, ReplicationPolicy, UnknownProtocol,
+};
 pub use query::Query;
 pub use server::MetadataServer;
 pub use store::{FileStore, MetadataStore, QueryStore};

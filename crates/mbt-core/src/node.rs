@@ -11,6 +11,7 @@
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
 
+use dtn_routing::{AvailabilityDiffusion, EvictLowestScore, EvictionPolicy};
 use dtn_sim::channel::frame_bytes;
 use dtn_sim::telemetry::{Phase, PhaseTimes};
 use dtn_trace::{NodeId, SimDuration, SimTime};
@@ -22,7 +23,7 @@ use crate::discovery::receive_metadata;
 use crate::download::{cooperative as dl_coop, tft as dl_tft, Broadcast, Offer};
 use crate::metadata::Metadata;
 use crate::popularity::Popularity;
-use crate::protocol::ProtocolKind;
+use crate::protocol::{CachePolicy, PopularityScope, ProtocolSpec, ReplicationPolicy};
 use crate::query::Query;
 use crate::server::MetadataServer;
 use crate::store::{FileStore, MetadataStore, QueryStore};
@@ -81,7 +82,7 @@ pub enum NodeEvent {
 #[derive(Debug, Clone)]
 pub struct MbtNode {
     id: NodeId,
-    protocol: ProtocolKind,
+    protocol: ProtocolSpec,
     config: MbtConfig,
     internet_access: bool,
     frequent_contacts: BTreeSet<NodeId>,
@@ -92,6 +93,14 @@ pub struct MbtNode {
     /// Best popularity observed per URI, with the URI's global expiry when
     /// the observation rode metadata (so dead URIs can be pruned).
     popularity: BTreeMap<Uri, (Popularity, Option<SimTime>)>,
+    /// Locally-observed demand: how many times peers met in contacts have
+    /// announced wanting each URI. Only populated under
+    /// [`PopularityScope::Local`] cache ranking; always empty on the
+    /// paper's triad.
+    local_demand: BTreeMap<Uri, u32>,
+    /// Smoothed per-URI availability estimates. Only populated under
+    /// [`ReplicationPolicy::Diffusion`]; always empty on the paper's triad.
+    availability: BTreeMap<Uri, f64>,
     key_registry: Option<KeyRegistry>,
     /// URIs whose metadata failed authentication, with their claimed expiry:
     /// never re-requested, so fakes cannot burn a broadcast slot at every
@@ -127,10 +136,14 @@ pub struct ColdNodeState {
 
 impl MbtNode {
     /// Creates a node without Internet access.
-    pub fn new(id: NodeId, protocol: ProtocolKind, config: MbtConfig) -> Self {
+    ///
+    /// `protocol` takes anything convertible to a [`ProtocolSpec`] — a spec
+    /// itself, or a legacy [`ProtocolKind`](crate::ProtocolKind) (mapped to
+    /// its canned spec).
+    pub fn new(id: NodeId, protocol: impl Into<ProtocolSpec>, config: MbtConfig) -> Self {
         MbtNode {
             id,
-            protocol,
+            protocol: protocol.into(),
             config,
             internet_access: false,
             frequent_contacts: BTreeSet::new(),
@@ -139,6 +152,8 @@ impl MbtNode {
             files: FileStore::new(),
             credits: CreditLedger::new(),
             popularity: BTreeMap::new(),
+            local_demand: BTreeMap::new(),
+            availability: BTreeMap::new(),
             key_registry: None,
             rejected: BTreeMap::new(),
             events: Vec::new(),
@@ -152,7 +167,7 @@ impl MbtNode {
     }
 
     /// The protocol variant this node runs.
-    pub fn protocol(&self) -> ProtocolKind {
+    pub fn protocol(&self) -> ProtocolSpec {
         self.protocol
     }
 
@@ -229,7 +244,7 @@ impl MbtNode {
                 from: Source::Internet,
             });
         }
-        if with_file && self.files.insert(uri.clone(), expires) {
+        if with_file && self.try_store_file(uri.clone(), expires) {
             self.events.push(NodeEvent::FileCompleted {
                 uri,
                 from: Source::Internet,
@@ -295,8 +310,8 @@ impl MbtNode {
 
     /// Records a popularity observation for a URI that expires at
     /// `expires`, keeping the maximum popularity (and the latest expiry)
-    /// seen. Once every observation's expiry has passed, [`prune`]
-    /// (Self::prune) drops the entry: an expired URI is never advertised,
+    /// seen. Once every observation's expiry has passed,
+    /// [`prune`](Self::prune) drops the entry: an expired URI is never advertised,
     /// requested, or ranked again, so forgetting its popularity is
     /// unobservable — and it is what lets long simulations evict nodes
     /// whose state has fully decayed.
@@ -389,6 +404,8 @@ impl MbtNode {
         let cold = self.metadata.is_empty()
             && self.files.is_empty()
             && self.popularity.is_empty()
+            && self.local_demand.is_empty()
+            && self.availability.is_empty()
             && self.rejected.is_empty()
             && self.events.is_empty()
             && self.queries.foreign().next().is_none();
@@ -406,6 +423,61 @@ impl MbtNode {
     /// [`extract_cold_state`](Self::extract_cold_state) contract.
     pub fn restore_credits(&mut self, entries: Vec<(NodeId, f64)>) {
         self.credits = CreditLedger::from_entries(entries);
+    }
+
+    /// True if the node holds metadata for `uri` matching one of its own
+    /// queries — such a file is *protected*: a bounded cache never evicts it
+    /// and always admits it.
+    fn matches_own_query(&self, uri: &Uri) -> bool {
+        self.metadata.get(uri).is_some_and(|m| {
+            self.queries
+                .own()
+                .any(|e| e.query().matches_token_set(m.token_set()))
+        })
+    }
+
+    /// The ranking score a bounded cache uses for `uri` under `scope`.
+    fn cache_score(&self, uri: &Uri, scope: PopularityScope) -> f64 {
+        match scope {
+            PopularityScope::Global => self.known_popularity(uri).value(),
+            PopularityScope::Local => f64::from(self.local_demand.get(uri).copied().unwrap_or(0)),
+        }
+    }
+
+    /// Stores a complete file through the cache policy; returns `true` if it
+    /// was newly stored.
+    ///
+    /// Under [`CachePolicy::Unbounded`] this is exactly a
+    /// [`FileStore::insert`]. Under [`CachePolicy::PopularityRanked`] a full
+    /// buffer first picks a victim (via the shared
+    /// [`dtn_routing::EvictLowestScore`] seam) among the held files *not*
+    /// matching the node's own queries: if there is none, or the incoming
+    /// file is unwanted and scores no higher than the victim, the incoming
+    /// file is refused instead. A file the node's own user wants is always
+    /// admitted over the victim; a file being downloaded (wanted) is never
+    /// the victim — which is what the crate's proptests pin.
+    pub fn try_store_file(&mut self, uri: Uri, expires: Option<SimTime>) -> bool {
+        if let CachePolicy::PopularityRanked { capacity, scope } = self.protocol.cache() {
+            if !self.files.contains(&uri) && self.files.len() >= capacity as usize {
+                let candidates: Vec<(Uri, f64)> = self
+                    .files
+                    .iter()
+                    .filter(|held| !self.matches_own_query(held))
+                    .map(|held| (held.clone(), self.cache_score(held, scope)))
+                    .collect();
+                let Some(victim) = EvictLowestScore.pick_victim(&candidates) else {
+                    return false;
+                };
+                if !self.matches_own_query(&uri) {
+                    let victim_score = self.cache_score(&victim, scope);
+                    if self.cache_score(&uri, scope) <= victim_score {
+                        return false;
+                    }
+                }
+                self.files.remove(&victim);
+            }
+        }
+        self.files.insert(uri, expires)
     }
 
     /// Stores metadata received from the Internet; returns `true` if new.
@@ -458,7 +530,8 @@ impl MbtNode {
             if let Some((best, _)) = matches.first() {
                 let uri = best.uri().clone();
                 server.record_request(&uri, self.id, now);
-                if self.files.insert(uri.clone(), best.expires()) {
+                let expires = best.expires();
+                if self.try_store_file(uri.clone(), expires) {
                     self.events.push(NodeEvent::FileCompleted {
                         uri,
                         from: Source::Internet,
@@ -746,6 +819,81 @@ pub fn run_contact_via(
             .expect("sender is a member")]
     };
 
+    // --- Locally-observed demand (PopCache's Local scope only): each member
+    // counts how often the peers it meets announce wanting a URI. On any
+    // other cache policy this block is a no-op, keeping the paper's triad
+    // structurally untouched. ---
+    if let CachePolicy::PopularityRanked {
+        scope: PopularityScope::Local,
+        ..
+    } = protocol.cache()
+    {
+        for &idx in members {
+            let me = nodes[idx].id;
+            for snap in &snapshots {
+                if snap.id == me {
+                    continue;
+                }
+                for uri in &snap.wanted {
+                    *nodes[idx].local_demand.entry(uri.clone()).or_insert(0) += 1;
+                }
+            }
+        }
+    }
+
+    // --- Availability diffusion (DiffuseRep only): every member smooths its
+    // per-URI availability estimate toward the fraction of clique members
+    // holding the file, then files observed scarce gain proactive
+    // requesters — members lacking them whose estimate sits below the
+    // threshold. The file phase folds these into its offers, so the
+    // existing requested-before-popular scheduler prioritises scarce files
+    // with no scheduler changes. Empty on every other replication policy.
+    // ---
+    let mut proactive: BTreeMap<Uri, Vec<NodeId>> = BTreeMap::new();
+    if let ReplicationPolicy::Diffusion {
+        smoothing_pct,
+        threshold_pct,
+    } = protocol.replication()
+    {
+        let diffusion = AvailabilityDiffusion::new(
+            f64::from(smoothing_pct.max(1)) / 100.0,
+            f64::from(threshold_pct) / 100.0,
+        );
+        let clique = members.len() as f64;
+        let observed: Vec<(Uri, f64)> = metadata_catalog
+            .keys()
+            .chain(file_catalog.keys())
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .map(|uri| {
+                let holders = file_catalog.get(uri).map_or(0, Vec::len) as f64;
+                (uri.clone(), holders / clique)
+            })
+            .collect();
+        for &idx in members {
+            for (uri, seen) in &observed {
+                let estimate = nodes[idx].availability.entry(uri.clone()).or_insert(0.0);
+                *estimate = diffusion.update(*estimate, *seen);
+            }
+        }
+        for (uri, holders) in &file_catalog {
+            let requesters: Vec<NodeId> = members
+                .iter()
+                .zip(&snapshots)
+                .filter(|(_, s)| !holders.contains(&s.id) && !s.rejected.contains(uri))
+                .filter(|(&idx, _)| {
+                    let estimate = nodes[idx].availability.get(uri).copied().unwrap_or(0.0);
+                    diffusion.is_scarce(estimate)
+                })
+                .map(|(_, s)| s.id)
+                .collect();
+            if !requesters.is_empty() {
+                proactive.insert(uri.clone(), requesters);
+            }
+        }
+    }
+    let proactive = proactive;
+
     // --- Query distribution (full MBT, §IV): frequent contacts store each
     // other's queries so they can collect metadata while apart. ---
     if protocol.distributes_queries() {
@@ -927,7 +1075,7 @@ pub fn run_contact_via(
                 // "downloading URI" in its hello) and does not hold. Under
                 // MBT-QM nobody can announce wants — nodes have no standalone
                 // metadata — so all offers fall to the popularity phase.
-                let requesters: Vec<NodeId> = if protocol.distributes_metadata() {
+                let mut requesters: Vec<NodeId> = if protocol.distributes_metadata() {
                     snapshots
                         .iter()
                         .filter(|s| s.wanted.contains(uri) && !holders.contains(&s.id))
@@ -936,6 +1084,13 @@ pub fn run_contact_via(
                 } else {
                     Vec::new()
                 };
+                if requesters.is_empty() {
+                    // Diffusion seeding: scarce files nobody asked for are
+                    // still pulled by the members estimating them scarce.
+                    if let Some(extra) = proactive.get(uri) {
+                        requesters = extra.clone();
+                    }
+                }
                 let pop = metadata_catalog
                     .get(uri)
                     .map(|(_, p, _)| *p)
@@ -1021,7 +1176,7 @@ pub fn run_contact_via(
                         .map(|m| own.iter().any(|q| q.matches_token_set(m.token_set())))
                         .unwrap_or(false)
                 };
-                if receiver.files.insert(uri.clone(), expires) {
+                if receiver.try_store_file(uri.clone(), expires) {
                     let (pieces, content_bytes) = riding
                         .as_ref()
                         .map(|(m, _)| (m.piece_count() as usize, m.size()))
@@ -1067,7 +1222,7 @@ pub fn run_contact_via(
 
 /// Builds one member's hello frame, charging the wanted-set lookup to the
 /// report exactly as the pre-seam snapshot did.
-fn build_hello(n: &MbtNode, protocol: ProtocolKind, report: &mut ContactReport) -> HelloFrame {
+fn build_hello(n: &MbtNode, protocol: ProtocolSpec, report: &mut ContactReport) -> HelloFrame {
     let own_queries: Vec<(Query, Option<SimTime>)> = n
         .queries
         .own()
@@ -1160,6 +1315,7 @@ pub fn run_pairwise_contact(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::protocol::ProtocolKind;
 
     fn uri(s: &str) -> Uri {
         Uri::new(s).unwrap()
@@ -1662,6 +1818,151 @@ mod tests {
         let mut nodes = vec![node(0, ProtocolKind::Mbt)];
         let report = run_contact(&mut nodes, &[0], SimTime::ZERO, SimDuration::from_secs(60));
         assert_eq!(report, ContactReport::default());
+    }
+
+    fn pop_cache_node(i: u32, capacity: u32) -> MbtNode {
+        let spec = ProtocolSpec::POP_CACHE.with_cache(
+            "PopCache-test",
+            CachePolicy::PopularityRanked {
+                capacity,
+                scope: PopularityScope::Global,
+            },
+        );
+        MbtNode::new(NodeId::new(i), spec, MbtConfig::new())
+    }
+
+    #[test]
+    fn popcache_evicts_lowest_popularity_when_full() {
+        let mut n = pop_cache_node(0, 2);
+        n.seed_content(meta("low show", "mbt://low"), Popularity::new(0.2), true);
+        n.seed_content(meta("mid show", "mbt://mid"), Popularity::new(0.5), true);
+        assert_eq!(n.file_count(), 2);
+        // A more popular file displaces the lowest-ranked one.
+        n.seed_content(meta("hot show", "mbt://hot"), Popularity::new(0.9), true);
+        assert_eq!(n.file_count(), 2, "bound holds");
+        assert!(!n.has_file(&uri("mbt://low")), "lowest-ranked evicted");
+        assert!(n.has_file(&uri("mbt://mid")));
+        assert!(n.has_file(&uri("mbt://hot")));
+        // A less popular file than every resident is refused.
+        n.seed_content(meta("dud show", "mbt://dud"), Popularity::new(0.1), true);
+        assert!(!n.has_file(&uri("mbt://dud")), "unwanted low-score refused");
+        assert_eq!(n.file_count(), 2);
+    }
+
+    #[test]
+    fn popcache_never_evicts_own_wanted_files() {
+        let mut n = pop_cache_node(0, 2);
+        n.add_query(Query::new("fox news").unwrap(), None);
+        // "mbt://want" matches the node's own query: protected despite its
+        // rock-bottom popularity.
+        n.seed_content(
+            meta("fox news tonight", "mbt://want"),
+            Popularity::MIN,
+            true,
+        );
+        n.seed_content(
+            meta("other show", "mbt://other"),
+            Popularity::new(0.4),
+            true,
+        );
+        n.seed_content(meta("hot show", "mbt://hot"), Popularity::new(0.9), true);
+        assert!(n.has_file(&uri("mbt://want")), "wanted file survives");
+        assert!(!n.has_file(&uri("mbt://other")), "unprotected file evicted");
+        assert!(n.has_file(&uri("mbt://hot")));
+    }
+
+    #[test]
+    fn popcache_refuses_when_every_resident_is_protected() {
+        let mut n = pop_cache_node(0, 2);
+        n.add_query(Query::new("fox news").unwrap(), None);
+        n.seed_content(meta("fox news morning", "mbt://m"), Popularity::MIN, true);
+        n.seed_content(meta("fox news evening", "mbt://e"), Popularity::MIN, true);
+        n.seed_content(meta("hot show", "mbt://hot"), Popularity::MAX, true);
+        assert!(
+            !n.has_file(&uri("mbt://hot")),
+            "no evictable victim: refuse"
+        );
+        assert!(n.has_file(&uri("mbt://m")));
+        assert!(n.has_file(&uri("mbt://e")));
+        assert_eq!(n.file_count(), 2);
+    }
+
+    #[test]
+    fn popcache_contact_respects_bound() {
+        let mut nodes = vec![pop_cache_node(0, 3), pop_cache_node(1, 3)];
+        for i in 0..8 {
+            let u = format!("mbt://f{i}");
+            nodes[0].seed_content(
+                meta(&format!("show {i}"), &u),
+                Popularity::new(0.1 * f64::from(i)),
+                true,
+            );
+        }
+        assert_eq!(nodes[0].file_count(), 3, "seeding already bounded");
+        run_pairwise_contact(&mut nodes, 0, 1, SimTime::ZERO, SimDuration::from_secs(600));
+        assert!(nodes[1].file_count() <= 3, "receiver bound holds");
+    }
+
+    #[test]
+    fn diffuserep_prioritises_scarce_files_over_popular() {
+        // Clique of 4: "common" is held by three members (availability 0.75,
+        // smoothed estimate 0.375 ≥ threshold 0.35 → not scarce), "rare" by
+        // one (estimate 0.125 → scarce). With one file slot, diffusion
+        // seeding pulls the rare file; plain MBT broadcasts the popular one.
+        let run = |spec: ProtocolSpec| {
+            let mut nodes: Vec<MbtNode> = (0..4)
+                .map(|i| {
+                    let mut n = MbtNode::new(NodeId::new(i), spec, MbtConfig::new());
+                    n.config = MbtConfig::new()
+                        .files_per_contact(1)
+                        .metadata_per_contact(0);
+                    n
+                })
+                .collect();
+            for idx in [0usize, 1, 2] {
+                nodes[idx].seed_content(
+                    meta("common show", "mbt://common"),
+                    Popularity::new(0.9),
+                    true,
+                );
+            }
+            nodes[0].seed_content(meta("rare show", "mbt://rare"), Popularity::new(0.1), true);
+            run_contact(
+                &mut nodes,
+                &[0, 1, 2, 3],
+                SimTime::ZERO,
+                SimDuration::from_secs(600),
+            );
+            (
+                nodes[3].has_file(&uri("mbt://rare")),
+                nodes[3].has_file(&uri("mbt://common")),
+            )
+        };
+        assert_eq!(
+            run(ProtocolSpec::MBT),
+            (false, true),
+            "MBT: popularity wins"
+        );
+        assert_eq!(
+            run(ProtocolSpec::DIFFUSE_REP),
+            (true, false),
+            "DiffuseRep: scarcity wins"
+        );
+    }
+
+    #[test]
+    fn triad_spec_nodes_leave_new_state_empty() {
+        let mut nodes = vec![node(0, ProtocolKind::Mbt), node(1, ProtocolKind::Mbt)];
+        nodes[0].seed_content(meta("fox news", "mbt://a"), Popularity::new(0.8), true);
+        nodes[1].add_query(Query::new("fox news").unwrap(), None);
+        run_pairwise_contact(&mut nodes, 0, 1, SimTime::ZERO, SimDuration::from_secs(600));
+        for n in &nodes {
+            assert!(n.local_demand.is_empty(), "triad never tracks demand");
+            assert!(
+                n.availability.is_empty(),
+                "triad never estimates availability"
+            );
+        }
     }
 
     #[test]

@@ -1,4 +1,20 @@
-//! The three protocol variants compared in the paper's evaluation (§VI-A).
+//! Protocol variants: the paper's MBT triad (§VI-A) plus an open
+//! [`ProtocolSpec`] API for new variants.
+//!
+//! The paper compares three closed variants ([`ProtocolKind`]). Everything
+//! else in the crate now runs on [`ProtocolSpec`], an open description of a
+//! variant: the two behaviour flags the triad toggles, plus pluggable
+//! [`CachePolicy`] and [`ReplicationPolicy`] seams. The triad maps onto specs
+//! with the default (no-op) policies — those paths are byte-identical to the
+//! old enum dispatch — while two new variants slot in without touching any
+//! match arm:
+//!
+//! - [`ProtocolSpec::POP_CACHE`] — cooperative cache eviction ranked by file
+//!   popularity under a bounded per-node file buffer, after Wang & Kulkarni,
+//!   *Cooperative Caching based on File Popularity Ranking in DTNs*.
+//! - [`ProtocolSpec::DIFFUSE_REP`] — proactive seeding driven by a diffusion
+//!   model of file availability, after Napoli et al., *Improving files
+//!   availability for BitTorrent using a diffusion model*.
 
 use std::fmt;
 
@@ -57,6 +73,304 @@ impl fmt::Display for ProtocolKind {
     }
 }
 
+/// Whose observations rank a file's popularity under
+/// [`CachePolicy::PopularityRanked`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PopularityScope {
+    /// Rank by the globally-gossiped popularity counters every node already
+    /// carries (the paper's §IV counters).
+    #[default]
+    Global,
+    /// Rank by locally-observed demand: how often peers met in contacts have
+    /// asked for the file.
+    Local,
+}
+
+/// How a node's bounded file buffer decides what to keep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CachePolicy {
+    /// No bound: every completed file is kept until its TTL expires (the
+    /// paper's model; all three MBT variants).
+    #[default]
+    Unbounded,
+    /// At most `capacity` files; when full, the lowest-ranked *unwanted*
+    /// file (one matching none of the node's own queries) is evicted to
+    /// admit a better one. Files the node itself wants are never evicted.
+    PopularityRanked {
+        /// Maximum number of complete files held at once.
+        capacity: u32,
+        /// Whether ranking uses global gossip or local observation.
+        scope: PopularityScope,
+    },
+}
+
+/// How a node proactively replicates files beyond request-driven download.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ReplicationPolicy {
+    /// Request-driven only (the paper's model; all three MBT variants).
+    #[default]
+    None,
+    /// Availability-diffusion seeding: during a contact, each member keeps an
+    /// exponentially-smoothed estimate of every known file's availability
+    /// (fraction of clique members holding it) and proactively pulls files
+    /// whose estimated availability sits below a threshold.
+    Diffusion {
+        /// Smoothing weight of the newest observation, in percent (0–100).
+        smoothing_pct: u8,
+        /// Availability threshold below which a file is considered scarce
+        /// and proactively replicated, in percent (0–100).
+        threshold_pct: u8,
+    },
+}
+
+/// An open description of a protocol variant.
+///
+/// A spec is plain data: two behaviour flags (the axes the paper's triad
+/// toggles) plus a [`CachePolicy`] and a [`ReplicationPolicy`]. The canned
+/// triad specs use the default policies and are byte-identical to the
+/// [`ProtocolKind`] paths they replace (pinned by the repo's equivalence
+/// tests); new variants change only the policy fields.
+///
+/// # Example
+///
+/// ```
+/// use mbt_core::{ProtocolKind, ProtocolSpec};
+///
+/// assert_eq!(ProtocolSpec::from(ProtocolKind::Mbt), ProtocolSpec::MBT);
+/// assert_eq!(ProtocolSpec::by_name("popcache").unwrap().name(), "PopCache");
+/// assert!(ProtocolSpec::by_name("carrier-pigeon").is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProtocolSpec {
+    name: &'static str,
+    distributes_queries: bool,
+    distributes_metadata: bool,
+    cache: CachePolicy,
+    replication: ReplicationPolicy,
+}
+
+impl ProtocolSpec {
+    /// The full protocol (canned spec for [`ProtocolKind::Mbt`]).
+    pub const MBT: ProtocolSpec = ProtocolSpec {
+        name: "MBT",
+        distributes_queries: true,
+        distributes_metadata: true,
+        cache: CachePolicy::Unbounded,
+        replication: ReplicationPolicy::None,
+    };
+
+    /// MBT without query distribution (canned spec for
+    /// [`ProtocolKind::MbtQ`]).
+    pub const MBT_Q: ProtocolSpec = ProtocolSpec {
+        name: "MBT-Q",
+        distributes_queries: false,
+        distributes_metadata: true,
+        cache: CachePolicy::Unbounded,
+        replication: ReplicationPolicy::None,
+    };
+
+    /// MBT without query and metadata distribution (canned spec for
+    /// [`ProtocolKind::MbtQm`]).
+    pub const MBT_QM: ProtocolSpec = ProtocolSpec {
+        name: "MBT-QM",
+        distributes_queries: false,
+        distributes_metadata: false,
+        cache: CachePolicy::Unbounded,
+        replication: ReplicationPolicy::None,
+    };
+
+    /// Full MBT behaviour plus popularity-ranked eviction under a bounded
+    /// per-node file buffer (globally-gossiped ranking, 8 files).
+    pub const POP_CACHE: ProtocolSpec = ProtocolSpec {
+        name: "PopCache",
+        distributes_queries: true,
+        distributes_metadata: true,
+        cache: CachePolicy::PopularityRanked {
+            capacity: 8,
+            scope: PopularityScope::Global,
+        },
+        replication: ReplicationPolicy::None,
+    };
+
+    /// Full MBT behaviour plus availability-diffusion proactive seeding
+    /// (smoothing 50%, scarcity threshold 35%).
+    pub const DIFFUSE_REP: ProtocolSpec = ProtocolSpec {
+        name: "DiffuseRep",
+        distributes_queries: true,
+        distributes_metadata: true,
+        cache: CachePolicy::Unbounded,
+        replication: ReplicationPolicy::Diffusion {
+            smoothing_pct: 50,
+            threshold_pct: 35,
+        },
+    };
+
+    /// The paper's triad, in figure order — the default sweep-grid protocol
+    /// list (grid positions, and therefore derived per-cell seeds, match the
+    /// old `ProtocolKind::ALL` exactly).
+    pub const TRIAD: [ProtocolSpec; 3] =
+        [ProtocolSpec::MBT, ProtocolSpec::MBT_Q, ProtocolSpec::MBT_QM];
+
+    /// The registry of built-in variants: the triad followed by the two new
+    /// protocol families, in head-to-head figure order.
+    pub const fn builtin() -> [ProtocolSpec; 5] {
+        [
+            ProtocolSpec::MBT,
+            ProtocolSpec::MBT_Q,
+            ProtocolSpec::MBT_QM,
+            ProtocolSpec::POP_CACHE,
+            ProtocolSpec::DIFFUSE_REP,
+        ]
+    }
+
+    /// Looks a built-in spec up by name (case-insensitive; `"mbt-qm"` and
+    /// `"mbt_qm"` both match MBT-QM). On failure the error suggests the
+    /// closest registered name.
+    pub fn by_name(name: &str) -> Result<ProtocolSpec, UnknownProtocol> {
+        let key = canonical(name);
+        for spec in ProtocolSpec::builtin() {
+            if canonical(spec.name) == key {
+                return Ok(spec);
+            }
+        }
+        let suggestion = ProtocolSpec::builtin()
+            .into_iter()
+            .map(|s| (edit_distance(&key, &canonical(s.name)), s.name))
+            .min()
+            .filter(|(d, _)| *d <= 3)
+            .map(|(_, n)| n);
+        Err(UnknownProtocol {
+            name: name.to_string(),
+            suggestion,
+        })
+    }
+
+    /// The variant's display name ("MBT", "PopCache", ...).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// True if nodes store and serve the queries of their frequent
+    /// contacting nodes.
+    pub fn distributes_queries(&self) -> bool {
+        self.distributes_queries
+    }
+
+    /// True if metadata circulate standalone, ahead of files.
+    pub fn distributes_metadata(&self) -> bool {
+        self.distributes_metadata
+    }
+
+    /// The file-buffer eviction policy.
+    pub fn cache(&self) -> CachePolicy {
+        self.cache
+    }
+
+    /// The proactive replication policy.
+    pub fn replication(&self) -> ReplicationPolicy {
+        self.replication
+    }
+
+    /// Derives a new named spec with a different cache policy (for sweeps
+    /// over capacities/scopes). The name must be `'static`; use a leaked or
+    /// interned string for dynamic names.
+    pub fn with_cache(self, name: &'static str, cache: CachePolicy) -> ProtocolSpec {
+        ProtocolSpec {
+            name,
+            cache,
+            ..self
+        }
+    }
+
+    /// Derives a new named spec with a different replication policy.
+    pub fn with_replication(
+        self,
+        name: &'static str,
+        replication: ReplicationPolicy,
+    ) -> ProtocolSpec {
+        ProtocolSpec {
+            name,
+            replication,
+            ..self
+        }
+    }
+}
+
+impl Default for ProtocolSpec {
+    fn default() -> Self {
+        ProtocolSpec::MBT
+    }
+}
+
+impl fmt::Display for ProtocolSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name)
+    }
+}
+
+impl From<ProtocolKind> for ProtocolSpec {
+    fn from(kind: ProtocolKind) -> Self {
+        match kind {
+            ProtocolKind::Mbt => ProtocolSpec::MBT,
+            ProtocolKind::MbtQ => ProtocolSpec::MBT_Q,
+            ProtocolKind::MbtQm => ProtocolSpec::MBT_QM,
+        }
+    }
+}
+
+/// Error returned by [`ProtocolSpec::by_name`] for an unregistered name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownProtocol {
+    name: String,
+    suggestion: Option<&'static str>,
+}
+
+impl UnknownProtocol {
+    /// The name that failed to resolve.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+impl fmt::Display for UnknownProtocol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = ProtocolSpec::builtin().iter().map(|s| s.name).collect();
+        write!(f, "unknown protocol `{}`", self.name)?;
+        if let Some(s) = self.suggestion {
+            write!(f, " (did you mean `{s}`?)")?;
+        }
+        write!(f, "; known protocols: {}", names.join(", "))
+    }
+}
+
+impl std::error::Error for UnknownProtocol {}
+
+/// Lowercases and strips separators so `"MBT-QM"`, `"mbt_qm"` and `"mbtqm"`
+/// compare equal.
+fn canonical(name: &str) -> String {
+    name.chars()
+        .filter(|c| *c != '-' && *c != '_' && *c != ' ')
+        .map(|c| c.to_ascii_lowercase())
+        .collect()
+}
+
+/// Levenshtein distance, for the did-you-mean suggestion. Inputs are short
+/// protocol names, so the O(a·b) DP is fine.
+fn edit_distance(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    for (i, ca) in a.iter().enumerate() {
+        let mut cur = vec![i + 1];
+        for (j, cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur.push(sub.min(prev[j + 1] + 1).min(cur[j] + 1));
+        }
+        prev = cur;
+    }
+    prev[b.len()]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -82,5 +396,85 @@ mod tests {
     fn all_lists_three() {
         assert_eq!(ProtocolKind::ALL.len(), 3);
         assert_eq!(ProtocolKind::default(), ProtocolKind::Mbt);
+    }
+
+    #[test]
+    fn triad_specs_mirror_kinds() {
+        for (kind, spec) in ProtocolKind::ALL.iter().zip(ProtocolSpec::TRIAD) {
+            assert_eq!(ProtocolSpec::from(*kind), spec);
+            assert_eq!(kind.label(), spec.name());
+            assert_eq!(kind.distributes_queries(), spec.distributes_queries());
+            assert_eq!(kind.distributes_metadata(), spec.distributes_metadata());
+            assert_eq!(spec.cache(), CachePolicy::Unbounded);
+            assert_eq!(spec.replication(), ReplicationPolicy::None);
+        }
+        assert_eq!(ProtocolSpec::default(), ProtocolSpec::MBT);
+    }
+
+    #[test]
+    fn registry_resolves_names() {
+        for spec in ProtocolSpec::builtin() {
+            assert_eq!(ProtocolSpec::by_name(spec.name()).unwrap(), spec);
+            assert_eq!(
+                ProtocolSpec::by_name(&spec.name().to_lowercase()).unwrap(),
+                spec
+            );
+        }
+        assert_eq!(
+            ProtocolSpec::by_name("mbt_qm").unwrap(),
+            ProtocolSpec::MBT_QM
+        );
+        assert_eq!(
+            ProtocolSpec::by_name("POPCACHE").unwrap(),
+            ProtocolSpec::POP_CACHE
+        );
+    }
+
+    #[test]
+    fn unknown_name_suggests_closest() {
+        let err = ProtocolSpec::by_name("popcash").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown protocol `popcash`"), "{msg}");
+        assert!(msg.contains("did you mean `PopCache`?"), "{msg}");
+        assert!(msg.contains("known protocols: MBT, MBT-Q"), "{msg}");
+
+        let far = ProtocolSpec::by_name("carrier-pigeon").unwrap_err();
+        let msg = far.to_string();
+        assert!(!msg.contains("did you mean"), "{msg}");
+        assert!(msg.contains("known protocols"), "{msg}");
+    }
+
+    #[test]
+    fn new_variants_carry_policies() {
+        assert_eq!(
+            ProtocolSpec::POP_CACHE.cache(),
+            CachePolicy::PopularityRanked {
+                capacity: 8,
+                scope: PopularityScope::Global
+            }
+        );
+        assert_eq!(
+            ProtocolSpec::DIFFUSE_REP.replication(),
+            ReplicationPolicy::Diffusion {
+                smoothing_pct: 50,
+                threshold_pct: 35
+            }
+        );
+        let local = ProtocolSpec::POP_CACHE.with_cache(
+            "PopCache-L",
+            CachePolicy::PopularityRanked {
+                capacity: 4,
+                scope: PopularityScope::Local,
+            },
+        );
+        assert_eq!(local.name(), "PopCache-L");
+        assert!(local.distributes_queries());
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance("mbt", "mbt"), 0);
+        assert_eq!(edit_distance("mbtq", "mbtqm"), 1);
+        assert_eq!(edit_distance("", "abc"), 3);
     }
 }

@@ -367,6 +367,16 @@ impl FileStore {
         dropped
     }
 
+    /// Evicts a held file (bounded-buffer cache policies); returns `true` if
+    /// it was present.
+    pub fn remove(&mut self, uri: &Uri) -> bool {
+        let removed = self.files.remove(uri).is_some();
+        if removed {
+            self.version += 1;
+        }
+        removed
+    }
+
     /// Monotonic mutation counter: bumps on every insert or prune.
     pub fn version(&self) -> u64 {
         self.version
@@ -485,6 +495,20 @@ mod tests {
         assert!(!s.insert(uri.clone(), None));
         assert!(s.contains(&uri));
         assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn file_store_remove_bumps_version() {
+        let mut s = FileStore::new();
+        let uri = Uri::new("mbt://f").unwrap();
+        s.insert(uri.clone(), None);
+        let v = s.version();
+        assert!(s.remove(&uri));
+        assert!(!s.contains(&uri));
+        assert!(s.version() > v);
+        let v = s.version();
+        assert!(!s.remove(&uri), "removing a missing file is a no-op");
+        assert_eq!(s.version(), v);
     }
 
     #[test]

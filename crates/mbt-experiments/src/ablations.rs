@@ -10,7 +10,7 @@
 
 use dtn_trace::generators::NusConfig;
 use dtn_trace::ContactTrace;
-use mbt_core::{BroadcastOrdering, CooperationMode, MbtConfig, ProtocolKind};
+use mbt_core::{BroadcastOrdering, CooperationMode, MbtConfig, ProtocolSpec};
 
 use crate::exec::{ExecConfig, ParallelRunner};
 use crate::figures::Scale;
@@ -72,7 +72,7 @@ pub fn cooperation_ablation_with(scale: Scale, exec: &ExecConfig) -> Vec<Ablatio
             (
                 format!("cooperation={mode}"),
                 SimParams {
-                    protocol: ProtocolKind::Mbt,
+                    protocol: ProtocolSpec::MBT,
                     config: MbtConfig::new().cooperation(mode),
                     ..scale_params(scale)
                 },

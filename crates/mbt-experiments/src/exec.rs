@@ -34,7 +34,7 @@ use std::time::Instant;
 use dtn_sim::rng::derive_seed;
 use dtn_sim::telemetry::{Phase, Telemetry};
 use dtn_trace::{ContactTrace, TraceSource};
-use mbt_core::ProtocolKind;
+use mbt_core::ProtocolSpec;
 use rayon::prelude::*;
 use rayon::{ThreadPool, ThreadPoolBuilder};
 
@@ -107,16 +107,41 @@ struct Cell {
 pub struct ParallelRunner {
     cfg: ExecConfig,
     pool: ThreadPool,
+    /// The protocol list every sweep expands its grid over, in series (and
+    /// grid-index) order. Defaults to the paper's triad, whose grid indices
+    /// — and therefore derived per-cell seeds — match the closed
+    /// `ProtocolKind::ALL` era byte for byte.
+    protocols: Vec<ProtocolSpec>,
 }
 
 impl ParallelRunner {
-    /// Builds a runner (and its thread pool) for `cfg`.
+    /// Builds a runner (and its thread pool) for `cfg`, sweeping the default
+    /// triad protocol list.
     pub fn new(cfg: ExecConfig) -> ParallelRunner {
         let pool = ThreadPoolBuilder::new()
             .num_threads(cfg.jobs)
             .build()
             .expect("thread pool construction cannot fail");
-        ParallelRunner { cfg, pool }
+        ParallelRunner {
+            cfg,
+            pool,
+            protocols: ProtocolSpec::TRIAD.to_vec(),
+        }
+    }
+
+    /// Replaces the protocol list subsequent sweeps run over (one series per
+    /// spec, in list order). Panics on an empty list — a sweep over no
+    /// protocols has no grid.
+    pub fn with_protocols(mut self, protocols: impl Into<Vec<ProtocolSpec>>) -> ParallelRunner {
+        let protocols = protocols.into();
+        assert!(!protocols.is_empty(), "sweep needs at least one protocol");
+        self.protocols = protocols;
+        self
+    }
+
+    /// The protocol list sweeps expand over.
+    pub fn protocols(&self) -> &[ProtocolSpec] {
+        &self.protocols
     }
 
     /// The effective replicate count (≥ 1).
@@ -250,7 +275,16 @@ impl ParallelRunner {
                 let results: Vec<SimResult> = self.run_all(&cells, |cell| {
                     run_simulation(cell.source.as_ref(), &cell.params, None)
                 });
-                reduce(id, title, x_label, xs, self.replicates(), &cells, &results)
+                reduce(
+                    id,
+                    title,
+                    x_label,
+                    xs,
+                    &self.protocols,
+                    self.replicates(),
+                    &cells,
+                    &results,
+                )
             }
             Some(telemetry) => {
                 let observed: Vec<(SimResult, Telemetry)> = self.run_all(&cells, |cell| {
@@ -271,7 +305,16 @@ impl ParallelRunner {
                     results.push(result);
                 }
                 let started = Instant::now();
-                let fig = reduce(id, title, x_label, xs, self.replicates(), &cells, &results);
+                let fig = reduce(
+                    id,
+                    title,
+                    x_label,
+                    xs,
+                    &self.protocols,
+                    self.replicates(),
+                    &cells,
+                    &results,
+                );
                 telemetry.phases.add(Phase::Reduction, started.elapsed());
                 fig
             }
@@ -281,7 +324,7 @@ impl ParallelRunner {
     /// Expands the prepared per-point inputs into the flat cell grid.
     fn build_cells(&self, prepared: &[(Arc<dyn TraceSource>, SimParams)]) -> Vec<Cell> {
         let replicates = self.replicates();
-        let protocols = ProtocolKind::ALL;
+        let protocols = &self.protocols;
 
         // Grid order: point-major, then protocol, then replicate. The cell
         // at flat index ((point * n_protos) + proto) * replicates + rep is
@@ -327,16 +370,17 @@ impl ParallelRunner {
 }
 
 /// Deterministic reduction in grid order.
+#[allow(clippy::too_many_arguments)] // one call site, mirrors the grid axes
 fn reduce(
     id: &str,
     title: &str,
     x_label: &str,
     xs: &[f64],
+    protocols: &[ProtocolSpec],
     replicates: u32,
     cells: &[Cell],
     results: &[SimResult],
 ) -> Figure {
-    let protocols = ProtocolKind::ALL;
     let series: Vec<ProtocolSeries> = protocols
         .iter()
         .enumerate()
@@ -399,12 +443,62 @@ mod tests {
     #[test]
     fn grid_is_complete() {
         let fig = run_with(ExecConfig::default());
-        assert_eq!(fig.series.len(), ProtocolKind::ALL.len());
+        assert_eq!(fig.series.len(), ProtocolSpec::TRIAD.len());
         for s in &fig.series {
             assert_eq!(s.points.len(), 2);
             assert_eq!(s.points[0].x, 0.2);
             assert_eq!(s.points[1].x, 0.6);
         }
+    }
+
+    #[test]
+    fn custom_protocol_list_expands_the_grid() {
+        let trace = NusConfig::new(20, 5).seed(3).generate();
+        let run = |cfg: ExecConfig| {
+            ParallelRunner::new(cfg)
+                .with_protocols(ProtocolSpec::builtin())
+                .sweep_shared_trace(
+                    "t",
+                    "t",
+                    "x",
+                    &[0.3],
+                    &trace,
+                    |x| SimParams {
+                        internet_fraction: x,
+                        ..quick_params(5)
+                    },
+                    None,
+                )
+        };
+        let fig = run(ExecConfig::serial());
+        assert_eq!(fig.series.len(), ProtocolSpec::builtin().len());
+        assert!(fig.series_for(ProtocolSpec::POP_CACHE).is_some());
+        assert!(fig.series_for(ProtocolSpec::DIFFUSE_REP).is_some());
+        // The determinism contract holds for any protocol list.
+        assert_eq!(fig, run(ExecConfig::default().jobs(8)));
+    }
+
+    #[test]
+    fn triad_prefix_of_wider_grids_keeps_legacy_seeds() {
+        // Extending the protocol list appends series without disturbing the
+        // triad's grid indices, so every legacy cell keeps its derived seed.
+        let triad = run_with(ExecConfig::default());
+        let trace = NusConfig::new(20, 5).seed(3).generate();
+        let wide = ParallelRunner::new(ExecConfig::default())
+            .with_protocols(ProtocolSpec::builtin())
+            .sweep_shared_trace(
+                "t",
+                "t",
+                "x",
+                &[0.2, 0.6],
+                &trace,
+                |x| SimParams {
+                    internet_fraction: x,
+                    ..quick_params(5)
+                },
+                None,
+            );
+        assert_eq!(triad.series, wide.series[..3]);
     }
 
     #[test]

@@ -30,7 +30,7 @@ use dtn_sim::telemetry::{Phase, Telemetry};
 use dtn_sim::FaultPlan;
 use dtn_trace::generators::{DieselNetConfig, NusConfig};
 use dtn_trace::{ContactSink, ShardWriter, SimDuration, TraceBuilder, TraceSource};
-use mbt_core::MbtConfig;
+use mbt_core::{MbtConfig, ProtocolSpec};
 
 use crate::exec::{ExecConfig, ParallelRunner};
 use crate::runner::SimParams;
@@ -98,6 +98,7 @@ pub struct RunContext {
     collect_telemetry: bool,
     telemetry: Telemetry,
     xs_override: Option<Vec<f64>>,
+    protocols: Vec<ProtocolSpec>,
 }
 
 impl RunContext {
@@ -113,7 +114,17 @@ impl RunContext {
             collect_telemetry: false,
             telemetry: Telemetry::default(),
             xs_override: None,
+            protocols: ProtocolSpec::TRIAD.to_vec(),
         }
+    }
+
+    /// Replaces the protocol list every subsequent figure sweeps over (one
+    /// series per spec, in list order). Defaults to the paper's triad; the
+    /// head-to-head figures override it with the full
+    /// [`ProtocolSpec::builtin`] registry regardless.
+    pub fn protocols(mut self, protocols: impl Into<Vec<ProtocolSpec>>) -> RunContext {
+        self.protocols = protocols.into();
+        self
     }
 
     /// Sets the execution config (jobs/replicates/master seed).
@@ -178,6 +189,17 @@ impl RunContext {
 
     fn telemetry_sink(&mut self) -> Option<&mut Telemetry> {
         self.collect_telemetry.then_some(&mut self.telemetry)
+    }
+
+    /// A sweep runner for this context's execution config and protocol list.
+    fn runner(&self) -> ParallelRunner {
+        ParallelRunner::new(self.exec).with_protocols(self.protocols.clone())
+    }
+
+    /// A runner pinned to the full built-in registry (the head-to-head
+    /// figures compare every variant whatever the context's default list).
+    fn registry_runner(&self) -> ParallelRunner {
+        ParallelRunner::new(self.exec).with_protocols(ProtocolSpec::builtin())
     }
 
     /// Materializes one figure's trace through the configured backing:
@@ -263,7 +285,7 @@ pub fn fig2a(ctx: &mut RunContext) -> Figure {
     let prefetch = ctx.prefetch;
     let xs = ctx.xs_for(scale.xs(&[0.1, 0.3, 0.5, 0.7, 0.9], &[0.1, 0.5, 0.9]));
     let source = dieselnet_source(ctx, "fig2a");
-    ParallelRunner::new(ctx.exec).sweep_shared_source(
+    ctx.runner().sweep_shared_source(
         "fig2a",
         "DieselNet: delivery ratio vs % Internet-access nodes",
         "internet-access fraction",
@@ -283,7 +305,7 @@ pub fn fig2b(ctx: &mut RunContext) -> Figure {
     let prefetch = ctx.prefetch;
     let xs = ctx.xs_for(scale.xs(&[10.0, 25.0, 50.0, 75.0, 100.0], &[10.0, 50.0]));
     let source = dieselnet_source(ctx, "fig2b");
-    ParallelRunner::new(ctx.exec).sweep_shared_source(
+    ctx.runner().sweep_shared_source(
         "fig2b",
         "DieselNet: delivery ratio vs new files per day",
         "new files per day",
@@ -303,7 +325,7 @@ pub fn fig2c(ctx: &mut RunContext) -> Figure {
     let prefetch = ctx.prefetch;
     let xs = ctx.xs_for(scale.xs(&[1.0, 2.0, 3.0, 4.0, 5.0], &[1.0, 3.0, 5.0]));
     let source = dieselnet_source(ctx, "fig2c");
-    ParallelRunner::new(ctx.exec).sweep_shared_source(
+    ctx.runner().sweep_shared_source(
         "fig2c",
         "DieselNet: delivery ratio vs TTL of file (days)",
         "TTL (days)",
@@ -326,7 +348,7 @@ pub fn fig2d(ctx: &mut RunContext) -> Figure {
     let prefetch = ctx.prefetch;
     let xs = ctx.xs_for(scale.xs(&[1.0, 5.0, 10.0, 20.0, 40.0], &[1.0, 20.0]));
     let source = dieselnet_source(ctx, "fig2d");
-    ParallelRunner::new(ctx.exec).sweep_shared_source(
+    ctx.runner().sweep_shared_source(
         "fig2d",
         "DieselNet: delivery ratio vs metadata per contact",
         "metadata per contact",
@@ -346,7 +368,7 @@ pub fn fig2e(ctx: &mut RunContext) -> Figure {
     let prefetch = ctx.prefetch;
     let xs = ctx.xs_for(scale.xs(&[1.0, 2.0, 4.0, 6.0, 10.0], &[1.0, 4.0]));
     let source = dieselnet_source(ctx, "fig2e");
-    ParallelRunner::new(ctx.exec).sweep_shared_source(
+    ctx.runner().sweep_shared_source(
         "fig2e",
         "DieselNet: delivery ratio vs files per contact",
         "files per contact",
@@ -370,7 +392,7 @@ pub fn fig3a(ctx: &mut RunContext) -> Figure {
     let prefetch = ctx.prefetch;
     let xs = ctx.xs_for(scale.xs(&[0.1, 0.3, 0.5, 0.7, 0.9], &[0.1, 0.5, 0.9]));
     let source = nus_source(ctx, "fig3a");
-    ParallelRunner::new(ctx.exec).sweep_shared_source(
+    ctx.runner().sweep_shared_source(
         "fig3a",
         "NUS: delivery ratio vs % Internet-access nodes",
         "internet-access fraction",
@@ -390,7 +412,7 @@ pub fn fig3b(ctx: &mut RunContext) -> Figure {
     let prefetch = ctx.prefetch;
     let xs = ctx.xs_for(scale.xs(&[10.0, 25.0, 50.0, 75.0, 100.0], &[10.0, 50.0]));
     let source = nus_source(ctx, "fig3b");
-    ParallelRunner::new(ctx.exec).sweep_shared_source(
+    ctx.runner().sweep_shared_source(
         "fig3b",
         "NUS: delivery ratio vs new files per day",
         "new files per day",
@@ -410,7 +432,7 @@ pub fn fig3c(ctx: &mut RunContext) -> Figure {
     let prefetch = ctx.prefetch;
     let xs = ctx.xs_for(scale.xs(&[1.0, 2.0, 3.0, 4.0, 5.0], &[1.0, 3.0, 5.0]));
     let source = nus_source(ctx, "fig3c");
-    ParallelRunner::new(ctx.exec).sweep_shared_source(
+    ctx.runner().sweep_shared_source(
         "fig3c",
         "NUS: delivery ratio vs TTL of file (days)",
         "TTL (days)",
@@ -430,7 +452,7 @@ pub fn fig3d(ctx: &mut RunContext) -> Figure {
     let prefetch = ctx.prefetch;
     let xs = ctx.xs_for(scale.xs(&[1.0, 5.0, 10.0, 20.0, 40.0], &[1.0, 20.0]));
     let source = nus_source(ctx, "fig3d");
-    ParallelRunner::new(ctx.exec).sweep_shared_source(
+    ctx.runner().sweep_shared_source(
         "fig3d",
         "NUS: delivery ratio vs metadata per contact",
         "metadata per contact",
@@ -450,7 +472,7 @@ pub fn fig3e(ctx: &mut RunContext) -> Figure {
     let prefetch = ctx.prefetch;
     let xs = ctx.xs_for(scale.xs(&[1.0, 2.0, 4.0, 6.0, 10.0], &[1.0, 4.0]));
     let source = nus_source(ctx, "fig3e");
-    ParallelRunner::new(ctx.exec).sweep_shared_source(
+    ctx.runner().sweep_shared_source(
         "fig3e",
         "NUS: delivery ratio vs files per contact",
         "files per contact",
@@ -481,7 +503,7 @@ pub fn fig3f(ctx: &mut RunContext) -> Figure {
         })
         .collect();
     let mut sources = sources.into_iter();
-    ParallelRunner::new(ctx.exec).sweep_sources(
+    ctx.runner().sweep_sources(
         "fig3f",
         "NUS: delivery ratio vs attendance rate",
         "attendance rate",
@@ -509,9 +531,81 @@ pub fn fault_sweep(ctx: &mut RunContext) -> Figure {
     let prefetch = ctx.prefetch;
     let xs = ctx.xs_for(scale.xs(&[0.0, 0.1, 0.2, 0.3, 0.4, 0.5], &[0.0, 0.25, 0.5]));
     let source = nus_source(ctx, "fault_sweep");
-    ParallelRunner::new(ctx.exec).sweep_shared_source(
+    ctx.runner().sweep_shared_source(
         "fault_sweep",
         "NUS: delivery ratio vs broadcast loss rate",
+        "loss rate",
+        &xs,
+        source,
+        |x| SimParams {
+            faults: FaultPlan::none().loss(x),
+            ..nus_params(scale, prefetch)
+        },
+        ctx.telemetry_sink(),
+    )
+}
+
+// ----- Protocol-variant head-to-head (extension) -----
+
+/// Head-to-head on the DieselNet-style trace: every built-in protocol
+/// variant ([`ProtocolSpec::builtin`] — the triad plus PopCache and
+/// DiffuseRep) swept over the Internet-access fraction. Delivery ratios sit
+/// in the series points; per-point delivery *delays* ride along in each
+/// point's pooled [`crate::runner::SimResult`] and are rendered by
+/// [`crate::report::figure_delay_csv`].
+pub fn head_to_head_dieselnet(ctx: &mut RunContext) -> Figure {
+    let scale = ctx.scale;
+    let prefetch = ctx.prefetch;
+    let xs = ctx.xs_for(scale.xs(&[0.1, 0.3, 0.5, 0.7, 0.9], &[0.1, 0.5, 0.9]));
+    let source = dieselnet_source(ctx, "h2h_dieselnet");
+    ctx.registry_runner().sweep_shared_source(
+        "h2h_dieselnet",
+        "DieselNet: protocol variants head-to-head",
+        "internet-access fraction",
+        &xs,
+        source,
+        |x| SimParams {
+            internet_fraction: x,
+            ..dieselnet_params(scale, prefetch)
+        },
+        ctx.telemetry_sink(),
+    )
+}
+
+/// Head-to-head on the NUS-style trace: every built-in protocol variant
+/// swept over the Internet-access fraction (see
+/// [`head_to_head_dieselnet`]).
+pub fn head_to_head_nus(ctx: &mut RunContext) -> Figure {
+    let scale = ctx.scale;
+    let prefetch = ctx.prefetch;
+    let xs = ctx.xs_for(scale.xs(&[0.1, 0.3, 0.5, 0.7, 0.9], &[0.1, 0.5, 0.9]));
+    let source = nus_source(ctx, "h2h_nus");
+    ctx.registry_runner().sweep_shared_source(
+        "h2h_nus",
+        "NUS: protocol variants head-to-head",
+        "internet-access fraction",
+        &xs,
+        source,
+        |x| SimParams {
+            internet_fraction: x,
+            ..nus_params(scale, prefetch)
+        },
+        ctx.telemetry_sink(),
+    )
+}
+
+/// [`fault_sweep`] extended to every built-in variant: delivery ratios vs
+/// broadcast frame-loss rate with PopCache and DiffuseRep alongside the
+/// triad. A distinct figure id keeps its CSV separate from the legacy
+/// three-series `fault_sweep` output.
+pub fn fault_sweep_variants(ctx: &mut RunContext) -> Figure {
+    let scale = ctx.scale;
+    let prefetch = ctx.prefetch;
+    let xs = ctx.xs_for(scale.xs(&[0.0, 0.1, 0.2, 0.3, 0.4, 0.5], &[0.0, 0.25, 0.5]));
+    let source = nus_source(ctx, "fault_sweep_variants");
+    ctx.registry_runner().sweep_shared_source(
+        "fault_sweep_variants",
+        "NUS: delivery ratio vs loss rate, all protocol variants",
         "loss rate",
         &xs,
         source,
@@ -599,6 +693,39 @@ mod tests {
             mbt.points.last().unwrap().file_ratio >= mbt.points[0].file_ratio,
             "full attendance should deliver at least as much"
         );
+    }
+
+    #[test]
+    fn quick_head_to_head_covers_every_builtin_variant() {
+        let mut ctx = RunContext::new(Scale::Quick);
+        ctx.set_xs(vec![0.5]);
+        let fig = head_to_head_nus(&mut ctx);
+        assert_eq!(fig.series.len(), ProtocolSpec::builtin().len());
+        for (series, spec) in fig.series.iter().zip(ProtocolSpec::builtin()) {
+            assert_eq!(series.protocol, spec);
+            assert!(series.points[0].result.queries > 0, "{spec}: no queries");
+        }
+    }
+
+    #[test]
+    fn context_protocol_list_widens_standard_figures() {
+        let mut ctx = RunContext::new(Scale::Quick)
+            .protocols(vec![ProtocolSpec::MBT, ProtocolSpec::POP_CACHE]);
+        ctx.set_xs(vec![0.5]);
+        let fig = fig3a(&mut ctx);
+        assert_eq!(fig.series.len(), 2);
+        assert!(fig.series_for(ProtocolSpec::POP_CACHE).is_some());
+    }
+
+    #[test]
+    fn quick_fault_sweep_variants_has_five_series() {
+        let mut ctx = RunContext::new(Scale::Quick);
+        ctx.set_xs(vec![0.0, 0.5]);
+        let fig = fault_sweep_variants(&mut ctx);
+        assert_eq!(fig.series.len(), 5);
+        for s in &fig.series {
+            assert_eq!(s.points.len(), 2);
+        }
     }
 
     #[test]

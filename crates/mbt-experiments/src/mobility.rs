@@ -9,7 +9,7 @@
 
 use dtn_trace::generators::{CommunityConfig, DieselNetConfig, NusConfig, RandomWaypointConfig};
 use dtn_trace::{AggregateGraph, ContactTrace, SimDuration, SECONDS_PER_DAY};
-use mbt_core::ProtocolKind;
+use mbt_core::ProtocolSpec;
 
 use crate::figures::Scale;
 use crate::runner::{run_simulation, SimParams, SimResult};
@@ -20,7 +20,7 @@ pub struct MobilityRow {
     /// Mobility model name.
     pub model: &'static str,
     /// Protocol variant.
-    pub protocol: ProtocolKind,
+    pub protocol: ProtocolSpec,
     /// Contacts in the trace.
     pub contacts: usize,
     /// Mean clique size of the trace.
@@ -77,15 +77,14 @@ pub fn mobility_comparison(scale: Scale) -> Vec<MobilityRow> {
         let graph = AggregateGraph::from_trace(&trace);
         let mean_clique =
             trace.iter().map(|c| c.size()).sum::<usize>() as f64 / trace.len().max(1) as f64;
-        for protocol in ProtocolKind::ALL {
-            let params = SimParams {
-                protocol,
-                days,
-                seed: 42,
-                files_per_day: 20,
-                frequent_window: SimDuration::from_days(frequent_days),
-                ..SimParams::default()
-            };
+        for protocol in ProtocolSpec::TRIAD {
+            let params = SimParams::builder()
+                .protocol(protocol)
+                .days(days)
+                .seed(42)
+                .files_per_day(20)
+                .frequent_window(SimDuration::from_days(frequent_days))
+                .build();
             rows.push(MobilityRow {
                 model,
                 protocol,
@@ -144,13 +143,13 @@ mod tests {
         let rows = mobility_comparison(Scale::Quick);
         let models: std::collections::BTreeSet<&str> = rows.iter().map(|r| r.model).collect();
         for model in models {
-            let get = |p: ProtocolKind| {
+            let get = |p: ProtocolSpec| {
                 rows.iter()
                     .find(|r| r.model == model && r.protocol == p)
                     .unwrap()
             };
-            let mbt = get(ProtocolKind::Mbt);
-            let qm = get(ProtocolKind::MbtQm);
+            let mbt = get(ProtocolSpec::MBT);
+            let qm = get(ProtocolSpec::MBT_QM);
             assert!(
                 mbt.result.metadata_ratio + 1e-9 >= qm.result.metadata_ratio,
                 "{model}: MBT {} < MBT-QM {}",

@@ -6,7 +6,7 @@
 //! day-boundary workload rhythm.
 
 use dtn_trace::generators::NusConfig;
-use mbt_core::ProtocolKind;
+use mbt_core::ProtocolSpec;
 
 use crate::exec::{ExecConfig, ParallelRunner};
 use crate::figures::Scale;
@@ -16,7 +16,7 @@ use crate::runner::{run_simulation, SimParams};
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProgressSeries {
     /// The protocol variant.
-    pub protocol: ProtocolKind,
+    pub protocol: ProtocolSpec,
     /// Total queries over the run.
     pub queries: u64,
     /// Cumulative metadata deliveries by end of each day.
@@ -39,15 +39,14 @@ pub fn delivery_progress_with(scale: Scale, exec: &ExecConfig) -> Vec<ProgressSe
     };
     let trace = NusConfig::new(students, days).seed(42).generate();
     let runner = ParallelRunner::new(*exec);
-    runner.run_all(&ProtocolKind::ALL, |&protocol| {
+    runner.run_all(&ProtocolSpec::TRIAD, |&protocol| {
         let r = run_simulation(
             &trace,
-            &SimParams {
-                protocol,
-                days,
-                seed: 42,
-                ..SimParams::default()
-            },
+            &SimParams::builder()
+                .protocol(protocol)
+                .days(days)
+                .seed(42)
+                .build(),
             None,
         );
         let cumulate = |v: &[u64]| {

@@ -59,6 +59,39 @@ pub fn figure_csv(fig: &Figure) -> String {
     out
 }
 
+/// Renders a figure as CSV with delivery *delay* columns alongside the
+/// ratios: `x,protocol,metadata_ratio,file_ratio,metadata_delay_hours,
+/// file_delay_hours,replicates,queries,metadata_delivered,files_delivered`.
+/// Delay cells are the pooled mean delays in hours, blank when a point saw
+/// no deliveries at all. The head-to-head figures are rendered with this;
+/// the legacy triad figures keep [`figure_csv`] untouched.
+pub fn figure_delay_csv(fig: &Figure) -> String {
+    let mut out = String::from(
+        "x,protocol,metadata_ratio,file_ratio,metadata_delay_hours,file_delay_hours,\
+         replicates,queries,metadata_delivered,files_delivered\n",
+    );
+    let delay_cell = |d: Option<f64>| d.map_or(String::new(), |h| format!("{h:.3}"));
+    for s in &fig.series {
+        for p in &s.points {
+            let _ = writeln!(
+                out,
+                "{},{},{:.6},{:.6},{},{},{},{},{},{}",
+                p.x,
+                s.protocol,
+                p.metadata_ratio,
+                p.file_ratio,
+                delay_cell(p.result.mean_metadata_delay_hours),
+                delay_cell(p.result.mean_file_delay_hours),
+                p.metadata.n,
+                p.result.queries,
+                p.result.metadata_delivered,
+                p.result.files_delivered
+            );
+        }
+    }
+    out
+}
+
 /// Renders the §V capacity table.
 pub fn capacity_table_text(rows: &[CapacityRow]) -> String {
     let mut out = String::new();
@@ -89,7 +122,7 @@ mod tests {
     use crate::capacity::capacity_table;
     use crate::runner::SimResult;
     use crate::sweep::{ProtocolSeries, SeriesPoint};
-    use mbt_core::ProtocolKind;
+    use mbt_core::ProtocolSpec;
 
     fn tiny_figure() -> Figure {
         Figure {
@@ -97,12 +130,13 @@ mod tests {
             title: "test".into(),
             x_label: "x".into(),
             series: vec![ProtocolSeries {
-                protocol: ProtocolKind::Mbt,
+                protocol: ProtocolSpec::MBT,
                 points: vec![SeriesPoint::single(
                     0.5,
                     SimResult {
                         metadata_ratio: 0.75,
                         file_ratio: 0.5,
+                        mean_metadata_delay_hours: Some(2.25),
                         ..SimResult::default()
                     },
                 )],
@@ -127,6 +161,20 @@ mod tests {
         assert!(lines[0].starts_with("x,protocol"));
         assert!(lines[0].contains("metadata_stddev,file_stddev"));
         assert!(lines[1].starts_with("0.5,MBT,0.750000,0.500000,0.000000,0.000000,1"));
+    }
+
+    #[test]
+    fn delay_csv_renders_delays_and_blanks() {
+        let csv = figure_delay_csv(&tiny_figure());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("metadata_delay_hours,file_delay_hours"));
+        // Metadata delay present, file delay blank (no file deliveries).
+        assert!(
+            lines[1].starts_with("0.5,MBT,0.750000,0.500000,2.250,,1"),
+            "{}",
+            lines[1]
+        );
     }
 
     #[test]

@@ -19,7 +19,7 @@ use dtn_trace::{
 use mbt_core::auth::KeyRegistry;
 use mbt_core::transport::{BusTransport, SimTransport};
 use mbt_core::{
-    MbtConfig, MbtNode, MetadataServer, NodeEvent, ProtocolKind, Query, TransportKind, Uri,
+    MbtConfig, MbtNode, MetadataServer, NodeEvent, ProtocolSpec, Query, TransportKind, Uri,
 };
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -32,7 +32,7 @@ use crate::workload::{self, WorkloadConfig};
 #[derive(Debug, Clone)]
 pub struct SimParams {
     /// Which protocol variant every node runs.
-    pub protocol: ProtocolKind,
+    pub protocol: ProtocolSpec,
     /// Node configuration (per-contact budgets, cooperation mode, …).
     pub config: MbtConfig,
     /// Fraction of nodes with Internet access, in `[0, 1]`.
@@ -83,10 +83,35 @@ pub struct SimParams {
     pub prefetch: usize,
 }
 
+impl SimParams {
+    /// A builder seeded with the defaults — the one construction path for
+    /// run parameters. Prefer this over positional construction or bare
+    /// struct literals in new code: it owns the protocol, fault, prefetch
+    /// and transport knobs by name, so call sites stay readable as fields
+    /// accrete.
+    ///
+    /// ```
+    /// use mbt_experiments::runner::SimParams;
+    /// use mbt_core::ProtocolSpec;
+    ///
+    /// let params = SimParams::builder()
+    ///     .protocol(ProtocolSpec::POP_CACHE)
+    ///     .days(7)
+    ///     .seed(5)
+    ///     .build();
+    /// assert_eq!(params.protocol.name(), "PopCache");
+    /// ```
+    pub fn builder() -> SimParamsBuilder {
+        SimParamsBuilder {
+            params: SimParams::default(),
+        }
+    }
+}
+
 impl Default for SimParams {
     fn default() -> Self {
         SimParams {
-            protocol: ProtocolKind::Mbt,
+            protocol: ProtocolSpec::MBT,
             config: MbtConfig::new(),
             internet_fraction: 0.3,
             files_per_day: 40,
@@ -102,6 +127,112 @@ impl Default for SimParams {
             transport: TransportKind::default(),
             prefetch: 0,
         }
+    }
+}
+
+/// Chained constructor for [`SimParams`]; obtained from
+/// [`SimParams::builder`], finished with [`SimParamsBuilder::build`]. Every
+/// setter mirrors the field of the same name.
+#[derive(Debug, Clone, Default)]
+pub struct SimParamsBuilder {
+    params: SimParams,
+}
+
+impl SimParamsBuilder {
+    /// Sets the protocol variant every node runs. Accepts a
+    /// [`ProtocolSpec`] or a legacy [`mbt_core::ProtocolKind`].
+    pub fn protocol(mut self, protocol: impl Into<ProtocolSpec>) -> Self {
+        self.params.protocol = protocol.into();
+        self
+    }
+
+    /// Sets the node configuration (per-contact budgets, cooperation, …).
+    pub fn config(mut self, config: MbtConfig) -> Self {
+        self.params.config = config;
+        self
+    }
+
+    /// Sets the fraction of nodes with Internet access, in `[0, 1]`.
+    pub fn internet_fraction(mut self, fraction: f64) -> Self {
+        self.params.internet_fraction = fraction;
+        self
+    }
+
+    /// Sets the number of new files generated per day.
+    pub fn files_per_day(mut self, files: u32) -> Self {
+        self.params.files_per_day = files;
+        self
+    }
+
+    /// Sets the file time-to-live in days.
+    pub fn ttl_days(mut self, days: u64) -> Self {
+        self.params.ttl_days = days;
+        self
+    }
+
+    /// Sets the simulated horizon in days.
+    pub fn days(mut self, days: u64) -> Self {
+        self.params.days = days;
+        self
+    }
+
+    /// Sets the master seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.params.seed = seed;
+        self
+    }
+
+    /// Sets the frequent-contact detection window.
+    pub fn frequent_window(mut self, window: SimDuration) -> Self {
+        self.params.frequent_window = window;
+        self
+    }
+
+    /// Sets the fraction of measured nodes that die mid-run.
+    pub fn churn(mut self, churn: f64) -> Self {
+        self.params.churn = churn;
+        self
+    }
+
+    /// Sets the structured fault-injection plan.
+    pub fn faults(mut self, faults: FaultPlan) -> Self {
+        self.params.faults = faults;
+        self
+    }
+
+    /// Sets the polluter fraction (adversarial metadata forgers).
+    pub fn polluter_fraction(mut self, fraction: f64) -> Self {
+        self.params.polluter_fraction = fraction;
+        self
+    }
+
+    /// Sets how many of each day's files every polluter forges.
+    pub fn fakes_per_day(mut self, fakes: u32) -> Self {
+        self.params.fakes_per_day = fakes;
+        self
+    }
+
+    /// Sets whether honest nodes authenticate publisher metadata.
+    pub fn verify_metadata(mut self, verify: bool) -> Self {
+        self.params.verify_metadata = verify;
+        self
+    }
+
+    /// Sets the transport backend carrying contact-phase messages.
+    pub fn transport(mut self, transport: TransportKind) -> Self {
+        self.params.transport = transport;
+        self
+    }
+
+    /// Sets the shard prefetch depth for the simulation pass.
+    pub fn prefetch(mut self, depth: usize) -> Self {
+        self.params.prefetch = depth;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> SimParams {
+        self.params
     }
 }
 
@@ -429,7 +560,7 @@ const DORMANT: u32 = u32::MAX;
 /// acting. Peak resident count therefore tracks the nodes that actually
 /// hold state, not the id space.
 struct NodeArena {
-    protocol: ProtocolKind,
+    protocol: ProtocolSpec,
     config: MbtConfig,
     internet: BTreeSet<NodeId>,
     polluters: BTreeSet<NodeId>,
@@ -454,7 +585,7 @@ struct NodeArena {
 
 impl NodeArena {
     fn new(
-        protocol: ProtocolKind,
+        protocol: ProtocolSpec,
         config: MbtConfig,
         id_space: usize,
         internet: BTreeSet<NodeId>,
@@ -877,20 +1008,20 @@ mod tests {
     use super::*;
     use dtn_trace::generators::NusConfig;
     use dtn_trace::ContactTrace;
+    use mbt_core::ProtocolKind;
 
     fn small_trace() -> ContactTrace {
         NusConfig::new(30, 7).seed(11).generate()
     }
 
-    fn params(protocol: ProtocolKind) -> SimParams {
-        SimParams {
-            protocol,
-            files_per_day: 10,
-            days: 7,
-            internet_fraction: 0.3,
-            seed: 5,
-            ..SimParams::default()
-        }
+    fn params(protocol: impl Into<ProtocolSpec>) -> SimParams {
+        SimParams::builder()
+            .protocol(protocol)
+            .files_per_day(10)
+            .days(7)
+            .internet_fraction(0.3)
+            .seed(5)
+            .build()
     }
 
     #[test]
@@ -913,6 +1044,26 @@ mod tests {
             r.metadata_ratio >= r.file_ratio,
             "files need metadata first"
         );
+    }
+
+    #[test]
+    fn every_builtin_variant_runs_end_to_end() {
+        let trace = small_trace();
+        for spec in ProtocolSpec::builtin() {
+            let r = run_simulation(&trace, &params(spec), None);
+            assert!(r.queries > 0, "{spec}: no queries generated");
+            assert!(r.metadata_delivered > 0, "{spec}: nothing discovered");
+        }
+    }
+
+    #[test]
+    fn legacy_kind_params_match_triad_specs() {
+        let trace = small_trace();
+        for (kind, spec) in ProtocolKind::ALL.into_iter().zip(ProtocolSpec::TRIAD) {
+            let by_kind = run_simulation(&trace, &params(kind), None);
+            let by_spec = run_simulation(&trace, &params(spec), None);
+            assert_eq!(by_kind, by_spec, "{spec}: spec diverged from kind");
+        }
     }
 
     #[test]

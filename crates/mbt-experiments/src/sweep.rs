@@ -1,7 +1,7 @@
 //! Parameter sweeps producing paper-style series.
 
 use dtn_trace::ContactTrace;
-use mbt_core::ProtocolKind;
+use mbt_core::ProtocolSpec;
 
 use crate::runner::{run_simulation, SimParams, SimResult};
 
@@ -106,7 +106,7 @@ impl SeriesPoint {
 #[derive(Debug, Clone, PartialEq)]
 pub struct ProtocolSeries {
     /// The protocol variant.
-    pub protocol: ProtocolKind,
+    pub protocol: ProtocolSpec,
     /// Points in sweep order.
     pub points: Vec<SeriesPoint>,
 }
@@ -125,15 +125,17 @@ pub struct Figure {
 }
 
 impl Figure {
-    /// The series for `protocol`, if present.
-    pub fn series_for(&self, protocol: ProtocolKind) -> Option<&ProtocolSeries> {
+    /// The series for `protocol`, if present. Accepts a [`ProtocolSpec`] or
+    /// a legacy [`mbt_core::ProtocolKind`].
+    pub fn series_for(&self, protocol: impl Into<ProtocolSpec>) -> Option<&ProtocolSeries> {
+        let protocol = protocol.into();
         self.series.iter().find(|s| s.protocol == protocol)
     }
 }
 
 /// Runs a sweep: for each x value, `setup` produces the trace and parameters
-/// (protocol is overridden per series), and every [`ProtocolKind`] is
-/// simulated.
+/// (protocol is overridden per series), and every triad spec
+/// ([`ProtocolSpec::TRIAD`]) is simulated.
 ///
 /// `setup` is called once per (x, protocol) pair; returning the same trace
 /// for every protocol at a given x is the caller's responsibility if trace
@@ -142,7 +144,7 @@ pub fn sweep<F>(id: &str, title: &str, x_label: &str, xs: &[f64], mut setup: F) 
 where
     F: FnMut(f64) -> (ContactTrace, SimParams),
 {
-    let mut series: Vec<ProtocolSeries> = ProtocolKind::ALL
+    let mut series: Vec<ProtocolSeries> = ProtocolSpec::TRIAD
         .iter()
         .map(|&p| ProtocolSeries {
             protocol: p,
@@ -204,7 +206,7 @@ mod tests {
             assert_eq!(s.points.len(), 2);
             assert_eq!(s.points[0].x, 0.2);
         }
-        assert!(fig.series_for(ProtocolKind::MbtQm).is_some());
+        assert!(fig.series_for(ProtocolSpec::MBT_QM).is_some());
     }
 
     #[test]

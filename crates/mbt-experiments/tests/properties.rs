@@ -4,7 +4,7 @@
 use proptest::prelude::*;
 
 use dtn_trace::generators::NusConfig;
-use mbt_core::ProtocolKind;
+use mbt_core::ProtocolSpec;
 use mbt_experiments::runner::{run_simulation, SimParams};
 use mbt_experiments::workload::{draw_queries, generate_batch, WorkloadConfig};
 
@@ -14,14 +14,13 @@ proptest! {
     #[test]
     fn deliveries_never_exceed_queries_or_go_negative(seed in 0u64..1_000) {
         let trace = NusConfig::new(20, 4).seed(seed).generate();
-        for protocol in ProtocolKind::ALL {
-            let r = run_simulation(&trace, &SimParams {
-                protocol,
-                days: 4,
-                files_per_day: 8,
-                seed,
-                ..SimParams::default()
-            }, None);
+        for protocol in ProtocolSpec::builtin() {
+            let r = run_simulation(&trace, &SimParams::builder()
+                .protocol(protocol)
+                .days(4)
+                .files_per_day(8)
+                .seed(seed)
+                .build(), None);
             // Each (node, uri) query is counted delivered at most once.
             prop_assert!(r.metadata_delivered <= r.queries);
             prop_assert!(r.files_delivered <= r.queries);
@@ -36,13 +35,12 @@ proptest! {
     #[test]
     fn mbtqm_never_broadcasts_standalone_metadata(seed in 0u64..1_000) {
         let trace = NusConfig::new(16, 3).seed(seed).generate();
-        let r = run_simulation(&trace, &SimParams {
-            protocol: ProtocolKind::MbtQm,
-            days: 3,
-            files_per_day: 6,
-            seed,
-            ..SimParams::default()
-        }, None);
+        let r = run_simulation(&trace, &SimParams::builder()
+            .protocol(ProtocolSpec::MBT_QM)
+            .days(3)
+            .files_per_day(6)
+            .seed(seed)
+            .build(), None);
         prop_assert_eq!(r.metadata_broadcasts, 0);
         prop_assert_eq!(r.queries_distributed, 0);
     }

@@ -11,7 +11,7 @@
 
 use dtn_trace::generators::DieselNetConfig;
 use dtn_trace::{read_trace, write_trace, SimDuration, TraceStats};
-use mbt_core::ProtocolKind;
+use mbt_core::ProtocolSpec;
 use mbt_experiments::runner::{run_simulation, SimParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -39,21 +39,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     println!("running all three protocol variants (30% of buses pass WiFi depots):");
-    for protocol in ProtocolKind::ALL {
-        let params = SimParams {
-            protocol,
-            internet_fraction: 0.3,
-            files_per_day: 20,
-            ttl_days: 3,
-            days,
-            seed: 2006,
-            frequent_window: SimDuration::from_days(3),
-            ..SimParams::default()
-        };
+    for protocol in ProtocolSpec::TRIAD {
+        let params = SimParams::builder()
+            .protocol(protocol)
+            .internet_fraction(0.3)
+            .files_per_day(20)
+            .ttl_days(3)
+            .days(days)
+            .seed(2006)
+            .frequent_window(SimDuration::from_days(3))
+            .build();
         let r = run_simulation(&trace, &params, None);
         println!(
             "  {:>7}: metadata ratio {:.3}, file ratio {:.3}  ({} contacts used)",
-            protocol.label(),
+            protocol.name(),
             r.metadata_ratio,
             r.file_ratio,
             r.contacts
@@ -62,15 +61,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\nshort contacts favor discovery-first ordering (§V):");
     for first in [true, false] {
-        let params = SimParams {
-            config: mbt_core::MbtConfig::new().discovery_first(first),
-            internet_fraction: 0.3,
-            files_per_day: 20,
-            days,
-            seed: 2006,
-            frequent_window: SimDuration::from_days(3),
-            ..SimParams::default()
-        };
+        let params = SimParams::builder()
+            .config(mbt_core::MbtConfig::new().discovery_first(first))
+            .internet_fraction(0.3)
+            .files_per_day(20)
+            .days(days)
+            .seed(2006)
+            .frequent_window(SimDuration::from_days(3))
+            .build();
         let r = run_simulation(&trace, &params, None);
         println!(
             "  discovery_first={first}: metadata ratio {:.3}, file ratio {:.3}",

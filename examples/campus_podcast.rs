@@ -10,7 +10,7 @@
 
 use dtn_trace::generators::NusConfig;
 use dtn_trace::{SimDuration, TraceStats};
-use mbt_core::ProtocolKind;
+use mbt_core::ProtocolSpec;
 use mbt_experiments::runner::{run_simulation, SimParams};
 
 fn main() {
@@ -28,22 +28,21 @@ fn main() {
         stats.mean_contact_size(&trace).unwrap_or(0.0)
     );
 
-    println!("running all three protocol variants (30% of students have campus WiFi):");
-    for protocol in ProtocolKind::ALL {
-        let params = SimParams {
-            protocol,
-            internet_fraction: 0.3,
-            files_per_day: 20,
-            ttl_days: 3,
-            days,
-            seed: 2011,
-            frequent_window: SimDuration::from_days(1),
-            ..SimParams::default()
-        };
+    println!("running every registered protocol variant (30% of students have campus WiFi):");
+    for protocol in ProtocolSpec::builtin() {
+        let params = SimParams::builder()
+            .protocol(protocol)
+            .internet_fraction(0.3)
+            .files_per_day(20)
+            .ttl_days(3)
+            .days(days)
+            .seed(2011)
+            .frequent_window(SimDuration::from_days(1))
+            .build();
         let r = run_simulation(&trace, &params, None);
         println!(
-            "  {:>7}: metadata ratio {:.3}, file ratio {:.3}  ({} queries, {} metadata bcasts, {} file bcasts)",
-            protocol.label(),
+            "  {:>10}: metadata ratio {:.3}, file ratio {:.3}  ({} queries, {} metadata bcasts, {} file bcasts)",
+            protocol.name(),
             r.metadata_ratio,
             r.file_ratio,
             r.queries,
@@ -58,14 +57,13 @@ fn main() {
             .seed(2011)
             .attendance_rate(attendance)
             .generate();
-        let params = SimParams {
-            internet_fraction: 0.3,
-            files_per_day: 20,
-            days,
-            seed: 2011,
-            frequent_window: SimDuration::from_days(1),
-            ..SimParams::default()
-        };
+        let params = SimParams::builder()
+            .internet_fraction(0.3)
+            .files_per_day(20)
+            .days(days)
+            .seed(2011)
+            .frequent_window(SimDuration::from_days(1))
+            .build();
         let r = run_simulation(&trace, &params, None);
         println!(
             "  attendance {attendance:.2}: metadata ratio {:.3}, file ratio {:.3}",

@@ -9,7 +9,7 @@
 use dtn_trace::{NodeId, SimDuration, SimTime};
 use mbt_core::node::{run_contact, run_pairwise_contact};
 use mbt_core::{
-    MbtConfig, MbtNode, Metadata, MetadataServer, Popularity, ProtocolKind, Query, Uri,
+    MbtConfig, MbtNode, Metadata, MetadataServer, Popularity, ProtocolSpec, Query, Uri,
 };
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -25,7 +25,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Five mobile nodes running full MBT. Only node 0 reaches the Internet.
     let mut nodes: Vec<MbtNode> = (0..5)
-        .map(|i| MbtNode::new(NodeId::new(i), ProtocolKind::Mbt, MbtConfig::new()))
+        .map(|i| MbtNode::new(NodeId::new(i), ProtocolSpec::MBT, MbtConfig::new()))
         .collect();
     nodes[0].set_internet_access(true);
 

@@ -2,7 +2,7 @@
 //! simulation results; different seeds differ.
 
 use dtn_trace::generators::{DieselNetConfig, NusConfig, RandomWaypointConfig};
-use mbt_core::ProtocolKind;
+use mbt_core::ProtocolSpec;
 use mbt_experiments::runner::{run_simulation, SimParams};
 
 #[test]
@@ -24,14 +24,13 @@ fn traces_are_seed_deterministic() {
 #[test]
 fn full_simulation_is_deterministic_per_protocol() {
     let trace = NusConfig::new(30, 6).seed(4).generate();
-    for protocol in ProtocolKind::ALL {
-        let params = SimParams {
-            protocol,
-            days: 6,
-            seed: 4,
-            files_per_day: 15,
-            ..SimParams::default()
-        };
+    for protocol in ProtocolSpec::builtin() {
+        let params = SimParams::builder()
+            .protocol(protocol)
+            .days(6)
+            .seed(4)
+            .files_per_day(15)
+            .build();
         let a = run_simulation(&trace, &params, None);
         let b = run_simulation(&trace, &params, None);
         assert_eq!(a, b, "{protocol} run not reproducible");
@@ -41,11 +40,7 @@ fn full_simulation_is_deterministic_per_protocol() {
 #[test]
 fn different_seeds_change_the_outcome() {
     let trace = NusConfig::new(30, 6).seed(4).generate();
-    let base = SimParams {
-        days: 6,
-        files_per_day: 15,
-        ..SimParams::default()
-    };
+    let base = SimParams::builder().days(6).files_per_day(15).build();
     let a = run_simulation(
         &trace,
         &SimParams {
@@ -61,13 +56,12 @@ fn different_seeds_change_the_outcome() {
 #[test]
 fn dieselnet_simulation_deterministic_too() {
     let trace = DieselNetConfig::new(16, 6).seed(8).generate();
-    let params = SimParams {
-        days: 6,
-        seed: 8,
-        files_per_day: 10,
-        frequent_window: dtn_trace::SimDuration::from_days(3),
-        ..SimParams::default()
-    };
+    let params = SimParams::builder()
+        .days(6)
+        .seed(8)
+        .files_per_day(10)
+        .frequent_window(dtn_trace::SimDuration::from_days(3))
+        .build();
     assert_eq!(
         run_simulation(&trace, &params, None),
         run_simulation(&trace, &params, None)

@@ -5,20 +5,19 @@ use dtn_trace::generators::{DieselNetConfig, NusConfig};
 use dtn_trace::{NodeId, SimDuration, SimTime, SpaceTimeGraph};
 use mbt_core::node::run_pairwise_contact;
 use mbt_core::{
-    MbtConfig, MbtNode, Metadata, MetadataServer, Popularity, ProtocolKind, Query, Uri,
+    MbtConfig, MbtNode, Metadata, MetadataServer, Popularity, ProtocolSpec, Query, Uri,
 };
 use mbt_experiments::runner::{run_simulation, SimParams};
 
 #[test]
 fn nus_simulation_delivers_metadata_and_files() {
     let trace = NusConfig::new(40, 8).seed(7).generate();
-    let params = SimParams {
-        protocol: ProtocolKind::Mbt,
-        files_per_day: 20,
-        days: 8,
-        seed: 7,
-        ..SimParams::default()
-    };
+    let params = SimParams::builder()
+        .protocol(ProtocolSpec::MBT)
+        .files_per_day(20)
+        .days(8)
+        .seed(7)
+        .build();
     let r = run_simulation(&trace, &params, None);
     assert!(
         r.queries > 50,
@@ -37,14 +36,13 @@ fn nus_simulation_delivers_metadata_and_files() {
 #[test]
 fn dieselnet_simulation_delivers_over_pairwise_contacts() {
     let trace = DieselNetConfig::new(24, 8).seed(7).generate();
-    let params = SimParams {
-        protocol: ProtocolKind::Mbt,
-        files_per_day: 20,
-        days: 8,
-        seed: 7,
-        frequent_window: SimDuration::from_days(3),
-        ..SimParams::default()
-    };
+    let params = SimParams::builder()
+        .protocol(ProtocolSpec::MBT)
+        .files_per_day(20)
+        .days(8)
+        .seed(7)
+        .frequent_window(SimDuration::from_days(3))
+        .build();
     let r = run_simulation(&trace, &params, None);
     assert!(r.queries > 0);
     assert!(
@@ -63,7 +61,7 @@ fn manual_three_hop_relay_through_the_dtn() {
         Popularity::new(0.8),
     );
 
-    let mk = |i: u32| MbtNode::new(NodeId::new(i), ProtocolKind::Mbt, MbtConfig::new());
+    let mk = |i: u32| MbtNode::new(NodeId::new(i), ProtocolSpec::MBT, MbtConfig::new());
     let mut nodes = vec![mk(0), mk(1), mk(2)];
     nodes[0].set_internet_access(true);
     nodes[0].add_query(Query::new("breaking story").unwrap(), None);
@@ -112,22 +110,24 @@ fn space_time_reachability_sanity() {
 #[test]
 fn simulation_scales_with_contact_budget() {
     let trace = NusConfig::new(30, 6).seed(9).generate();
-    let tight = SimParams {
-        config: MbtConfig::new()
-            .metadata_per_contact(1)
-            .files_per_contact(1),
-        days: 6,
-        seed: 9,
-        ..SimParams::default()
-    };
-    let roomy = SimParams {
-        config: MbtConfig::new()
-            .metadata_per_contact(40)
-            .files_per_contact(10),
-        days: 6,
-        seed: 9,
-        ..SimParams::default()
-    };
+    let tight = SimParams::builder()
+        .config(
+            MbtConfig::new()
+                .metadata_per_contact(1)
+                .files_per_contact(1),
+        )
+        .days(6)
+        .seed(9)
+        .build();
+    let roomy = SimParams::builder()
+        .config(
+            MbtConfig::new()
+                .metadata_per_contact(40)
+                .files_per_contact(10),
+        )
+        .days(6)
+        .seed(9)
+        .build();
     let r_tight = run_simulation(&trace, &tight, None);
     let r_roomy = run_simulation(&trace, &roomy, None);
     assert!(

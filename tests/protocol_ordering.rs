@@ -14,14 +14,13 @@ fn trace() -> ContactTrace {
 fn run(protocol: ProtocolKind, internet_fraction: f64) -> SimResult {
     run_simulation(
         &trace(),
-        &SimParams {
-            protocol,
-            internet_fraction,
-            files_per_day: 20,
-            days: 8,
-            seed: 21,
-            ..SimParams::default()
-        },
+        &SimParams::builder()
+            .protocol(protocol)
+            .internet_fraction(internet_fraction)
+            .files_per_day(20)
+            .days(8)
+            .seed(21)
+            .build(),
         None,
     )
 }

@@ -1,0 +1,122 @@
+//! Equivalence and golden tests for the pluggable protocol-variant API.
+//!
+//! Two contracts are pinned here. First, the `ProtocolSpec` refactor is a
+//! pure re-plumbing for the paper's triad: running the legacy three-protocol
+//! figures through the new spec-based runner yields *byte-identical* CSVs
+//! whether the grid is triad-only or widened with the new variants, serial
+//! or parallel. Second, the five-variant head-to-head figure is pinned to a
+//! golden fixture at `Scale::Quick`, updated via:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p mbt-experiments --test protocol_variants
+//! ```
+
+use mbt_core::ProtocolSpec;
+use mbt_experiments::figures::{head_to_head_nus, RunContext};
+use mbt_experiments::report::figure_csv;
+use mbt_experiments::runner::SimParams;
+use mbt_experiments::sweep::Figure;
+use mbt_experiments::{ExecConfig, ParallelRunner, Scale};
+
+use dtn_trace::generators::NusConfig;
+use dtn_trace::TraceSource;
+use std::sync::Arc;
+
+fn fixture_path(name: &str) -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../../tests/fixtures")
+        .join(name)
+}
+
+fn assert_matches_golden(fig: &Figure, name: &str) {
+    let csv = figure_csv(fig);
+    let path = fixture_path(name);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, &csv).unwrap();
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden fixture {} ({e}); run UPDATE_GOLDEN=1 cargo test \
+             -p mbt-experiments --test protocol_variants to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        csv,
+        golden,
+        "{} drifted from its golden fixture {}; if the change is intentional, \
+         regenerate with UPDATE_GOLDEN=1 and commit the fixture",
+        fig.id,
+        path.display()
+    );
+}
+
+fn sweep_with(protocols: Vec<ProtocolSpec>, jobs: usize) -> Figure {
+    let source: Arc<dyn TraceSource> = Arc::new(NusConfig::new(24, 5).seed(11).generate());
+    let exec = ExecConfig::default()
+        .jobs(jobs)
+        .replicates(2)
+        .master_seed(7);
+    ParallelRunner::new(exec)
+        .with_protocols(protocols)
+        .sweep_shared_source(
+            "equiv",
+            "equivalence sweep",
+            "internet fraction",
+            &[0.2, 0.6],
+            source,
+            |x| {
+                SimParams::builder()
+                    .internet_fraction(x)
+                    .days(5)
+                    .files_per_day(10)
+                    .build()
+            },
+            None,
+        )
+}
+
+/// The triad CSV is byte-identical whether the grid runs serial or on eight
+/// workers: per-cell seeds derive from grid coordinates, not scheduling.
+#[test]
+fn triad_csv_is_byte_identical_across_job_counts() {
+    let serial = figure_csv(&sweep_with(ProtocolSpec::TRIAD.to_vec(), 1));
+    let parallel = figure_csv(&sweep_with(ProtocolSpec::TRIAD.to_vec(), 8));
+    assert_eq!(serial, parallel);
+}
+
+/// Widening the protocol list with the new variants appends series without
+/// disturbing the triad's cells: the first three series of the five-variant
+/// run render byte-for-byte the same rows as the triad-only run.
+#[test]
+fn widened_grid_preserves_legacy_triad_rows() {
+    let triad = sweep_with(ProtocolSpec::TRIAD.to_vec(), 8);
+    let wide = sweep_with(ProtocolSpec::builtin().to_vec(), 8);
+    assert_eq!(wide.series.len(), 5);
+    assert_eq!(triad.series[..], wide.series[..3]);
+
+    let triad_csv = figure_csv(&triad);
+    let wide_csv = figure_csv(&wide);
+    for line in triad_csv.lines() {
+        assert!(
+            wide_csv.lines().any(|l| l == line),
+            "triad row missing from widened CSV: {line}"
+        );
+    }
+}
+
+/// The five-variant head-to-head figure at quick scale, pinned to a golden
+/// fixture exactly like the legacy figures.
+#[test]
+fn head_to_head_nus_quick_matches_golden() {
+    let fig = head_to_head_nus(
+        &mut RunContext::new(Scale::Quick).exec(ExecConfig::default().replicates(3)),
+    );
+    assert_eq!(fig.series.len(), 5, "head-to-head must cover every builtin");
+    for (series, spec) in fig.series.iter().zip(ProtocolSpec::builtin()) {
+        assert_eq!(series.protocol, spec, "registry order must be preserved");
+    }
+    assert_matches_golden(&fig, "h2h_nus_quick.csv");
+}
